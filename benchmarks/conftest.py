@@ -1,0 +1,30 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one paper figure/table through its experiment
+harness and asserts the paper's qualitative shape (who wins, by roughly
+what factor, where crossovers fall).  Absolute paper numbers are *not*
+asserted — the substrate is a simulator, not the authors' instrumented
+Core 2 Duo.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_FULL_BENCH=1`` to use the full 881-run protocol sizes instead
+of the quick subsets.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    """Whether benchmarks run the reduced protocol (default: yes)."""
+    return os.environ.get("REPRO_FULL_BENCH", "") != "1"
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

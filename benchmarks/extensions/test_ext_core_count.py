@@ -1,0 +1,21 @@
+"""Extension bench: voltage noise grows with the number of active cores."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_core_count
+
+
+def test_ext_core_count(benchmark, quick):
+    result = run_once(benchmark, lambda: ext_core_count.run(quick=quick))
+    worst = result.series["worst_by_cores"]
+    typical = result.series["typical_by_cores"]
+    # The worst case (aligned deep stalls) grows monotonically and
+    # strongly with active core count.
+    assert np.all(np.diff(worst) > 0)
+    assert worst[-1] / worst[0] > 2.0
+    # The typical mix also worsens overall, but far more slowly —
+    # averaging and slack pickup moderate it.
+    assert typical[-1] > typical[0]
+    assert worst[-1] / worst[0] > typical[-1] / typical[0]
+    print("\n" + result.format_table())

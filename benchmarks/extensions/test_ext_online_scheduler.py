@@ -1,0 +1,21 @@
+"""Extension bench: online learned scheduling vs fair-share random."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_online_scheduler
+
+
+def test_ext_online_scheduler(benchmark, quick):
+    result = run_once(
+        benchmark, lambda: ext_online_scheduler.run(quick=quick)
+    )
+    ratio = result.series["droop_ratio"]
+    # The learned scheduler is never meaningfully worse than fair-share
+    # random, and on average squeezes out a real (if modest) reduction —
+    # the deployable slice of the oracle policy's benefit.
+    assert ratio < 1.03
+    aware = np.array(result.series["aware_droops"])
+    oblivious = np.array(result.series["oblivious_droops"])
+    assert (aware <= oblivious * 1.08).mean() >= 0.6
+    print("\n" + result.format_table())

@@ -1,0 +1,16 @@
+"""Extension bench: split vs connected core supplies (paper footnote 3)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_split_supply
+
+
+def test_ext_split_supply(benchmark, quick):
+    result = run_once(benchmark, lambda: ext_split_supply.run(quick=quick))
+    ratios = result.series["ratios"]
+    # Splitting the rail worsens swings for every pair tested, and by a
+    # nontrivial mean factor (POWER6: "much larger").
+    assert np.all(ratios > 1.0)
+    assert ratios.mean() > 1.1
+    print("\n" + result.format_table())

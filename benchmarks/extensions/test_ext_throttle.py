@@ -1,0 +1,30 @@
+"""Extension bench: open-loop vs closed-loop emergency throttling."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_throttle
+
+
+def test_ext_throttle(benchmark, quick):
+    result = run_once(benchmark, lambda: ext_throttle.run(quick=quick))
+    raw = np.mean(result.series["raw_events"])
+    open_events = np.mean(result.series["open_events"])
+    closed_events = np.mean(result.series["closed_events"])
+    open_loss = np.mean(result.series["open_loss"])
+    closed_loss = np.mean(result.series["closed_loss"])
+
+    # Both schemes reduce droop events.
+    assert open_events < raw
+    assert closed_events <= raw
+    # Open-loop ramping is ruinously expensive (the burst cadence sits on
+    # the package resonance); closed-loop costs a fraction of it.
+    assert open_loss > 0.2
+    assert closed_loss < 0.5 * open_loss
+    assert closed_loss < 0.18
+    # Per unit of throughput sacrificed, the voltage-guided throttle is
+    # the better deal.
+    open_efficiency = (raw - open_events) / raw / max(open_loss, 1e-9)
+    closed_efficiency = (raw - closed_events) / raw / max(closed_loss, 1e-9)
+    assert closed_efficiency > open_efficiency
+    print("\n" + result.format_table())

@@ -1,0 +1,18 @@
+"""Bench: Fig. 1 — projected voltage swings across technology nodes."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig01_scaling_trends
+
+
+def test_fig01_scaling_trends(benchmark, quick):
+    result = run_once(benchmark, lambda: fig01_scaling_trends.run(quick=quick))
+    swings = result.series["swings"]
+    names = ["45nm", "32nm", "22nm", "16nm", "11nm"]
+    values = [swings[n] for n in names]
+    # Monotone growth with process scaling.
+    assert all(a < b for a, b in zip(values, values[1:]))
+    # Roughly doubles by 16 nm (paper's headline claim).
+    assert 1.7 <= swings["16nm"] <= 2.4
+    # 11 nm in the paper's ~2.5-3x band.
+    assert 2.2 <= swings["11nm"] <= 3.3
+    print("\n" + result.format_table())

@@ -1,0 +1,26 @@
+"""Bench: Fig. 2 — peak frequency vs operating margin per node."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig02_margin_frequency
+
+
+def test_fig02_margin_frequency(benchmark, quick):
+    result = run_once(benchmark, lambda: fig02_margin_frequency.run(quick=quick))
+    margins = result.series["margins"]
+    curves = result.series["curves"]
+    # 20% margin at 45 nm costs roughly a quarter of peak frequency.
+    f45_at_20 = float(np.interp(0.2, margins, curves["45nm"]))
+    assert 70.0 <= f45_at_20 <= 85.0
+    # Every curve decreases monotonically with margin.
+    for values in curves.values():
+        finite = values[np.isfinite(values)]
+        assert np.all(np.diff(finite) < 0)
+    # Lower-Vdd nodes lose more frequency at the same margin.
+    f16_at_20 = float(np.interp(0.2, margins, curves["16nm"]))
+    assert f16_at_20 < f45_at_20
+    # Doubled swings (40% margin) at 16 nm cost more than half the peak.
+    f16_at_40 = float(np.interp(0.4, margins, curves["16nm"]))
+    assert f16_at_40 < 50.0
+    print("\n" + result.format_table())

@@ -1,0 +1,23 @@
+"""Bench: Fig. 4 — impedance profile reconstruction and decap contrast."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig04_impedance
+
+
+def test_fig04_impedance(benchmark, quick):
+    result = run_once(benchmark, lambda: fig04_impedance.run(quick=quick))
+    # Stock resonance in the paper's 100-200 MHz first-droop band.
+    assert 1.0e8 <= result.series["resonance_hz"] <= 2.0e8
+    # Depleted package several times the stock impedance near 1 MHz
+    # (paper quotes ~5x between 1 and 10 MHz).
+    assert 3.0 <= result.series["ratio_1mhz"] <= 12.0
+    # The software current-loop reconstruction agrees with the analytic
+    # ladder within a factor comfortably below the decap contrast.
+    reconstructed = result.series["loop_reconstructed_ohm"]
+    analytic = result.series["loop_analytic_ohm"]
+    valid = np.isfinite(reconstructed)
+    ratio = reconstructed[valid] / analytic[valid]
+    assert np.all((ratio > 0.5) & (ratio < 2.0))
+    print("\n" + result.format_table())

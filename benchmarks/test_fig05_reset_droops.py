@@ -1,0 +1,25 @@
+"""Bench: Fig. 5(m-r) — reset droop response per decap configuration."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig05_reset_droops
+from repro.pdn.platform import WORST_CASE_MARGIN
+
+
+def test_fig05_reset_droops(benchmark, quick):
+    result = run_once(benchmark, lambda: fig05_reset_droops.run(quick=quick))
+    traces = result.series["traces"]
+    droops = {name: t.max_droop_fraction() for name, t in traces.items()}
+    order = ["Proc100", "Proc75", "Proc50", "Proc25", "Proc3", "Proc0"]
+    values = [droops[name] for name in order]
+    # Droops deepen monotonically with decap removal.
+    assert all(a <= b * 1.02 for a, b in zip(values, values[1:]))
+    # Stock droop is within the shipped margin; Proc0's breaks it (the
+    # paper's "cannot boot" observation).
+    assert droops["Proc100"] < WORST_CASE_MARGIN
+    assert droops["Proc0"] > WORST_CASE_MARGIN
+    # Absolute scale: stock in the ~100-200 mV class, Proc0 in the
+    # ~300-450 mV class (paper: 150 mV -> 350 mV).
+    nominal = traces["Proc100"].nominal_voltage
+    assert 0.05 <= droops["Proc100"] * nominal <= 0.2
+    assert 0.25 <= droops["Proc0"] * nominal <= 0.5
+    print("\n" + result.format_table())

@@ -1,0 +1,23 @@
+"""Bench: Fig. 6 — normalized pk-pk swings vs package capacitance."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig06_decap_swings
+
+
+def test_fig06_decap_swings(benchmark, quick):
+    result = run_once(benchmark, lambda: fig06_decap_swings.run(quick=quick))
+    relative = result.series["relative_swings"]
+    order = ["Proc100", "Proc75", "Proc50", "Proc25", "Proc3", "Proc0"]
+    values = [relative[name] for name in order]
+    assert relative["Proc100"] == 1.0
+    # Monotone growth towards less capacitance.
+    assert all(a <= b * 1.02 for a, b in zip(values, values[1:]))
+    # Overall span comparable to the paper's 150->350 mV (~2.3x), with
+    # simulator headroom.
+    assert 2.0 <= relative["Proc0"] <= 5.0
+    # The knee sits between Proc25 and Proc3: that jump dominates the
+    # earlier Proc50 -> Proc25 one.
+    assert (relative["Proc3"] - relative["Proc25"]) > (
+        relative["Proc25"] - relative["Proc50"]
+    )
+    print("\n" + result.format_table())

@@ -1,0 +1,17 @@
+"""Bench: Fig. 10 — the improvement pocket shrinks on future nodes."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_heatmaps
+
+
+def test_fig10_heatmaps(benchmark, quick):
+    result = run_once(benchmark, lambda: fig10_heatmaps.run(quick=quick))
+    rows = {row[0]: row for row in result.rows}
+    # Best achievable improvement decays Proc100 -> Proc25 -> Proc3.
+    assert rows["Proc100"][1] >= rows["Proc25"][1] >= rows["Proc3"][1]
+    # The pocket of >10 % improvement cells shrinks the same way.
+    assert rows["Proc100"][3] >= rows["Proc25"][3] >= rows["Proc3"][3]
+    # Holding a 15 % improvement needs ever finer-grained recovery
+    # (paper: 1000 -> 100 -> ~10 cycles).
+    assert rows["Proc100"][2] >= rows["Proc25"][2] >= rows["Proc3"][2]
+    print("\n" + result.format_table())

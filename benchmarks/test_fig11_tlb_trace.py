@@ -1,0 +1,24 @@
+"""Bench: Fig. 11 — TLB-miss overshoot spikes riding the VRM ripple."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11_tlb_trace
+
+
+def test_fig11_tlb_trace(benchmark, quick):
+    result = run_once(benchmark, lambda: fig11_tlb_trace.run(quick=quick))
+    rows = {row[0]: row[1] for row in result.rows}
+    # The TLB kernel produces far more overshoot spikes than the idle
+    # machine (whose ripple must not register as spikes).
+    assert rows["overshoot spikes (TLB run)"] > 5 * max(
+        rows["overshoot spikes (idle run)"], 1
+    )
+    # Spike count tracks the recurrence of the misses (same order of
+    # magnitude as the number of misses in the window).
+    assert (
+        0.1 * rows["TLB misses in window"]
+        <= rows["overshoot spikes (TLB run)"]
+        <= 2.0 * rows["TLB misses in window"]
+    )
+    # And the overall swing exceeds idle.
+    assert rows["pk-pk, TLB run (%)"] > rows["pk-pk, idle (%)"]
+    print("\n" + result.format_table())

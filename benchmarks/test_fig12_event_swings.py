@@ -1,0 +1,20 @@
+"""Bench: Fig. 12 — single-core event swings; BR is the largest."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig12_event_swings
+from repro.uarch.events import StallEvent
+
+
+def test_fig12_event_swings(benchmark, quick):
+    result = run_once(benchmark, lambda: fig12_event_swings.run(quick=quick))
+    swings = result.series["swings"]
+    # Every stall event is visible above the idle baseline.
+    assert all(value > 1.1 for value in swings.values())
+    # Branch misprediction causes the largest swing (paper: >1.7x);
+    # allow statistical ties within a few percent.
+    br = swings[StallEvent.BRANCH_MISPREDICT]
+    assert br >= 0.95 * max(swings.values())
+    assert br > 1.5
+    # L1 misses are the mildest event.
+    assert swings[StallEvent.L1_MISS] == min(swings.values())
+    print("\n" + result.format_table())

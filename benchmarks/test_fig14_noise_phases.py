@@ -1,0 +1,33 @@
+"""Bench: Fig. 14 — voltage-noise phases across full executions."""
+
+from benchmarks.conftest import run_once
+from repro.core.phases import count_phase_changes, oscillation_period_intervals
+from repro.experiments import fig14_noise_phases
+
+
+def test_fig14_noise_phases(benchmark, quick):
+    result = run_once(benchmark, lambda: fig14_noise_phases.run(quick=quick))
+    timelines = result.series["timelines"]
+    sphinx = timelines["sphinx"]
+    gamess = timelines["gamess"]
+    tonto = timelines["tonto"]
+
+    # sphinx: flat profile near the suite's high end, no phase structure.
+    assert sphinx.span() < 0.6 * sphinx.mean_level()
+    # gamess and tonto swing through phases much wider than sphinx's
+    # sampling noise (relative to their own level).
+    assert gamess.span() / gamess.mean_level() > sphinx.span() / sphinx.mean_level()
+    assert tonto.span() / tonto.mean_level() > sphinx.span() / sphinx.mean_level()
+
+    # gamess steps through multiple distinct phases.
+    shift = max(gamess.span() * 0.35, 10.0)
+    assert count_phase_changes(
+        gamess.droops_per_1k, min_shift=shift, smooth=1
+    ) >= 2
+
+    # tonto oscillates: in full mode its repeating cycle is visible in
+    # the autocorrelation. (Quick mode has too few intervals to resolve.)
+    if not quick:
+        period = oscillation_period_intervals(tonto.droops_per_1k)
+        assert period is not None
+    print("\n" + result.format_table())

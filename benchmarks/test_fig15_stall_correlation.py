@@ -1,0 +1,23 @@
+"""Bench: Fig. 15 — droops strongly correlate with the stall ratio."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig15_stall_correlation
+
+
+def test_fig15_stall_correlation(benchmark, quick):
+    result = run_once(
+        benchmark, lambda: fig15_stall_correlation.run(quick=quick)
+    )
+    correlation = result.series["correlation"]
+    # A heterogeneous mix of noise levels across the suite.
+    droops = correlation.droops_per_1k
+    assert droops.max() > 2.0 * max(droops.min(), 1.0)
+    # Strong positive linear correlation with the counter-derived stall
+    # ratio (paper: 0.97; simulator sampling noise grants head-room).
+    assert correlation.pearson_r > 0.6
+    assert correlation.spearman_rho > 0.5
+    # Stall ratios themselves span a meaningful range.
+    assert correlation.stall_ratios.max() - correlation.stall_ratios.min() > 0.2
+    print("\n" + result.format_table())

@@ -1,0 +1,23 @@
+"""Bench: Fig. 16 — sliding-window co-schedule exposes both interference polarities."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig16_sliding_window
+
+
+def test_fig16_sliding_window(benchmark, quick):
+    result = run_once(benchmark, lambda: fig16_sliding_window.run(quick=quick))
+    experiment = result.series["experiment"]
+    max_amp = result.series["max_amplification"]
+    min_amp = result.series["min_amplification"]
+    # Constructive offsets roughly double (or worse) the droop activity.
+    assert max_amp >= 1.7
+    # Destructive offsets stay much closer to the single-core level.
+    assert min_amp <= 0.65 * max_amp
+    # The effect varies with the scheduling offset (that's the whole
+    # point of phase-aware co-scheduling).
+    ratios = (
+        experiment.droops_per_1k
+        / experiment.single_core_droops_per_1k.clip(min=1e-9)
+    )
+    assert ratios.std() > 0.1
+    print("\n" + result.format_table())

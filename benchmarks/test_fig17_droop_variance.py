@@ -1,0 +1,37 @@
+"""Bench: Fig. 17 — droop variance across co-schedules per benchmark."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig17_droop_variance
+
+
+def test_fig17_droop_variance(benchmark, quick):
+    result = run_once(benchmark, lambda: fig17_droop_variance.run(quick=quick))
+    boxes = result.series["boxes"]
+    single = result.series["single"]
+    specrate = result.series["specrate"]
+
+    # Co-schedule choice matters: for most benchmarks the box spans a
+    # meaningful range (partner identity changes the droop count).
+    spans = [boxes[a].max() - boxes[a].min() for a in boxes]
+    medians = [float(np.median(boxes[a])) for a in boxes]
+    wide = sum(s > 0.3 * max(m, 1.0) for s, m in zip(spans, medians))
+    assert wide >= len(boxes) // 2
+
+    # Destructive interference exists: some benchmarks have co-schedules
+    # at or below their single-core droop level.
+    destructive = result.series["benchmarks_with_destructive"]
+    assert destructive >= 1
+
+    # Room over the baseline: a large share of co-schedules beat SPECrate
+    # (paper: over half when using SPECrate as the reference).
+    assert result.series["fraction_below_specrate"] >= 0.35
+
+    # Dual-core runs generally exceed single-core noise (the motivation
+    # for mitigating multi-core interference in the first place).
+    higher = sum(
+        float(np.median(boxes[a])) > single[a] for a in boxes
+    )
+    assert higher >= len(boxes) // 2
+    print("\n" + result.format_table())

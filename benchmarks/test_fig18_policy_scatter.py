@@ -1,0 +1,37 @@
+"""Bench: Fig. 18 — policy impact relative to SPECrate."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig18_policy_scatter
+
+
+def test_fig18_policy_scatter(benchmark, quick):
+    result = run_once(
+        benchmark, lambda: fig18_policy_scatter.run(quick=quick)
+    )
+    points = result.series["points"]
+    random_mean = result.series["random_mean"]
+
+    droop_d, droop_p = points["Droop"]
+    ipc_d, ipc_p = points["IPC"]
+    hybrid_d, hybrid_p = points["IPC/Droop^1"]
+
+    # Droop policy minimizes droops (Q1: fewer droops than baseline with
+    # at least no performance loss — the paper even sees a slight gain).
+    assert droop_d < 0.95
+    assert droop_p >= 0.98
+    # IPC policy maximizes performance but is droop-oblivious: its droop
+    # level is near the random schedules' level, well above Droop's.
+    assert ipc_p > droop_p
+    assert abs(ipc_d - random_mean[0]) < 0.25
+    assert ipc_d > droop_d
+    # The hybrid sits between the two extremes on droops.
+    assert droop_d <= hybrid_d <= ipc_d + 0.05
+    # Random scheduling mimics the baseline.
+    assert abs(random_mean[0] - 1.0) < 0.15
+    assert abs(random_mean[1] - 1.0) < 0.15
+    # Individual random schedules cluster (no policy-like outliers).
+    random_points = np.array(result.series["random_points"])
+    assert random_points[:, 0].std() < 0.2
+    print("\n" + result.format_table())

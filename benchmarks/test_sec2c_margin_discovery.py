@@ -1,0 +1,21 @@
+"""Bench: Sec. II-C — the 14% worst-case margin is discoverable."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import sec2c_margin_discovery
+from repro.pdn.platform import WORST_CASE_MARGIN
+
+
+def test_sec2c_margin_discovery(benchmark, quick):
+    result = run_once(
+        benchmark, lambda: sec2c_margin_discovery.run(quick=quick)
+    )
+    data = result.series["result"]
+    # The derived guardband is the paper's ~14 %.
+    assert abs(data.worst_case_margin - WORST_CASE_MARGIN) < 0.01
+    # Headroom + virus droop reconstructs the guardband: the undervolting
+    # procedure and the droop measurements are mutually consistent.
+    total = data.headroom + data.virus_droop_fraction
+    assert abs(total - data.worst_case_margin) < 0.02
+    # Some undervolting is always safe (margins are conservative).
+    assert data.headroom > 0.01
+    print("\n" + result.format_table())

@@ -1,0 +1,25 @@
+"""Bench: Tab. I — SPECrate typical-case analysis at optimal margins."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tab1_specrate_pass
+
+
+def test_tab1_specrate_pass(benchmark, quick):
+    result = run_once(benchmark, lambda: tab1_specrate_pass.run(quick=quick))
+    costs = [row[0] for row in result.rows]
+    margins = [row[1] for row in result.rows]
+    improvements = [row[2] for row in result.rows]
+    passing = [row[3] for row in result.rows]
+
+    # Optimal margins relax monotonically with recovery cost
+    # (paper: 5.3 % -> 8.6 %).
+    assert all(a <= b + 1e-9 for a, b in zip(margins, margins[1:]))
+    # Expected improvement shrinks monotonically (paper: 15.7 % -> 9.7 %).
+    assert all(a >= b - 1e-9 for a, b in zip(improvements, improvements[1:]))
+    # Fine-grained recovery is in the paper's improvement class.
+    assert improvements[0] >= 10.0
+    # Passing schedules collapse from nearly-all to a fraction as recovery
+    # coarsens (paper: 28/29 down to 9/29).
+    assert passing[0] >= 0.8 * max(passing)
+    assert min(passing[2:5]) < passing[0]
+    print("\n" + result.format_table())

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Characterize voltage noise the way Secs. II-III of the paper do.
+
+Reproduces the paper's characterization flow end to end:
+
+1. reconstruct the platform impedance profile and locate its resonance;
+2. stimulate one core with each stall-event microbenchmark and rank the
+   resulting swings against an idling machine (Fig. 12);
+3. run every event pair across both cores and find the worst
+   constructive-interference pairing (Fig. 13).
+
+Run:  python examples/characterize_noise.py
+"""
+
+from repro import Chip, ImpedanceProfile, build_network
+from repro.core.interference import (
+    event_interference_matrix,
+    single_core_event_swings,
+)
+
+N_CYCLES = 40_000
+
+
+def main() -> None:
+    # --- 1. impedance profile -----------------------------------------
+    stock = ImpedanceProfile.from_network(build_network("Proc100"))
+    peak = stock.peak()
+    print("== Impedance profile (stock package) ==")
+    print(f"resonance: {peak.impedance_ohm * 1e3:.2f} mOhm "
+          f"at {peak.frequency_hz / 1e6:.0f} MHz "
+          "(paper: peak in the 100-200 MHz band)")
+    depleted = ImpedanceProfile.from_network(build_network("Proc3"))
+    print(f"Proc3 / Proc100 at 1 MHz: "
+          f"{depleted.ratio_to(stock, 1e6):.1f}x (paper: ~5x)")
+    print()
+
+    # --- 2. single-core event swings ----------------------------------
+    chip = Chip("Proc100")
+    swings = single_core_event_swings(chip, n_cycles=N_CYCLES)
+    print("== Single-core event swings vs idle (Fig. 12) ==")
+    for event, value in sorted(swings.items(), key=lambda kv: kv[1]):
+        print(f"  {event.label:5s} {value:5.2f}x")
+    worst_single = max(swings.values())
+    print(f"largest: {max(swings, key=swings.get).label} "
+          "(paper: BR at >1.7x)")
+    print()
+
+    # --- 3. cross-core interference matrix ----------------------------
+    matrix, events = event_interference_matrix(chip, n_cycles=N_CYCLES)
+    print("== Cross-core interference (Fig. 13) ==")
+    header = "        " + "  ".join(f"{e.label:>5s}" for e in events)
+    print(header)
+    for i, event in enumerate(events):
+        row = "  ".join(f"{v:5.2f}" for v in matrix[i])
+        print(f"  {event.label:5s} {row}")
+    import numpy as np
+
+    i, j = np.unravel_index(np.argmax(matrix), matrix.shape)
+    print(f"worst pair: {events[i].label}+{events[j].label} at "
+          f"{matrix.max():.2f}x idle, "
+          f"{matrix.max() / worst_single - 1:+.0%} over single-core "
+          "(paper: EXCP+EXCP, +42%)")
+
+
+if __name__ == "__main__":
+    main()

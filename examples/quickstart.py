@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: simulate on-die voltage noise for one benchmark.
+
+Builds the reference Core 2 Duo-class platform (stock decap, VRM ripple),
+runs a memory-bound SPEC CPU2006 model on core 0 with core 1 idle, and
+reports what the paper's measurement chain would see: peak-to-peak swing,
+deepest droop, droop excursion statistics, and performance counters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Chip, IdleLoop, spec_benchmark
+from repro.measurement.droops import detect_droops, droop_samples_per_1k
+
+WINDOW_CYCLES = 60_000  # ~32 us of execution at 1.86 GHz
+
+
+def main() -> None:
+    chip = Chip("Proc100")  # the stock processor
+    mcf = spec_benchmark("mcf")
+    idle = IdleLoop()
+
+    run = chip.run(
+        [
+            mcf.sample_window(WINDOW_CYCLES, rng=0),
+            idle.sample_window(WINDOW_CYCLES, rng=1),
+        ],
+        seed=42,
+    )
+
+    voltage = run.voltage
+    counters = run.counters(0)
+    droops = detect_droops(voltage)
+
+    print(f"workload            : {mcf.name} (single-threaded, core 1 idle)")
+    print(f"configuration       : {run.config_name}")
+    print(f"window              : {run.n_cycles} cycles "
+          f"({voltage.duration_seconds * 1e6:.1f} us)")
+    print(f"mean chip current   : {run.total_current_amps.mean():.1f} A")
+    print()
+    print(f"peak-to-peak swing  : {voltage.peak_to_peak_fraction():.2%} of nominal")
+    print(f"deepest droop       : {voltage.max_droop_fraction():.2%}")
+    print(f"largest overshoot   : {voltage.max_overshoot_fraction():.2%}")
+    print(f"droop excursions    : {droops.count} "
+          f"(max depth {droops.max_depth():.2%})")
+    print(f"droops per 1K cycles: "
+          f"{droop_samples_per_1k(voltage):.1f} (at the 2.3% margin)")
+    print()
+    print(f"IPC                 : {counters.ipc:.2f}")
+    print(f"stall ratio         : {counters.stall_ratio:.2f}")
+    print()
+    print("The 14% worst-case margin would never trip here — this is the")
+    print("typical-case gap the paper's resilient designs exploit.")
+
+
+if __name__ == "__main__":
+    main()

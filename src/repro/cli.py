@@ -1,0 +1,154 @@
+"""Command-line interface for the experiment harnesses.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig08
+    python -m repro.cli run tab1 --full
+    python -m repro.cli run all
+
+Each experiment prints the reproduced figure/table rows plus its
+paper-vs-measured notes.  ``--full`` switches from the quick subsets to
+the paper's full protocol sizes (slower).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import Dict
+
+#: Short alias -> experiment module name.
+EXPERIMENTS: Dict[str, str] = {
+    "fig01": "fig01_scaling_trends",
+    "fig02": "fig02_margin_frequency",
+    "fig04": "fig04_impedance",
+    "sec2c": "sec2c_margin_discovery",
+    "fig05": "fig05_reset_droops",
+    "fig06": "fig06_decap_swings",
+    "fig07": "fig07_typical_case_cdf",
+    "fig08": "fig08_margin_sweep",
+    "fig09": "fig09_future_cdf",
+    "fig10": "fig10_heatmaps",
+    "fig11": "fig11_tlb_trace",
+    "fig12": "fig12_event_swings",
+    "fig13": "fig13_event_interference",
+    "fig14": "fig14_noise_phases",
+    "fig15": "fig15_stall_correlation",
+    "fig16": "fig16_sliding_window",
+    "fig17": "fig17_droop_variance",
+    "tab1": "tab1_specrate_pass",
+    "fig18": "fig18_policy_scatter",
+    "fig19": "fig19_pass_increase",
+    "ext-split": "ext_split_supply",
+    "ext-online": "ext_online_scheduler",
+    "ext-throttle": "ext_throttle",
+    "ext-cores": "ext_core_count",
+}
+
+#: One-line description per experiment, shown by ``list``.
+DESCRIPTIONS: Dict[str, str] = {
+    "fig01": "projected voltage swings across technology nodes",
+    "fig02": "peak frequency vs operating margin per node",
+    "fig04": "platform impedance profiles (stock vs reduced caps)",
+    "sec2c": "worst-case margin discovery by undervolting",
+    "fig05": "reset droop response across Proc100..Proc0",
+    "fig06": "normalized pk-pk swings vs package capacitance",
+    "fig07": "typical-case voltage-sample distribution (Proc100)",
+    "fig08": "improvement vs margin per recovery cost (Proc100)",
+    "fig09": "sample distributions on future nodes (Proc25/Proc3)",
+    "fig10": "improvement heat maps per decap configuration",
+    "fig11": "TLB-miss overshoot spikes on the VRM ripple",
+    "fig12": "single-core stall-event swings",
+    "fig13": "cross-core event interference matrix",
+    "fig14": "voltage-noise phases (sphinx/gamess/tonto)",
+    "fig15": "droops vs stall ratio across CPU2006",
+    "fig16": "sliding-window co-schedule of astar",
+    "fig17": "droop variance across co-schedules",
+    "tab1": "SPECrate typical-case analysis at optimal margins",
+    "fig18": "scheduling-policy scatter vs SPECrate",
+    "fig19": "increase in passing schedules from scheduling",
+    "ext-split": "extension: split vs connected core supplies",
+    "ext-online": "extension: online learned noise-aware scheduling",
+    "ext-throttle": "extension: open- vs closed-loop emergency throttling",
+    "ext-cores": "extension: noise vs number of active cores",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the figures/tables of the Voltage Smoothing "
+        "paper (MICRO 2010).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    report = sub.add_parser(
+        "report", help="run everything and write a markdown report"
+    )
+    report.add_argument(
+        "--output", default="REPORT.md", help="report file path"
+    )
+    report.add_argument(
+        "--full", action="store_true",
+        help="use the full protocol sizes instead of quick subsets",
+    )
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help="experiment alias (see 'list'), or 'all'",
+    )
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full 881-run protocol sizes instead of quick subsets",
+    )
+    return parser
+
+
+def _run_one(alias: str, quick: bool) -> None:
+    module = importlib.import_module(
+        f"repro.experiments.{EXPERIMENTS[alias]}"
+    )
+    started = time.time()
+    result = module.run(quick=quick)
+    elapsed = time.time() - started
+    print(result.format_table())
+    print(f"({alias} finished in {elapsed:.1f} s)")
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(alias) for alias in EXPERIMENTS)
+        for alias in EXPERIMENTS:
+            print(f"{alias.ljust(width)}  {DESCRIPTIONS[alias]}")
+        return 0
+    if args.command == "report":
+        from repro.reporting import generate_report
+
+        generate_report(path=args.output, quick=not args.full)
+        print(f"wrote {args.output}")
+        return 0
+    # command == "run"
+    target = args.experiment.lower()
+    quick = not args.full
+    if target == "all":
+        for alias in EXPERIMENTS:
+            _run_one(alias, quick)
+        return 0
+    if target not in EXPERIMENTS:
+        print(
+            f"unknown experiment {target!r}; run 'list' to see choices",
+            file=sys.stderr,
+        )
+        return 2
+    _run_one(target, quick)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

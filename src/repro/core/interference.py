@@ -1,0 +1,204 @@
+"""Cross-core interference experiments (Sec. III-C, Sec. IV-A/B).
+
+Three experiments live here:
+
+* :func:`single_core_event_swings` — Fig. 12: run each stall-event
+  microbenchmark on one core (other core idle) and report the chip's
+  peak-to-peak swing relative to an idling machine.  Branch mispredictions
+  produce the largest single-core swing (paper: >1.7x).
+* :func:`event_interference_matrix` — Fig. 13: run every ordered pair of
+  microbenchmarks, one per core.  Swings grow when both cores are active
+  (paper: max 2.42x at EXCP+EXCP, a 42 % increase over single-core), but
+  the growth depends on the pairing — some pairs interfere destructively.
+* :func:`sliding_window_experiment` — Fig. 16: pin program X to core 0 for
+  its whole execution while restarting program Y on core 1 every interval,
+  convolving Y's first interval against all of X's noise phases.  The
+  resulting droop-rate series exposes both constructive and destructive
+  co-schedule offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.measurement.droops import CHARACTERIZATION_MARGIN, droop_samples_per_1k
+from repro.random_utils import SeedLike, derive_generator
+from repro.uarch.chip import Chip
+from repro.uarch.events import StallEvent
+from repro.workloads.base import Workload
+from repro.workloads.microbenchmarks import IdleLoop, microbenchmark_for
+
+#: Number of window repetitions averaged per measurement point; swings are
+#: extreme statistics, so a few repetitions stabilize them.
+DEFAULT_REPEATS = 3
+
+
+def _mean_pkpk(
+    chip: Chip,
+    make_windows,
+    repeats: int,
+    seed: SeedLike,
+) -> float:
+    values = []
+    for r in range(repeats):
+        rng = derive_generator(seed, "rep", r)
+        windows = make_windows(rng)
+        run = chip.run(windows, seed=derive_generator(rng, "chip"))
+        values.append(run.voltage.peak_to_peak_fraction())
+    return float(np.mean(values))
+
+
+def idle_baseline_pkpk(
+    chip: Chip,
+    n_cycles: int = 50_000,
+    repeats: int = DEFAULT_REPEATS,
+    seed: SeedLike = 0,
+) -> float:
+    """Peak-to-peak swing of the idling machine (the normalization base)."""
+    idle = IdleLoop()
+
+    def windows(rng):
+        return [
+            idle.sample_window(n_cycles, rng=derive_generator(rng, 0)),
+            idle.sample_window(n_cycles, rng=derive_generator(rng, 1)),
+        ]
+
+    return _mean_pkpk(chip, windows, repeats, derive_generator(seed, "idle"))
+
+
+def single_core_event_swings(
+    chip: Chip,
+    n_cycles: int = 50_000,
+    repeats: int = DEFAULT_REPEATS,
+    seed: SeedLike = 0,
+) -> Dict[StallEvent, float]:
+    """Fig. 12: per-event peak-to-peak swing relative to idle."""
+    baseline = idle_baseline_pkpk(chip, n_cycles, repeats, seed)
+    idle = IdleLoop()
+    swings: Dict[StallEvent, float] = {}
+    for event in StallEvent:
+        ubench = microbenchmark_for(event)
+
+        def windows(rng, _ubench=ubench):
+            return [
+                _ubench.sample_window(n_cycles, rng=derive_generator(rng, 0)),
+                idle.sample_window(n_cycles, rng=derive_generator(rng, 1)),
+            ]
+
+        pkpk = _mean_pkpk(
+            chip, windows, repeats, derive_generator(seed, "single", event.label)
+        )
+        swings[event] = pkpk / baseline
+    return swings
+
+
+def event_interference_matrix(
+    chip: Chip,
+    n_cycles: int = 50_000,
+    repeats: int = DEFAULT_REPEATS,
+    seed: SeedLike = 0,
+) -> Tuple[np.ndarray, Tuple[StallEvent, ...]]:
+    """Fig. 13: swing (relative to idle) for each event pair across cores.
+
+    Returns the matrix (rows: core 0's event, columns: core 1's event) and
+    the event ordering of its axes.
+    """
+    baseline = idle_baseline_pkpk(chip, n_cycles, repeats, seed)
+    events = tuple(StallEvent)
+    matrix = np.empty((len(events), len(events)))
+    for i, ev0 in enumerate(events):
+        for j, ev1 in enumerate(events):
+            ub0 = microbenchmark_for(ev0)
+            ub1 = microbenchmark_for(ev1)
+
+            def windows(rng, _ub0=ub0, _ub1=ub1):
+                return [
+                    _ub0.sample_window(n_cycles, rng=derive_generator(rng, 0)),
+                    _ub1.sample_window(n_cycles, rng=derive_generator(rng, 1)),
+                ]
+
+            matrix[i, j] = _mean_pkpk(
+                chip,
+                windows,
+                repeats,
+                derive_generator(seed, "pair", ev0.label, ev1.label),
+            ) / baseline
+    return matrix, events
+
+
+@dataclass(frozen=True)
+class SlidingWindowResult:
+    """Droop-rate series from the Fig. 16 convolution experiment."""
+
+    pinned_name: str
+    restarted_name: str
+    offsets_s: np.ndarray
+    droops_per_1k: np.ndarray
+    single_core_droops_per_1k: np.ndarray
+
+    def constructive_offsets(self, threshold_ratio: float = 1.3) -> np.ndarray:
+        """Offsets where co-scheduling amplifies noise beyond single-core."""
+        return self.offsets_s[
+            self.droops_per_1k
+            > threshold_ratio * np.maximum(self.single_core_droops_per_1k, 1e-9)
+        ]
+
+    def destructive_offsets(self, threshold_ratio: float = 1.1) -> np.ndarray:
+        """Offsets where co-scheduled noise stays near the single-core level."""
+        return self.offsets_s[
+            self.droops_per_1k
+            <= threshold_ratio * np.maximum(self.single_core_droops_per_1k, 1e-9)
+        ]
+
+
+def sliding_window_experiment(
+    pinned: Workload,
+    restarted: Workload,
+    chip: Chip,
+    interval_seconds: float = 60.0,
+    window_cycles: int = 30_000,
+    seed: SeedLike = 0,
+    margin: float = CHARACTERIZATION_MARGIN,
+    max_intervals: Optional[int] = None,
+) -> SlidingWindowResult:
+    """Fig. 16: convolve ``restarted``'s first interval against ``pinned``.
+
+    ``pinned`` runs on core 0 from start to completion; at each interval
+    offset, ``restarted`` is freshly launched on core 1 (so core 1 always
+    executes the program's *first* interval).  The measured droop rate per
+    offset captures how the restarted program's opening phase interferes
+    with each of the pinned program's phases.
+    """
+    if interval_seconds <= 0:
+        raise ConfigurationError("interval_seconds must be positive")
+    n_intervals = max(1, int(pinned.duration_seconds / interval_seconds))
+    if max_intervals is not None:
+        n_intervals = min(n_intervals, max_intervals)
+    offsets = np.arange(n_intervals) * interval_seconds
+    paired = np.empty(n_intervals)
+    alone = np.empty(n_intervals)
+    idle = IdleLoop()
+    for i, offset in enumerate(offsets):
+        rng = derive_generator(seed, "slide", pinned.name, restarted.name, i)
+        w_pinned = pinned.sample_window(
+            window_cycles, rng=derive_generator(rng, "x"), at_time_s=float(offset)
+        )
+        w_restarted = restarted.sample_window(
+            window_cycles, rng=derive_generator(rng, "y"), at_time_s=0.0
+        )
+        run = chip.run([w_pinned, w_restarted], seed=derive_generator(rng, "c"))
+        paired[i] = droop_samples_per_1k(run.voltage, margin)
+        w_idle = idle.sample_window(window_cycles, rng=derive_generator(rng, "i"))
+        solo = chip.run([w_pinned, w_idle], seed=derive_generator(rng, "s"))
+        alone[i] = droop_samples_per_1k(solo.voltage, margin)
+    return SlidingWindowResult(
+        pinned_name=pinned.name,
+        restarted_name=restarted.name,
+        offsets_s=offsets,
+        droops_per_1k=paired,
+        single_core_droops_per_1k=alone,
+    )

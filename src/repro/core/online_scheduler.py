@@ -1,0 +1,344 @@
+"""An online noise-aware scheduler (extension of the Sec. IV limit study).
+
+The paper's scheduling results are an *oracle* limit study: droop counts
+for every pairing are measured a priori.  A production scheduler has no
+oracle — it observes droops (from a hardware emergency counter) and
+performance counters only for the pairs it actually runs, while jobs
+arrive and finish.
+
+:class:`OnlineScheduler` closes that gap: it runs a job pool interval by
+interval on the simulated chip, learns per-program droop propensity from
+the intervals it schedules (attributing each measured interval equally to
+the two co-runners), and uses an epsilon-greedy pairing rule over the
+learned estimates.  Comparing its cumulative droops against random
+pairing quantifies how much of the oracle benefit survives online
+operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.measurement.droops import (
+    CHARACTERIZATION_MARGIN,
+    detect_droops,
+    droop_samples_per_1k,
+)
+from repro.random_utils import SeedLike, as_generator, derive_generator
+from repro.uarch.chip import Chip
+from repro.workloads.base import Workload
+from repro.workloads.spec import spec_benchmark
+
+
+@dataclass
+class Job:
+    """One program instance working through its intervals."""
+
+    name: str
+    remaining_intervals: int
+    progress_intervals: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.remaining_intervals <= 0
+
+
+@dataclass
+class IntervalRecord:
+    """What the scheduler observed in one interval."""
+
+    interval: int
+    pair: Tuple[str, str]
+    droops_per_1k: float
+    throughput_ipc: float
+
+
+@dataclass
+class OnlineScheduleResult:
+    """Cumulative outcome of one online-scheduling run."""
+
+    policy_name: str
+    records: List[IntervalRecord] = field(default_factory=list)
+
+    @property
+    def intervals(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_droops(self) -> float:
+        return float(sum(r.droops_per_1k for r in self.records))
+
+    @property
+    def mean_droops(self) -> float:
+        return self.total_droops / max(self.intervals, 1)
+
+    @property
+    def mean_ipc(self) -> float:
+        return float(
+            np.mean([r.throughput_ipc for r in self.records])
+        ) if self.records else 0.0
+
+
+class OnlineScheduler:
+    """Interval-driven scheduler with learned droop estimates.
+
+    Parameters
+    ----------
+    chip:
+        The (shared-supply) chip jobs run on.
+    interval_seconds:
+        Wall-clock length of one scheduling interval.
+    window_cycles:
+        Simulated window representing each interval.
+    ema_alpha:
+        Learning rate of the per-program droop estimate.
+    epsilon:
+        Exploration probability: with this chance the scheduler pairs
+        randomly instead of greedily, so estimates keep improving.
+    metric:
+        What the scheduler observes per interval: ``"events"`` counts
+        distinct droop excursions beyond the characterization margin (the
+        paper's emergency-recovery count) while ``"samples"`` counts
+        cycles spent below it.
+    """
+
+    def __init__(
+        self,
+        chip: Chip,
+        interval_seconds: float = 60.0,
+        window_cycles: int = 20_000,
+        ema_alpha: float = 0.4,
+        epsilon: float = 0.10,
+        metric: str = "events",
+    ) -> None:
+        if not 0 < ema_alpha <= 1:
+            raise SchedulingError("ema_alpha must be in (0, 1]")
+        if not 0 <= epsilon < 1:
+            raise SchedulingError("epsilon must be in [0, 1)")
+        if metric not in ("events", "samples"):
+            raise SchedulingError("metric must be 'events' or 'samples'")
+        self._chip = chip
+        self._interval_seconds = float(interval_seconds)
+        self._window_cycles = int(window_cycles)
+        self._alpha = float(ema_alpha)
+        self._epsilon = float(epsilon)
+        self._metric = metric
+
+    # ------------------------------------------------------------------
+    def _workload(self, name: str) -> Workload:
+        return spec_benchmark(name)
+
+    def _run_interval(
+        self,
+        jobs: Tuple[Job, Job],
+        interval: int,
+        rng: np.random.Generator,
+    ) -> IntervalRecord:
+        windows = []
+        for slot, job in enumerate(jobs):
+            workload = self._workload(job.name)
+            at_time = job.progress_intervals * self._interval_seconds
+            windows.append(
+                workload.sample_window(
+                    self._window_cycles,
+                    rng=derive_generator(rng, "win", interval, slot),
+                    at_time_s=at_time,
+                )
+            )
+        run = self._chip.run(
+            windows, seed=derive_generator(rng, "chip", interval)
+        )
+        if self._metric == "events":
+            droops = 1000.0 * detect_droops(run.voltage).event_rate(
+                CHARACTERIZATION_MARGIN
+            )
+        else:
+            droops = droop_samples_per_1k(
+                run.voltage, CHARACTERIZATION_MARGIN
+            )
+        return IntervalRecord(
+            interval=interval,
+            pair=(jobs[0].name, jobs[1].name),
+            droops_per_1k=droops,
+            throughput_ipc=float(
+                sum(e.counters.ipc for e in run.cores)
+            ),
+        )
+
+    @staticmethod
+    def _pair_key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def _pick_pair(
+        self,
+        waiting: List[Job],
+        estimates: Dict[Tuple[str, str], float],
+        rng: np.random.Generator,
+        noise_aware: bool,
+    ) -> Tuple[Job, Job]:
+        if len(waiting) < 2:
+            raise SchedulingError("need at least two waiting jobs")
+        explore = rng.random() < self._epsilon
+        if not noise_aware or explore:
+            picks = rng.choice(len(waiting), size=2, replace=False)
+            return waiting[picks[0]], waiting[picks[1]]
+        # Anchor on the job with the most remaining work (so quiet jobs
+        # cannot be burned down first, stranding loud jobs together at the
+        # end), then choose its partner by the learned *pair-level* droop
+        # estimate.  Unseen pairings get an optimistic prior, which drives
+        # exploration the way the paper's pre-run phase sweeps all
+        # combinations.
+        if estimates:
+            optimistic = float(np.quantile(list(estimates.values()), 0.25))
+        else:
+            optimistic = 0.0
+        most_remaining = max(job.remaining_intervals for job in waiting)
+        anchors = [
+            job for job in waiting
+            if job.remaining_intervals == most_remaining
+        ]
+        anchor = anchors[int(rng.integers(0, len(anchors)))]
+        best: Optional[Tuple[float, float, int]] = None
+        for idx, job in enumerate(waiting):
+            if job is anchor:
+                continue
+            key = self._pair_key(anchor.name, job.name)
+            value = estimates.get(key, optimistic)
+            candidate = (value, float(rng.random()), idx)
+            if best is None or candidate < best:
+                best = candidate
+        assert best is not None
+        return anchor, waiting[best[2]]
+
+    # ------------------------------------------------------------------
+    def run_service(
+        self,
+        programs: Sequence[str],
+        n_intervals: int = 60,
+        fairness_slack: int = 2,
+        noise_aware: bool = True,
+        seed: SeedLike = None,
+        policy_name: Optional[str] = None,
+    ) -> OnlineScheduleResult:
+        """Schedule a standing service mix for ``n_intervals`` intervals.
+
+        This is the long-running-server setting the paper's scheduler
+        targets: the same programs keep (re)arriving, and each interval
+        the scheduler picks *which two* to co-run.  A fair-share
+        constraint keeps any program from starving (its service count may
+        not trail the minimum by more than ``fairness_slack``); inside
+        that envelope the noise-aware policy pairs the most-starved
+        program with the partner whose learned pair estimate is lowest.
+        """
+        if len(programs) < 2:
+            raise SchedulingError("need at least two programs")
+        if n_intervals < 1:
+            raise SchedulingError("n_intervals must be >= 1")
+        if fairness_slack < 1:
+            raise SchedulingError("fairness_slack must be >= 1")
+        rng = as_generator(seed)
+        service: Dict[str, int] = {name: 0 for name in programs}
+        estimates: Dict[Tuple[str, str], float] = {}
+        result = OnlineScheduleResult(
+            policy_name=policy_name
+            or ("service-droop" if noise_aware else "service-random")
+        )
+        for interval in range(n_intervals):
+            min_service = min(service.values())
+            # The most-starved program must run this interval.
+            starved = [p for p in programs if service[p] == min_service]
+            anchor = starved[int(rng.integers(0, len(starved)))]
+            eligible = [
+                p for p in programs
+                if p != anchor and service[p] < min_service + fairness_slack
+            ] or [p for p in programs if p != anchor]
+            if not noise_aware or rng.random() < self._epsilon:
+                partner = eligible[int(rng.integers(0, len(eligible)))]
+            else:
+                if estimates:
+                    optimistic = float(
+                        np.quantile(list(estimates.values()), 0.25)
+                    )
+                else:
+                    optimistic = 0.0
+                scored = sorted(
+                    eligible,
+                    key=lambda p: (
+                        estimates.get(self._pair_key(anchor, p), optimistic),
+                        float(rng.random()),
+                    ),
+                )
+                partner = scored[0]
+            jobs = (
+                Job(anchor, remaining_intervals=1,
+                    progress_intervals=service[anchor]),
+                Job(partner, remaining_intervals=1,
+                    progress_intervals=service[partner]),
+            )
+            record = self._run_interval(jobs, interval, rng)
+            result.records.append(record)
+            key = self._pair_key(anchor, partner)
+            previous = estimates.get(key, record.droops_per_1k)
+            estimates[key] = (
+                (1 - self._alpha) * previous
+                + self._alpha * record.droops_per_1k
+            )
+            service[anchor] += 1
+            service[partner] += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def run_pool(
+        self,
+        programs: Sequence[str],
+        copies: int = 2,
+        intervals_per_job: int = 3,
+        noise_aware: bool = True,
+        seed: SeedLike = None,
+        policy_name: Optional[str] = None,
+    ) -> OnlineScheduleResult:
+        """Run a pool of jobs to completion, two at a time.
+
+        Each program contributes ``copies`` jobs of ``intervals_per_job``
+        intervals.  When only one job remains it runs against an idle
+        core (its droops are attributed to it alone).
+        """
+        if copies < 1 or intervals_per_job < 1:
+            raise SchedulingError("copies and intervals_per_job must be >= 1")
+        rng = as_generator(seed)
+        jobs = [
+            Job(name=name, remaining_intervals=intervals_per_job)
+            for name in programs
+            for _ in range(copies)
+        ]
+        if len(jobs) < 2:
+            raise SchedulingError("the pool needs at least two jobs")
+        estimates: Dict[Tuple[str, str], float] = {}
+        result = OnlineScheduleResult(
+            policy_name=policy_name
+            or ("online-droop" if noise_aware else "online-random")
+        )
+        interval = 0
+        while True:
+            waiting = [job for job in jobs if not job.done]
+            if len(waiting) < 2:
+                break
+            pair = self._pick_pair(waiting, estimates, rng, noise_aware)
+            record = self._run_interval(pair, interval, rng)
+            result.records.append(record)
+            # Learn the pairing's droop level from what was observed.
+            key = self._pair_key(pair[0].name, pair[1].name)
+            previous = estimates.get(key, record.droops_per_1k)
+            estimates[key] = (
+                (1 - self._alpha) * previous
+                + self._alpha * record.droops_per_1k
+            )
+            for job in pair:
+                job.remaining_intervals -= 1
+                job.progress_intervals += 1
+            interval += 1
+        return result

@@ -1,0 +1,159 @@
+"""Voltage-noise phases over full program executions (Fig. 14).
+
+Programs pass through phases of differing microarchitectural stall
+activity, and the droop rate follows: 482.sphinx holds a flat ~100 droops
+per 1K cycles for its whole run, 416.gamess steps through four distinct
+regimes, 465.tonto oscillates every few tens of seconds.  These *noise
+phases* are what give a software scheduler something to exploit.
+
+:class:`NoiseTimeline` samples a workload at a fixed wall-clock cadence
+(the paper averages each 60-second interval) and records droop activity
+per interval; :func:`count_phase_changes` detects level shifts in the
+resulting series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.measurement.droops import CHARACTERIZATION_MARGIN, droop_samples_per_1k
+from repro.random_utils import SeedLike, derive_generator
+from repro.uarch.chip import Chip
+from repro.workloads.base import Workload
+from repro.workloads.microbenchmarks import IdleLoop
+
+
+@dataclass(frozen=True)
+class NoiseTimeline:
+    """Droop activity of one workload across its execution."""
+
+    workload_name: str
+    times_s: np.ndarray
+    droops_per_1k: np.ndarray
+
+    def mean_level(self) -> float:
+        return float(self.droops_per_1k.mean())
+
+    def span(self) -> float:
+        """Max minus min interval level."""
+        return float(self.droops_per_1k.max() - self.droops_per_1k.min())
+
+
+def measure_noise_timeline(
+    workload: Workload,
+    chip: Chip,
+    interval_seconds: float = 60.0,
+    window_cycles: int = 25_000,
+    windows_per_interval: int = 5,
+    seed: SeedLike = 0,
+    margin: float = CHARACTERIZATION_MARGIN,
+    max_intervals: Optional[int] = None,
+) -> NoiseTimeline:
+    """Sample a workload's droop rate once per wall-clock interval.
+
+    The co-runner core idles, matching the paper's single-core phase
+    characterization.  Each interval averages ``windows_per_interval``
+    independent windows sampled at that interval's start time — the paper
+    averages a full 60 seconds of execution per point, so sampling noise
+    per interval must be small relative to the phase structure.
+    """
+    if interval_seconds <= 0:
+        raise ConfigurationError("interval_seconds must be positive")
+    if windows_per_interval < 1:
+        raise ConfigurationError("windows_per_interval must be >= 1")
+    idle = IdleLoop()
+    n_intervals = max(1, int(workload.duration_seconds / interval_seconds))
+    if max_intervals is not None:
+        n_intervals = min(n_intervals, max_intervals)
+    times = np.arange(n_intervals) * interval_seconds
+    rates = np.empty(n_intervals)
+    for i, at_time in enumerate(times):
+        samples = []
+        for rep in range(windows_per_interval):
+            rng = derive_generator(seed, workload.name, i, rep)
+            windows = [
+                workload.sample_window(
+                    window_cycles, rng=rng, at_time_s=float(at_time)
+                ),
+                idle.sample_window(
+                    window_cycles, rng=derive_generator(rng, "idle")
+                ),
+            ]
+            run = chip.run(windows, seed=derive_generator(rng, "chip"))
+            samples.append(droop_samples_per_1k(run.voltage, margin))
+        rates[i] = float(np.mean(samples))
+    return NoiseTimeline(
+        workload_name=workload.name, times_s=times, droops_per_1k=rates
+    )
+
+
+def count_phase_changes(
+    series: np.ndarray,
+    min_shift: float,
+    smooth: int = 3,
+) -> int:
+    """Count level shifts of at least ``min_shift`` in a noise series.
+
+    The series is smoothed with a short moving average, then scanned for
+    crossings of the midpoint between its running regimes: a phase change
+    is a smoothed excursion from one side of the global midline to the
+    other by at least ``min_shift``.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1 or series.size == 0:
+        raise ConfigurationError("series must be a non-empty 1-D array")
+    if min_shift <= 0:
+        raise ConfigurationError("min_shift must be positive")
+    if smooth > 1 and series.size > smooth:
+        kernel = np.ones(smooth) / smooth
+        smoothed = np.convolve(series, kernel, mode="valid")
+    else:
+        smoothed = series
+    if smoothed.size < 2:
+        return 0
+    midline = (smoothed.max() + smoothed.min()) / 2.0
+    if smoothed.max() - smoothed.min() < min_shift:
+        return 0
+    # Hysteresis band around the midline to ignore small wiggles.
+    upper = midline + min_shift / 4.0
+    lower = midline - min_shift / 4.0
+    state = 1 if smoothed[0] > midline else -1
+    changes = 0
+    for value in smoothed[1:]:
+        if state < 0 and value > upper:
+            state = 1
+            changes += 1
+        elif state > 0 and value < lower:
+            state = -1
+            changes += 1
+    return changes
+
+
+def oscillation_period_intervals(series: np.ndarray) -> Optional[float]:
+    """Dominant oscillation period (in intervals) via autocorrelation.
+
+    Returns ``None`` when the series has no significant periodicity —
+    flat profiles like 482.sphinx.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.size < 8:
+        return None
+    centered = series - series.mean()
+    if np.allclose(centered, 0):
+        return None
+    autocorr = np.correlate(centered, centered, mode="full")
+    autocorr = autocorr[autocorr.size // 2 :]
+    autocorr /= autocorr[0]
+    # First significant peak after the zero lag.
+    for lag in range(2, autocorr.size - 1):
+        if (
+            autocorr[lag] > 0.3
+            and autocorr[lag] >= autocorr[lag - 1]
+            and autocorr[lag] >= autocorr[lag + 1]
+        ):
+            return float(lag)
+    return None

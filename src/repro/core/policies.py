@@ -1,0 +1,130 @@
+"""Co-scheduling policies (Sec. IV-C).
+
+A policy scores candidate pairings; the batch scheduler picks, for each
+job it places, the partner with the best score.  The paper compares:
+
+* **Droop** — minimize predicted chip-wide droops (emergency recoveries);
+  the paper's proposed noise-aware policy.
+* **IPC** — maximize predicted pair throughput; the classic
+  contention-aware performance policy.
+* **IPC/Droop^n** — the hybrid the paper proposes for balancing the two,
+  with the exponent ``n`` growing with the platform's recovery cost.
+* **Random** — the control; mimics SPECrate's indifference to noise.
+* **SPECrate** — the baseline: every program paired with itself.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.random_utils import SeedLike, as_generator
+
+#: Droop rates can be zero for quiet pairs; the hybrid metric floors them.
+DROOP_EPSILON = 1e-7
+
+
+class SchedulingPolicy(abc.ABC):
+    """Scores candidate co-schedules; higher is better."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def score(self, a: str, b: str, oracle) -> float:
+        """Desirability of running ``a`` and ``b`` together."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}()"
+
+
+class DroopPolicy(SchedulingPolicy):
+    """Minimize chip-wide droop (emergency) rates."""
+
+    name = "Droop"
+
+    def score(self, a: str, b: str, oracle) -> float:
+        return -oracle.droop_metric(a, b)
+
+
+class IPCPolicy(SchedulingPolicy):
+    """Maximize pair throughput (sum of the two cores' IPC)."""
+
+    name = "IPC"
+
+    def score(self, a: str, b: str, oracle) -> float:
+        return oracle.ipc_metric(a, b)
+
+
+class HybridPolicy(SchedulingPolicy):
+    """The paper's IPC/Droop^n metric.
+
+    Small ``n`` weighs throughput (fine-grained recovery, cheap
+    emergencies); large ``n`` weighs noise (coarse-grained recovery,
+    expensive emergencies).
+    """
+
+    def __init__(self, exponent: float = 1.0) -> None:
+        if exponent < 0:
+            raise ConfigurationError("exponent must be non-negative")
+        self.exponent = float(exponent)
+        self.name = f"IPC/Droop^{exponent:g}"
+
+    @classmethod
+    def for_recovery_cost(cls, recovery_cost: float) -> "HybridPolicy":
+        """Pick ``n`` from the platform's recovery cost.
+
+        The paper argues n should be small for fine-grained schemes and
+        larger for coarse-grained ones; a logarithmic ramp captures that.
+        """
+        if recovery_cost < 1:
+            raise ConfigurationError("recovery_cost must be >= 1")
+        exponent = 0.25 + 0.35 * np.log10(recovery_cost)
+        return cls(exponent=float(exponent))
+
+    def score(self, a: str, b: str, oracle) -> float:
+        droops = max(oracle.droop_metric(a, b), DROOP_EPSILON)
+        return oracle.ipc_metric(a, b) / droops**self.exponent
+
+
+class StallRatioPolicy(SchedulingPolicy):
+    """Droop avoidance from commodity counters only.
+
+    A deployable approximation of :class:`DroopPolicy`: instead of oracle
+    droop measurements per *pair*, it uses each program's solo stall
+    ratio — readable from performance counters on any machine, which is
+    the software loop the paper's Fig. 15 correlation (droops ~ stall
+    ratio, r = 0.97) licenses.  Scoring minimizes the pair's *worst*
+    stall ratio, which pairs stall-heavy programs with steady low-stall
+    partners — the combination whose slack pickup dampens chip-wide
+    current swings.
+    """
+
+    name = "StallRatio"
+
+    def score(self, a: str, b: str, oracle) -> float:
+        return -max(oracle.stall_metric(a), oracle.stall_metric(b))
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Uniformly random pairing (the paper's 100-random-schedules control)."""
+
+    name = "Random"
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = as_generator(seed)
+
+    def score(self, a: str, b: str, oracle) -> float:
+        return float(self._rng.random())
+
+
+class SPECratePolicy(SchedulingPolicy):
+    """The baseline: self-pairs only."""
+
+    name = "SPECrate"
+
+    def score(self, a: str, b: str, oracle) -> float:
+        if a != b:
+            raise SchedulingError("SPECrate only pairs a program with itself")
+        return 0.0

@@ -1,0 +1,145 @@
+"""The error-recovery mechanism catalog (Sec. III-B's recovery-cost axis).
+
+The paper's recovery-cost sweep is anchored to real mechanisms:
+
+* **Razor** (Ernst et al., MICRO'03) — pipeline-stage-level timing-error
+  detection and replay; recovery costs a few cycles.
+* **DeCoR** (Gupta et al., HPCA'08) — delays instruction commit in the
+  existing LSQ/ROB until an emergency check clears; tens of cycles.
+* **Signature-based prediction** (Reddi et al., HPCA'09) — predicts
+  emergencies from program/microarchitectural activity over an optimistic
+  ~100-cycle hardware checkpoint.
+* **Production checkpoint/rollback** (IBM S/390 G5, SPARC64 V) — the
+  general-purpose checkpointing that already ships for soft-error
+  tolerance; thousands to ~100k cycles per recovery.
+
+:class:`RecoveryMechanism` couples each scheme's cost with its
+implementation class so analyses can speak in mechanism names rather than
+raw cycle counts, and :func:`evaluate_mechanisms` runs the resilience
+model across the catalog.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.core.resilience import OptimalMargin, ResilientDesignModel
+from repro.errors import ConfigurationError
+
+
+class RecoveryGranularity(enum.Enum):
+    """How invasive the mechanism is to the microarchitecture."""
+
+    PIPELINE_STAGE = "pipeline-stage"
+    COMMIT_DELAY = "commit-delay"
+    CHECKPOINT_FINE = "fine checkpoint"
+    CHECKPOINT_COARSE = "coarse checkpoint"
+
+
+@dataclass(frozen=True)
+class RecoveryMechanism:
+    """One error-recovery scheme.
+
+    Parameters
+    ----------
+    name:
+        Scheme name as the paper cites it.
+    cost_cycles:
+        Cycles lost per emergency recovery.
+    granularity:
+        Implementation class; finer granularity implies more invasive
+        changes to traditional structures (the paper's argument for
+        preferring software assistance over ever-finer hardware).
+    intrusive:
+        Whether deploying it requires redesigning core structures.
+    reference:
+        Citation string.
+    """
+
+    name: str
+    cost_cycles: float
+    granularity: RecoveryGranularity
+    intrusive: bool
+    reference: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cost_cycles < 0:
+            raise ConfigurationError("cost_cycles must be non-negative")
+
+
+#: The paper's reference points, ordered from finest to coarsest.
+MECHANISMS: Tuple[RecoveryMechanism, ...] = (
+    RecoveryMechanism(
+        name="Razor",
+        cost_cycles=1,
+        granularity=RecoveryGranularity.PIPELINE_STAGE,
+        intrusive=True,
+        reference="Ernst et al., MICRO 2003",
+    ),
+    RecoveryMechanism(
+        name="DeCoR",
+        cost_cycles=10,
+        granularity=RecoveryGranularity.COMMIT_DELAY,
+        intrusive=True,
+        reference="Gupta et al., HPCA 2008",
+    ),
+    RecoveryMechanism(
+        name="Signature prediction + checkpoint",
+        cost_cycles=100,
+        granularity=RecoveryGranularity.CHECKPOINT_FINE,
+        intrusive=True,
+        reference="Reddi et al., HPCA 2009",
+    ),
+    RecoveryMechanism(
+        name="Production checkpoint (fast)",
+        cost_cycles=1_000,
+        granularity=RecoveryGranularity.CHECKPOINT_COARSE,
+        intrusive=False,
+        reference="IBM S/390 G5-class rollback",
+    ),
+    RecoveryMechanism(
+        name="Production checkpoint (typical)",
+        cost_cycles=10_000,
+        granularity=RecoveryGranularity.CHECKPOINT_COARSE,
+        intrusive=False,
+        reference="shipping checkpoint/rollback hardware",
+    ),
+    RecoveryMechanism(
+        name="Production checkpoint (slow)",
+        cost_cycles=100_000,
+        granularity=RecoveryGranularity.CHECKPOINT_COARSE,
+        intrusive=False,
+        reference="worst-case production recovery",
+    ),
+)
+
+
+def mechanism_by_name(name: str) -> RecoveryMechanism:
+    for mechanism in MECHANISMS:
+        if mechanism.name == name:
+            return mechanism
+    raise ConfigurationError(
+        f"unknown mechanism {name!r}; have {[m.name for m in MECHANISMS]}"
+    )
+
+
+def non_intrusive_mechanisms() -> Tuple[RecoveryMechanism, ...]:
+    """Schemes already shipping in commodity parts.
+
+    The paper's thesis: software scheduling should make *these* viable
+    instead of forcing ever finer (intrusive) hardware.
+    """
+    return tuple(m for m in MECHANISMS if not m.intrusive)
+
+
+def evaluate_mechanisms(
+    model: ResilientDesignModel,
+    mechanisms: Sequence[RecoveryMechanism] = MECHANISMS,
+) -> Dict[str, OptimalMargin]:
+    """Optimal margin and improvement per catalogued mechanism."""
+    return {
+        mechanism.name: model.optimal_margin(mechanism.cost_cycles)
+        for mechanism in mechanisms
+    }

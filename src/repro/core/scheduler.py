@@ -1,0 +1,250 @@
+"""The oracle-based batch co-scheduling experiment (Sec. IV-C/D).
+
+The paper's limit study: gather droop and IPC data for all 29x29 CPU2006
+pairings a priori (the *oracle*), then let each policy build batch
+schedules from a job pool and compare the resulting droop/performance
+trade-off against the SPECrate baseline (Fig. 18), and the number of
+schedules that still meet the typical-case design target as recovery costs
+grow (Tab. I, Fig. 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.measurement.campaign import MeasurementCampaign, RunMeasurement
+from repro.measurement.droops import CHARACTERIZATION_MARGIN
+from repro.core.policies import SchedulingPolicy, SPECratePolicy
+from repro.random_utils import SeedLike, as_generator
+
+Pair = Tuple[str, str]
+
+
+class PairOracle:
+    """A-priori droop and IPC data for every workload pairing.
+
+    The paper gathers this in a pre-run phase over all 29x29 program
+    combinations; here each pairing is measured (and cached) on the
+    campaign's simulated chip.  The droop metric counts distinct droop
+    excursions beyond the 2.3 % characterization margin per 1K cycles;
+    the IPC metric is the pair's summed throughput.
+    """
+
+    def __init__(
+        self,
+        campaign: MeasurementCampaign,
+        margin: float = CHARACTERIZATION_MARGIN,
+    ) -> None:
+        self._campaign = campaign
+        self._margin = float(margin)
+
+    @property
+    def campaign(self) -> MeasurementCampaign:
+        return self._campaign
+
+    def run(self, a: str, b: str) -> RunMeasurement:
+        return self._campaign.measure(a, b, kind="multiprogram")
+
+    def droop_metric(self, a: str, b: str) -> float:
+        """Droop excursions beyond the margin per 1K cycles."""
+        run = self.run(a, b)
+        return 1000.0 * run.droops.event_rate(self._margin)
+
+    def ipc_metric(self, a: str, b: str) -> float:
+        """Summed pair throughput (instructions per cycle)."""
+        return self.run(a, b).throughput_ipc
+
+    def stall_metric(self, name: str) -> float:
+        """One program's solo stall ratio (counter-only knowledge).
+
+        Unlike :meth:`droop_metric` this needs no pair measurements — a
+        real scheduler can read it from hardware counters while the
+        program runs alone, which is what makes the stall-ratio proxy
+        deployable (Fig. 15).
+        """
+        run = self._campaign.measure(name, kind="single")
+        return run.counters[0].stall_ratio
+
+
+@dataclass(frozen=True)
+class ScheduleEvaluation:
+    """Aggregate droop/performance of one batch schedule."""
+
+    policy_name: str
+    pairs: Tuple[Pair, ...]
+    mean_droops: float
+    mean_ipc: float
+
+    def normalized_to(self, baseline: "ScheduleEvaluation") -> Tuple[float, float]:
+        """(droop ratio, performance ratio) relative to a baseline.
+
+        These are the Fig. 18 scatter coordinates: SPECrate sits at
+        (1, 1); quadrant Q1 is droops < 1 with performance > 1.
+        """
+        if baseline.mean_droops <= 0 or baseline.mean_ipc <= 0:
+            raise SchedulingError("baseline evaluation is degenerate")
+        return (
+            self.mean_droops / baseline.mean_droops,
+            self.mean_ipc / baseline.mean_ipc,
+        )
+
+
+class BatchScheduler:
+    """Builds and evaluates batch schedules from a job pool.
+
+    Parameters
+    ----------
+    oracle:
+        Pairing data source.
+    programs:
+        The job pool (defaults to the whole CPU2006 suite known to the
+        oracle's campaign).
+    """
+
+    def __init__(
+        self,
+        oracle: PairOracle,
+        programs: Optional[Sequence[str]] = None,
+    ) -> None:
+        if programs is None:
+            from repro.workloads.spec import SPEC_NAMES
+
+            programs = SPEC_NAMES
+        if len(programs) < 2:
+            raise SchedulingError("need at least two programs")
+        self._oracle = oracle
+        self._programs = tuple(programs)
+
+    @property
+    def programs(self) -> Tuple[str, ...]:
+        return self._programs
+
+    # ------------------------------------------------------------------
+    # Schedule construction
+    # ------------------------------------------------------------------
+    def build_schedule(
+        self,
+        policy: SchedulingPolicy,
+        n_pairs: int = 50,
+        max_repeats: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> Tuple[Pair, ...]:
+        """Choose ``n_pairs`` co-schedules under a repetition constraint.
+
+        Placement walks the pool favouring the least-used program (so no
+        program is starved, matching the paper's constraint on repeated
+        choices) and asks the policy to score candidate partners.
+        """
+        if n_pairs < 1:
+            raise SchedulingError("n_pairs must be >= 1")
+        if isinstance(policy, SPECratePolicy):
+            return self.specrate_schedule(n_pairs)
+        if max_repeats is None:
+            max_repeats = max(2, int(np.ceil(2 * n_pairs / len(self._programs))))
+        rng = as_generator(seed)
+        usage: Dict[str, int] = {name: 0 for name in self._programs}
+        pairs: List[Pair] = []
+        for _ in range(n_pairs):
+            available = [p for p in self._programs if usage[p] < max_repeats]
+            if len(available) < 1:
+                raise SchedulingError(
+                    "job pool exhausted; raise max_repeats or lower n_pairs"
+                )
+            # Place the least-used program first (random tie-break).
+            min_usage = min(usage[p] for p in available)
+            anchors = [p for p in available if usage[p] == min_usage]
+            anchor = anchors[int(rng.integers(0, len(anchors)))]
+            candidates = [
+                p for p in self._programs
+                if usage[p] < max_repeats and (p != anchor or usage[p] + 2 <= max_repeats)
+            ]
+            if not candidates:
+                candidates = [anchor]
+            scores = np.array([
+                policy.score(anchor, partner, self._oracle)
+                for partner in candidates
+            ])
+            best = int(np.argmax(scores))
+            partner = candidates[best]
+            usage[anchor] += 1
+            usage[partner] += 1
+            pairs.append((anchor, partner))
+        return tuple(pairs)
+
+    def specrate_schedule(self, n_pairs: Optional[int] = None) -> Tuple[Pair, ...]:
+        """The SPECrate baseline: each program paired with itself."""
+        pairs = [(name, name) for name in self._programs]
+        if n_pairs is None:
+            return tuple(pairs)
+        repeated = (pairs * (n_pairs // len(pairs) + 1))[:n_pairs]
+        return tuple(repeated)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        pairs: Sequence[Pair],
+        policy_name: str = "",
+    ) -> ScheduleEvaluation:
+        """Mean droop and IPC metrics over one schedule's pairs."""
+        if not pairs:
+            raise SchedulingError("empty schedule")
+        droops = [self._oracle.droop_metric(a, b) for a, b in pairs]
+        ipcs = [self._oracle.ipc_metric(a, b) for a, b in pairs]
+        return ScheduleEvaluation(
+            policy_name=policy_name,
+            pairs=tuple(pairs),
+            mean_droops=float(np.mean(droops)),
+            mean_ipc=float(np.mean(ipcs)),
+        )
+
+    def run_policy(
+        self,
+        policy: SchedulingPolicy,
+        n_pairs: int = 50,
+        seed: SeedLike = None,
+    ) -> ScheduleEvaluation:
+        """Build and evaluate one batch schedule for a policy."""
+        pairs = self.build_schedule(policy, n_pairs=n_pairs, seed=seed)
+        return self.evaluate(pairs, policy_name=policy.name)
+
+    # ------------------------------------------------------------------
+    # Pass/fail analysis (Tab. I / Fig. 19)
+    # ------------------------------------------------------------------
+    def partner_map(
+        self,
+        policy: SchedulingPolicy,
+        max_partner_load: int = 2,
+        seed: SeedLike = None,
+    ) -> Dict[str, str]:
+        """One partner per program, chosen by the policy.
+
+        Used by the Fig. 19 analysis: instead of SPECrate's self-pairing,
+        each program gets the policy's preferred (capacity-limited)
+        partner.
+        """
+        rng = as_generator(seed)
+        load: Dict[str, int] = {name: 0 for name in self._programs}
+        partners: Dict[str, str] = {}
+        # Assign anchors in random order so capacity limits bite fairly.
+        order = list(self._programs)
+        rng.shuffle(order)
+        for anchor in order:
+            candidates = [
+                p for p in self._programs if load[p] < max_partner_load
+            ]
+            if not candidates:
+                candidates = list(self._programs)
+            scores = np.array([
+                policy.score(anchor, partner, self._oracle)
+                for partner in candidates
+            ])
+            partner = candidates[int(np.argmax(scores))]
+            load[partner] += 1
+            partners[anchor] = partner
+        return partners

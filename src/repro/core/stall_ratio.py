@@ -1,0 +1,76 @@
+"""Stall ratio ↔ droop correlation (the Fig. 15 analysis).
+
+The stall ratio — the fraction of cycles the pipeline is waiting — is
+computable from commodity performance counters at essentially no cost,
+which is what makes a *software* noise mitigation loop feasible: Fig. 15
+shows a 0.97 linear correlation between the coarse-grained counter and
+the fine-grained droop measurements across CPU2006.  This module runs that
+experiment against the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.measurement.campaign import MeasurementCampaign
+
+
+@dataclass(frozen=True)
+class StallCorrelationResult:
+    """Per-benchmark stall ratios and droop rates plus their correlation."""
+
+    names: Tuple[str, ...]
+    stall_ratios: np.ndarray
+    droops_per_1k: np.ndarray
+
+    @property
+    def pearson_r(self) -> float:
+        """Linear correlation coefficient (the paper reports 0.97)."""
+        if self.names and len(self.names) >= 2:
+            return float(
+                np.corrcoef(self.stall_ratios, self.droops_per_1k)[0, 1]
+            )
+        raise MeasurementError("need at least two benchmarks")
+
+    @property
+    def spearman_rho(self) -> float:
+        """Rank correlation (robust to the relation's exact shape)."""
+        from scipy import stats
+
+        return float(
+            stats.spearmanr(self.stall_ratios, self.droops_per_1k).statistic
+        )
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """(name, stall ratio, droops/1k) rows in input order."""
+        return [
+            (name, float(s), float(d))
+            for name, s, d in zip(
+                self.names, self.stall_ratios, self.droops_per_1k
+            )
+        ]
+
+
+def stall_droop_correlation(
+    campaign: MeasurementCampaign,
+    names: Optional[Sequence[str]] = None,
+) -> StallCorrelationResult:
+    """Measure each benchmark's stall ratio and droop rate (Fig. 15).
+
+    Each benchmark runs single-threaded (the paper's setup for this
+    figure) on the campaign's chip configuration; the busy core's counters
+    provide the stall ratio and the chip trace the droops-per-1K-cycles.
+    """
+    runs = campaign.single_threaded_runs(names)
+    benchmark_names = tuple(run.spec.workloads[0] for run in runs)
+    stall_ratios = np.array([run.counters[0].stall_ratio for run in runs])
+    droops = np.array([run.droop_samples_per_1k for run in runs])
+    return StallCorrelationResult(
+        names=benchmark_names,
+        stall_ratios=stall_ratios,
+        droops_per_1k=droops,
+    )

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the voltage-smoothing reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """A simulation could not be carried out (e.g. empty stimulus)."""
+
+
+class CalibrationError(ReproError):
+    """A calibration target could not be met or was queried before fitting."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is invalid or an unknown workload was requested."""
+
+
+class MeasurementError(ReproError):
+    """A measurement/analysis step received unusable data."""
+
+
+class SchedulingError(ReproError):
+    """The thread scheduler was given an infeasible job pool or policy."""

@@ -1,0 +1,16 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+Every module exposes ``run(quick=...)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` whose rows/series
+mirror what the paper's figure or table reports, plus ``main()`` for
+command-line use (``python -m repro.experiments.fig08_margin_sweep``).
+
+``quick=True`` shrinks workload subsets and window lengths so the whole
+suite reruns in minutes; ``quick=False`` runs the full 881-run protocol
+sizes.  The benchmark harness in ``benchmarks/`` drives these modules and
+asserts the paper's qualitative shape for each experiment.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

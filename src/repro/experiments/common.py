@@ -1,0 +1,70 @@
+"""Shared result container and formatting for experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ExperimentResult:
+    """The reproduced content of one paper figure or table.
+
+    Parameters
+    ----------
+    experiment_id:
+        Paper reference, e.g. ``"Fig. 8"`` or ``"Tab. I"``.
+    title:
+        What the figure/table shows.
+    columns:
+        Column headers for :attr:`rows`.
+    rows:
+        Tabular data (the printable reproduction of the figure's series).
+    series:
+        Raw numeric series keyed by name, for programmatic consumers.
+    notes:
+        Paper-vs-measured commentary surfaced in reports.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str] = ()
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+    series: Dict[str, Any] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if self.columns and len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def format_table(self) -> str:
+        """Render rows as a fixed-width text table."""
+        if not self.rows:
+            return f"{self.experiment_id}: {self.title}\n(no rows)"
+        headers = [str(c) for c in self.columns] or [
+            f"col{i}" for i in range(len(self.rows[0]))
+        ]
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(headers[i]), max(len(row[i]) for row in cells))
+            for i in range(len(headers))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

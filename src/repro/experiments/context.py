@@ -1,0 +1,58 @@
+"""Shared, memoized measurement context for experiment harnesses.
+
+Several figures draw on the same underlying campaigns (the Proc3 pairing
+sweep feeds Figs. 17-19 and Tab. I; the Proc100/25/3 suites feed
+Figs. 7-10).  Campaigns cache per-run measurements internally; this module
+additionally caches the campaign objects themselves so harnesses and
+benchmarks share work within a process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+from repro.measurement.campaign import MeasurementCampaign
+
+#: A reduced benchmark subset for quick experiment variants: spans the
+#: suite's noise spectrum (memory-bound, branchy, phased, compute-dense).
+QUICK_SPEC_SUBSET: Tuple[str, ...] = (
+    "astar", "gamess", "lbm", "libquantum", "mcf",
+    "namd", "povray", "sjeng", "sphinx", "tonto",
+)
+
+QUICK_PARSEC_SUBSET: Tuple[str, ...] = ("canneal", "streamcluster", "swaptions")
+
+#: Window lengths for full vs quick protocols.
+FULL_WINDOW_CYCLES = 40_000
+QUICK_WINDOW_CYCLES = 25_000
+
+
+@lru_cache(maxsize=8)
+def get_campaign(
+    config: str,
+    n_cycles: int = FULL_WINDOW_CYCLES,
+    seed: int = 0,
+) -> MeasurementCampaign:
+    """A process-wide shared campaign for one configuration."""
+    return MeasurementCampaign(config, n_cycles=n_cycles, seed=seed)
+
+
+def spec_names(quick: bool) -> Tuple[str, ...]:
+    if quick:
+        return QUICK_SPEC_SUBSET
+    from repro.workloads.spec import SPEC_NAMES
+
+    return SPEC_NAMES
+
+
+def parsec_names(quick: bool) -> Tuple[str, ...]:
+    if quick:
+        return QUICK_PARSEC_SUBSET
+    from repro.workloads.parsec import PARSEC
+
+    return tuple(sorted(PARSEC))
+
+
+def window_cycles(quick: bool) -> int:
+    return QUICK_WINDOW_CYCLES if quick else FULL_WINDOW_CYCLES

@@ -1,0 +1,101 @@
+"""Extension — voltage noise versus active core count.
+
+Sec. III-C: "As the number of cores per processor increases, this problem
+can worsen."  The paper measures a two-core part; the simulator lets us
+scale the same shared-rail chip to four cores on the *same* decap budget
+and quantify the claim two ways:
+
+* **worst case** — every active core runs the EXCP microbenchmark (the
+  Fig. 13 worst pair, generalized): aligned deep stalls scale nearly
+  linearly with core count, which is what worst-case margins must cover;
+* **typical mix** — each core runs a different SPEC program: statistical
+  averaging and cross-core slack pickup moderate the growth, so the
+  typical/worst gap *widens* with core count — the resilient-design
+  argument gets stronger, not weaker, with more cores.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.uarch.chip import Chip
+from repro.uarch.events import StallEvent
+from repro.workloads.microbenchmarks import IdleLoop, microbenchmark_for
+from repro.workloads.spec import spec_benchmark
+
+#: Rotation of programs assigned to cores in the typical-mix series.
+PROGRAMS = ("mcf", "lbm", "sphinx", "libquantum")
+
+MAX_CORES = 4
+
+
+def run(quick: bool = False, config: str = "Proc100") -> ExperimentResult:
+    n_cycles = 25_000 if quick else 40_000
+    repeats = 2 if quick else 4
+    chip = Chip(config, n_cores=MAX_CORES, with_ripple=True)
+    idle = IdleLoop()
+    excp = microbenchmark_for(StallEvent.EXCEPTION)
+
+    result = ExperimentResult(
+        experiment_id="Ext. D",
+        title=f"Chip-wide noise vs number of active cores ({config})",
+        columns=("active cores", "worst-case pk-pk (%)",
+                 "typical-mix pk-pk (%)", "worst/typical"),
+    )
+    worst: List[float] = []
+    typical: List[float] = []
+    for active in range(1, MAX_CORES + 1):
+        worst_vals, typical_vals = [], []
+        for rep in range(repeats):
+            kernel_windows = [
+                excp.sample_window(n_cycles, rng=10 * rep + i)
+                for i in range(active)
+            ] + [
+                idle.sample_window(n_cycles, rng=100 + 10 * rep + i)
+                for i in range(MAX_CORES - active)
+            ]
+            worst_vals.append(
+                chip.run(kernel_windows, seed=rep)
+                .voltage.peak_to_peak_fraction()
+            )
+            mix_windows = [
+                spec_benchmark(PROGRAMS[i % len(PROGRAMS)]).sample_window(
+                    n_cycles, rng=200 * rep + i
+                )
+                for i in range(active)
+            ] + [
+                idle.sample_window(n_cycles, rng=300 + 10 * rep + i)
+                for i in range(MAX_CORES - active)
+            ]
+            typical_vals.append(
+                chip.run(mix_windows, seed=rep)
+                .voltage.peak_to_peak_fraction()
+            )
+        worst.append(float(np.mean(worst_vals)))
+        typical.append(float(np.mean(typical_vals)))
+        result.add_row(
+            active,
+            100 * worst[-1],
+            100 * typical[-1],
+            worst[-1] / typical[-1],
+        )
+    result.series["worst_by_cores"] = np.array(worst)
+    result.series["typical_by_cores"] = np.array(typical)
+    result.notes.append(
+        f"worst-case swing grows {worst[-1] / worst[0]:.2f}x from 1 to "
+        f"{MAX_CORES} aligned cores while the typical mix grows only "
+        f"{typical[-1] / typical[0]:.2f}x — worst-case margins scale badly "
+        "with core count; typical-case design scales gracefully"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(quick=True).format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

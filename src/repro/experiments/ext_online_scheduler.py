@@ -1,0 +1,86 @@
+"""Extension — online noise-aware scheduling without an oracle.
+
+The paper's Droop policy is an oracle limit study: all 29x29 pair droop
+counts are measured a priori.  This experiment drops the oracle: an
+:class:`~repro.core.online_scheduler.OnlineScheduler` serves a standing
+job mix interval by interval, learns pair-level droop estimates from the
+emergencies it actually observes, and pairs the most-starved program with
+the quietest learned partner inside a fair-share envelope.
+
+Finding: the online scheduler recovers a *modest but consistent* slice of
+the oracle's droop reduction (a few percent vs the oracle's ~15-25 %).
+Most of the oracle's benefit needs a-priori pair knowledge and the freedom
+to schedule quiet programs more often — which is exactly why the paper
+gathers its pre-run pairing sweep.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.online_scheduler import OnlineScheduler
+from repro.experiments.common import ExperimentResult
+from repro.uarch.chip import Chip
+
+POOL = ("gamess", "lbm", "libquantum", "mcf", "namd", "povray", "sphinx",
+        "sjeng")
+
+
+def run(quick: bool = False, config: str = "Proc3") -> ExperimentResult:
+    chip = Chip(config, with_ripple=True)
+    scheduler = OnlineScheduler(
+        chip,
+        window_cycles=15_000 if quick else 20_000,
+        metric="events",
+    )
+    seeds = (1, 2, 3) if quick else (1, 2, 3, 4, 5, 6)
+    n_intervals = 40 if quick else 60
+
+    aware_droops: List[float] = []
+    oblivious_droops: List[float] = []
+    aware_ipc: List[float] = []
+    oblivious_ipc: List[float] = []
+    for seed in seeds:
+        aware = scheduler.run_service(
+            POOL, n_intervals=n_intervals, fairness_slack=4,
+            noise_aware=True, seed=seed,
+        )
+        oblivious = scheduler.run_service(
+            POOL, n_intervals=n_intervals, fairness_slack=4,
+            noise_aware=False, seed=seed,
+        )
+        aware_droops.append(aware.mean_droops)
+        oblivious_droops.append(oblivious.mean_droops)
+        aware_ipc.append(aware.mean_ipc)
+        oblivious_ipc.append(oblivious.mean_ipc)
+
+    result = ExperimentResult(
+        experiment_id="Ext. B",
+        title=f"Online noise-aware vs noise-oblivious scheduling ({config})",
+        columns=("policy", "mean droop events/1K", "mean pair IPC"),
+    )
+    result.add_row("online-droop (learned)", float(np.mean(aware_droops)),
+                   float(np.mean(aware_ipc)))
+    result.add_row("online-random (fair-share)",
+                   float(np.mean(oblivious_droops)),
+                   float(np.mean(oblivious_ipc)))
+    ratio = float(np.mean(aware_droops) / np.mean(oblivious_droops))
+    result.series["aware_droops"] = aware_droops
+    result.series["oblivious_droops"] = oblivious_droops
+    result.series["droop_ratio"] = ratio
+    result.notes.append(
+        f"learned online pairing reaches {ratio:.3f}x the droop events of "
+        "fair-share random scheduling; the oracle Droop policy's 0.76-0.85x "
+        "additionally needs a-priori pair knowledge + usage freedom"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(quick=True).format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,114 @@
+"""Fig. 4 — platform impedance profiles (measured vs capacitor-depleted).
+
+Paper: the stock profile peaks in the 100-200 MHz resonance band; between
+1 and 10 MHz a capacitor-depleted package shows around 5x the stock
+impedance.  The measurement is reconstructed with the current-modulating
+software loop rather than VTT tooling; we run both that loop-based
+reconstruction and the analytic sweep and report their agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.pdn.impedance import ImpedanceProfile
+from repro.pdn.platform import (
+    CLOCK_FREQUENCY_HZ,
+    build_network,
+    build_simulator,
+)
+from repro.uarch.core import Core
+from repro.workloads.virus import SteppedCurrentLoop
+
+
+def loop_reconstructed_impedance(
+    frequencies_hz: np.ndarray,
+    config: str = "Proc100",
+    n_cycles: int = 120_000,
+) -> np.ndarray:
+    """|Z(f)| reconstructed from the software current loop (Sec. II-A).
+
+    For each loop frequency, run the high/low-current loop, divide the
+    voltage response amplitude at the fundamental by the current
+    amplitude at the fundamental (lock-in style).
+    """
+    simulator = build_simulator(config, with_ripple=False)
+    core = Core()
+    magnitudes = np.empty(frequencies_hz.size)
+    for i, frequency in enumerate(frequencies_hz):
+        loop = SteppedCurrentLoop(
+            frequency_hz=float(frequency), clock_hz=CLOCK_FREQUENCY_HZ
+        )
+        window = loop.sample_window(n_cycles)
+        execution = core.execute(window)
+        current = execution.current_amps
+        trace = simulator.simulate(current, include_ripple=False)
+        # Lock-in at the loop's *realized* fundamental (the loop rounds
+        # its period to whole cycles), over an integer number of periods
+        # and skipping the first few periods while the PDN settles —
+        # otherwise spectral leakage corrupts the estimate.
+        period = loop.period_cycles
+        skip = min(4 * period, n_cycles // 4)
+        usable = ((n_cycles - skip) // period) * period
+        if usable < period:
+            magnitudes[i] = np.nan
+            continue
+        sl = slice(skip, skip + usable)
+        t = np.arange(usable)
+        phase = np.exp(-2j * np.pi * t / period)
+        v_amp = np.abs((trace.samples[sl] * phase).mean()) * 2
+        i_amp = np.abs((current[sl] * phase).mean()) * 2
+        magnitudes[i] = v_amp / i_amp if i_amp > 0 else np.nan
+    return magnitudes
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    stock = ImpedanceProfile.from_network(build_network("Proc100"), label="Proc100")
+    depleted = ImpedanceProfile.from_network(build_network("Proc3"), label="Proc3")
+    result = ExperimentResult(
+        experiment_id="Fig. 4",
+        title="Impedance profile: stock vs reduced package capacitance",
+        columns=("frequency (MHz)", "Proc100 (mOhm)", "Proc3 (mOhm)", "ratio"),
+    )
+    probe_freqs = np.logspace(5, 8.8, 10 if quick else 20)
+    for f in probe_freqs:
+        z_stock = stock.at(float(f))
+        z_depl = depleted.at(float(f))
+        result.add_row(f / 1e6, z_stock * 1e3, z_depl * 1e3, z_depl / z_stock)
+
+    peak = stock.peak()
+    result.series["stock"] = stock
+    result.series["depleted"] = depleted
+    result.series["resonance_hz"] = peak.frequency_hz
+    result.series["ratio_1mhz"] = depleted.ratio_to(stock, 1e6)
+
+    # Loop-based reconstruction at a few spot frequencies (validation of
+    # the software methodology against the analytic ladder).
+    loop_freqs = np.array([3e5, 1e6, 3e6, 1e7]) if quick else np.logspace(
+        5.3, 7.5, 8
+    )
+    reconstructed = loop_reconstructed_impedance(
+        loop_freqs, n_cycles=60_000 if quick else 120_000
+    )
+    analytic = np.array([stock.at(float(f)) for f in loop_freqs])
+    result.series["loop_frequencies_hz"] = loop_freqs
+    result.series["loop_reconstructed_ohm"] = reconstructed
+    result.series["loop_analytic_ohm"] = analytic
+    result.notes.append(
+        f"stock resonance at {peak.frequency_hz / 1e6:.0f} MHz "
+        "(paper: 100-200 MHz band)"
+    )
+    result.notes.append(
+        f"Proc3/Proc100 at 1 MHz = {result.series['ratio_1mhz']:.1f}x "
+        "(paper: ~5x with reduced caps)"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,62 @@
+"""Fig. 7 — cumulative distribution of voltage samples across the suite.
+
+Paper (Proc100, 881 runs): run-time droops reach 9.6 % — so the 14 %
+worst-case margin is not gratuitous — but the overwhelming bulk of samples
+sits within +/-4 % of nominal ("typical case"); only ~0.06 % of samples
+fall beyond the -4 % line.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.context import (
+    get_campaign,
+    parsec_names,
+    spec_names,
+    window_cycles,
+)
+
+TYPICAL_MARGIN = 0.04
+
+
+def run(quick: bool = False, config: str = "Proc100") -> ExperimentResult:
+    campaign = get_campaign(config, n_cycles=window_cycles(quick))
+    runs = campaign.all_runs(spec_names(quick), parsec_names(quick))
+    merged = runs[0].histogram
+    for measurement in runs[1:]:
+        merged = merged.merge(measurement.histogram)
+
+    max_droop = max(r.max_droop for r in runs)
+    max_overshoot = max(r.max_overshoot for r in runs)
+    beyond_typical = merged.fraction_below(-TYPICAL_MARGIN)
+
+    result = ExperimentResult(
+        experiment_id="Fig. 7",
+        title=f"Voltage-sample distribution, {len(runs)} runs on {config}",
+        columns=("quantity", "value"),
+    )
+    result.add_row("runs", len(runs))
+    result.add_row("max droop (%)", 100 * max_droop)
+    result.add_row("max overshoot (%)", 100 * max_overshoot)
+    result.add_row("samples beyond -4% (%)", 100 * beyond_typical)
+    result.add_row("1% quantile (%)", 100 * merged.quantile(0.01))
+    result.add_row("99% quantile (%)", 100 * merged.quantile(0.99))
+    deviations, cumulative = merged.cdf()
+    result.series["cdf_deviations"] = deviations
+    result.series["cdf_cumulative"] = cumulative
+    result.series["histogram"] = merged
+    result.series["max_droop"] = max_droop
+    result.series["beyond_typical"] = beyond_typical
+    result.notes.append(
+        "paper: max droop 9.6%, bulk within +/-4%, 0.06% beyond -4% "
+        "(finite simulated windows under-sample the deepest tail)"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(quick=True).format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

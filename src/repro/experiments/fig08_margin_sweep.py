@@ -1,0 +1,62 @@
+"""Fig. 8 — typical-case improvement vs margin per recovery cost (Proc100).
+
+Paper: each recovery cost has a single-peaked curve with its own optimal
+margin; fine-grained recovery (1-10 cycles) tolerates the most aggressive
+margins and peaks highest (~21 %), coarse-grained recovery peaks lower
+(~13 %) at more relaxed margins; pushing the margin beyond the optimum
+collapses performance into the "dead zone" (below the worst-case design).
+"""
+
+from __future__ import annotations
+
+from repro.core.resilience import RECOVERY_COSTS, ResilientDesignModel
+from repro.experiments.common import ExperimentResult
+from repro.experiments.context import (
+    get_campaign,
+    parsec_names,
+    spec_names,
+    window_cycles,
+)
+
+
+def build_model(quick: bool, config: str = "Proc100") -> ResilientDesignModel:
+    campaign = get_campaign(config, n_cycles=window_cycles(quick))
+    runs = campaign.all_runs(spec_names(quick), parsec_names(quick))
+    return ResilientDesignModel([r.tail_model() for r in runs])
+
+
+def run(quick: bool = False, config: str = "Proc100") -> ExperimentResult:
+    model = build_model(quick, config)
+    result = ExperimentResult(
+        experiment_id="Fig. 8",
+        title=f"Improvement vs margin per recovery cost ({config})",
+        columns=("recovery cost (cycles)", "optimal margin (%)",
+                 "peak improvement (%)", "dead zone reached"),
+    )
+    sweeps = {}
+    for cost in RECOVERY_COSTS:
+        margins, improvements = model.margin_sweep(cost)
+        sweeps[cost] = (margins, improvements)
+        optimum = model.optimal_margin(cost)
+        dead_zone = bool((improvements < 0).any())
+        result.add_row(
+            cost,
+            100 * optimum.margin,
+            100 * optimum.improvement,
+            dead_zone,
+        )
+    result.series["sweeps"] = sweeps
+    result.series["model"] = model
+    result.notes.append(
+        "paper (Proc100): gains between ~13% and ~21%, one peak per cost, "
+        "aggressive margins beyond the optimum fall into the dead zone"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(quick=True).format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,73 @@
+"""Fig. 10 — improvement heat maps (margin x recovery cost) per node.
+
+Paper: the large pocket of improvement between -6 % and -2 % margins on
+Proc100 shrinks on Proc25 and nearly vanishes on Proc3; holding a 15 %
+improvement requires a ~1000-cycle recovery on Proc100, ~100 cycles on
+Proc25 and ~10 cycles on Proc3 — a ten-fold tightening per step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.resilience import RECOVERY_COSTS
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig08_margin_sweep import build_model
+
+CONFIGS = ("Proc100", "Proc25", "Proc3")
+
+#: The retention target the paper discusses.
+TARGET_IMPROVEMENT = 0.15
+
+
+def coarsest_cost_for_target(
+    margins: np.ndarray,
+    costs: np.ndarray,
+    grid: np.ndarray,
+    target: float = TARGET_IMPROVEMENT,
+) -> float:
+    """The largest recovery cost whose best margin still hits the target."""
+    feasible = [
+        float(cost)
+        for i, cost in enumerate(costs)
+        if grid[i].max() >= target
+    ]
+    return max(feasible) if feasible else 0.0
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Fig. 10",
+        title="Typical-case improvement heat maps per decap configuration",
+        columns=("config", "best improvement (%)",
+                 f"coarsest cost for {TARGET_IMPROVEMENT:.0%}",
+                 "pocket area (margin x cost cells > 10%)"),
+    )
+    heatmaps: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    for config in CONFIGS:
+        model = build_model(quick, config)
+        margins, costs, grid = model.heatmap(RECOVERY_COSTS)
+        heatmaps[config] = (margins, costs, grid)
+        pocket = int((grid > 0.10).sum())
+        result.add_row(
+            config,
+            100 * float(grid.max()),
+            coarsest_cost_for_target(margins, costs, grid),
+            pocket,
+        )
+    result.series["heatmaps"] = heatmaps
+    result.notes.append(
+        "paper: the improvement pocket shrinks Proc100 -> Proc25 -> Proc3; "
+        "the recovery cost sustaining 15% tightens about 10x per step"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(quick=True).format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

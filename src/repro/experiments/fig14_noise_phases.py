@@ -1,0 +1,77 @@
+"""Fig. 14 — single-core droop activity over full program executions.
+
+Paper (Proc3, 2.3 % characterization margin, one point per 60 s interval):
+482.sphinx shows *no* phases (flat ~100 droops/1K cycles); 416.gamess
+steps through four phases between ~60 and ~100; 465.tonto oscillates
+strongly between regimes every few tens of seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.phases import (
+    NoiseTimeline,
+    count_phase_changes,
+    measure_noise_timeline,
+    oscillation_period_intervals,
+)
+from repro.experiments.common import ExperimentResult
+from repro.uarch.chip import Chip
+from repro.workloads.spec import spec_benchmark
+
+EXEMPLARS = ("sphinx", "gamess", "tonto")
+
+
+def run(quick: bool = False, config: str = "Proc3") -> ExperimentResult:
+    chip = Chip(config, with_ripple=True)
+    window_cycles = 20_000 if quick else 30_000
+    max_intervals = 12 if quick else None
+
+    timelines: Dict[str, NoiseTimeline] = {}
+    for name in EXEMPLARS:
+        workload = spec_benchmark(name)
+        timelines[name] = measure_noise_timeline(
+            workload,
+            chip,
+            interval_seconds=60.0 if not quick else workload.duration_seconds / 12,
+            window_cycles=window_cycles,
+            seed=7,
+            max_intervals=max_intervals,
+        )
+
+    result = ExperimentResult(
+        experiment_id="Fig. 14",
+        title="Droop activity per 60 s interval across full executions",
+        columns=("benchmark", "intervals", "mean droops/1K", "span",
+                 "phase changes", "oscillation period (intervals)"),
+    )
+    for name in EXEMPLARS:
+        timeline = timelines[name]
+        shift = max(timeline.span() * 0.35, 10.0)
+        changes = count_phase_changes(
+            timeline.droops_per_1k, min_shift=shift, smooth=1
+        )
+        period = oscillation_period_intervals(timeline.droops_per_1k)
+        result.add_row(
+            name,
+            timeline.times_s.size,
+            timeline.mean_level(),
+            timeline.span(),
+            changes,
+            period if period is not None else "-",
+        )
+    result.series["timelines"] = timelines
+    result.notes.append(
+        "paper: sphinx flat (~100/1K, no phases), gamess 4 phase changes "
+        "(60-100/1K), tonto oscillates every few tens of seconds"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(quick=True).format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,62 @@
+"""Fig. 16 — the sliding-window co-scheduling experiment (473.astar).
+
+Paper: astar running alone has a flat noise profile (~80 droops/1K).
+Sliding a restarted copy of astar over the pinned copy exposes both
+*constructive* interference offsets (droops nearly double, ~160/1K) and
+*destructive* offsets where the pair's droop count stays at the
+single-core level even though both cores are busy.
+"""
+
+from __future__ import annotations
+
+from repro.core.interference import sliding_window_experiment
+from repro.experiments.common import ExperimentResult
+from repro.uarch.chip import Chip
+from repro.workloads.spec import spec_benchmark
+
+
+def run(
+    quick: bool = False,
+    config: str = "Proc3",
+    benchmark: str = "astar",
+) -> ExperimentResult:
+    chip = Chip(config, with_ripple=True)
+    workload = spec_benchmark(benchmark)
+    experiment = sliding_window_experiment(
+        pinned=workload,
+        restarted=workload,
+        chip=chip,
+        interval_seconds=60.0,
+        window_cycles=20_000 if quick else 30_000,
+        max_intervals=8 if quick else None,
+        seed=11,
+    )
+    result = ExperimentResult(
+        experiment_id="Fig. 16",
+        title=f"Sliding-window co-schedule of {benchmark} over itself",
+        columns=("offset (s)", "co-scheduled droops/1K", "single-core droops/1K"),
+    )
+    for offset, paired, alone in zip(
+        experiment.offsets_s,
+        experiment.droops_per_1k,
+        experiment.single_core_droops_per_1k,
+    ):
+        result.add_row(float(offset), float(paired), float(alone))
+    ratio = experiment.droops_per_1k / experiment.single_core_droops_per_1k.clip(min=1e-9)
+    result.series["experiment"] = experiment
+    result.series["max_amplification"] = float(ratio.max())
+    result.series["min_amplification"] = float(ratio.min())
+    result.notes.append(
+        f"amplification range {ratio.min():.2f}x..{ratio.max():.2f}x over "
+        "single-core (paper: destructive offsets stay ~1x, constructive "
+        "offsets nearly double the droop count)"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(quick=True).format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,54 @@
+"""Sec. II-C — worst-case operating margin discovery by undervolting.
+
+The paper finds the Core 2 Duo's worst-case margin to be ~14 % below
+nominal by undervolting at fixed frequency until the machine fails
+stress-testing under multiple power-virus copies.  The simulated version
+walks the regulator set-point down with both cores running the
+phase-locked virus and finds the first set-point whose worst droop dips
+below the critical-path voltage; the derived guardband is the platform's
+``WORST_CASE_MARGIN`` constant.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.pdn.platform import WORST_CASE_MARGIN
+from repro.pdn.undervolt import CRITICAL_VOLTAGE, undervolt_to_failure
+
+
+def run(quick: bool = False, config: str = "Proc100") -> ExperimentResult:
+    result_data = undervolt_to_failure(
+        config=config,
+        n_cycles=30_000 if quick else 60_000,
+    )
+    result = ExperimentResult(
+        experiment_id="Sec. II-C",
+        title=f"Worst-case margin discovery by undervolting ({config})",
+        columns=("quantity", "value"),
+    )
+    result.add_row("critical voltage (V)", CRITICAL_VOLTAGE)
+    result.add_row("virus droop at nominal (%)",
+                   100 * result_data.virus_droop_fraction)
+    result.add_row("safe undervolt headroom (%)",
+                   100 * result_data.headroom)
+    result.add_row("derived worst-case margin (%)",
+                   100 * result_data.worst_case_margin)
+    result.add_row("platform WORST_CASE_MARGIN (%)",
+                   100 * WORST_CASE_MARGIN)
+    result.series["result"] = result_data
+    total = result_data.headroom + result_data.virus_droop_fraction
+    result.notes.append(
+        f"undervolt headroom ({result_data.headroom:.1%}) + virus droop "
+        f"({result_data.virus_droop_fraction:.1%}) = {total:.1%} — the "
+        "virus consumes most of the ~14% guardband, undervolting finds "
+        "the remainder (paper: margin ~14%)"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(quick=True).format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

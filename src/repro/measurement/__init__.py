@@ -1,0 +1,49 @@
+"""Measurement infrastructure: the software oscilloscope.
+
+The paper senses on-die voltage through the package's ``VCCsense`` /
+``VSSsense`` pins with a differential probe and an Infiniium oscilloscope
+that stores *compressed histograms* of voltage samples — that compression
+is what lets it record minutes of full-program execution (hundreds of
+billions of cycles) instead of simulation-scale snippets.
+
+This package is that tooling for simulated traces:
+
+* :mod:`repro.measurement.probe` — probe noise / scope front-end.
+* :mod:`repro.measurement.histogram` — the compressed sample histograms.
+* :mod:`repro.measurement.droops` — droop/overshoot excursion detection
+  (counts, depths, durations) and the droops-per-1K-cycles metric.
+* :mod:`repro.measurement.tail` — parametric droop-depth tail model used
+  to extrapolate emergency rates at margins deeper than a finite window
+  can resolve empirically.
+* :mod:`repro.measurement.campaign` — batch measurement over workload
+  suites (the paper's 881 runs), with caching.
+"""
+
+from repro.measurement.histogram import CompressedHistogram
+from repro.measurement.droops import (
+    DroopStatistics,
+    detect_droops,
+    detect_overshoots,
+    droop_samples_per_1k,
+)
+from repro.measurement.probe import DifferentialProbe, Oscilloscope
+from repro.measurement.tail import DroopTailModel
+from repro.measurement.campaign import (
+    MeasurementCampaign,
+    RunMeasurement,
+    RunSpec,
+)
+
+__all__ = [
+    "CompressedHistogram",
+    "DroopStatistics",
+    "detect_droops",
+    "detect_overshoots",
+    "droop_samples_per_1k",
+    "DifferentialProbe",
+    "Oscilloscope",
+    "DroopTailModel",
+    "MeasurementCampaign",
+    "RunMeasurement",
+    "RunSpec",
+]

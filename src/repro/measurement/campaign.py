@@ -1,0 +1,264 @@
+"""Batch measurement campaigns — the paper's 881 benchmarking runs.
+
+Sec. III-A draws its conclusions from 881 runs on the instrumented
+machine: 29 single-threaded SPEC CPU2006 programs, 11 multi-threaded
+PARSEC programs, and the full 29x29 multi-program CPU2006 pairing sweep.
+:class:`MeasurementCampaign` reproduces that protocol against the
+simulated chip: each run samples representative execution windows (at a
+random point of program time), executes them on both cores, and records
+counters, droop/overshoot excursions and the sample histogram.
+
+Runs are cached by (workloads, configuration), so experiment harnesses can
+share one campaign instance without re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.measurement.droops import (
+    CHARACTERIZATION_MARGIN,
+    DroopStatistics,
+    detect_droops,
+    detect_overshoots,
+    droop_samples_per_1k,
+)
+from repro.measurement.histogram import CompressedHistogram
+from repro.measurement.tail import DroopTailModel
+from repro.random_utils import SeedLike, derive_generator
+from repro.uarch.chip import Chip
+from repro.uarch.counters import PerformanceCounters
+from repro.workloads.base import Workload
+from repro.workloads.microbenchmarks import IdleLoop
+from repro.workloads.parsec import PARSEC, ParsecWorkload
+from repro.workloads.spec import SPEC_CPU2006
+
+#: Histogram binning shared by all campaign measurements.
+HISTOGRAM_LO = -0.20
+HISTOGRAM_HI = 0.20
+HISTOGRAM_BINS = 1600
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Identity of one benchmarking run."""
+
+    kind: str  # "single" | "multithread" | "multiprogram"
+    workloads: Tuple[str, ...]
+    config: str
+
+    @property
+    def label(self) -> str:
+        return f"{'+'.join(self.workloads)}@{self.config}"
+
+
+@dataclass(frozen=True)
+class RunMeasurement:
+    """Everything recorded about one run."""
+
+    spec: RunSpec
+    n_cycles: int
+    counters: Tuple[PerformanceCounters, ...]
+    droops: DroopStatistics
+    overshoots: DroopStatistics
+    histogram: CompressedHistogram
+    droop_samples_per_1k: float
+
+    @property
+    def max_droop(self) -> float:
+        """Deepest droop excursion (fraction of nominal)."""
+        return self.droops.max_depth()
+
+    @property
+    def max_overshoot(self) -> float:
+        return self.overshoots.max_depth()
+
+    @property
+    def throughput_ipc(self) -> float:
+        """Chip throughput: the sum of per-core IPCs."""
+        return float(sum(c.ipc for c in self.counters))
+
+    @property
+    def mean_stall_ratio(self) -> float:
+        return float(np.mean([c.stall_ratio for c in self.counters]))
+
+    def tail_model(self) -> DroopTailModel:
+        """Tail model for emergency-rate extrapolation on this run."""
+        return DroopTailModel(self.droops)
+
+
+class MeasurementCampaign:
+    """Runs and caches workload measurements on one chip configuration.
+
+    Parameters
+    ----------
+    config:
+        Decap configuration name (``"Proc100"``, ``"Proc25"``, ``"Proc3"`` …).
+    n_cycles:
+        Window length per run.  Longer windows resolve rarer events;
+        40k cycles keep the full 881-run sweep tractable.
+    seed:
+        Base seed; every run derives an independent stream from it, so a
+        campaign is fully reproducible.
+    """
+
+    def __init__(
+        self,
+        config: str = "Proc100",
+        n_cycles: int = 40_000,
+        seed: SeedLike = 0,
+    ) -> None:
+        if n_cycles < 1000:
+            raise ConfigurationError("n_cycles must be at least 1000")
+        self._config = config
+        self._n_cycles = int(n_cycles)
+        self._seed = seed
+        self._chip = Chip(config, with_ripple=True)
+        self._cache: Dict[Tuple[str, ...], RunMeasurement] = {}
+        self._idle = IdleLoop()
+
+    @property
+    def config(self) -> str:
+        return self._config
+
+    @property
+    def n_cycles(self) -> int:
+        return self._n_cycles
+
+    @property
+    def chip(self) -> Chip:
+        return self._chip
+
+    # ------------------------------------------------------------------
+    # Measurement primitives
+    # ------------------------------------------------------------------
+    def _resolve(self, name: str) -> Workload:
+        if name == "idle":
+            return self._idle
+        if name in SPEC_CPU2006:
+            return SPEC_CPU2006[name]
+        if name in PARSEC:
+            return PARSEC[name]
+        raise WorkloadError(f"unknown workload {name!r}")
+
+    def _measure(self, spec: RunSpec) -> RunMeasurement:
+        rng = derive_generator(self._seed, spec.kind, *spec.workloads, spec.config)
+        if spec.kind == "multithread":
+            workload = self._resolve(spec.workloads[0])
+            assert isinstance(workload, ParsecWorkload)
+            at_time = float(rng.uniform(0, workload.duration_seconds))
+            windows = list(
+                workload.sample_thread_windows(
+                    self._chip.n_cores, self._n_cycles, rng=rng, at_time_s=at_time
+                )
+            )
+        else:
+            windows = []
+            for i, name in enumerate(spec.workloads):
+                workload = self._resolve(name)
+                at_time = float(rng.uniform(0, workload.duration_seconds))
+                windows.append(
+                    workload.sample_window(
+                        self._n_cycles,
+                        rng=derive_generator(rng, "win", i),
+                        at_time_s=at_time,
+                    )
+                )
+            while len(windows) < self._chip.n_cores:
+                windows.append(self._idle.sample_window(
+                    self._n_cycles, rng=derive_generator(rng, "idle", len(windows))
+                ))
+        run = self._chip.run(windows, seed=derive_generator(rng, "chip"))
+        histogram = CompressedHistogram(HISTOGRAM_LO, HISTOGRAM_HI, HISTOGRAM_BINS)
+        histogram.add(run.voltage.deviations_fraction())
+        return RunMeasurement(
+            spec=spec,
+            n_cycles=self._n_cycles,
+            counters=tuple(e.counters for e in run.cores),
+            droops=detect_droops(run.voltage),
+            overshoots=detect_overshoots(run.voltage),
+            histogram=histogram,
+            droop_samples_per_1k=droop_samples_per_1k(
+                run.voltage, CHARACTERIZATION_MARGIN
+            ),
+        )
+
+    def measure(self, *workload_names: str, kind: Optional[str] = None) -> RunMeasurement:
+        """Measure (or fetch from cache) one run.
+
+        One name → single-threaded (other core idles), except PARSEC names
+        which run multi-threaded; two names → multi-program pair.
+        """
+        if not 1 <= len(workload_names) <= self._chip.n_cores:
+            raise ConfigurationError(
+                f"need 1..{self._chip.n_cores} workloads, got {len(workload_names)}"
+            )
+        if kind is None:
+            if len(workload_names) == 2:
+                kind = "multiprogram"
+            elif workload_names[0] in PARSEC:
+                kind = "multithread"
+            else:
+                kind = "single"
+        spec = RunSpec(kind=kind, workloads=tuple(workload_names), config=self._config)
+        key = (kind,) + spec.workloads
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._measure(spec)
+            self._cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Suites
+    # ------------------------------------------------------------------
+    def single_threaded_runs(
+        self, names: Optional[Sequence[str]] = None
+    ) -> List[RunMeasurement]:
+        """The 29 single-threaded CPU2006 runs (other core idle)."""
+        names = list(names) if names is not None else sorted(SPEC_CPU2006)
+        return [self.measure(name, kind="single") for name in names]
+
+    def multithreaded_runs(
+        self, names: Optional[Sequence[str]] = None
+    ) -> List[RunMeasurement]:
+        """The 11 PARSEC multi-threaded runs."""
+        names = list(names) if names is not None else sorted(PARSEC)
+        return [self.measure(name, kind="multithread") for name in names]
+
+    def multiprogram_runs(
+        self, names: Optional[Sequence[str]] = None
+    ) -> List[RunMeasurement]:
+        """The 29x29 CPU2006 pairing sweep (841 runs)."""
+        names = list(names) if names is not None else sorted(SPEC_CPU2006)
+        return [
+            self.measure(a, b, kind="multiprogram")
+            for a in names
+            for b in names
+        ]
+
+    def specrate_runs(
+        self, names: Optional[Sequence[str]] = None
+    ) -> List[RunMeasurement]:
+        """SPECrate: two copies of the same program (the diagonal)."""
+        names = list(names) if names is not None else sorted(SPEC_CPU2006)
+        return [self.measure(name, name, kind="multiprogram") for name in names]
+
+    def all_runs(
+        self,
+        spec_names: Optional[Sequence[str]] = None,
+        parsec_names: Optional[Sequence[str]] = None,
+    ) -> List[RunMeasurement]:
+        """The full 881-run protocol (29 ST + 11 MT + 841 MP).
+
+        Pass subsets to both arguments for a scaled-down protocol (used by
+        the quick benchmark variants).
+        """
+        return (
+            self.single_threaded_runs(spec_names)
+            + self.multithreaded_runs(parsec_names)
+            + self.multiprogram_runs(spec_names)
+        )

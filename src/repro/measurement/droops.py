@@ -1,0 +1,179 @@
+"""Droop and overshoot excursion detection.
+
+Two related quantities recur throughout the paper:
+
+* **droops per 1K cycles** (Figs. 14-17) — how much of the time the supply
+  sits below a characterization margin (2.3 % in Sec. IV-A, chosen so an
+  idle machine never crosses it);
+* **emergencies** (Sec. III-B) — distinct excursions below an *operating*
+  margin, each of which triggers one hardware rollback/recovery in a
+  resilient design.
+
+:func:`detect_droops` extracts distinct excursions with their depths and
+durations using hysteresis; the emergency rate at any margin ``m`` is then
+the count of excursions whose depth exceeds ``m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.pdn.simulate import VoltageTrace
+
+#: The characterization margin of Sec. IV-A: all idle-machine activity
+#: (VRM ripple) stays inside it.
+CHARACTERIZATION_MARGIN = 0.023
+
+#: Excursions are detected below this base threshold; depths are recorded
+#: per excursion so rates at any deeper margin can be derived afterwards.
+DETECTION_THRESHOLD = 0.010
+
+#: Hysteresis: an excursion ends once the deviation recovers above this
+#: fraction of the entry threshold (prevents ripple-rate double counting).
+HYSTERESIS_RATIO = 0.6
+
+
+@dataclass(frozen=True)
+class DroopStatistics:
+    """All excursions of one polarity found in a trace.
+
+    ``depths`` holds each excursion's maximum deviation magnitude (a
+    positive fraction of nominal voltage), ``durations`` the number of
+    cycles each excursion spent beyond the detection threshold.
+    """
+
+    depths: np.ndarray
+    durations: np.ndarray
+    n_cycles: int
+    threshold: float
+
+    @property
+    def count(self) -> int:
+        return int(self.depths.size)
+
+    def events_deeper_than(self, margin: float) -> int:
+        """Number of excursions exceeding ``margin`` (fraction of nominal)."""
+        if margin < self.threshold:
+            raise MeasurementError(
+                f"margin {margin} is below the detection threshold "
+                f"{self.threshold}; shallower events were never recorded"
+            )
+        return int(np.count_nonzero(self.depths > margin))
+
+    def event_rate(self, margin: float) -> float:
+        """Excursions deeper than ``margin`` per cycle."""
+        return self.events_deeper_than(margin) / self.n_cycles
+
+    def max_depth(self) -> float:
+        return float(self.depths.max()) if self.count else 0.0
+
+
+def _detect_excursions(
+    magnitude: np.ndarray,
+    n_cycles: int,
+    threshold: float,
+) -> DroopStatistics:
+    """Hysteresis excursion detector over a positive-magnitude series."""
+    enter = threshold
+    exit_level = threshold * HYSTERESIS_RATIO
+    above_enter = magnitude > enter
+    above_exit = magnitude > exit_level
+
+    depths = []
+    durations = []
+    inside = False
+    start = 0
+    peak = 0.0
+    for i in range(magnitude.size):
+        if not inside:
+            if above_enter[i]:
+                inside = True
+                start = i
+                peak = magnitude[i]
+        else:
+            if above_exit[i]:
+                if magnitude[i] > peak:
+                    peak = magnitude[i]
+            else:
+                inside = False
+                depths.append(peak)
+                durations.append(i - start)
+    if inside:
+        depths.append(peak)
+        durations.append(magnitude.size - start)
+    return DroopStatistics(
+        depths=np.asarray(depths, dtype=float),
+        durations=np.asarray(durations, dtype=int),
+        n_cycles=n_cycles,
+        threshold=threshold,
+    )
+
+
+def _detect_excursions_fast(
+    magnitude: np.ndarray,
+    n_cycles: int,
+    threshold: float,
+) -> DroopStatistics:
+    """Vectorized variant of :func:`_detect_excursions`.
+
+    Uses the exit level to segment the trace, then takes each segment's
+    peak; equivalent to the scalar detector for every trace whose
+    excursions are separated by recovery above the exit level.
+    """
+    exit_level = threshold * HYSTERESIS_RATIO
+    above_exit = magnitude > exit_level
+    # Segment boundaries where above_exit flips.
+    flips = np.flatnonzero(np.diff(above_exit.astype(np.int8)))
+    starts = np.concatenate([[0], flips + 1])
+    ends = np.concatenate([flips + 1, [magnitude.size]])
+    depths = []
+    durations = []
+    for s, e in zip(starts, ends):
+        if not above_exit[s]:
+            continue
+        peak = magnitude[s:e].max()
+        if peak > threshold:
+            depths.append(peak)
+            durations.append(e - s)
+    return DroopStatistics(
+        depths=np.asarray(depths, dtype=float),
+        durations=np.asarray(durations, dtype=int),
+        n_cycles=n_cycles,
+        threshold=threshold,
+    )
+
+
+def detect_droops(
+    trace: VoltageTrace,
+    threshold: float = DETECTION_THRESHOLD,
+) -> DroopStatistics:
+    """Distinct droop excursions (voltage below nominal) in a trace."""
+    if threshold <= 0:
+        raise MeasurementError("threshold must be positive")
+    magnitude = np.maximum(0.0, -trace.deviations_fraction())
+    return _detect_excursions_fast(magnitude, len(trace), threshold)
+
+
+def detect_overshoots(
+    trace: VoltageTrace,
+    threshold: float = DETECTION_THRESHOLD,
+) -> DroopStatistics:
+    """Distinct overshoot excursions (voltage above nominal) in a trace."""
+    if threshold <= 0:
+        raise MeasurementError("threshold must be positive")
+    magnitude = np.maximum(0.0, trace.deviations_fraction())
+    return _detect_excursions_fast(magnitude, len(trace), threshold)
+
+
+def droop_samples_per_1k(
+    trace: VoltageTrace,
+    margin: float = CHARACTERIZATION_MARGIN,
+) -> float:
+    """Samples below ``-margin`` per 1000 cycles — the Fig. 14-17 metric."""
+    if margin <= 0:
+        raise MeasurementError("margin must be positive")
+    below = trace.deviations_fraction() < -margin
+    return float(below.mean() * 1000.0)

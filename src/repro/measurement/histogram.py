@@ -1,0 +1,131 @@
+"""Compressed voltage-sample histograms (the scope's storage format).
+
+The Agilent scope in the paper accumulates voltage samples into an
+internal histogram so that minutes of execution fit in memory; all of the
+paper's distribution figures (Figs. 7 and 9) are drawn from these
+histograms.  :class:`CompressedHistogram` reproduces that storage: fixed
+uniform bins over a deviation range, constant memory regardless of trace
+length, mergeable across measurement intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MeasurementError
+
+
+class CompressedHistogram:
+    """A fixed-bin histogram of voltage deviations (fractions of nominal).
+
+    Parameters
+    ----------
+    lo / hi:
+        Deviation range covered, e.g. -0.20 … +0.20.  Samples outside the
+        range accumulate in saturating edge bins (like a real scope).
+    n_bins:
+        Number of uniform bins.
+    """
+
+    def __init__(self, lo: float = -0.20, hi: float = 0.20, n_bins: int = 4000) -> None:
+        if not lo < hi:
+            raise ConfigurationError("need lo < hi")
+        if n_bins < 2:
+            raise ConfigurationError("need at least two bins")
+        self._lo = float(lo)
+        self._hi = float(hi)
+        self._counts = np.zeros(n_bins, dtype=np.int64)
+        self._width = (hi - lo) / n_bins
+
+    # ------------------------------------------------------------------
+    # Accumulation
+    # ------------------------------------------------------------------
+    def add(self, deviations: np.ndarray) -> None:
+        """Accumulate deviation samples (values clip into edge bins)."""
+        deviations = np.asarray(deviations, dtype=float)
+        if deviations.size == 0:
+            return
+        if np.any(~np.isfinite(deviations)):
+            raise MeasurementError("deviations contain non-finite values")
+        idx = ((deviations - self._lo) / self._width).astype(int)
+        idx = np.clip(idx, 0, self._counts.size - 1)
+        np.add.at(self._counts, idx, 1)
+
+    def merge(self, other: "CompressedHistogram") -> "CompressedHistogram":
+        """Combine two histograms with identical binning."""
+        if (self._lo, self._hi, self._counts.size) != (
+            other._lo, other._hi, other._counts.size,
+        ):
+            raise MeasurementError("histograms have different binning")
+        merged = CompressedHistogram(self._lo, self._hi, self._counts.size)
+        merged._counts = self._counts + other._counts
+        return merged
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return int(self._counts.sum())
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        edges = np.linspace(self._lo, self._hi, self._counts.size + 1)
+        return (edges[:-1] + edges[1:]) / 2.0
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts.copy()
+
+    def fraction_below(self, deviation: float) -> float:
+        """Fraction of samples with deviation < the given value."""
+        if self.total == 0:
+            raise MeasurementError("histogram is empty")
+        idx = int(np.floor((deviation - self._lo) / self._width))
+        idx = max(min(idx, self._counts.size), 0)
+        return float(self._counts[:idx].sum() / self.total)
+
+    def fraction_above(self, deviation: float) -> float:
+        """Fraction of samples with deviation > the given value."""
+        return 1.0 - self.fraction_below(deviation)
+
+    def quantile(self, q: float) -> float:
+        """Approximate deviation at cumulative fraction ``q``."""
+        if not 0 <= q <= 1:
+            raise MeasurementError("q must be in [0, 1]")
+        if self.total == 0:
+            raise MeasurementError("histogram is empty")
+        if q == 0:
+            return self.min_deviation()
+        cumulative = np.cumsum(self._counts)
+        idx = int(np.searchsorted(cumulative, q * self.total))
+        idx = min(idx, self._counts.size - 1)
+        return float(self.bin_centers[idx])
+
+    def min_deviation(self) -> float:
+        """Smallest (most negative) populated deviation bin."""
+        populated = np.flatnonzero(self._counts)
+        if populated.size == 0:
+            raise MeasurementError("histogram is empty")
+        return float(self.bin_centers[populated[0]])
+
+    def max_deviation(self) -> float:
+        """Largest populated deviation bin."""
+        populated = np.flatnonzero(self._counts)
+        if populated.size == 0:
+            raise MeasurementError("histogram is empty")
+        return float(self.bin_centers[populated[-1]])
+
+    def cdf(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(deviations, cumulative fraction) — the Fig. 7/9 curves."""
+        if self.total == 0:
+            raise MeasurementError("histogram is empty")
+        return self.bin_centers, np.cumsum(self._counts) / self.total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"CompressedHistogram({self.total} samples, "
+            f"[{self._lo:+.2%}, {self._hi:+.2%}], {self._counts.size} bins)"
+        )

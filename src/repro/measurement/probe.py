@@ -1,0 +1,108 @@
+"""The probe/scope front-end (Sec. II-A's measurement chain).
+
+The paper's chain is: ``VCCsense``/``VSSsense`` pins → InfiniiMax 1130A
+differential probe (1.5 GHz, ultra-low loading) → Infiniium DSA91304A
+scope → histogram memory → remote collection every 60 s.  For the
+simulator the chain adds a little probe noise, optionally band-limits the
+signal, and accumulates scope histograms per collection interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+from scipy import signal
+
+from repro.errors import ConfigurationError
+from repro.measurement.histogram import CompressedHistogram
+from repro.pdn.simulate import VoltageTrace
+from repro.random_utils import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class DifferentialProbe:
+    """A high-impedance differential probe.
+
+    Parameters
+    ----------
+    noise_volts_rms:
+        Additive front-end noise.
+    bandwidth_hz:
+        -3 dB bandwidth; the trace is low-passed with a first-order
+        filter.  ``None`` disables band-limiting (the 1130A's 1.5 GHz is
+        well above the simulated content anyway).
+    """
+
+    noise_volts_rms: float = 0.4e-3
+    bandwidth_hz: float | None = 1.5e9
+
+    def __post_init__(self) -> None:
+        if self.noise_volts_rms < 0:
+            raise ConfigurationError("noise_volts_rms must be non-negative")
+        if self.bandwidth_hz is not None and self.bandwidth_hz <= 0:
+            raise ConfigurationError("bandwidth_hz must be positive")
+
+    def sense(self, trace: VoltageTrace, seed: SeedLike = None) -> VoltageTrace:
+        """Return the probed waveform (noise + optional band-limiting)."""
+        samples = trace.samples
+        nyquist = 0.5 / trace.dt_seconds
+        if self.bandwidth_hz is not None and self.bandwidth_hz < nyquist:
+            normalized = self.bandwidth_hz / nyquist
+            b, a = signal.butter(1, normalized)
+            samples = signal.filtfilt(b, a, samples)
+        if self.noise_volts_rms > 0:
+            rng = as_generator(seed)
+            samples = samples + rng.normal(
+                0.0, self.noise_volts_rms, size=samples.size
+            )
+        return VoltageTrace(samples, trace.dt_seconds, trace.nominal_voltage)
+
+
+class Oscilloscope:
+    """Histogram-accumulating scope with periodic collection intervals.
+
+    Parameters
+    ----------
+    probe:
+        Front-end used to sense each trace.
+    interval_cycles:
+        Collection interval; each interval yields one histogram, the way
+        the paper's remote collector drains the scope every 60 seconds.
+    """
+
+    def __init__(
+        self,
+        probe: DifferentialProbe | None = None,
+        interval_cycles: int = 1_000_000,
+    ) -> None:
+        if interval_cycles <= 0:
+            raise ConfigurationError("interval_cycles must be positive")
+        self._probe = probe or DifferentialProbe()
+        self._interval = int(interval_cycles)
+        self._intervals: List[CompressedHistogram] = []
+
+    @property
+    def intervals(self) -> List[CompressedHistogram]:
+        """Histograms collected so far, one per interval."""
+        return list(self._intervals)
+
+    def capture(self, trace: VoltageTrace, seed: SeedLike = None) -> None:
+        """Sense a trace and accumulate it into interval histograms."""
+        sensed = self._probe.sense(trace, seed=seed)
+        deviations = sensed.deviations_fraction()
+        for start in range(0, deviations.size, self._interval):
+            chunk = deviations[start : start + self._interval]
+            if not self._intervals or self._intervals[-1].total >= self._interval:
+                self._intervals.append(CompressedHistogram())
+            self._intervals[-1].add(chunk)
+
+    def combined_histogram(self) -> CompressedHistogram:
+        """All collected intervals merged into one distribution."""
+        if not self._intervals:
+            raise ConfigurationError("nothing captured yet")
+        merged = self._intervals[0]
+        for histogram in self._intervals[1:]:
+            merged = merged.merge(histogram)
+        return merged

@@ -1,0 +1,91 @@
+"""Spectral analysis of voltage and current traces.
+
+The paper reasons about voltage noise in frequency bands: the VRM ripple
+in the hundreds of kHz, program bursts and decap-sensitive resonances in
+the package band (~0.3-5 MHz), and the first-droop resonance around
+100-200 MHz.  This module provides the band decomposition used to verify
+that the simulated workloads actually place their dI/dt energy where the
+paper's physics says it must be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy import signal
+
+from repro.errors import MeasurementError
+from repro.pdn.simulate import VoltageTrace
+
+#: The paper's frequency bands (Hz): ripple, package resonance region,
+#: first-droop (die) resonance region.
+BANDS: Dict[str, Tuple[float, float]] = {
+    "vrm-ripple": (1e5, 6e5),
+    "package": (6e5, 3e7),
+    "first-droop": (6e7, 4e8),
+}
+
+
+@dataclass(frozen=True)
+class PowerSpectrum:
+    """A one-sided power spectral density estimate."""
+
+    frequencies_hz: np.ndarray
+    density: np.ndarray
+
+    def band_power(self, f_lo: float, f_hi: float) -> float:
+        """Integrated power within [f_lo, f_hi] (trapezoidal)."""
+        if not 0 <= f_lo < f_hi:
+            raise MeasurementError("need 0 <= f_lo < f_hi")
+        mask = (self.frequencies_hz >= f_lo) & (self.frequencies_hz <= f_hi)
+        if mask.sum() < 2:
+            raise MeasurementError("band contains fewer than two bins")
+        return float(
+            np.trapezoid(self.density[mask], self.frequencies_hz[mask])
+        )
+
+    def band_powers(
+        self, bands: Dict[str, Tuple[float, float]] = BANDS
+    ) -> Dict[str, float]:
+        """Integrated power per named band."""
+        return {
+            name: self.band_power(lo, hi) for name, (lo, hi) in bands.items()
+        }
+
+    def dominant_frequency_hz(
+        self, f_lo: float = 0.0, f_hi: float = np.inf
+    ) -> float:
+        """Frequency of the largest PSD bin within a band."""
+        mask = (self.frequencies_hz >= f_lo) & (self.frequencies_hz <= f_hi)
+        if not mask.any():
+            raise MeasurementError("band contains no bins")
+        idx = int(np.argmax(np.where(mask, self.density, -np.inf)))
+        return float(self.frequencies_hz[idx])
+
+
+def power_spectrum(
+    samples: np.ndarray,
+    dt_seconds: float,
+    detrend: str = "constant",
+) -> PowerSpectrum:
+    """Welch PSD estimate of an arbitrary sampled series."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 1 or samples.size < 64:
+        raise MeasurementError("need a 1-D series of at least 64 samples")
+    if dt_seconds <= 0:
+        raise MeasurementError("dt_seconds must be positive")
+    nperseg = min(samples.size, 8192)
+    frequencies, density = signal.welch(
+        samples,
+        fs=1.0 / dt_seconds,
+        nperseg=nperseg,
+        detrend=detrend,
+    )
+    return PowerSpectrum(frequencies_hz=frequencies, density=density)
+
+
+def voltage_spectrum(trace: VoltageTrace) -> PowerSpectrum:
+    """PSD of a voltage trace's deviations from nominal."""
+    return power_spectrum(trace.deviations_fraction(), trace.dt_seconds)

@@ -1,0 +1,58 @@
+"""Power-delivery-network (PDN) simulation substrate.
+
+The paper senses on-die voltage of a Core 2 Duo through its
+``VCCsense``/``VSSsense`` pins and extrapolates future voltage noise by
+physically breaking decoupling capacitors off the package.  This package
+replaces that physical apparatus with a lumped-element RLC model:
+
+* :mod:`repro.pdn.elements` — passive components and impedance algebra.
+* :mod:`repro.pdn.network` — the VRM → bulk → package → die ladder and its
+  state-space form.
+* :mod:`repro.pdn.decap` — the package capacitor inventory and the
+  ``Proc100`` … ``Proc0`` decap-removal configurations of Fig. 5.
+* :mod:`repro.pdn.impedance` — frequency sweeps and resonance analysis
+  (Fig. 4).
+* :mod:`repro.pdn.simulate` — fast time-domain solver for voltage response
+  to a per-cycle current trace, plus a reference trapezoidal integrator.
+* :mod:`repro.pdn.vrm` — voltage-regulator-module switching ripple.
+* :mod:`repro.pdn.stimulus` — canonical current stimuli (reset, step,
+  impedance-characterization loop).
+"""
+
+from repro.pdn.elements import Capacitor, Inductor, Resistor, parallel, series
+from repro.pdn.network import PDNStage, PowerDeliveryNetwork
+from repro.pdn.decap import (
+    CapacitorBank,
+    DecapConfiguration,
+    PROC_CONFIGS,
+    proc_config,
+)
+from repro.pdn.impedance import ImpedanceProfile
+from repro.pdn.simulate import TransientSimulator, VoltageTrace
+from repro.pdn.vrm import VoltageRegulatorModule
+from repro.pdn.stimulus import current_step, reset_stimulus, square_wave_current
+from repro.pdn.undervolt import CRITICAL_VOLTAGE, UndervoltResult, undervolt_to_failure
+
+__all__ = [
+    "Capacitor",
+    "Inductor",
+    "Resistor",
+    "parallel",
+    "series",
+    "PDNStage",
+    "PowerDeliveryNetwork",
+    "CapacitorBank",
+    "DecapConfiguration",
+    "PROC_CONFIGS",
+    "proc_config",
+    "ImpedanceProfile",
+    "TransientSimulator",
+    "VoltageTrace",
+    "VoltageRegulatorModule",
+    "current_step",
+    "reset_stimulus",
+    "square_wave_current",
+    "CRITICAL_VOLTAGE",
+    "UndervoltResult",
+    "undervolt_to_failure",
+]

@@ -1,0 +1,126 @@
+"""Passive circuit elements and complex-impedance algebra.
+
+These are the building blocks of the lumped power-delivery-network model.
+Each element knows its complex impedance at a given angular frequency;
+:func:`series` and :func:`parallel` combine impedance arrays so the ladder
+network in :mod:`repro.pdn.network` can compute its driving-point impedance
+analytically (used by Fig. 4's impedance-profile reproduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _require_positive(name: str, value: float) -> None:
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def _require_non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """An ideal resistor.
+
+    Parameters
+    ----------
+    resistance:
+        Resistance in ohms; must be non-negative (zero models an ideal wire).
+    """
+
+    resistance: float
+
+    def __post_init__(self) -> None:
+        _require_non_negative("resistance", self.resistance)
+
+    def impedance(self, omega: np.ndarray | float) -> np.ndarray:
+        """Complex impedance at angular frequency ``omega`` (rad/s)."""
+        omega = np.asarray(omega, dtype=float)
+        return self.resistance + 0j * omega
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """An ideal inductor with optional series resistance (ESR)."""
+
+    inductance: float
+    esr: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require_positive("inductance", self.inductance)
+        _require_non_negative("esr", self.esr)
+
+    def impedance(self, omega: np.ndarray | float) -> np.ndarray:
+        """Complex impedance ``esr + j*omega*L``."""
+        omega = np.asarray(omega, dtype=float)
+        return self.esr + 1j * omega * self.inductance
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """An ideal capacitor with optional equivalent series resistance.
+
+    A capacitor's impedance magnitude falls as ``1/(omega*C)`` until the ESR
+    floor; decoupling banks exploit this to short high-frequency current
+    transients to ground before they reach the die.
+    """
+
+    capacitance: float
+    esr: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require_positive("capacitance", self.capacitance)
+        _require_non_negative("esr", self.esr)
+
+    def impedance(self, omega: np.ndarray | float) -> np.ndarray:
+        """Complex impedance ``esr + 1/(j*omega*C)``.
+
+        ``omega`` must be strictly positive; DC impedance of an ideal
+        capacitor is unbounded.
+        """
+        omega = np.asarray(omega, dtype=float)
+        if np.any(omega <= 0):
+            raise ConfigurationError("capacitor impedance requires omega > 0")
+        return self.esr + 1.0 / (1j * omega * self.capacitance)
+
+    def scaled(self, fraction: float) -> "Capacitor":
+        """Return a copy with ``fraction`` of the capacitance remaining.
+
+        Removing decoupling capacitors from a bank divides the total
+        capacitance by the removed fraction and multiplies the effective ESR
+        (parallel resistances) by the same factor, which is exactly how the
+        paper's Proc100 → Proc3 processors are derived from one another.
+        """
+        _require_positive("fraction", fraction)
+        return Capacitor(
+            capacitance=self.capacitance * fraction,
+            esr=self.esr / fraction,
+        )
+
+
+def series(*impedances: np.ndarray | complex) -> np.ndarray:
+    """Combine impedances in series (plain sum)."""
+    if not impedances:
+        raise ConfigurationError("series() requires at least one impedance")
+    total = np.asarray(impedances[0], dtype=complex)
+    for z in impedances[1:]:
+        total = total + np.asarray(z, dtype=complex)
+    return total
+
+
+def parallel(*impedances: np.ndarray | complex) -> np.ndarray:
+    """Combine impedances in parallel (reciprocal of summed admittances)."""
+    if not impedances:
+        raise ConfigurationError("parallel() requires at least one impedance")
+    admittance = np.zeros_like(np.asarray(impedances[0], dtype=complex))
+    for z in impedances:
+        admittance = admittance + 1.0 / np.asarray(z, dtype=complex)
+    return 1.0 / admittance

@@ -1,0 +1,242 @@
+"""The lumped power-delivery-network ladder and its state-space form.
+
+The model follows the canonical three-stage PDN used throughout the
+voltage-noise literature (e.g. Gupta et al., DATE'07; Aygun et al., Intel
+Technology Journal):
+
+.. code-block:: text
+
+   VRM --- R0,L0 ---+--- R1,L1 ---+--- R2,L2 ---+   (die node)
+   (ideal            |             |             |
+    source)        C_bulk       C_package     C_die   <- I_load(t)
+
+Each stage is a series resistor/inductor followed by a shunt capacitor
+(with ESR).  The load — the processor's time-varying current draw — is
+pulled from the final (die) node.  Three LC sections give the three
+impedance regimes seen on real platforms: a kHz-range bulk pole, the
+package (mid-frequency) resonance around 1 MHz, and the first-droop die
+resonance in the 100–200 MHz band that Fig. 4 of the paper validates
+against Intel data.
+
+Two views of the same network are provided:
+
+* :meth:`PowerDeliveryNetwork.impedance` — analytic driving-point
+  impedance at the die, used for impedance profiles (Fig. 4).
+* :meth:`PowerDeliveryNetwork.state_space` — continuous-time state-space
+  matrices consumed by :class:`repro.pdn.simulate.TransientSimulator` for
+  time-domain voltage traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pdn.elements import Capacitor, Inductor, parallel, series
+
+
+@dataclass(frozen=True)
+class PDNStage:
+    """One RL-series / C-shunt section of the ladder.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label (``"bulk"``, ``"package"``, ``"die"``).
+    interconnect:
+        Series inductor (with ESR) connecting this stage to the previous
+        node.
+    decap:
+        Shunt decoupling capacitor (with ESR) at this stage's output node.
+    """
+
+    name: str
+    interconnect: Inductor
+    decap: Capacitor
+
+    def with_decap_fraction(self, fraction: float) -> "PDNStage":
+        """Return a copy with only ``fraction`` of the decap remaining."""
+        return replace(self, decap=self.decap.scaled(fraction))
+
+
+class PowerDeliveryNetwork:
+    """A multi-stage RLC power-delivery ladder feeding a die load.
+
+    Parameters
+    ----------
+    stages:
+        Ladder sections ordered from the voltage regulator towards the die.
+        The last stage's node is the die node where load current is drawn
+        and where the on-die voltage (``VCCsense``) is observed.
+    nominal_voltage:
+        The regulator set-point in volts (Core 2 Duo E6300: ~1.30 V).
+    """
+
+    def __init__(self, stages: Sequence[PDNStage], nominal_voltage: float) -> None:
+        if len(stages) < 1:
+            raise ConfigurationError("a PDN needs at least one stage")
+        if nominal_voltage <= 0:
+            raise ConfigurationError(
+                f"nominal_voltage must be positive, got {nominal_voltage!r}"
+            )
+        self._stages = tuple(stages)
+        self._nominal_voltage = float(nominal_voltage)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def stages(self) -> Tuple[PDNStage, ...]:
+        return self._stages
+
+    @property
+    def nominal_voltage(self) -> float:
+        return self._nominal_voltage
+
+    @property
+    def n_states(self) -> int:
+        """Two states (inductor current, capacitor voltage) per stage."""
+        return 2 * len(self._stages)
+
+    @property
+    def dc_resistance(self) -> float:
+        """Total series resistance from regulator to die (ohms)."""
+        return sum(stage.interconnect.esr for stage in self._stages)
+
+    def with_decap_fraction(self, fraction: float, stage_name: str = "package") -> "PowerDeliveryNetwork":
+        """Return a network with ``fraction`` of one stage's decap remaining.
+
+        This is the software analogue of breaking capacitors off the package
+        land side (Fig. 5): only the named stage is touched, everything else
+        is shared with the original network.
+        """
+        names = [stage.name for stage in self._stages]
+        if stage_name not in names:
+            raise ConfigurationError(
+                f"unknown stage {stage_name!r}; have {names}"
+            )
+        new_stages = [
+            stage.with_decap_fraction(fraction) if stage.name == stage_name else stage
+            for stage in self._stages
+        ]
+        return PowerDeliveryNetwork(new_stages, self._nominal_voltage)
+
+    # ------------------------------------------------------------------
+    # Frequency domain
+    # ------------------------------------------------------------------
+    def impedance(self, frequency_hz: np.ndarray | float) -> np.ndarray:
+        """Driving-point impedance seen from the die node, in ohms.
+
+        The regulator is treated as an ideal AC short, so the impedance is
+        the recursive parallel/series combination of the ladder, evaluated
+        back-to-front.  ``frequency_hz`` must be strictly positive.
+        """
+        omega = 2.0 * np.pi * np.asarray(frequency_hz, dtype=float)
+        if np.any(omega <= 0):
+            raise ConfigurationError("impedance requires frequency > 0")
+        upstream = self._stages[0].interconnect.impedance(omega)
+        z = parallel(self._stages[0].decap.impedance(omega), upstream)
+        for stage in self._stages[1:]:
+            z = parallel(
+                stage.decap.impedance(omega),
+                series(stage.interconnect.impedance(omega), z),
+            )
+        return z
+
+    # ------------------------------------------------------------------
+    # Time domain (state space)
+    # ------------------------------------------------------------------
+    def state_space(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Continuous state-space ``(A, B, C, D)`` of the ladder.
+
+        States are ``[iL_1 .. iL_N, vC_1 .. vC_N]``; inputs are
+        ``u = [V_source, I_load]``; the single output is the die-node
+        voltage.  Node voltages include the capacitor ESR drop, which is
+        what couples the load current directly into the output (the ``D``
+        term) and gives realistic first-droop sharpness.
+        """
+        n = len(self._stages)
+        a = np.zeros((2 * n, 2 * n))
+        b = np.zeros((2 * n, 2))
+        c = np.zeros((1, 2 * n))
+        d = np.zeros((1, 2))
+
+        inductances = np.array([s.interconnect.inductance for s in self._stages])
+        series_r = np.array([s.interconnect.esr for s in self._stages])
+        capacitances = np.array([s.decap.capacitance for s in self._stages])
+        cap_esr = np.array([s.decap.esr for s in self._stages])
+
+        # Node voltage v_k = vC_k + r_k * (iL_k - downstream_current_k)
+        # where downstream_current_k is iL_{k+1} for inner nodes and the
+        # load current for the die node.  Express each v_k as a linear form
+        # over (states, inputs) and assemble the ODEs from those forms.
+        def node_voltage_form(k: int) -> Tuple[np.ndarray, np.ndarray]:
+            """Return (state_coeffs, input_coeffs) for node voltage v_k."""
+            sx = np.zeros(2 * n)
+            su = np.zeros(2)
+            sx[n + k] = 1.0  # vC_k
+            sx[k] += cap_esr[k]  # + r_k * iL_k
+            if k + 1 < n:
+                sx[k + 1] -= cap_esr[k]  # - r_k * iL_{k+1}
+            else:
+                su[1] -= cap_esr[k]  # - r_k * I_load
+            return sx, su
+
+        node_x = []
+        node_u = []
+        for k in range(n):
+            sx, su = node_voltage_form(k)
+            node_x.append(sx)
+            node_u.append(su)
+
+        for k in range(n):
+            # L_k * diL_k/dt = v_{k-1} - R_k * iL_k - v_k
+            if k == 0:
+                upstream_x = np.zeros(2 * n)
+                upstream_u = np.array([1.0, 0.0])  # v_0 = V_source
+            else:
+                upstream_x = node_x[k - 1]
+                upstream_u = node_u[k - 1]
+            a[k, :] = (upstream_x - node_x[k]) / inductances[k]
+            a[k, k] -= series_r[k] / inductances[k]
+            b[k, :] = (upstream_u - node_u[k]) / inductances[k]
+
+            # C_k * dvC_k/dt = iL_k - downstream_current_k
+            a[n + k, k] = 1.0 / capacitances[k]
+            if k + 1 < n:
+                a[n + k, k + 1] = -1.0 / capacitances[k]
+            else:
+                b[n + k, 1] = -1.0 / capacitances[k]
+
+        c[0, :] = node_x[n - 1]
+        d[0, :] = node_u[n - 1]
+        return a, b, c, d
+
+    def dc_operating_point(self, load_current: float) -> np.ndarray:
+        """Steady-state state vector for a constant ``load_current``.
+
+        All inductors carry the load current; all capacitors sit at the
+        node voltage implied by the cumulative series IR drop.
+        """
+        n = len(self._stages)
+        state = np.zeros(2 * n)
+        state[:n] = load_current
+        drop = 0.0
+        for k, stage in enumerate(self._stages):
+            drop += stage.interconnect.esr * load_current
+            state[n + k] = self._nominal_voltage - drop
+        return state
+
+    def die_voltage_dc(self, load_current: float) -> float:
+        """Die-node voltage under a constant ``load_current``."""
+        return self._nominal_voltage - self.dc_resistance * load_current
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        names = "/".join(s.name for s in self._stages)
+        return (
+            f"PowerDeliveryNetwork(stages={names}, "
+            f"Vnom={self._nominal_voltage:.3f} V)"
+        )

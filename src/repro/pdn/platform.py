@@ -1,0 +1,199 @@
+"""The reference platform: a Core 2 Duo E6300-like system model.
+
+This module pins down the concrete numbers that stand in for the paper's
+physical test system (Intel Core 2 Duo E6300 on a Gigabyte GA-945GM-S2
+board) and builds calibrated :class:`~repro.pdn.network.PowerDeliveryNetwork`
+instances for each decap configuration.
+
+Calibration targets, all taken from the paper's measurements:
+
+* impedance peaks in the 100–200 MHz first-droop band (Fig. 4a);
+* between 1 and 10 MHz, a decap-depleted package shows several times the
+  stock impedance (Fig. 4b quotes ~5x);
+* the stock machine's worst observed benchmark droop is ~9.6 % and the
+  undervolting-derived worst-case margin is ~14 % (Sec. II-C / III-A);
+* typical benchmark activity swings stay within ~4 % of nominal (Fig. 7);
+* the reset droop grows from ~150 mV (Proc100) to ~350 mV (Proc0),
+  Fig. 5(m–r).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.pdn.decap import DecapConfiguration, proc_config
+from repro.pdn.elements import Capacitor, Inductor
+from repro.pdn.network import PDNStage, PowerDeliveryNetwork
+from repro.pdn.simulate import TransientSimulator
+from repro.pdn.vrm import VoltageRegulatorModule
+
+#: Nominal core voltage of the E6300-class part (volts).
+NOMINAL_VOLTAGE = 1.30
+
+#: Core clock frequency (Hz); the E6300 runs at 1.86 GHz.
+CLOCK_FREQUENCY_HZ = 1.86 * units.GIGA_HERTZ
+
+#: One clock period (seconds) — the sample step of per-cycle current traces.
+CLOCK_PERIOD_S = 1.0 / CLOCK_FREQUENCY_HZ
+
+#: Worst-case operating voltage margin found by undervolting (Sec. II-C).
+WORST_CASE_MARGIN = 0.14
+
+#: Package-plane parasitic capacitance that survives total decap removal.
+PARASITIC_PLANE_CAPACITANCE = 8.0 * units.MICRO_FARAD
+PARASITIC_PLANE_ESR = 3.0 * units.MILLI_OHM
+
+#: Idle and maximum sustained current draw of the two-core chip (amps).
+#: ~65 W TDP at 1.3 V gives ~50 A absolute ceiling; the power virus
+#: approaches it, ordinary benchmarks stay well below.
+IDLE_CURRENT_A = 6.0
+MAX_CURRENT_A = 46.0
+
+
+@dataclass(frozen=True)
+class PlatformParameters:
+    """All tunable electrical parameters of the reference platform.
+
+    The defaults reproduce the paper's observables; tests in
+    ``tests/pdn/test_platform.py`` pin the resulting behaviour.
+    """
+
+    nominal_voltage: float = NOMINAL_VOLTAGE
+    # Stage 0: VRM output inductor + load line + motherboard bulk caps.
+    # The 0.8 mOhm series resistance plays the role of the regulator's
+    # intentional load line; the active control loop itself is not
+    # modelled, so the bulk capacitance is sized generously to hold the
+    # low-frequency impedance down the way the real loop would.
+    bulk_inductance: float = 1.0 * units.NANO_HENRY
+    bulk_resistance: float = 0.10 * units.MILLI_OHM
+    bulk_capacitance: float = 10_000 * units.MICRO_FARAD
+    bulk_cap_esr: float = 5.0 * units.MILLI_OHM
+    # Stage 1: socket/package planes + land-side decap (varies with ProcXX).
+    package_inductance: float = 350 * units.PICO_HENRY
+    package_resistance: float = 0.15 * units.MILLI_OHM
+    # Stage 2: package-to-die loop + on-die decap; sets the 100-200 MHz
+    # first-droop resonance that dominates the stock impedance profile.
+    die_inductance: float = 2.5 * units.PICO_HENRY
+    die_resistance: float = 0.10 * units.MILLI_OHM
+    die_capacitance: float = 500 * units.NANO_FARAD
+    die_cap_esr: float = 0.50 * units.MILLI_OHM
+    # Off-chip regulator ripple.
+    vrm: VoltageRegulatorModule = field(default_factory=VoltageRegulatorModule)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "nominal_voltage",
+            "bulk_inductance",
+            "bulk_resistance",
+            "bulk_capacitance",
+            "bulk_cap_esr",
+            "package_inductance",
+            "package_resistance",
+            "die_inductance",
+            "die_resistance",
+            "die_capacitance",
+            "die_cap_esr",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+
+DEFAULT_PARAMETERS = PlatformParameters()
+
+
+def package_capacitor(config: DecapConfiguration) -> Capacitor:
+    """Effective package decap for one ProcXX configuration.
+
+    The populated banks combine in parallel with the package-plane
+    parasitic, so even Proc0 retains a sliver of capacitance (with the
+    plane's own small ESR) — the physical chips never lose the planes.
+    """
+    total_c = PARASITIC_PLANE_CAPACITANCE
+    admittance = 1.0 / PARASITIC_PLANE_ESR
+    for bank in config.banks:
+        if bank.count == 0:
+            continue
+        total_c += bank.total_capacitance
+        admittance += 1.0 / bank.effective_esr
+    return Capacitor(capacitance=total_c, esr=1.0 / admittance)
+
+
+def build_network(
+    config: DecapConfiguration | str = "Proc100",
+    parameters: PlatformParameters = DEFAULT_PARAMETERS,
+) -> PowerDeliveryNetwork:
+    """Build the three-stage ladder for one decap configuration."""
+    if isinstance(config, str):
+        config = proc_config(config)
+    stages = (
+        PDNStage(
+            name="bulk",
+            interconnect=Inductor(
+                parameters.bulk_inductance, parameters.bulk_resistance
+            ),
+            decap=Capacitor(parameters.bulk_capacitance, parameters.bulk_cap_esr),
+        ),
+        PDNStage(
+            name="package",
+            interconnect=Inductor(
+                parameters.package_inductance, parameters.package_resistance
+            ),
+            decap=package_capacitor(config),
+        ),
+        PDNStage(
+            name="die",
+            interconnect=Inductor(
+                parameters.die_inductance, parameters.die_resistance
+            ),
+            decap=Capacitor(parameters.die_capacitance, parameters.die_cap_esr),
+        ),
+    )
+    return PowerDeliveryNetwork(stages, parameters.nominal_voltage)
+
+
+def build_simulator(
+    config: DecapConfiguration | str = "Proc100",
+    parameters: PlatformParameters = DEFAULT_PARAMETERS,
+    dt_seconds: float = CLOCK_PERIOD_S,
+    with_ripple: bool = True,
+) -> TransientSimulator:
+    """Build a ready-to-run transient simulator for one configuration."""
+    network = build_network(config, parameters)
+    vrm = parameters.vrm if with_ripple else None
+    return TransientSimulator(network, dt_seconds, vrm=vrm)
+
+
+#: Canonical reset-stimulus parameters used for the Fig. 5/6 comparison.
+RESET_INRUSH_A = 46.0
+RESET_RAMP_CYCLES = 2
+RESET_SETTLE_TAU_CYCLES = 5000.0
+
+
+def reset_response(
+    config: DecapConfiguration | str,
+    parameters: PlatformParameters = DEFAULT_PARAMETERS,
+    n_samples: int = 400_000,
+):
+    """Simulate the paper's reset experiment for one decap configuration.
+
+    The machine idles, the reset collapses current to zero, and boot
+    inrush surges back — the sharpest current event a production system
+    sees, used by Fig. 5(m-r)/Fig. 6 to expose the decap-removal effect.
+    Returns a :class:`~repro.pdn.simulate.VoltageTrace` (no VRM ripple, to
+    match the paper's normalization against an idle machine).
+    """
+    from repro.pdn.stimulus import reset_stimulus
+
+    simulator = build_simulator(config, parameters, with_ripple=False)
+    stimulus = reset_stimulus(
+        n_samples,
+        idle_amps=IDLE_CURRENT_A,
+        inrush_amps=RESET_INRUSH_A,
+        reset_at=n_samples // 20,
+        off_samples=n_samples // 4,
+        ramp_samples=RESET_RAMP_CYCLES,
+        settle_tau_samples=RESET_SETTLE_TAU_CYCLES,
+    )
+    return simulator.simulate(stimulus, include_ripple=False)

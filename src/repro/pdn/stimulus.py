@@ -1,0 +1,144 @@
+"""Canonical current stimuli used by the paper's characterization steps.
+
+Three stimuli matter for the reproduction:
+
+* a **current step** — the basic dI/dt event from which droop magnitudes
+  are understood;
+* the **reset stimulus** of Fig. 5(m–r) — power-cycling the processor from
+  idle produces the sharpest current edge available, which is what exposes
+  the decap-removal effect across Proc100 … Proc0;
+* the **square-wave current loop** of Sec. II-A — a software loop
+  alternating between high- and low-current instruction sequences, swept in
+  frequency to reconstruct the platform's impedance profile (Fig. 4a),
+  replacing Intel's VTT step-current generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def current_step(
+    n_samples: int,
+    low_amps: float,
+    high_amps: float,
+    step_at: int,
+    ramp_samples: int = 1,
+) -> np.ndarray:
+    """A single low→high current transition.
+
+    Parameters
+    ----------
+    n_samples:
+        Total trace length.
+    low_amps / high_amps:
+        Current levels before and after the step.
+    step_at:
+        Sample index where the transition begins.
+    ramp_samples:
+        Number of samples over which the current ramps linearly; 1 means an
+        instantaneous (one-sample) edge, larger values soften the dI/dt.
+    """
+    if n_samples <= 0:
+        raise ConfigurationError("n_samples must be positive")
+    if not 0 <= step_at < n_samples:
+        raise ConfigurationError("step_at must lie inside the trace")
+    if ramp_samples < 1:
+        raise ConfigurationError("ramp_samples must be >= 1")
+    trace = np.full(n_samples, float(low_amps))
+    ramp_end = min(step_at + ramp_samples, n_samples)
+    ramp = np.linspace(low_amps, high_amps, ramp_end - step_at, endpoint=False)
+    trace[step_at:ramp_end] = ramp
+    trace[ramp_end:] = high_amps
+    return trace
+
+
+def reset_stimulus(
+    n_samples: int,
+    idle_amps: float,
+    inrush_amps: float,
+    reset_at: int,
+    off_samples: int,
+    ramp_samples: int = 4,
+    settle_tau_samples: float = 4000.0,
+) -> np.ndarray:
+    """The power-cycle ("reset") stimulus of Fig. 5.
+
+    The machine idles, current collapses to (near) zero while the reset is
+    asserted, then an inrush surge refills the pipeline and caches as the
+    machine comes back.  The falling and rising edges are the largest dI/dt
+    events a production system ever sees, which is why the paper uses reset
+    to compare droop magnitude across decap configurations.
+
+    Parameters
+    ----------
+    idle_amps:
+        Idle-loop current before and (eventually) after the reset.
+    inrush_amps:
+        Peak inrush current when the machine powers back up.
+    reset_at:
+        Sample index where the reset is asserted.
+    off_samples:
+        How long current stays collapsed.
+    ramp_samples:
+        Edge sharpness of the collapse and the inrush.
+    settle_tau_samples:
+        Time constant of the inrush decay back to idle.  Boot activity
+        tapers over micro- not nanoseconds, so the default is thousands of
+        clock cycles; this sustained surge is what rings the mid-frequency
+        (package) resonance that decap removal exposes.
+    """
+    if n_samples <= 0:
+        raise ConfigurationError("n_samples must be positive")
+    if not 0 <= reset_at < n_samples:
+        raise ConfigurationError("reset_at must lie inside the trace")
+    if off_samples <= 0:
+        raise ConfigurationError("off_samples must be positive")
+    trace = np.full(n_samples, float(idle_amps))
+
+    fall_end = min(reset_at + ramp_samples, n_samples)
+    trace[reset_at:fall_end] = np.linspace(
+        idle_amps, 0.0, fall_end - reset_at, endpoint=False
+    )
+    off_end = min(fall_end + off_samples, n_samples)
+    trace[fall_end:off_end] = 0.0
+
+    rise_end = min(off_end + ramp_samples, n_samples)
+    trace[off_end:rise_end] = np.linspace(
+        0.0, inrush_amps, rise_end - off_end, endpoint=False
+    )
+    # Inrush decays back to the idle level.
+    if settle_tau_samples <= 0:
+        raise ConfigurationError("settle_tau_samples must be positive")
+    settle = n_samples - rise_end
+    if settle > 0:
+        decay = np.exp(-np.arange(settle) / settle_tau_samples)
+        trace[rise_end:] = idle_amps + (inrush_amps - idle_amps) * decay
+    return trace
+
+
+def square_wave_current(
+    n_samples: int,
+    low_amps: float,
+    high_amps: float,
+    period_samples: int,
+    duty: float = 0.5,
+) -> np.ndarray:
+    """The impedance-characterization loop of Sec. II-A.
+
+    A software loop alternates between a high-current-draw and a
+    low-current-draw instruction sequence; modulating how long it spends in
+    each path sets the fundamental frequency of the resulting current
+    square wave.  Sweeping that frequency and recording the voltage
+    response reconstructs the impedance profile.
+    """
+    if n_samples <= 0:
+        raise ConfigurationError("n_samples must be positive")
+    if period_samples < 2:
+        raise ConfigurationError("period_samples must be >= 2")
+    if not 0 < duty < 1:
+        raise ConfigurationError("duty must be in (0, 1)")
+    phase = (np.arange(n_samples) % period_samples) / period_samples
+    return np.where(phase < duty, float(high_amps), float(low_amps))

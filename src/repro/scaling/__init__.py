@@ -1,0 +1,28 @@
+"""Technology-scaling projections (the paper's Figs. 1 and 2).
+
+* :mod:`repro.scaling.itrs` — ITRS-style Vdd scaling across process nodes
+  and the projected growth of peak-to-peak voltage swings (Fig. 1),
+  computed by re-running the PDN step-response with per-node current
+  stimuli at constant power budget.
+* :mod:`repro.scaling.ring_oscillator` — an alpha-power-law FO4
+  ring-oscillator delay model giving peak clock frequency versus operating
+  voltage margin per node (Fig. 2).
+"""
+
+from repro.scaling.itrs import (
+    TECHNOLOGY_NODES,
+    TechnologyNode,
+    projected_voltage_swings,
+)
+from repro.scaling.ring_oscillator import (
+    RingOscillatorModel,
+    frequency_vs_margin,
+)
+
+__all__ = [
+    "TECHNOLOGY_NODES",
+    "TechnologyNode",
+    "projected_voltage_swings",
+    "RingOscillatorModel",
+    "frequency_vs_margin",
+]

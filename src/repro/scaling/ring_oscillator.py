@@ -1,0 +1,91 @@
+"""FO4 ring-oscillator frequency versus voltage margin (Fig. 2).
+
+The paper's Fig. 2 comes from circuit simulation of an 11-stage
+fanout-of-4 inverter ring across PTM nodes.  The standard analytic stand-in
+is the alpha-power-law MOSFET model: gate delay scales as
+
+    delay(V) ∝ V / (V - Vth)^alpha
+
+so the ring frequency at an operating margin ``m`` (supply at
+``Vdd * (1 - m)``) relative to full supply is
+
+    f(m) / f(0) = [ (V - Vth) / (Vdd - Vth) ]^alpha * (Vdd / V)
+
+Lower-voltage nodes sit closer to threshold, so the same *relative* margin
+costs disproportionately more frequency — the reason a 20 % margin loses
+~25 % of peak frequency at 45 nm but more than 50 % by 16 nm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.scaling.itrs import TECHNOLOGY_NODES, TechnologyNode
+
+#: Velocity-saturation exponent of short-channel devices.
+DEFAULT_ALPHA = 1.3
+
+#: Number of ring stages in the paper's oscillator (for documentation /
+#: period computation; the frequency *ratio* is stage-count independent).
+RING_STAGES = 11
+
+
+@dataclass(frozen=True)
+class RingOscillatorModel:
+    """Alpha-power-law ring oscillator for one technology node."""
+
+    node: TechnologyNode
+    alpha: float = DEFAULT_ALPHA
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+
+    def stage_delay(self, supply: float) -> float:
+        """Relative FO4 delay at an absolute supply voltage (a.u.)."""
+        if supply <= self.node.vth:
+            raise ConfigurationError(
+                f"supply {supply} V is at/below threshold {self.node.vth} V"
+            )
+        return supply / (supply - self.node.vth) ** self.alpha
+
+    def frequency(self, supply: float) -> float:
+        """Relative ring frequency at an absolute supply voltage (a.u.)."""
+        return 1.0 / (2 * RING_STAGES * self.stage_delay(supply))
+
+    def relative_frequency(self, margin: float) -> float:
+        """Peak frequency fraction when operating ``margin`` below Vdd.
+
+        ``margin`` is a fraction of nominal supply (the Fig. 2 x-axis).
+        Returns NaN when the margined supply falls to the threshold —
+        the device simply stops, which is how the paper's curves end.
+        """
+        if not 0 <= margin < 1:
+            raise ConfigurationError("margin must be in [0, 1)")
+        supply = self.node.vdd * (1.0 - margin)
+        if supply <= self.node.vth:
+            return float("nan")
+        return self.frequency(supply) / self.frequency(self.node.vdd)
+
+
+def frequency_vs_margin(
+    margins: np.ndarray,
+    nodes: Sequence[TechnologyNode] = TECHNOLOGY_NODES[:4],
+    alpha: float = DEFAULT_ALPHA,
+) -> Dict[str, np.ndarray]:
+    """Fig. 2: peak-frequency percentage versus margin per node.
+
+    The paper plots 45/32/22/16 nm; the default ``nodes`` match.
+    """
+    margins = np.asarray(margins, dtype=float)
+    curves: Dict[str, np.ndarray] = {}
+    for node in nodes:
+        model = RingOscillatorModel(node, alpha=alpha)
+        curves[node.name] = np.array(
+            [100.0 * model.relative_frequency(float(m)) for m in margins]
+        )
+    return curves

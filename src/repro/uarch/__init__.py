@@ -1,0 +1,44 @@
+"""Microarchitectural activity model.
+
+The paper correlates on-die voltage noise with microarchitectural stall
+events (L1/L2 misses, TLB misses, branch mispredictions, exceptions): a
+stall drains the pipeline, current collapses, voltage overshoots; when the
+stall resolves, execution units refill, current surges and voltage droops.
+This package turns workload descriptions into per-cycle current traces that
+carry exactly that structure, and exposes the VTune-style performance
+counters (cycles, instructions, stall cycles) that the paper's stall-ratio
+metric is built from.
+
+* :mod:`repro.uarch.events` — the stall-event vocabulary and per-event
+  current-envelope profiles.
+* :mod:`repro.uarch.window` — the workload → core interface (an execution
+  window: baseline activity + stall events).
+* :mod:`repro.uarch.activity` — envelope synthesis (events → per-cycle
+  activity).
+* :mod:`repro.uarch.counters` — performance-counter model (stall ratio,
+  IPC).
+* :mod:`repro.uarch.core` — a single core: window → activity, current,
+  counters.
+* :mod:`repro.uarch.chip` — the dual-core chip with shared power supply.
+"""
+
+from repro.uarch.events import EVENT_PROFILES, EventProfile, StallEvent
+from repro.uarch.window import ExecutionWindow
+from repro.uarch.activity import synthesize_activity
+from repro.uarch.counters import PerformanceCounters
+from repro.uarch.core import Core, CoreExecution, CoreParameters
+from repro.uarch.chip import Chip, ChipRun
+
+__all__ = [
+    "EVENT_PROFILES",
+    "EventProfile",
+    "StallEvent",
+    "ExecutionWindow",
+    "synthesize_activity",
+    "PerformanceCounters",
+    "Core",
+    "CoreExecution",
+    "CoreParameters",
+    "Chip",
+    "ChipRun",
+]

@@ -1,0 +1,108 @@
+"""Synthesis of per-cycle activity from baseline + stall events.
+
+Each stall event stamps two envelopes onto the baseline activity series:
+
+* a **multiplicative drop** — a drain ramp down to ``1 - drop_fraction``,
+  a stalled plateau, and a refill ramp back to 1.  Overlapping drops
+  multiply: two overlapping misses stall the core more deeply than either
+  alone.
+* an **additive surge** — once the stall resolves, the queued-up work
+  issues in a saturating burst.  Crucially this burst reaches toward *full
+  machine activity* regardless of how busy the program usually keeps the
+  core, so it is modelled as an absolute addition of
+  ``surge_factor - 1`` (decaying exponentially), not as a multiplier.
+  These refill bursts are the paper's droop mechanism: "after the miss
+  data becomes available, functional units become busy and there is a
+  surge in current activity.  This steep increase in current causes
+  voltage to droop."
+
+The result is clipped to [0, ``MAX_ACTIVITY``].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.uarch.events import EventProfile, StallEvent, profile_for
+
+#: Activity ceiling: refill bursts may briefly exceed nominal full activity.
+MAX_ACTIVITY = 1.35
+
+
+def event_envelope(profile: EventProfile) -> Tuple[np.ndarray, np.ndarray]:
+    """The (multiplicative-drop, additive-surge) envelopes of one event.
+
+    Both arrays start at the event's first drain cycle; the drop array is
+    1.0 and the surge array 0.0 outside the event's footprint.
+    """
+    drain = np.linspace(
+        1.0, 1.0 - profile.drop_fraction, profile.drain_cycles + 1
+    )[1:]
+    plateau = np.full(profile.stall_cycles, 1.0 - profile.drop_fraction)
+    refill = np.linspace(
+        1.0 - profile.drop_fraction, 1.0, profile.refill_cycles + 1
+    )[1:]
+    drop = np.concatenate([drain, plateau, refill])
+
+    tail_len = int(4 * profile.surge_decay_cycles)
+    surge_peak = profile.surge_factor - 1.0
+    ramp = np.linspace(0.0, surge_peak, profile.refill_cycles + 1)[1:]
+    decay = surge_peak * np.exp(
+        -np.arange(1, tail_len + 1) / profile.surge_decay_cycles
+    )
+    surge = np.concatenate([
+        np.zeros(drain.size + plateau.size), ramp, decay,
+    ])
+
+    length = max(drop.size, surge.size)
+    drop = np.pad(drop, (0, length - drop.size), constant_values=1.0)
+    surge = np.pad(surge, (0, length - surge.size), constant_values=0.0)
+    return drop, surge
+
+
+def synthesize_activity(
+    baseline: np.ndarray,
+    events: Iterable[Tuple[int, StallEvent]],
+) -> np.ndarray:
+    """Apply stall-event envelopes to a baseline activity series.
+
+    Parameters
+    ----------
+    baseline:
+        Per-cycle activity in [0, 1].
+    events:
+        ``(cycle, event)`` pairs; events whose footprint extends past the
+        end of the window are truncated.
+
+    Returns
+    -------
+    numpy.ndarray
+        Realized per-cycle activity in [0, ``MAX_ACTIVITY``].
+    """
+    baseline = np.asarray(baseline, dtype=float)
+    if baseline.ndim != 1 or baseline.size == 0:
+        raise ConfigurationError("baseline must be a non-empty 1-D array")
+    drop_env = np.ones_like(baseline)
+    surge_env = np.zeros_like(baseline)
+    cached: Dict[StallEvent, Tuple[np.ndarray, np.ndarray]] = {}
+    for cycle, event in events:
+        if not 0 <= cycle < baseline.size:
+            raise ConfigurationError(
+                f"event at cycle {cycle} outside window of {baseline.size}"
+            )
+        shapes = cached.get(event)
+        if shapes is None:
+            shapes = event_envelope(profile_for(event))
+            cached[event] = shapes
+        drop, surge = shapes
+        end = min(cycle + drop.size, baseline.size)
+        span = end - cycle
+        drop_env[cycle:end] *= drop[:span]
+        surge_env[cycle:end] += surge[:span]
+    # The surge is suppressed while the core is still (partially) stalled
+    # by an overlapping event: scale it by the drop envelope.
+    activity = baseline * drop_env + surge_env * drop_env
+    return np.clip(activity, 0.0, MAX_ACTIVITY)

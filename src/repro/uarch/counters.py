@@ -1,0 +1,73 @@
+"""The simulated performance-counter interface.
+
+The paper reads hardware counters through VTune: total cycles, retired
+instructions, and a "stall ratio" event — the fraction of cycles the
+pipeline is waiting (reservation-station / reorder-buffer drain due to long
+latency operations, L2 misses, branch mispredictions...).  Stall ratio is
+the paper's key software-visible proxy for voltage noise (Fig. 15 finds a
+0.97 linear correlation with droop counts), and IPC is the throughput
+metric its scheduling baseline optimizes.
+
+:class:`PerformanceCounters` is that counter file; the core model populates
+it from realized activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+from repro.uarch.events import StallEvent
+
+#: Activity threshold below which a cycle is counted as stalled.  The
+#: hardware event the paper uses counts cycles where the back end makes no
+#: progress; with activity normalized to [0, 1] this is a natural cut.
+STALL_ACTIVITY_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class PerformanceCounters:
+    """A snapshot of one core's counters over one measured interval."""
+
+    cycles: int
+    instructions: float
+    stall_cycles: int
+    event_counts: Mapping[StallEvent, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ConfigurationError("cycles must be positive")
+        if self.instructions < 0:
+            raise ConfigurationError("instructions must be non-negative")
+        if not 0 <= self.stall_cycles <= self.cycles:
+            raise ConfigurationError(
+                "stall_cycles must lie within [0, cycles]"
+            )
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        return self.instructions / self.cycles
+
+    @property
+    def stall_ratio(self) -> float:
+        """Fraction of cycles the pipeline was stalled (the Fig. 15 metric)."""
+        return self.stall_cycles / self.cycles
+
+    def event_count(self, event: StallEvent) -> int:
+        return int(self.event_counts.get(event, 0))
+
+    def merged_with(self, other: "PerformanceCounters") -> "PerformanceCounters":
+        """Aggregate two intervals (e.g. consecutive windows)."""
+        counts: Dict[StallEvent, int] = {}
+        for ev in StallEvent:
+            total = self.event_count(ev) + other.event_count(ev)
+            if total:
+                counts[ev] = total
+        return PerformanceCounters(
+            cycles=self.cycles + other.cycles,
+            instructions=self.instructions + other.instructions,
+            stall_cycles=self.stall_cycles + other.stall_cycles,
+            event_counts=counts,
+        )

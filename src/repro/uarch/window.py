@@ -1,0 +1,72 @@
+"""The workload → core interface: one sampled execution window.
+
+Workload models (:mod:`repro.workloads`) cannot hand the simulator full
+multi-minute runs cycle by cycle — a 60-second interval is 10^11 cycles.
+Instead they hand the core model a *representative window*: a short
+per-cycle baseline-activity series plus the stall events that occur inside
+it, sampled from the workload's statistics at a given point of program
+time.  Scaling window statistics back up to wall-clock intervals is the
+measurement layer's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.uarch.events import StallEvent
+
+
+@dataclass(frozen=True)
+class ExecutionWindow:
+    """A sampled slice of one program's execution on one core.
+
+    Parameters
+    ----------
+    baseline_activity:
+        Per-cycle activity level in [0, 1] *before* stall-event envelopes
+        are applied.  Slow modulation of this series (memory phases,
+        bursts) is what excites the package-band resonance.
+    events:
+        ``(cycle, event)`` occurrences inside the window, sorted or not.
+    base_ipc:
+        Instructions retired per fully active cycle; effective IPC is
+        ``base_ipc`` weighted by realized activity.
+    label:
+        The generating workload's name (for reports).
+    """
+
+    baseline_activity: np.ndarray
+    events: List[Tuple[int, StallEvent]] = field(default_factory=list)
+    base_ipc: float = 1.5
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        activity = np.asarray(self.baseline_activity, dtype=float)
+        if activity.ndim != 1 or activity.size == 0:
+            raise ConfigurationError(
+                "baseline_activity must be a non-empty 1-D array"
+            )
+        if np.any(activity < 0) or np.any(activity > 1):
+            raise ConfigurationError("baseline_activity must lie in [0, 1]")
+        object.__setattr__(self, "baseline_activity", activity)
+        if self.base_ipc <= 0:
+            raise ConfigurationError("base_ipc must be positive")
+        for cycle, event in self.events:
+            if not 0 <= cycle < activity.size:
+                raise ConfigurationError(
+                    f"event at cycle {cycle} outside window of {activity.size}"
+                )
+            if not isinstance(event, StallEvent):
+                raise ConfigurationError(f"not a StallEvent: {event!r}")
+
+    @property
+    def n_cycles(self) -> int:
+        return int(self.baseline_activity.size)
+
+    def event_count(self, event: StallEvent) -> int:
+        """Number of occurrences of one event kind in the window."""
+        return sum(1 for _, e in self.events if e is event)

@@ -1,0 +1,51 @@
+"""Unit constants and helpers.
+
+All internal computation uses SI base units (volts, amperes, seconds,
+hertz, ohms, farads, henries).  These constants make intent explicit at
+construction sites, e.g. ``22 * units.MICRO_FARAD``.
+"""
+
+from __future__ import annotations
+
+# -- scale prefixes -----------------------------------------------------------
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+# -- convenience aliases ------------------------------------------------------
+MILLI_VOLT = MILLI
+MILLI_OHM = MILLI
+MICRO_FARAD = MICRO
+NANO_FARAD = NANO
+PICO_FARAD = PICO
+NANO_HENRY = NANO
+PICO_HENRY = PICO
+NANO_SECOND = NANO
+MICRO_SECOND = MICRO
+KILO_HERTZ = KILO
+MEGA_HERTZ = MEGA
+GIGA_HERTZ = GIGA
+
+
+def to_percent(fraction: float) -> float:
+    """Convert a fraction (0.04) to a percentage (4.0)."""
+    return fraction * 100.0
+
+
+def from_percent(percent: float) -> float:
+    """Convert a percentage (4.0) to a fraction (0.04)."""
+    return percent / 100.0
+
+
+def db(ratio: float) -> float:
+    """Convert an amplitude ratio to decibels (20 log10)."""
+    import math
+
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 20.0 * math.log10(ratio)

@@ -1,0 +1,53 @@
+"""Workload models: microbenchmarks, power virus, SPEC CPU2006 and PARSEC.
+
+The paper's 881 runs cover 29 single-threaded SPEC CPU2006 programs, 11
+multi-threaded PARSEC programs, and the 29x29 multi-program CPU2006
+pairing sweep — plus hand-crafted microbenchmarks that isolate individual
+stall events, the CPUBurn-style power virus used for margin discovery, and
+the current-modulating loop used to reconstruct the impedance profile.
+
+We do not execute x86 binaries; each workload is a *statistical activity
+model* (mean activity, stall-event rates, burst structure, phase timeline)
+that produces :class:`~repro.uarch.window.ExecutionWindow` samples with the
+same noise-relevant structure.  DESIGN.md documents why that substitution
+preserves the paper's behaviour.
+"""
+
+from repro.workloads.base import (
+    BurstModel,
+    PhasedWorkload,
+    PhaseSegment,
+    StatProfile,
+    StatisticalWorkload,
+    Workload,
+    synthesize_window,
+)
+from repro.workloads.microbenchmarks import (
+    EventLoopMicrobenchmark,
+    IdleLoop,
+    MICROBENCHMARKS,
+    microbenchmark_for,
+)
+from repro.workloads.virus import PowerVirus, SteppedCurrentLoop
+from repro.workloads.spec import SPEC_CPU2006, spec_benchmark
+from repro.workloads.parsec import PARSEC, parsec_benchmark
+
+__all__ = [
+    "BurstModel",
+    "PhasedWorkload",
+    "PhaseSegment",
+    "StatProfile",
+    "StatisticalWorkload",
+    "Workload",
+    "synthesize_window",
+    "EventLoopMicrobenchmark",
+    "IdleLoop",
+    "MICROBENCHMARKS",
+    "microbenchmark_for",
+    "PowerVirus",
+    "SteppedCurrentLoop",
+    "SPEC_CPU2006",
+    "spec_benchmark",
+    "PARSEC",
+    "parsec_benchmark",
+]

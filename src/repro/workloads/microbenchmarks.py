@@ -1,0 +1,144 @@
+"""Hand-crafted microbenchmarks that isolate single stall events.
+
+Sec. III-C: "we hand-crafted the following microbenchmarks that cause the
+processor to stall: L1 (only) and L2 cache misses, TLB misses, branch
+mispredictions (BR) and exceptions (EXCP).  Each microbenchmark is run in a
+loop, so that activity recurs long enough to measure its effect on core
+voltage."
+
+:class:`EventLoopMicrobenchmark` is that loop: a steady, highly active
+kernel that triggers exactly one event kind at a fixed recurrence period
+(with slight jitter — real loops drift).  :class:`IdleLoop` is the paper's
+baseline: an idling OS, where only VRM ripple is visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.random_utils import SeedLike, as_generator
+from repro.uarch.events import StallEvent, profile_for
+from repro.uarch.window import ExecutionWindow
+from repro.workloads.base import Workload
+
+#: Recurrence period (cycles) of each microbenchmark's event loop.  Each
+#: period is a little over the event's own footprint, so the loop spends
+#: most of its time stalling and re-ramping — maximum dI/dt per unit time,
+#: as the paper's kernels are designed to do.
+DEFAULT_PERIODS: Mapping[StallEvent, int] = {
+    StallEvent.L1_MISS: 26,
+    StallEvent.L2_MISS: 390,
+    StallEvent.TLB_MISS: 65,
+    StallEvent.BRANCH_MISPREDICT: 26,
+    StallEvent.EXCEPTION: 400,
+}
+
+
+class EventLoopMicrobenchmark(Workload):
+    """A loop that triggers one stall event once per iteration.
+
+    Parameters
+    ----------
+    event:
+        The stall event this kernel isolates.
+    period_cycles:
+        Loop iteration length; defaults to the calibrated per-event value.
+    jitter_cycles:
+        Standard deviation of per-iteration period jitter.
+    activity:
+        Baseline activity of the loop body (these kernels run hot).
+    """
+
+    def __init__(
+        self,
+        event: StallEvent,
+        period_cycles: int | None = None,
+        jitter_cycles: float = 1.0,
+        activity: float = 0.92,
+    ) -> None:
+        if period_cycles is None:
+            period_cycles = DEFAULT_PERIODS[event]
+        if period_cycles < 2:
+            raise ConfigurationError("period_cycles must be >= 2")
+        if jitter_cycles < 0:
+            raise ConfigurationError("jitter_cycles must be non-negative")
+        if not 0 < activity <= 1:
+            raise ConfigurationError("activity must be in (0, 1]")
+        self.event = event
+        self.period_cycles = int(period_cycles)
+        self.jitter_cycles = float(jitter_cycles)
+        self.activity = float(activity)
+        self.name = f"ubench-{event.label}"
+        self.duration_seconds = 60.0
+
+    def sample_window(
+        self,
+        n_cycles: int,
+        rng: SeedLike = None,
+        at_time_s: float = 0.0,
+    ) -> ExecutionWindow:
+        if n_cycles <= 0:
+            raise ConfigurationError("n_cycles must be positive")
+        generator = as_generator(rng)
+        baseline = np.full(n_cycles, self.activity)
+        # Event times: a periodic train with a random initial phase and
+        # small per-iteration jitter.
+        n_events = n_cycles // self.period_cycles + 1
+        phase = generator.integers(0, self.period_cycles)
+        times = phase + np.arange(n_events) * self.period_cycles
+        if self.jitter_cycles > 0:
+            times = times + np.rint(
+                generator.normal(0, self.jitter_cycles, size=n_events)
+            ).astype(int)
+        times = times[(times >= 0) & (times < n_cycles)]
+        events = [(int(t), self.event) for t in np.sort(times)]
+        return ExecutionWindow(
+            baseline_activity=baseline,
+            events=events,
+            base_ipc=1.8,
+            label=self.name,
+        )
+
+
+class IdleLoop(Workload):
+    """The operating system's idle loop — the paper's noise baseline."""
+
+    def __init__(self, activity: float = 0.03) -> None:
+        if not 0 < activity <= 1:
+            raise ConfigurationError("activity must be in (0, 1]")
+        self.activity = float(activity)
+        self.name = "idle"
+        self.duration_seconds = 60.0
+
+    def sample_window(
+        self,
+        n_cycles: int,
+        rng: SeedLike = None,
+        at_time_s: float = 0.0,
+    ) -> ExecutionWindow:
+        if n_cycles <= 0:
+            raise ConfigurationError("n_cycles must be positive")
+        generator = as_generator(rng)
+        # A sliver of background OS activity, no stall events of note.
+        baseline = np.clip(
+            self.activity + generator.normal(0, 0.003, size=n_cycles),
+            0.01,
+            1.0,
+        )
+        return ExecutionWindow(
+            baseline_activity=baseline, events=[], base_ipc=0.3, label=self.name
+        )
+
+
+#: One ready-made microbenchmark per stall event.
+MICROBENCHMARKS: Dict[StallEvent, EventLoopMicrobenchmark] = {
+    event: EventLoopMicrobenchmark(event) for event in StallEvent
+}
+
+
+def microbenchmark_for(event: StallEvent) -> EventLoopMicrobenchmark:
+    """The calibrated kernel isolating ``event``."""
+    return MICROBENCHMARKS[event]

@@ -1,0 +1,192 @@
+"""Synthetic models of the 11 PARSEC multi-threaded benchmarks.
+
+The paper's multi-threaded runs put one thread of the same program on each
+core.  Unlike independent multi-program pairs, sibling threads are
+*correlated*: they execute the same code regions and synchronize at
+barriers, so their stall bursts align far more often — one reason
+multi-threaded workloads show strong constructive interference.
+
+:class:`ParsecWorkload` models this with a shared :class:`StatProfile`
+plus a barrier process: at Poisson-distributed barrier points, *both*
+threads take an aligned long stall (modelled as an exception-class drain)
+within a few cycles of each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.random_utils import SeedLike, as_generator, derive_generator
+from repro.uarch.events import StallEvent
+from repro.uarch.window import ExecutionWindow
+from repro.workloads.base import StatProfile, Workload, synthesize_window
+
+
+class ParsecWorkload(Workload):
+    """A multi-threaded workload: correlated sibling threads + barriers.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name.
+    profile:
+        Per-thread statistical profile.
+    barrier_rate_per_cycle:
+        Poisson rate of synchronization barriers.
+    barrier_skew_cycles:
+        How far apart (std. dev.) the two threads hit the same barrier.
+    duration_seconds:
+        Program duration.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        profile: StatProfile,
+        barrier_rate_per_cycle: float = 2e-4,
+        barrier_skew_cycles: float = 30.0,
+        duration_seconds: float = 600.0,
+    ) -> None:
+        if barrier_rate_per_cycle < 0:
+            raise ConfigurationError("barrier_rate_per_cycle must be >= 0")
+        if barrier_skew_cycles < 0:
+            raise ConfigurationError("barrier_skew_cycles must be >= 0")
+        if duration_seconds <= 0:
+            raise ConfigurationError("duration_seconds must be positive")
+        self.name = name
+        self.profile = profile
+        self.barrier_rate_per_cycle = float(barrier_rate_per_cycle)
+        self.barrier_skew_cycles = float(barrier_skew_cycles)
+        self.duration_seconds = float(duration_seconds)
+
+    def sample_window(
+        self,
+        n_cycles: int,
+        rng: SeedLike = None,
+        at_time_s: float = 0.0,
+    ) -> ExecutionWindow:
+        """A single thread's window (used when only one core runs it)."""
+        return synthesize_window(self.profile, n_cycles, rng, label=self.name)
+
+    def sample_thread_windows(
+        self,
+        n_threads: int,
+        n_cycles: int,
+        rng: SeedLike = None,
+        at_time_s: float = 0.0,
+    ) -> Tuple[ExecutionWindow, ...]:
+        """Correlated windows for ``n_threads`` sibling threads."""
+        if n_threads < 1:
+            raise ConfigurationError("n_threads must be >= 1")
+        generator = as_generator(rng)
+        windows: List[ExecutionWindow] = []
+        base_windows = [
+            synthesize_window(
+                self.profile,
+                n_cycles,
+                derive_generator(generator, "thread", i),
+                label=f"{self.name}#t{i}",
+            )
+            for i in range(n_threads)
+        ]
+        # Barrier process shared by all threads: aligned deep stalls.
+        n_barriers = generator.poisson(self.barrier_rate_per_cycle * n_cycles)
+        barrier_cycles = np.sort(generator.integers(0, n_cycles, size=n_barriers))
+        for i, window in enumerate(base_windows):
+            events = list(window.events)
+            for barrier in barrier_cycles:
+                skew = int(round(generator.normal(0, self.barrier_skew_cycles)))
+                cycle = int(np.clip(barrier + skew, 0, n_cycles - 1))
+                events.append((cycle, StallEvent.EXCEPTION))
+            events.sort(key=lambda pair: pair[0])
+            windows.append(
+                ExecutionWindow(
+                    baseline_activity=window.baseline_activity,
+                    events=events,
+                    base_ipc=window.base_ipc,
+                    label=window.label,
+                )
+            )
+        return tuple(windows)
+
+
+def _rates(
+    l1: float = 0.0,
+    l2: float = 0.0,
+    tlb: float = 0.0,
+    br: float = 0.0,
+) -> Dict[StallEvent, float]:
+    rates = {
+        StallEvent.L1_MISS: l1,
+        StallEvent.L2_MISS: l2,
+        StallEvent.TLB_MISS: tlb,
+        StallEvent.BRANCH_MISPREDICT: br,
+    }
+    return {event: rate for event, rate in rates.items() if rate > 0}
+
+
+def _workload(
+    name: str,
+    duration_s: float,
+    activity: float,
+    ipc: float,
+    rates: Dict[StallEvent, float],
+    barrier_rate: float,
+) -> ParsecWorkload:
+    profile = StatProfile(
+        mean_activity=activity,
+        activity_sigma=0.05,
+        activity_tau_cycles=3500.0,
+        event_rates=rates,
+        base_ipc=ipc,
+    )
+    return ParsecWorkload(
+        name,
+        profile,
+        barrier_rate_per_cycle=barrier_rate,
+        duration_seconds=duration_s,
+    )
+
+
+#: The 11 PARSEC benchmarks the paper runs multi-threaded.
+PARSEC: Mapping[str, ParsecWorkload] = {
+    w.name: w
+    for w in (
+        _workload("blackscholes", 300, 0.88, 2.00,
+                  _rates(l1=0.005, l2=0.0002, br=0.002), barrier_rate=5e-5),
+        _workload("bodytrack", 420, 0.74, 1.40,
+                  _rates(l1=0.009, l2=0.0005, br=0.006), barrier_rate=3e-4),
+        _workload("canneal", 520, 0.52, 0.60,
+                  _rates(l1=0.010, l2=0.0013, tlb=0.0006, br=0.005),
+                  barrier_rate=8e-5),
+        _workload("dedup", 380, 0.68, 1.20,
+                  _rates(l1=0.011, l2=0.0007, br=0.006), barrier_rate=2e-4),
+        _workload("facesim", 650, 0.70, 1.25,
+                  _rates(l1=0.008, l2=0.0007, br=0.002), barrier_rate=4e-4),
+        _workload("ferret", 480, 0.72, 1.35,
+                  _rates(l1=0.009, l2=0.0006, br=0.005), barrier_rate=2e-4),
+        _workload("fluidanimate", 600, 0.72, 1.30,
+                  _rates(l1=0.008, l2=0.0006, br=0.002), barrier_rate=6e-4),
+        _workload("streamcluster", 550, 0.58, 0.80,
+                  _rates(l1=0.007, l2=0.0012, br=0.001), barrier_rate=5e-4),
+        _workload("swaptions", 350, 0.90, 2.10,
+                  _rates(l1=0.005, l2=0.0001, br=0.003), barrier_rate=4e-5),
+        _workload("vips", 400, 0.78, 1.60,
+                  _rates(l1=0.008, l2=0.0004, br=0.004), barrier_rate=2e-4),
+        _workload("x264", 450, 0.80, 1.70,
+                  _rates(l1=0.009, l2=0.0004, br=0.005), barrier_rate=3e-4),
+    )
+}
+
+
+def parsec_benchmark(name: str) -> ParsecWorkload:
+    """Look up a PARSEC model by name (e.g. ``"canneal"``)."""
+    try:
+        return PARSEC[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown PARSEC benchmark {name!r}; have {sorted(PARSEC)}"
+        ) from None

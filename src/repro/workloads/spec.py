@@ -1,0 +1,262 @@
+"""Synthetic models of the 29 SPEC CPU2006 benchmarks used in the paper.
+
+Each entry captures what matters for voltage noise: mean pipeline activity,
+per-cycle stall-event rates, memory-burst structure, base IPC, program
+duration, and — for the Fig. 14 exemplars — phase timelines:
+
+* ``482.sphinx`` has *no* phases: a flat droop profile around the suite's
+  high end;
+* ``416.gamess`` steps through four distinct phases;
+* ``465.tonto`` oscillates between two regimes every few tens of seconds.
+
+Rates are calibrated to the known character of each program (mcf / lbm /
+libquantum are memory-bound; gobmk / sjeng / astar are branchy; gamess /
+povray / namd are compute-dense) so the suite spans a heterogeneous mix of
+stall ratios, reproducing Fig. 15's spread and its strong droop↔stall-ratio
+correlation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.uarch.events import StallEvent
+from repro.workloads.base import (
+    BurstModel,
+    PhasedWorkload,
+    PhaseSegment,
+    StatisticalWorkload,
+    StatProfile,
+    Workload,
+)
+
+
+def _rates(
+    l1: float = 0.0,
+    l2: float = 0.0,
+    tlb: float = 0.0,
+    br: float = 0.0,
+    excp: float = 0.0,
+) -> Dict[StallEvent, float]:
+    rates = {
+        StallEvent.L1_MISS: l1,
+        StallEvent.L2_MISS: l2,
+        StallEvent.TLB_MISS: tlb,
+        StallEvent.BRANCH_MISPREDICT: br,
+        StallEvent.EXCEPTION: excp,
+    }
+    return {event: rate for event, rate in rates.items() if rate > 0}
+
+
+def _stall_weight(rates: Mapping[StallEvent, float]) -> float:
+    """First-order stall ratio implied by a rate table."""
+    from repro.uarch.events import profile_for
+
+    return sum(
+        rate * (profile_for(event).stall_cycles + profile_for(event).drain_cycles)
+        for event, rate in rates.items()
+    )
+
+
+def _profile(
+    activity: float,
+    ipc: float,
+    rates: Mapping[StallEvent, float],
+    sigma: float = 0.05,
+    tau: float = 3000.0,
+    mem_frac: Optional[float] = None,
+    dwell: float = 2000.0,
+) -> StatProfile:
+    # Stall events cluster into bursts in every real program; how bursty
+    # and how deep scales with the program's overall stall weight, which
+    # ties package-band droop energy to the stall ratio the way Fig. 15
+    # observes (r = 0.97).
+    weight = _stall_weight(rates)
+    if mem_frac is None:
+        mem_frac = min(0.12 + 0.9 * weight, 0.50)
+    drop = min(max(1.0 - 1.6 * weight, 0.30), 0.85)
+    # Stall-heavy programs flip between burst and compute regimes faster,
+    # producing more package-band transitions per unit time.
+    dwell = max(700.0, dwell * (1.0 - 1.3 * min(weight, 0.6)))
+    burst = BurstModel(
+        memory_fraction=mem_frac,
+        dwell_cycles=dwell,
+        activity_drop=drop,
+        event_boost=5.0,
+    )
+    return StatProfile(
+        mean_activity=activity,
+        activity_sigma=sigma,
+        activity_tau_cycles=tau,
+        event_rates=dict(rates),
+        burst=burst,
+        base_ipc=ipc,
+    )
+
+
+def _flat(
+    name: str,
+    duration_s: float,
+    activity: float,
+    ipc: float,
+    rates: Mapping[StallEvent, float],
+    sigma: float = 0.05,
+    mem_frac: Optional[float] = None,
+) -> StatisticalWorkload:
+    return StatisticalWorkload(
+        name,
+        _profile(activity, ipc, rates, sigma=sigma, mem_frac=mem_frac),
+        duration_seconds=duration_s,
+    )
+
+
+def _build_catalog() -> Dict[str, Workload]:
+    catalog: Dict[str, Workload] = {}
+
+    def add(workload: Workload) -> None:
+        catalog[workload.name] = workload
+
+    # ----- memory-bound programs: high L2 traffic, long-dwell bursts -----
+    add(_flat("mcf", 1400, 0.66, 0.45,
+              _rates(l1=0.009, l2=0.0023, tlb=0.0006, br=0.006),
+              sigma=0.07, mem_frac=0.45))
+    add(_flat("lbm", 1100, 0.66, 0.55,
+              _rates(l1=0.007, l2=0.0027, br=0.001),
+              sigma=0.08, mem_frac=0.50))
+    add(_flat("libquantum", 1500, 0.68, 0.70,
+              _rates(l1=0.005, l2=0.0031, br=0.0015),
+              sigma=0.09, mem_frac=0.50))
+    add(_flat("milc", 1200, 0.66, 0.65,
+              _rates(l1=0.008, l2=0.0019, tlb=0.0004, br=0.001),
+              sigma=0.07, mem_frac=0.40))
+    add(_flat("soplex", 900, 0.66, 0.75,
+              _rates(l1=0.009, l2=0.0010, tlb=0.0005, br=0.004),
+              sigma=0.06, mem_frac=0.35))
+    add(_flat("omnetpp", 1000, 0.64, 0.60,
+              _rates(l1=0.010, l2=0.0009, tlb=0.0009, br=0.006),
+              sigma=0.06, mem_frac=0.35))
+    add(_flat("gemsfdtd", 1300, 0.66, 0.80,
+              _rates(l1=0.008, l2=0.0016, tlb=0.0003, br=0.0008),
+              sigma=0.07, mem_frac=0.40))
+    add(_flat("leslie3d", 1200, 0.68, 0.90,
+              _rates(l1=0.007, l2=0.0009, br=0.0008),
+              sigma=0.06, mem_frac=0.35))
+    add(_flat("bwaves", 1350, 0.68, 0.95,
+              _rates(l1=0.006, l2=0.0008, br=0.0006),
+              sigma=0.06, mem_frac=0.30))
+
+    # ----- branchy integer programs: flush-heavy, moderate cache traffic --
+    # astar carries mild phases: its droop profile looks flat alone, but
+    # the Fig. 16 sliding-window experiment exposes which of its regions
+    # interfere constructively vs destructively with a co-runner.
+    add(PhasedWorkload("astar", [
+        PhaseSegment(500, _profile(0.74, 1.20,
+                     _rates(l1=0.008, l2=0.0003, br=0.008), mem_frac=0.10),
+                     name="search-light"),
+        PhaseSegment(300, _profile(0.66, 1.00,
+                     _rates(l1=0.012, l2=0.0008, br=0.014), mem_frac=0.25),
+                     name="search-heavy"),
+        PhaseSegment(250, _profile(0.70, 1.10,
+                     _rates(l1=0.010, l2=0.0005, br=0.011), mem_frac=0.15),
+                     name="refine"),
+    ]))
+    add(_flat("sjeng", 1150, 0.75, 1.20,
+              _rates(l1=0.008, l2=0.0003, br=0.013), sigma=0.04))
+    add(_flat("gobmk", 1000, 0.74, 1.15,
+              _rates(l1=0.009, l2=0.0003, br=0.014), sigma=0.04))
+    add(_flat("perlbench", 800, 0.76, 1.40,
+              _rates(l1=0.011, l2=0.0004, tlb=0.0004, br=0.009), sigma=0.05))
+    add(_flat("xalan", 950, 0.70, 1.20,
+              _rates(l1=0.010, l2=0.0006, tlb=0.0007, br=0.009),
+              sigma=0.05, mem_frac=0.20))
+
+    # ----- mixed programs, some with visible phase structure -------------
+    add(PhasedWorkload("gcc", [
+        PhaseSegment(120, _profile(0.72, 1.30,
+                     _rates(l1=0.010, l2=0.0005, br=0.008), mem_frac=0.15),
+                     name="parse"),
+        PhaseSegment(160, _profile(0.60, 0.90,
+                     _rates(l1=0.012, l2=0.0009, br=0.007), mem_frac=0.30),
+                     name="optimize"),
+        PhaseSegment(140, _profile(0.70, 1.20,
+                     _rates(l1=0.009, l2=0.0006, br=0.009), mem_frac=0.20),
+                     name="emit"),
+    ]))
+    add(PhasedWorkload("bzip2", [
+        PhaseSegment(180, _profile(0.78, 1.50,
+                     _rates(l1=0.012, l2=0.0004, br=0.008)), name="compress"),
+        PhaseSegment(150, _profile(0.68, 1.20,
+                     _rates(l1=0.010, l2=0.0007, br=0.006), mem_frac=0.20),
+                     name="decompress"),
+    ]))
+    add(_flat("hmmer", 850, 0.85, 1.90,
+              _rates(l1=0.011, l2=0.0002, br=0.004), sigma=0.03))
+    add(_flat("h264ref", 1250, 0.82, 1.80,
+              _rates(l1=0.009, l2=0.0003, br=0.005), sigma=0.04))
+    add(_flat("cactusadm", 1550, 0.68, 1.00,
+              _rates(l1=0.007, l2=0.0008, tlb=0.0002, br=0.0005),
+              sigma=0.06, mem_frac=0.30))
+    add(_flat("zeusmp", 1300, 0.70, 1.10,
+              _rates(l1=0.008, l2=0.0007, br=0.001),
+              sigma=0.06, mem_frac=0.25))
+    add(_flat("wrf", 1500, 0.72, 1.25,
+              _rates(l1=0.008, l2=0.0006, br=0.002),
+              sigma=0.05, mem_frac=0.20))
+    add(_flat("dealii", 1100, 0.78, 1.55,
+              _rates(l1=0.009, l2=0.0004, br=0.004), sigma=0.04))
+    add(_flat("gromacs", 1050, 0.84, 1.85,
+              _rates(l1=0.007, l2=0.0002, br=0.003), sigma=0.03))
+    add(_flat("calculix", 1200, 0.82, 1.75,
+              _rates(l1=0.008, l2=0.0003, br=0.002), sigma=0.04))
+    add(_flat("namd", 1300, 0.88, 2.00,
+              _rates(l1=0.006, l2=0.0001, br=0.002), sigma=0.03))
+    add(_flat("povray", 900, 0.88, 1.95,
+              _rates(l1=0.006, l2=0.0001, br=0.005), sigma=0.03))
+
+    # ----- the Fig. 14 phase exemplars ------------------------------------
+    # 482.sphinx: no phases, stable near the suite's high end (~1600 s).
+    add(_flat("sphinx", 1600, 0.66, 0.95,
+              _rates(l1=0.013, l2=0.0010, tlb=0.0006, br=0.008),
+              sigma=0.05, mem_frac=0.30))
+    # 416.gamess: four phases, droop level stepping between regimes (~550 s).
+    add(PhasedWorkload("gamess", [
+        PhaseSegment(140, _profile(0.86, 1.90,
+                     _rates(l1=0.006, l2=0.0001, br=0.003)), name="scf-1"),
+        PhaseSegment(130, _profile(0.66, 1.20,
+                     _rates(l1=0.011, l2=0.0007, br=0.007), mem_frac=0.25),
+                     name="integrals"),
+        PhaseSegment(150, _profile(0.84, 1.80,
+                     _rates(l1=0.007, l2=0.0002, br=0.004)), name="scf-2"),
+        PhaseSegment(130, _profile(0.64, 1.10,
+                     _rates(l1=0.012, l2=0.0008, br=0.008), mem_frac=0.30),
+                     name="gradient"),
+    ]))
+    # 465.tonto: strong periodic oscillation every few tens of seconds
+    # (~2000 s total); `repeat` wraps the two-phase cycle.
+    add(PhasedWorkload("tonto", [
+        PhaseSegment(38, _profile(0.85, 1.85,
+                     _rates(l1=0.007, l2=0.0002, br=0.004)), name="compute"),
+        PhaseSegment(42, _profile(0.62, 1.05,
+                     _rates(l1=0.012, l2=0.0009, br=0.008), mem_frac=0.35),
+                     name="memory"),
+    ], repeat=True, total_duration_seconds=2000.0))
+
+    return catalog
+
+
+#: All 29 CPU2006 models, keyed by (short) benchmark name.
+SPEC_CPU2006: Mapping[str, Workload] = _build_catalog()
+
+#: Canonical suite ordering used by figures.
+SPEC_NAMES: Tuple[str, ...] = tuple(sorted(SPEC_CPU2006))
+
+
+def spec_benchmark(name: str) -> Workload:
+    """Look up a CPU2006 model by short name (e.g. ``"mcf"``)."""
+    try:
+        return SPEC_CPU2006[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown SPEC CPU2006 benchmark {name!r}; have {sorted(SPEC_CPU2006)}"
+        ) from None

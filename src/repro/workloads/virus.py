@@ -1,0 +1,142 @@
+"""Power virus and impedance-characterization loops.
+
+Two special workloads from the paper's methodology sections:
+
+* :class:`PowerVirus` — a CPUBurn-like kernel that keeps the execution
+  units saturated while toggling activity at the PDN's resonance, producing
+  the worst-case voltage swings used to (a) stress-test decap-removed
+  processors and (b) find the worst-case operating margin by undervolting.
+* :class:`SteppedCurrentLoop` — the Sec. II-A software loop alternating
+  high- and low-current instruction paths at a controllable frequency,
+  used to reconstruct the platform impedance profile (Fig. 4a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.random_utils import SeedLike, as_generator
+from repro.uarch.window import ExecutionWindow
+from repro.workloads.base import Workload
+
+
+class PowerVirus(Workload):
+    """Worst-case activity: saturated units with resonant toggling.
+
+    Parameters
+    ----------
+    toggle_period_cycles:
+        Full period of the fast activity square wave.  The default (13
+        cycles at 1.86 GHz ≈ 143 MHz) sits on the stock die resonance;
+        power viruses are tuned to do exactly this.
+    slow_period_cycles:
+        Period of a second, slower toggle that parks the kernel at low
+        activity for long stretches — long enough for domain-level gating
+        to follow, so the *full* dynamic current swings through the
+        package-band resonance as well.  Set to 0 to disable.
+    high_activity / low_activity:
+        The two activity levels the kernel alternates between.
+
+    Virus copies are phase-locked (no random phase), matching how multiple
+    CPUBurn copies of the same deterministic kernel line up in the paper's
+    undervolting stress test.
+    """
+
+    def __init__(
+        self,
+        toggle_period_cycles: int = 13,
+        slow_period_cycles: int = 6000,
+        high_activity: float = 1.0,
+        low_activity: float = 0.05,
+    ) -> None:
+        if toggle_period_cycles < 2:
+            raise ConfigurationError("toggle_period_cycles must be >= 2")
+        if slow_period_cycles < 0:
+            raise ConfigurationError("slow_period_cycles must be >= 0")
+        if not 0 <= low_activity < high_activity <= 1:
+            raise ConfigurationError(
+                "need 0 <= low_activity < high_activity <= 1"
+            )
+        self.toggle_period_cycles = int(toggle_period_cycles)
+        self.slow_period_cycles = int(slow_period_cycles)
+        self.high_activity = float(high_activity)
+        self.low_activity = float(low_activity)
+        self.name = "power-virus"
+        self.duration_seconds = 60.0
+
+    def sample_window(
+        self,
+        n_cycles: int,
+        rng: SeedLike = None,
+        at_time_s: float = 0.0,
+    ) -> ExecutionWindow:
+        if n_cycles <= 0:
+            raise ConfigurationError("n_cycles must be positive")
+        cycles = np.arange(n_cycles)
+        fast_phase = cycles % self.toggle_period_cycles
+        baseline = np.where(
+            fast_phase < self.toggle_period_cycles / 2.0,
+            self.high_activity,
+            self.low_activity,
+        )
+        if self.slow_period_cycles:
+            slow_phase = cycles % self.slow_period_cycles
+            baseline = np.where(
+                slow_phase < self.slow_period_cycles / 2.0,
+                baseline,
+                self.low_activity,
+            )
+        return ExecutionWindow(
+            baseline_activity=baseline, events=[], base_ipc=2.2, label=self.name
+        )
+
+
+class SteppedCurrentLoop(Workload):
+    """The impedance-characterization loop (Sec. II-A).
+
+    Alternates between a high-current and a low-current instruction
+    sequence; :attr:`frequency_hz` sets how fast the loop switches paths.
+    Sweeping the frequency while measuring the voltage response amplitude
+    reconstructs |Z(f)| without Intel's VTT tooling.
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float,
+        clock_hz: float,
+        high_activity: float = 0.95,
+        low_activity: float = 0.15,
+    ) -> None:
+        if frequency_hz <= 0 or clock_hz <= 0:
+            raise ConfigurationError("frequencies must be positive")
+        period = int(round(clock_hz / frequency_hz))
+        if period < 2:
+            raise ConfigurationError(
+                "frequency too high: a loop iteration needs >= 2 cycles"
+            )
+        if not 0 <= low_activity < high_activity <= 1:
+            raise ConfigurationError(
+                "need 0 <= low_activity < high_activity <= 1"
+            )
+        self.frequency_hz = float(frequency_hz)
+        self.period_cycles = period
+        self.high_activity = float(high_activity)
+        self.low_activity = float(low_activity)
+        self.name = f"current-loop-{frequency_hz / 1e6:.3g}MHz"
+        self.duration_seconds = 60.0
+
+    def sample_window(
+        self,
+        n_cycles: int,
+        rng: SeedLike = None,
+        at_time_s: float = 0.0,
+    ) -> ExecutionWindow:
+        if n_cycles <= 0:
+            raise ConfigurationError("n_cycles must be positive")
+        phase = np.arange(n_cycles) % self.period_cycles
+        half = self.period_cycles / 2.0
+        baseline = np.where(phase < half, self.high_activity, self.low_activity)
+        return ExecutionWindow(
+            baseline_activity=baseline, events=[], base_ipc=1.5, label=self.name
+        )

@@ -1,0 +1,105 @@
+"""Unit tests for interference experiments (Figs. 12, 13, 16)."""
+
+import numpy as np
+import pytest
+
+from repro.core.interference import (
+    event_interference_matrix,
+    idle_baseline_pkpk,
+    single_core_event_swings,
+    sliding_window_experiment,
+)
+from repro.errors import ConfigurationError
+from repro.uarch.chip import Chip
+from repro.uarch.events import StallEvent
+from repro.workloads.spec import spec_benchmark
+
+N = 20_000
+REPEATS = 2
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return Chip("Proc100", with_ripple=True)
+
+
+@pytest.fixture(scope="module")
+def singles(chip):
+    return single_core_event_swings(chip, n_cycles=N, repeats=REPEATS)
+
+
+@pytest.fixture(scope="module")
+def matrix(chip):
+    return event_interference_matrix(chip, n_cycles=N, repeats=REPEATS)
+
+
+class TestSingleCoreSwings:
+    def test_all_events_above_idle(self, singles):
+        assert all(value > 1.0 for value in singles.values())
+
+    def test_branch_mispredict_largest(self, singles):
+        br = singles[StallEvent.BRANCH_MISPREDICT]
+        assert br >= 0.95 * max(singles.values())
+
+    def test_l1_mildest(self, singles):
+        assert singles[StallEvent.L1_MISS] == min(singles.values())
+
+
+class TestInterferenceMatrix:
+    def test_shape_and_axes(self, matrix):
+        grid, events = matrix
+        assert grid.shape == (5, 5)
+        assert tuple(events) == tuple(StallEvent)
+
+    def test_roughly_symmetric(self, matrix):
+        grid, _ = matrix
+        assert np.abs(grid - grid.T).max() < 0.6
+
+    def test_max_pair_involves_exception(self, matrix):
+        grid, events = matrix
+        i, j = np.unravel_index(np.argmax(grid), grid.shape)
+        assert StallEvent.EXCEPTION in (events[i], events[j])
+
+    def test_dual_core_worse_than_single(self, matrix, singles):
+        grid, _ = matrix
+        assert grid.max() > max(singles.values())
+
+    def test_idle_baseline_positive(self, chip):
+        assert idle_baseline_pkpk(chip, n_cycles=N, repeats=REPEATS) > 0
+
+
+class TestSlidingWindow:
+    def test_result_structure(self):
+        chip = Chip("Proc3", with_ripple=True)
+        astar = spec_benchmark("astar")
+        result = sliding_window_experiment(
+            astar, astar, chip,
+            interval_seconds=120.0, window_cycles=10_000,
+            max_intervals=6, seed=1,
+        )
+        assert result.offsets_s.size == 6
+        assert result.droops_per_1k.shape == (6,)
+        assert result.single_core_droops_per_1k.shape == (6,)
+        # Co-scheduling two copies never produces *less* noise than the
+        # quietest single-core interval by a large factor.
+        assert result.droops_per_1k.min() >= 0
+
+    def test_offsets_classified(self):
+        chip = Chip("Proc3", with_ripple=True)
+        astar = spec_benchmark("astar")
+        result = sliding_window_experiment(
+            astar, astar, chip,
+            interval_seconds=120.0, window_cycles=10_000,
+            max_intervals=6, seed=1,
+        )
+        constructive = result.constructive_offsets(threshold_ratio=1.0)
+        destructive = result.destructive_offsets(threshold_ratio=10.0)
+        assert constructive.size + destructive.size >= 6
+
+    def test_validation(self):
+        chip = Chip("Proc3", with_ripple=False)
+        astar = spec_benchmark("astar")
+        with pytest.raises(ConfigurationError):
+            sliding_window_experiment(
+                astar, astar, chip, interval_seconds=0
+            )

@@ -1,0 +1,100 @@
+"""Unit tests for the online (non-oracle) scheduler."""
+
+import pytest
+
+from repro.core.online_scheduler import Job, OnlineScheduler
+from repro.errors import SchedulingError
+from repro.uarch.chip import Chip
+
+POOL = ("gamess", "mcf", "namd", "sphinx")
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    chip = Chip("Proc3", with_ripple=True)
+    return OnlineScheduler(chip, window_cycles=8_000)
+
+
+class TestConstruction:
+    def test_validation(self):
+        chip = Chip("Proc3", with_ripple=False)
+        with pytest.raises(SchedulingError):
+            OnlineScheduler(chip, ema_alpha=0)
+        with pytest.raises(SchedulingError):
+            OnlineScheduler(chip, epsilon=1.0)
+        with pytest.raises(SchedulingError):
+            OnlineScheduler(chip, metric="wishes")
+
+
+class TestRunPool:
+    def test_all_jobs_complete(self, scheduler):
+        result = scheduler.run_pool(
+            POOL, copies=2, intervals_per_job=2, seed=1
+        )
+        # 4 programs x 2 copies x 2 intervals = 16 job-intervals,
+        # two per scheduled interval.
+        assert result.intervals == 8
+        assert result.total_droops >= 0
+
+    def test_records_carry_pairs(self, scheduler):
+        result = scheduler.run_pool(
+            POOL, copies=2, intervals_per_job=1, seed=2
+        )
+        for record in result.records:
+            assert record.pair[0] in POOL
+            assert record.pair[1] in POOL
+            assert record.throughput_ipc > 0
+
+    def test_deterministic(self, scheduler):
+        a = scheduler.run_pool(POOL, copies=2, intervals_per_job=2, seed=5)
+        b = scheduler.run_pool(POOL, copies=2, intervals_per_job=2, seed=5)
+        assert [r.pair for r in a.records] == [r.pair for r in b.records]
+        assert a.total_droops == b.total_droops
+
+    def test_validation(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.run_pool(("mcf",), copies=1)
+        with pytest.raises(SchedulingError):
+            scheduler.run_pool(POOL, copies=0)
+
+
+class TestRunService:
+    def test_interval_count(self, scheduler):
+        result = scheduler.run_service(POOL, n_intervals=10, seed=3)
+        assert result.intervals == 10
+
+    def test_fair_share_respected(self, scheduler):
+        result = scheduler.run_service(
+            POOL, n_intervals=20, fairness_slack=2, seed=4
+        )
+        service = {name: 0 for name in POOL}
+        for record in result.records:
+            for name in record.pair:
+                service[name] += 1
+        # With slack 2 and 40 job-slots over 4 programs, every program
+        # gets close to its fair 10 slots.
+        assert max(service.values()) - min(service.values()) <= 2 * 2 + 2
+
+    def test_policy_names(self, scheduler):
+        aware = scheduler.run_service(POOL, n_intervals=4, seed=5)
+        random = scheduler.run_service(
+            POOL, n_intervals=4, noise_aware=False, seed=5
+        )
+        assert aware.policy_name == "service-droop"
+        assert random.policy_name == "service-random"
+
+    def test_validation(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.run_service(("mcf",))
+        with pytest.raises(SchedulingError):
+            scheduler.run_service(POOL, n_intervals=0)
+        with pytest.raises(SchedulingError):
+            scheduler.run_service(POOL, fairness_slack=0)
+
+
+class TestJob:
+    def test_done_flag(self):
+        job = Job("mcf", remaining_intervals=1)
+        assert not job.done
+        job.remaining_intervals = 0
+        assert job.done

@@ -1,0 +1,83 @@
+"""Unit tests for noise-phase measurement and detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.phases import (
+    count_phase_changes,
+    measure_noise_timeline,
+    oscillation_period_intervals,
+)
+from repro.errors import ConfigurationError
+from repro.uarch.chip import Chip
+from repro.workloads.spec import spec_benchmark
+
+
+class TestCountPhaseChanges:
+    def test_flat_series_no_changes(self):
+        assert count_phase_changes(np.full(50, 100.0), min_shift=20) == 0
+
+    def test_step_series_counts_transitions(self):
+        series = np.concatenate([
+            np.full(10, 100.0), np.full(10, 60.0),
+            np.full(10, 100.0), np.full(10, 60.0),
+        ])
+        assert count_phase_changes(series, min_shift=20, smooth=1) == 3
+
+    def test_small_wiggles_ignored(self):
+        rng = np.random.default_rng(0)
+        series = 100 + rng.normal(0, 2, 100)
+        assert count_phase_changes(series, min_shift=30) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            count_phase_changes(np.array([]), min_shift=1)
+        with pytest.raises(ConfigurationError):
+            count_phase_changes(np.array([1.0]), min_shift=0)
+
+
+class TestOscillationPeriod:
+    def test_periodic_series_detected(self):
+        t = np.arange(60)
+        series = 80 + 20 * np.sign(np.sin(2 * np.pi * t / 10))
+        period = oscillation_period_intervals(series)
+        assert period is not None
+        assert period == pytest.approx(10, abs=2)
+
+    def test_flat_series_none(self):
+        assert oscillation_period_intervals(np.full(60, 5.0)) is None
+
+    def test_short_series_none(self):
+        assert oscillation_period_intervals(np.arange(5.0)) is None
+
+
+class TestMeasureNoiseTimeline:
+    @pytest.fixture(scope="class")
+    def chip(self):
+        return Chip("Proc3", with_ripple=True)
+
+    def test_interval_count(self, chip):
+        timeline = measure_noise_timeline(
+            spec_benchmark("gamess"), chip,
+            interval_seconds=60.0, window_cycles=8_000, max_intervals=5,
+        )
+        assert timeline.times_s.size == 5
+        assert timeline.droops_per_1k.size == 5
+        assert np.all(timeline.droops_per_1k >= 0)
+
+    def test_phased_workload_varies_more_than_flat(self, chip):
+        flat = measure_noise_timeline(
+            spec_benchmark("sphinx"), chip,
+            interval_seconds=160.0, window_cycles=12_000, max_intervals=10,
+        )
+        phased = measure_noise_timeline(
+            spec_benchmark("gamess"), chip,
+            interval_seconds=55.0, window_cycles=12_000, max_intervals=10,
+        )
+        assert phased.span() > flat.span()
+
+    def test_validation(self, chip):
+        with pytest.raises(ConfigurationError):
+            measure_noise_timeline(
+                spec_benchmark("mcf"), chip, interval_seconds=0
+            )

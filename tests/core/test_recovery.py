@@ -1,0 +1,73 @@
+"""Unit tests for the recovery-mechanism catalog."""
+
+import numpy as np
+import pytest
+
+from repro.core.recovery import (
+    MECHANISMS,
+    RecoveryGranularity,
+    RecoveryMechanism,
+    evaluate_mechanisms,
+    mechanism_by_name,
+    non_intrusive_mechanisms,
+)
+from repro.core.resilience import ResilientDesignModel
+from repro.errors import ConfigurationError
+from repro.measurement.droops import DroopStatistics
+from repro.measurement.tail import DroopTailModel
+
+
+def model():
+    rng = np.random.default_rng(0)
+    depths = 0.012 + rng.exponential(0.01, size=2000)
+    stats = DroopStatistics(
+        depths=depths,
+        durations=np.full(depths.size, 10, dtype=int),
+        n_cycles=2_000_000,
+        threshold=0.01,
+    )
+    return ResilientDesignModel([DroopTailModel(stats)])
+
+
+class TestCatalog:
+    def test_paper_reference_points_present(self):
+        names = {m.name for m in MECHANISMS}
+        assert "Razor" in names
+        assert "DeCoR" in names
+        costs = sorted(m.cost_cycles for m in MECHANISMS)
+        assert costs == [1, 10, 100, 1_000, 10_000, 100_000]
+
+    def test_ordered_fine_to_coarse(self):
+        costs = [m.cost_cycles for m in MECHANISMS]
+        assert costs == sorted(costs)
+
+    def test_fine_grained_schemes_are_intrusive(self):
+        for mechanism in MECHANISMS:
+            if mechanism.cost_cycles <= 100:
+                assert mechanism.intrusive
+        assert all(m.cost_cycles >= 1_000 for m in non_intrusive_mechanisms())
+
+    def test_lookup(self):
+        razor = mechanism_by_name("Razor")
+        assert razor.granularity is RecoveryGranularity.PIPELINE_STAGE
+        with pytest.raises(ConfigurationError):
+            mechanism_by_name("TimeTurner")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryMechanism(
+                "x", -1, RecoveryGranularity.COMMIT_DELAY, False
+            )
+
+
+class TestEvaluation:
+    def test_finer_mechanisms_gain_more(self):
+        results = evaluate_mechanisms(model())
+        razor = results["Razor"]
+        slow = results["Production checkpoint (slow)"]
+        assert razor.improvement > slow.improvement
+        assert razor.margin <= slow.margin
+
+    def test_all_mechanisms_evaluated(self):
+        results = evaluate_mechanisms(model())
+        assert len(results) == len(MECHANISMS)

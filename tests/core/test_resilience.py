@@ -1,0 +1,136 @@
+"""Unit tests for the typical-case design performance model."""
+
+import numpy as np
+import pytest
+
+from repro.core.resilience import (
+    RECOVERY_COSTS,
+    ResilienceParameters,
+    ResilientDesignModel,
+    performance_improvement,
+)
+from repro.errors import ConfigurationError
+from repro.measurement.droops import DroopStatistics
+from repro.measurement.tail import DroopTailModel
+
+
+def tail(beta=0.01, n_events=2000, n_cycles=2_000_000, seed=0):
+    rng = np.random.default_rng(seed)
+    depths = 0.012 + rng.exponential(beta, size=n_events)
+    stats = DroopStatistics(
+        depths=depths,
+        durations=np.full(n_events, 10, dtype=int),
+        n_cycles=n_cycles,
+        threshold=0.01,
+    )
+    return DroopTailModel(stats)
+
+
+class TestParameters:
+    def test_frequency_gain_matches_bowman(self):
+        params = ResilienceParameters()
+        # Removing a 10% margin buys 15% frequency.
+        assert params.frequency_gain(0.04) == pytest.approx(1.15)
+        assert params.frequency_gain(params.worst_case_margin) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceParameters(worst_case_margin=0.0)
+        with pytest.raises(ConfigurationError):
+            ResilienceParameters(frequency_gain_per_margin=0)
+        with pytest.raises(ConfigurationError):
+            ResilienceParameters(min_margin=0.2)
+        with pytest.raises(ConfigurationError):
+            ResilienceParameters().frequency_gain(0.5)
+
+
+class TestPerformanceImprovement:
+    def test_no_emergencies_pure_frequency_gain(self):
+        improvement = performance_improvement(0.04, 1000, 0.0)
+        assert improvement == pytest.approx(0.15)
+
+    def test_recovery_overhead_reduces_gain(self):
+        clean = performance_improvement(0.04, 1000, 0.0)
+        noisy = performance_improvement(0.04, 1000, 1e-4)
+        assert noisy < clean
+
+    def test_dead_zone_possible(self):
+        """Expensive frequent recoveries push below the baseline."""
+        improvement = performance_improvement(0.02, 100_000, 1e-4)
+        assert improvement < 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            performance_improvement(0.04, -1, 0.0)
+        with pytest.raises(ConfigurationError):
+            performance_improvement(0.04, 10, -1.0)
+
+
+class TestResilientDesignModel:
+    def test_needs_tails(self):
+        with pytest.raises(ConfigurationError):
+            ResilientDesignModel([])
+
+    def test_single_peak_per_cost(self):
+        model = ResilientDesignModel([tail(seed=i) for i in range(5)])
+        for cost in (10, 1000, 100_000):
+            _, improvements = model.margin_sweep(cost)
+            peak = int(np.argmax(improvements))
+            # Unimodal: increasing before the peak, decreasing after
+            # (allow tiny numerical wiggles).
+            before = improvements[: peak + 1]
+            after = improvements[peak:]
+            assert np.all(np.diff(before) >= -1e-4)
+            assert np.all(np.diff(after) <= 1e-4)
+
+    def test_optimal_margin_grows_with_cost(self):
+        model = ResilientDesignModel([tail(seed=i) for i in range(5)])
+        optima = [model.optimal_margin(c).margin for c in RECOVERY_COSTS]
+        assert all(a <= b + 1e-9 for a, b in zip(optima, optima[1:]))
+
+    def test_peak_improvement_falls_with_cost(self):
+        model = ResilientDesignModel([tail(seed=i) for i in range(5)])
+        peaks = [model.optimal_margin(c).improvement for c in RECOVERY_COSTS]
+        assert all(a >= b - 1e-9 for a, b in zip(peaks, peaks[1:]))
+
+    def test_heatmap_shape(self):
+        model = ResilientDesignModel([tail()])
+        margins, costs, grid = model.heatmap((1, 100))
+        assert grid.shape == (2, margins.size)
+        assert costs.shape == (2,)
+
+    def test_heavier_tails_lower_improvement(self):
+        light = ResilientDesignModel([tail(beta=0.004)])
+        heavy = ResilientDesignModel([tail(beta=0.02)])
+        assert (
+            heavy.mean_improvement(0.05, 10_000)
+            < light.mean_improvement(0.05, 10_000)
+        )
+
+    def test_per_run_optimal_margins_within_grid(self):
+        model = ResilientDesignModel([tail(seed=i) for i in range(4)])
+        optima = model.per_run_optimal_margins(1000)
+        params = model.parameters
+        assert optima.shape == (4,)
+        assert np.all(optima >= params.min_margin)
+        assert np.all(optima <= params.worst_case_margin)
+
+    def test_one_design_fits_all_gap_small(self):
+        """The paper: per-benchmark margins buy almost nothing over a
+        single static optimal margin."""
+        model = ResilientDesignModel([tail(seed=i) for i in range(6)])
+        for cost in (10, 10_000):
+            gap = model.one_design_fits_all_gap(cost)
+            assert 0 <= gap < 0.02
+
+    def test_passing_runs(self):
+        model = ResilientDesignModel(
+            [tail(beta=0.004, seed=1), tail(beta=0.03, seed=2)]
+        )
+        passing = model.passing_runs(
+            recovery_cost=10_000,
+            margin=0.05,
+            expected_improvement=model.mean_improvement(0.05, 10_000),
+        )
+        # The light-tailed run passes the mean bar; the heavy one fails.
+        assert passing == [0]

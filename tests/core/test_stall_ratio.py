@@ -1,0 +1,47 @@
+"""Unit tests for the stall-ratio correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.stall_ratio import StallCorrelationResult, stall_droop_correlation
+from repro.errors import MeasurementError
+from repro.measurement.campaign import MeasurementCampaign
+
+
+class TestStallCorrelationResult:
+    def test_pearson_of_perfect_line(self):
+        result = StallCorrelationResult(
+            names=("a", "b", "c"),
+            stall_ratios=np.array([0.1, 0.2, 0.3]),
+            droops_per_1k=np.array([10.0, 20.0, 30.0]),
+        )
+        assert result.pearson_r == pytest.approx(1.0)
+        assert result.spearman_rho == pytest.approx(1.0)
+
+    def test_rows_roundtrip(self):
+        result = StallCorrelationResult(
+            names=("a", "b"),
+            stall_ratios=np.array([0.1, 0.2]),
+            droops_per_1k=np.array([5.0, 7.0]),
+        )
+        assert result.rows() == [("a", 0.1, 5.0), ("b", 0.2, 7.0)]
+
+    def test_needs_two_points(self):
+        result = StallCorrelationResult(
+            names=("a",),
+            stall_ratios=np.array([0.1]),
+            droops_per_1k=np.array([5.0]),
+        )
+        with pytest.raises(MeasurementError):
+            result.pearson_r
+
+
+class TestMeasuredCorrelation:
+    def test_positive_correlation_on_proc3(self):
+        """The Fig. 15 relationship: droops track stall ratio."""
+        campaign = MeasurementCampaign("Proc3", n_cycles=25_000, seed=4)
+        names = ("gamess", "lbm", "libquantum", "mcf", "namd",
+                 "povray", "sphinx", "soplex")
+        result = stall_droop_correlation(campaign, names)
+        assert result.pearson_r > 0.5  # paper: 0.97
+        assert len(result.names) == len(names)

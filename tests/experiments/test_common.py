@@ -1,0 +1,28 @@
+"""Unit tests for the experiment result container."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+
+
+class TestExperimentResult:
+    def test_add_row_checks_arity(self):
+        result = ExperimentResult("Fig. X", "test", columns=("a", "b"))
+        result.add_row(1, 2)
+        with pytest.raises(ConfigurationError):
+            result.add_row(1)
+
+    def test_format_table_contains_everything(self):
+        result = ExperimentResult("Fig. X", "demo", columns=("name", "value"))
+        result.add_row("alpha", 1.2345678)
+        result.notes.append("a note")
+        text = result.format_table()
+        assert "Fig. X" in text
+        assert "alpha" in text
+        assert "1.235" in text  # 4 significant digits
+        assert "note: a note" in text
+
+    def test_empty_table(self):
+        result = ExperimentResult("Fig. Y", "empty")
+        assert "(no rows)" in result.format_table()

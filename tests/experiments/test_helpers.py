@@ -1,0 +1,75 @@
+"""Unit tests for experiment-module helper functions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.context import (
+    QUICK_PARSEC_SUBSET,
+    QUICK_SPEC_SUBSET,
+    get_campaign,
+    parsec_names,
+    spec_names,
+    window_cycles,
+)
+from repro.experiments.fig04_impedance import loop_reconstructed_impedance
+from repro.experiments.fig10_heatmaps import coarsest_cost_for_target
+from repro.pdn.impedance import ImpedanceProfile
+from repro.pdn.platform import build_network
+
+
+class TestContext:
+    def test_quick_subsets_are_valid_names(self):
+        from repro.workloads.parsec import PARSEC
+        from repro.workloads.spec import SPEC_CPU2006
+
+        assert set(QUICK_SPEC_SUBSET) <= set(SPEC_CPU2006)
+        assert set(QUICK_PARSEC_SUBSET) <= set(PARSEC)
+
+    def test_quick_subset_spans_noise_spectrum(self):
+        """The quick subset must include both memory-bound and
+        compute-dense programs or the quick sweeps lose their contrast."""
+        assert {"mcf", "lbm"} & set(QUICK_SPEC_SUBSET)
+        assert {"namd", "povray"} & set(QUICK_SPEC_SUBSET)
+
+    def test_name_helpers(self):
+        assert spec_names(quick=True) == QUICK_SPEC_SUBSET
+        assert len(spec_names(quick=False)) == 29
+        assert parsec_names(quick=True) == QUICK_PARSEC_SUBSET
+        assert len(parsec_names(quick=False)) == 11
+        assert window_cycles(True) < window_cycles(False)
+
+    def test_campaign_cache_shared(self):
+        a = get_campaign("Proc100", n_cycles=12_000, seed=0)
+        b = get_campaign("Proc100", n_cycles=12_000, seed=0)
+        assert a is b
+        c = get_campaign("Proc3", n_cycles=12_000, seed=0)
+        assert c is not a
+
+
+class TestFig04Helper:
+    def test_loop_reconstruction_matches_analytic(self):
+        """The software-loop |Z| reconstruction tracks the ladder closely
+        (this is the validation the paper does against Intel data)."""
+        freqs = np.array([5e5, 2e6])
+        reconstructed = loop_reconstructed_impedance(freqs, n_cycles=60_000)
+        profile = ImpedanceProfile.from_network(build_network("Proc100"))
+        analytic = np.array([profile.at(float(f)) for f in freqs])
+        assert np.all(np.abs(reconstructed / analytic - 1.0) < 0.25)
+
+
+class TestFig10Helper:
+    def test_coarsest_cost_for_target(self):
+        margins = np.linspace(0.02, 0.14, 5)
+        costs = np.array([1.0, 100.0, 10_000.0])
+        grid = np.array([
+            [0.20, 0.18, 0.16, 0.14, 0.12],   # cost 1: hits 15%
+            [0.16, 0.15, 0.12, 0.10, 0.08],   # cost 100: hits 15%
+            [0.10, 0.08, 0.05, 0.02, 0.00],   # cost 10k: misses
+        ])
+        assert coarsest_cost_for_target(margins, costs, grid, 0.15) == 100.0
+
+    def test_no_feasible_cost(self):
+        margins = np.linspace(0.02, 0.14, 3)
+        costs = np.array([1.0])
+        grid = np.array([[0.05, 0.04, 0.03]])
+        assert coarsest_cost_for_target(margins, costs, grid, 0.15) == 0.0

@@ -1,0 +1,74 @@
+"""Property-based tests of droop-excursion detection invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.measurement.droops import detect_droops, detect_overshoots
+from repro.pdn.simulate import VoltageTrace
+
+
+def trace_from(deviations):
+    return VoltageTrace(1.0 + np.asarray(deviations, dtype=float), 1e-9, 1.0)
+
+
+deviation_arrays = st.lists(
+    st.floats(min_value=-0.15, max_value=0.15),
+    min_size=10,
+    max_size=400,
+).map(np.array)
+
+
+class TestDetectorInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(dev=deviation_arrays)
+    def test_counts_monotone_in_margin(self, dev):
+        """Deeper margins can only have fewer (or equal) events."""
+        stats = detect_droops(trace_from(dev), threshold=0.02)
+        margins = [0.02, 0.04, 0.08, 0.12]
+        counts = [stats.events_deeper_than(m) for m in margins]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(dev=deviation_arrays)
+    def test_depths_bounded_by_trace_extremes(self, dev):
+        stats = detect_droops(trace_from(dev), threshold=0.02)
+        if stats.count:
+            assert stats.max_depth() <= -dev.min() + 1e-12
+            assert stats.depths.min() > 0.02
+
+    @settings(max_examples=40, deadline=None)
+    @given(dev=deviation_arrays)
+    def test_durations_sum_bounded_by_trace_length(self, dev):
+        stats = detect_droops(trace_from(dev), threshold=0.02)
+        assert stats.durations.sum() <= dev.size
+        assert np.all(stats.durations >= 1) if stats.count else True
+
+    @settings(max_examples=40, deadline=None)
+    @given(dev=deviation_arrays)
+    def test_droop_overshoot_duality(self, dev):
+        """Detecting overshoots of -x equals detecting droops of x."""
+        droops = detect_droops(trace_from(dev), threshold=0.02)
+        mirrored = detect_overshoots(trace_from(-dev), threshold=0.02)
+        assert droops.count == mirrored.count
+        assert np.allclose(np.sort(droops.depths), np.sort(mirrored.depths))
+
+    @settings(max_examples=25, deadline=None)
+    @given(dev=deviation_arrays, gap=st.integers(min_value=20, max_value=100))
+    def test_concatenation_with_quiet_gap_adds_counts(self, dev, gap):
+        """Two traces joined by a long quiet gap have additive counts."""
+        quiet = np.zeros(gap)
+        joined = np.concatenate([dev, quiet, dev])
+        a = detect_droops(trace_from(dev), threshold=0.02)
+        joined_stats = detect_droops(trace_from(joined), threshold=0.02)
+        # The quiet gap fully separates excursions, so counts double
+        # (up to the open-ended excursion at the first trace's edge).
+        assert abs(joined_stats.count - 2 * a.count) <= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(dev=deviation_arrays)
+    def test_scaling_preserves_count_order(self, dev):
+        """Amplifying deviations never reduces the event count."""
+        small = detect_droops(trace_from(dev), threshold=0.02)
+        big = detect_droops(trace_from(dev * 1.5), threshold=0.02)
+        assert big.count >= small.count

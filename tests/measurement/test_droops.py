@@ -1,0 +1,92 @@
+"""Unit tests for droop/overshoot excursion detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.droops import (
+    detect_droops,
+    detect_overshoots,
+    droop_samples_per_1k,
+)
+from repro.pdn.simulate import VoltageTrace
+
+
+def trace_from_deviations(deviations, nominal=1.0):
+    return VoltageTrace(
+        nominal * (1.0 + np.asarray(deviations)), 1e-9, nominal
+    )
+
+
+class TestDetectDroops:
+    def test_counts_distinct_excursions(self):
+        dev = np.zeros(1000)
+        dev[100:120] = -0.03
+        dev[500:510] = -0.05
+        stats = detect_droops(trace_from_deviations(dev), threshold=0.02)
+        assert stats.count == 2
+        assert sorted(np.round(stats.depths, 3)) == [0.03, 0.05]
+
+    def test_durations_recorded(self):
+        dev = np.zeros(1000)
+        dev[100:150] = -0.04
+        stats = detect_droops(trace_from_deviations(dev), threshold=0.02)
+        assert stats.durations[0] == pytest.approx(50, abs=2)
+
+    def test_hysteresis_merges_ringing(self):
+        """Dips separated by partial recovery count as one excursion."""
+        dev = np.zeros(1000)
+        dev[100:110] = -0.05
+        dev[110:115] = -0.015  # above enter (0.02) but below exit (0.012)
+        dev[115:125] = -0.05
+        stats = detect_droops(trace_from_deviations(dev), threshold=0.02)
+        assert stats.count == 1
+
+    def test_no_droops_in_flat_trace(self):
+        stats = detect_droops(trace_from_deviations(np.zeros(100)))
+        assert stats.count == 0
+        assert stats.max_depth() == 0.0
+
+    def test_event_rate_at_margin(self):
+        dev = np.zeros(10_000)
+        for start in range(0, 10_000, 1000):
+            dev[start : start + 10] = -0.03
+        dev[5000:5010] = -0.08
+        stats = detect_droops(trace_from_deviations(dev), threshold=0.02)
+        assert stats.events_deeper_than(0.05) == 1
+        assert stats.event_rate(0.025) == pytest.approx(10 / 10_000)
+
+    def test_margin_below_threshold_rejected(self):
+        stats = detect_droops(trace_from_deviations(np.zeros(10)), threshold=0.02)
+        with pytest.raises(MeasurementError):
+            stats.events_deeper_than(0.01)
+
+    def test_excursion_open_at_trace_end(self):
+        dev = np.zeros(100)
+        dev[90:] = -0.05
+        stats = detect_droops(trace_from_deviations(dev), threshold=0.02)
+        assert stats.count == 1
+
+
+class TestDetectOvershoots:
+    def test_polarity(self):
+        dev = np.zeros(1000)
+        dev[100:110] = +0.04
+        dev[500:520] = -0.04
+        over = detect_overshoots(trace_from_deviations(dev), threshold=0.02)
+        droop = detect_droops(trace_from_deviations(dev), threshold=0.02)
+        assert over.count == 1
+        assert droop.count == 1
+        assert over.depths[0] == pytest.approx(0.04)
+
+
+class TestDroopSamplesPer1k:
+    def test_counting(self):
+        dev = np.zeros(1000)
+        dev[:50] = -0.05
+        trace = trace_from_deviations(dev)
+        assert droop_samples_per_1k(trace, margin=0.023) == pytest.approx(50.0)
+
+    def test_bad_margin_rejected(self):
+        with pytest.raises(MeasurementError):
+            droop_samples_per_1k(trace_from_deviations(np.zeros(10)), margin=0)

@@ -1,0 +1,111 @@
+"""Unit tests for the compressed scope histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.measurement.histogram import CompressedHistogram
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CompressedHistogram(lo=0.1, hi=0.1)
+        with pytest.raises(ConfigurationError):
+            CompressedHistogram(n_bins=1)
+
+    def test_empty_queries_rejected(self):
+        h = CompressedHistogram()
+        with pytest.raises(MeasurementError):
+            h.fraction_below(0.0)
+        with pytest.raises(MeasurementError):
+            h.quantile(0.5)
+        with pytest.raises(MeasurementError):
+            h.min_deviation()
+
+
+class TestAccumulation:
+    def test_total_counts(self):
+        h = CompressedHistogram()
+        h.add(np.array([0.0, 0.01, -0.02]))
+        h.add(np.array([0.005]))
+        assert h.total == 4
+
+    def test_out_of_range_clips_to_edges(self):
+        h = CompressedHistogram(lo=-0.1, hi=0.1, n_bins=100)
+        h.add(np.array([-5.0, 5.0]))
+        assert h.total == 2
+        assert h.min_deviation() == pytest.approx(-0.1, abs=0.002)
+        assert h.max_deviation() == pytest.approx(0.1, abs=0.002)
+
+    def test_rejects_nan(self):
+        h = CompressedHistogram()
+        with pytest.raises(MeasurementError):
+            h.add(np.array([np.nan]))
+
+    def test_add_empty_is_noop(self):
+        h = CompressedHistogram()
+        h.add(np.array([]))
+        assert h.total == 0
+
+
+class TestQueries:
+    def test_fraction_below(self):
+        h = CompressedHistogram(lo=-0.1, hi=0.1, n_bins=1000)
+        h.add(np.array([-0.05] * 30 + [0.05] * 70))
+        assert h.fraction_below(0.0) == pytest.approx(0.3)
+        assert h.fraction_above(0.0) == pytest.approx(0.7)
+        assert h.fraction_below(-0.09) == 0.0
+
+    def test_quantile(self):
+        h = CompressedHistogram(lo=-0.1, hi=0.1, n_bins=2000)
+        h.add(np.linspace(-0.05, 0.05, 10_001))
+        assert h.quantile(0.5) == pytest.approx(0.0, abs=0.001)
+        assert h.quantile(0.0) == pytest.approx(-0.05, abs=0.001)
+        with pytest.raises(MeasurementError):
+            h.quantile(1.5)
+
+    def test_cdf_monotone_ending_at_one(self):
+        h = CompressedHistogram()
+        h.add(np.random.default_rng(0).normal(0, 0.01, 5000))
+        _, cumulative = h.cdf()
+        assert np.all(np.diff(cumulative) >= 0)
+        assert cumulative[-1] == pytest.approx(1.0)
+
+
+class TestMerge:
+    def test_merge_sums(self):
+        a = CompressedHistogram()
+        b = CompressedHistogram()
+        a.add(np.array([0.01] * 5))
+        b.add(np.array([-0.01] * 7))
+        merged = a.merge(b)
+        assert merged.total == 12
+        assert a.total == 5  # originals untouched
+
+    def test_merge_rejects_different_binning(self):
+        a = CompressedHistogram(n_bins=100)
+        b = CompressedHistogram(n_bins=200)
+        with pytest.raises(MeasurementError):
+            a.merge(b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-0.19, max_value=0.19),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_fraction_matches_exact_count(self, values):
+        # Bin quantization moves samples near the threshold by one bin
+        # width, so keep test samples away from the boundary.
+        arr = np.array([v for v in values if abs(v) > 1e-3])
+        if arr.size == 0:
+            return
+        h = CompressedHistogram(n_bins=4000)
+        h.add(arr)
+        threshold = 0.0
+        exact = (arr < threshold).mean()
+        assert h.fraction_below(threshold) == pytest.approx(exact, abs=0.05)

@@ -1,0 +1,65 @@
+"""Unit tests for the probe/scope front-end."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.measurement.probe import DifferentialProbe, Oscilloscope
+from repro.pdn.simulate import VoltageTrace
+
+
+def flat_trace(n=10_000, value=1.3):
+    return VoltageTrace(np.full(n, value), 1e-9, 1.3)
+
+
+class TestDifferentialProbe:
+    def test_noise_added(self):
+        probe = DifferentialProbe(noise_volts_rms=1e-3, bandwidth_hz=None)
+        sensed = probe.sense(flat_trace(), seed=0)
+        assert sensed.samples.std() == pytest.approx(1e-3, rel=0.1)
+
+    def test_noiseless_passthrough(self):
+        probe = DifferentialProbe(noise_volts_rms=0.0, bandwidth_hz=None)
+        trace = flat_trace()
+        sensed = probe.sense(trace)
+        assert np.array_equal(sensed.samples, trace.samples)
+
+    def test_band_limiting_attenuates_fast_content(self):
+        rng = np.random.default_rng(0)
+        samples = 1.3 + rng.normal(0, 0.01, 20_000)
+        trace = VoltageTrace(samples, 1e-9, 1.3)
+        probe = DifferentialProbe(noise_volts_rms=0.0, bandwidth_hz=5e7)
+        sensed = probe.sense(trace)
+        assert sensed.samples.std() < trace.samples.std()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DifferentialProbe(noise_volts_rms=-1)
+        with pytest.raises(ConfigurationError):
+            DifferentialProbe(bandwidth_hz=0)
+
+
+class TestOscilloscope:
+    def test_interval_splitting(self):
+        scope = Oscilloscope(
+            probe=DifferentialProbe(noise_volts_rms=0, bandwidth_hz=None),
+            interval_cycles=5_000,
+        )
+        scope.capture(flat_trace(12_000))
+        assert len(scope.intervals) == 3
+        assert scope.intervals[0].total == 5_000
+        assert scope.intervals[-1].total == 2_000
+
+    def test_combined_histogram(self):
+        scope = Oscilloscope(interval_cycles=4_000)
+        scope.capture(flat_trace(10_000), seed=1)
+        combined = scope.combined_histogram()
+        assert combined.total == 10_000
+
+    def test_empty_combined_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Oscilloscope().combined_histogram()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Oscilloscope(interval_cycles=0)

@@ -1,0 +1,110 @@
+"""Unit tests for the spectrum module — and band-placement physics checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.spectrum import (
+    BANDS,
+    power_spectrum,
+    voltage_spectrum,
+)
+from repro.pdn.platform import CLOCK_PERIOD_S
+
+
+class TestPowerSpectrum:
+    def test_recovers_sine_frequency(self):
+        fs = 1e9
+        t = np.arange(65536) / fs
+        series = np.sin(2 * np.pi * 5e6 * t)
+        spectrum = power_spectrum(series, 1.0 / fs)
+        assert spectrum.dominant_frequency_hz(1e6, 1e8) == pytest.approx(
+            5e6, rel=0.05
+        )
+
+    def test_band_power_captures_tone(self):
+        fs = 1e9
+        t = np.arange(65536) / fs
+        series = np.sin(2 * np.pi * 5e6 * t) + 0.1 * np.sin(2 * np.pi * 2e8 * t)
+        spectrum = power_spectrum(series, 1.0 / fs)
+        strong = spectrum.band_power(4e6, 6e6)
+        weak = spectrum.band_power(1.5e8, 2.5e8)
+        assert strong > weak
+
+    def test_band_powers_named(self):
+        rng = np.random.default_rng(0)
+        spectrum = power_spectrum(rng.normal(0, 1, 32768), 5e-10)
+        powers = spectrum.band_powers()
+        assert set(powers) == set(BANDS)
+        assert all(v >= 0 for v in powers.values())
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            power_spectrum(np.zeros(10), 1e-9)
+        with pytest.raises(MeasurementError):
+            power_spectrum(np.zeros(100), 0.0)
+        spectrum = power_spectrum(np.random.default_rng(1).normal(0, 1, 1024), 1e-9)
+        with pytest.raises(MeasurementError):
+            spectrum.band_power(5, 4)
+
+
+class TestBandPlacement:
+    """The simulated stack must put energy where the paper's physics says."""
+
+    def test_vrm_ripple_band_dominates_idle(self):
+        from repro.uarch.chip import Chip
+        from repro.workloads.microbenchmarks import IdleLoop
+
+        chip = Chip("Proc100", with_ripple=True)
+        idle = IdleLoop()
+        run = chip.run(
+            [idle.sample_window(60_000, rng=0), idle.sample_window(60_000, rng=1)],
+            seed=0,
+        )
+        spectrum = voltage_spectrum(run.voltage)
+        powers = spectrum.band_powers()
+        assert powers["vrm-ripple"] > powers["package"]
+        assert powers["vrm-ripple"] > powers["first-droop"]
+
+    def test_bursty_workload_fills_package_band(self):
+        from repro.uarch.chip import Chip
+        from repro.workloads.microbenchmarks import IdleLoop
+        from repro.workloads.spec import spec_benchmark
+
+        chip = Chip("Proc3", with_ripple=False)
+        idle = IdleLoop()
+        busy = chip.run(
+            [
+                spec_benchmark("mcf").sample_window(60_000, rng=2),
+                idle.sample_window(60_000, rng=3),
+            ],
+            seed=0,
+        )
+        quiet = chip.run(
+            [idle.sample_window(60_000, rng=4), idle.sample_window(60_000, rng=5)],
+            seed=0,
+        )
+        busy_pkg = voltage_spectrum(busy.voltage).band_power(*BANDS["package"])
+        quiet_pkg = voltage_spectrum(quiet.voltage).band_power(*BANDS["package"])
+        assert busy_pkg > 10 * max(quiet_pkg, 1e-18)
+
+    def test_flush_kernel_excites_first_droop_band(self):
+        from repro.uarch.chip import Chip
+        from repro.uarch.events import StallEvent
+        from repro.workloads.microbenchmarks import IdleLoop, microbenchmark_for
+
+        chip = Chip("Proc100", with_ripple=False)
+        idle = IdleLoop()
+        br = microbenchmark_for(StallEvent.BRANCH_MISPREDICT)
+        busy = chip.run(
+            [br.sample_window(60_000, rng=6), idle.sample_window(60_000, rng=7)],
+            seed=0,
+        )
+        quiet = chip.run(
+            [idle.sample_window(60_000, rng=8), idle.sample_window(60_000, rng=9)],
+            seed=0,
+        )
+        band = BANDS["first-droop"]
+        assert voltage_spectrum(busy.voltage).band_power(*band) > 10 * max(
+            voltage_spectrum(quiet.voltage).band_power(*band), 1e-20
+        )

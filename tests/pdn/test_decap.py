@@ -1,0 +1,82 @@
+"""Unit tests for the decap inventory and ProcXX configurations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pdn.decap import (
+    PARASITIC_FRACTION,
+    PROC_CONFIGS,
+    CapacitorBank,
+    capacitance_summary,
+    ordered_configs,
+    proc_config,
+)
+
+
+class TestCapacitorBank:
+    def test_totals(self):
+        bank = CapacitorBank(22e-6, 18e-3, 8)
+        assert bank.total_capacitance == pytest.approx(176e-6)
+        assert bank.effective_esr == pytest.approx(18e-3 / 8)
+
+    def test_empty_bank_has_infinite_esr(self):
+        bank = CapacitorBank(1e-6, 10e-3, 0)
+        assert bank.total_capacitance == 0.0
+        assert bank.effective_esr == float("inf")
+
+    def test_keep_bounds(self):
+        bank = CapacitorBank(1e-6, 10e-3, 4)
+        assert bank.keep(2).count == 2
+        with pytest.raises(ConfigurationError):
+            bank.keep(5)
+        with pytest.raises(ConfigurationError):
+            bank.keep(-1)
+
+
+class TestProcFamily:
+    def test_all_six_members_exist(self):
+        assert set(PROC_CONFIGS) == {
+            "Proc100",
+            "Proc75",
+            "Proc50",
+            "Proc25",
+            "Proc3",
+            "Proc0",
+        }
+
+    def test_capacitance_monotonically_decreasing(self):
+        caps = [cfg.total_capacitance for cfg in ordered_configs()]
+        assert all(a > b for a, b in zip(caps, caps[1:]))
+
+    def test_fractions_near_nominal_labels(self):
+        # The per-kind part counts should land close to the advertised
+        # percentage (exact match is impossible with discrete parts).
+        for name, target in [("Proc100", 1.0), ("Proc75", 0.75),
+                             ("Proc50", 0.50), ("Proc25", 0.25),
+                             ("Proc3", 0.03)]:
+            cfg = proc_config(name)
+            assert cfg.fraction == pytest.approx(target, abs=0.02), name
+
+    def test_proc0_keeps_only_parasitics(self):
+        cfg = proc_config("Proc0")
+        assert cfg.total_capacitance == 0.0
+        assert cfg.fraction == pytest.approx(PARASITIC_FRACTION)
+        assert all(bank.count == 0 for bank in cfg.banks)
+
+    def test_only_proc0_fails_boot(self):
+        for cfg in ordered_configs():
+            assert cfg.boots == (cfg.name != "Proc0")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            proc_config("Proc42")
+
+    def test_summary_covers_all(self):
+        summary = capacitance_summary()
+        assert list(summary) == [c.name for c in ordered_configs()]
+
+    def test_proc3_keeps_some_small_parts(self):
+        """3 % of each kind rounds to zero; the greedy adjustment must
+        still populate a few small-value parts (paper Fig. 5k)."""
+        cfg = proc_config("Proc3")
+        assert sum(bank.count for bank in cfg.banks) > 0

@@ -1,0 +1,114 @@
+"""Unit tests for passive elements and impedance algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.pdn.elements import Capacitor, Inductor, Resistor, parallel, series
+
+OMEGA = 2.0 * np.pi * 1e6  # 1 MHz
+
+
+class TestResistor:
+    def test_impedance_is_real_and_flat(self):
+        r = Resistor(0.5)
+        z = r.impedance(np.array([1.0, 1e3, 1e9]))
+        assert np.allclose(z, 0.5)
+        assert np.all(z.imag == 0)
+
+    def test_zero_resistance_allowed(self):
+        assert Resistor(0.0).impedance(1.0) == 0.0
+
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Resistor(-1.0)
+
+
+class TestInductor:
+    def test_impedance_grows_linearly_with_frequency(self):
+        ind = Inductor(1e-9)
+        z1 = ind.impedance(OMEGA)
+        z2 = ind.impedance(2 * OMEGA)
+        assert np.isclose(z2.imag, 2 * z1.imag)
+        assert z1.real == 0.0
+
+    def test_esr_appears_in_real_part(self):
+        ind = Inductor(1e-9, esr=0.25)
+        assert np.isclose(ind.impedance(OMEGA).real, 0.25)
+
+    def test_rejects_non_positive_inductance(self):
+        with pytest.raises(ConfigurationError):
+            Inductor(0.0)
+
+
+class TestCapacitor:
+    def test_impedance_falls_with_frequency(self):
+        cap = Capacitor(1e-6)
+        z1 = abs(cap.impedance(OMEGA))
+        z2 = abs(cap.impedance(2 * OMEGA))
+        assert np.isclose(z2, z1 / 2)
+
+    def test_esr_floor(self):
+        cap = Capacitor(1e-6, esr=0.01)
+        # At very high frequency the ESR dominates.
+        z = cap.impedance(2 * np.pi * 1e12)
+        assert np.isclose(z.real, 0.01)
+        assert abs(z.imag) < 1e-3
+
+    def test_dc_impedance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Capacitor(1e-6).impedance(0.0)
+
+    def test_scaled_halves_capacitance_doubles_esr(self):
+        cap = Capacitor(10e-6, esr=0.02)
+        half = cap.scaled(0.5)
+        assert np.isclose(half.capacitance, 5e-6)
+        assert np.isclose(half.esr, 0.04)
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            Capacitor(1e-6).scaled(0.0)
+
+
+class TestCombinators:
+    def test_series_sums(self):
+        z = series(1 + 1j, 2 - 0.5j, 3)
+        assert z == pytest.approx(6 + 0.5j)
+
+    def test_parallel_of_equal_halves(self):
+        z = parallel(4 + 0j, 4 + 0j)
+        assert z == pytest.approx(2 + 0j)
+
+    def test_parallel_dominated_by_smallest(self):
+        z = parallel(1e-3 + 0j, 1e3 + 0j)
+        assert abs(z) == pytest.approx(1e-3, rel=1e-5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series()
+        with pytest.raises(ConfigurationError):
+            parallel()
+
+    @given(
+        a=st.floats(min_value=1e-6, max_value=1e6),
+        b=st.floats(min_value=1e-6, max_value=1e6),
+    )
+    def test_parallel_below_both_series_above_both(self, a, b):
+        zp = parallel(complex(a), complex(b)).real
+        zs = series(complex(a), complex(b)).real
+        assert zp <= min(a, b) * (1 + 1e-9)
+        assert zs >= max(a, b)
+
+    @given(
+        c=st.floats(min_value=1e-9, max_value=1e-3),
+        f=st.floats(min_value=1e3, max_value=1e9),
+    )
+    def test_capacitor_inductor_duality(self, c, f):
+        """|Z_C| * |Z_L| == L/C when L == 1/(w^2 C) ... sanity of algebra."""
+        omega = 2 * np.pi * f
+        cap = Capacitor(c)
+        ind = Inductor(1.0 / (omega**2 * c))
+        # At this frequency the reactances cancel exactly in series.
+        z = series(cap.impedance(omega), ind.impedance(omega))
+        assert abs(z.imag) < 1e-6 * abs(cap.impedance(omega).imag)

@@ -1,0 +1,81 @@
+"""Unit tests for impedance profiles (Fig. 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.pdn.impedance import ImpedanceProfile
+from repro.pdn.platform import build_network
+
+
+@pytest.fixture(scope="module")
+def stock_profile():
+    return ImpedanceProfile.from_network(build_network("Proc100"), label="Proc100")
+
+
+class TestConstruction:
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ConfigurationError):
+            ImpedanceProfile(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_rejects_unsorted_frequencies(self):
+        with pytest.raises(ConfigurationError):
+            ImpedanceProfile(np.array([2.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_rejects_negative_magnitudes(self):
+        with pytest.raises(ConfigurationError):
+            ImpedanceProfile(np.array([1.0, 2.0]), np.array([1.0, -1.0]))
+
+    def test_from_network_point_count(self):
+        prof = ImpedanceProfile.from_network(
+            build_network("Proc100"), f_min_hz=1e5, f_max_hz=1e8,
+            points_per_decade=10,
+        )
+        assert len(prof) == 31  # 3 decades * 10 + 1
+
+
+class TestAnalysis:
+    def test_at_interpolates(self, stock_profile):
+        direct = np.abs(build_network("Proc100").impedance(3.3e6))
+        assert stock_profile.at(3.3e6) == pytest.approx(direct, rel=0.05)
+
+    def test_at_out_of_range_rejected(self, stock_profile):
+        with pytest.raises(MeasurementError):
+            stock_profile.at(1e12)
+
+    def test_peak_in_band(self, stock_profile):
+        peak = stock_profile.peak(f_min_hz=5e7, f_max_hz=5e8)
+        assert 5e7 <= peak.frequency_hz <= 5e8
+
+    def test_peak_empty_band_rejected(self, stock_profile):
+        with pytest.raises(MeasurementError):
+            stock_profile.peak(f_min_hz=1e12, f_max_hz=2e12)
+
+    def test_normalized_reference_is_unity(self, stock_profile):
+        norm = stock_profile.normalized_to(1e6)
+        assert norm.at(1e6) == pytest.approx(1.0, rel=1e-6)
+
+    def test_ratio_to_self_is_one(self, stock_profile):
+        assert stock_profile.ratio_to(stock_profile, 2e6) == pytest.approx(1.0)
+
+
+class TestPaperCalibration:
+    """Pin the Fig. 4 observables of the calibrated platform."""
+
+    def test_stock_resonance_in_100_200_mhz_band(self, stock_profile):
+        peak = stock_profile.peak()
+        assert 1.0e8 <= peak.frequency_hz <= 2.0e8
+
+    def test_depleted_package_several_times_stock_at_1mhz(self, stock_profile):
+        depleted = ImpedanceProfile.from_network(build_network("Proc3"))
+        ratio = depleted.ratio_to(stock_profile, 1e6)
+        # Paper quotes ~5x between 1 and 10 MHz; accept the right ballpark.
+        assert 3.0 <= ratio <= 12.0
+
+    def test_impedance_grows_monotonically_with_decap_removal(self):
+        """Mid-band peak impedance must grow as capacitance shrinks."""
+        peaks = []
+        for name in ("Proc100", "Proc75", "Proc50", "Proc25", "Proc3", "Proc0"):
+            prof = ImpedanceProfile.from_network(build_network(name))
+            peaks.append(prof.peak(f_min_hz=2e5, f_max_hz=3e7).impedance_ohm)
+        assert all(a <= b * 1.001 for a, b in zip(peaks, peaks[1:]))

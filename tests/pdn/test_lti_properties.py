@@ -1,0 +1,97 @@
+"""Property-based tests of the PDN solver's LTI physics.
+
+The transient simulator claims to implement a linear time-invariant
+network.  These properties — superposition, scaling, time-invariance,
+passivity — must hold for *any* stimulus, which is exactly what
+hypothesis is for.  Violations would indicate discretization or state
+initialization bugs that example-based tests can miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pdn.platform import build_simulator
+
+N = 4000
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return build_simulator("Proc100", with_ripple=False)
+
+
+def _random_current(seed: int, n: int = N, base: float = 10.0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    steps = rng.normal(0, 0.3, n)
+    return np.clip(base + np.cumsum(steps), 1.0, 40.0)
+
+
+current_seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestLTIProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed_a=current_seeds, seed_b=current_seeds)
+    def test_superposition_of_deviations(self, simulator, seed_a, seed_b):
+        """response(a) + response(b) - 2*DC == response(a + b - DC)."""
+        base = 10.0
+        a = _random_current(seed_a, base=base)
+        b = _random_current(seed_b, base=base)
+        combined = a + b - base  # keep the same DC operating point scale
+        va = simulator.simulate(a, include_ripple=False).samples
+        vb = simulator.simulate(b, include_ripple=False).samples
+        vc = simulator.simulate(combined, include_ripple=False).samples
+        nominal = simulator.network.nominal_voltage
+        lhs = (va - nominal) + (vb - nominal)
+        dc_correction = simulator.network.die_voltage_dc(base) - nominal
+        rhs = (vc - nominal) + dc_correction
+        scale = np.abs(rhs).max() + 1e-9
+        assert np.abs(lhs - rhs).max() < 1e-6 + 1e-6 * scale
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=current_seeds, gain=st.floats(min_value=0.2, max_value=2.5))
+    def test_homogeneity(self, simulator, seed, gain):
+        """Scaling the current scales the deviation by the same factor."""
+        current = _random_current(seed)
+        v1 = simulator.simulate(current, include_ripple=False).samples
+        v2 = simulator.simulate(gain * current, include_ripple=False).samples
+        nominal = simulator.network.nominal_voltage
+        dev1 = v1 - nominal
+        dev2 = v2 - nominal
+        scale = np.abs(dev2).max() + 1e-9
+        assert np.abs(gain * dev1 - dev2).max() < 1e-6 + 1e-5 * scale
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=current_seeds, shift=st.integers(min_value=1, max_value=200))
+    def test_time_invariance(self, simulator, seed, shift):
+        """A delayed stimulus produces the same (delayed) response."""
+        current = _random_current(seed, n=N)
+        padded = np.concatenate([np.full(shift, current[0]), current])
+        v_direct = simulator.simulate(current, include_ripple=False).samples
+        v_shifted = simulator.simulate(padded, include_ripple=False).samples
+        nominal = simulator.network.nominal_voltage
+        scale = np.abs(v_direct - nominal).max() + 1e-9
+        error = np.abs(v_shifted[shift:] - v_direct).max()
+        assert error < 1e-6 + 1e-5 * scale
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=current_seeds)
+    def test_bounded_response(self, simulator, seed):
+        """A bounded stimulus never produces unbounded voltage (stability)."""
+        current = _random_current(seed)
+        trace = simulator.simulate(current, include_ripple=False)
+        nominal = simulator.network.nominal_voltage
+        # Deviations stay within a loose physical envelope: the stimulus
+        # spans < 40 A; even fully resonant that is < 40 A * 20 mOhm.
+        assert np.abs(trace.samples - nominal).max() < 40 * 0.02 + 0.05
+
+    @settings(max_examples=10, deadline=None)
+    @given(level=st.floats(min_value=1.0, max_value=40.0))
+    def test_dc_fixed_point(self, simulator, level):
+        """Constant current is a fixed point at the DC solution."""
+        trace = simulator.simulate(
+            np.full(2000, level), include_ripple=False
+        )
+        expected = simulator.network.die_voltage_dc(level)
+        assert np.abs(trace.samples - expected).max() < 1e-6

@@ -1,0 +1,137 @@
+"""Unit tests for the PDN ladder and its state-space form."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.pdn.elements import Capacitor, Inductor
+from repro.pdn.network import PDNStage, PowerDeliveryNetwork
+
+
+def simple_network(n_stages: int = 3) -> PowerDeliveryNetwork:
+    stages = []
+    for i in range(n_stages):
+        stages.append(
+            PDNStage(
+                name=f"stage{i}",
+                interconnect=Inductor(1e-9 / (10**i), esr=1e-3),
+                decap=Capacitor(1e-4 / (100**i), esr=2e-3),
+            )
+        )
+    return PowerDeliveryNetwork(stages, nominal_voltage=1.2)
+
+
+class TestConstruction:
+    def test_requires_stages(self):
+        with pytest.raises(ConfigurationError):
+            PowerDeliveryNetwork([], 1.2)
+
+    def test_requires_positive_voltage(self):
+        with pytest.raises(ConfigurationError):
+            PowerDeliveryNetwork(simple_network().stages, 0.0)
+
+    def test_n_states(self):
+        assert simple_network(3).n_states == 6
+        assert simple_network(1).n_states == 2
+
+    def test_dc_resistance_sums_series_esr(self):
+        net = simple_network(3)
+        assert net.dc_resistance == pytest.approx(3e-3)
+
+
+class TestDecapScaling:
+    def test_with_decap_fraction_scales_named_stage_only(self):
+        net = simple_network(3)
+        scaled = net.with_decap_fraction(0.25, stage_name="stage1")
+        assert scaled.stages[1].decap.capacitance == pytest.approx(
+            net.stages[1].decap.capacitance * 0.25
+        )
+        assert scaled.stages[0].decap.capacitance == net.stages[0].decap.capacitance
+        assert scaled.stages[2].decap.capacitance == net.stages[2].decap.capacitance
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simple_network().with_decap_fraction(0.5, stage_name="nope")
+
+    def test_less_decap_means_more_impedance_near_resonance(self):
+        net = simple_network(3)
+        depleted = net.with_decap_fraction(0.05, stage_name="stage1")
+        # Probe a band around the stage-1 resonance.
+        freqs = np.logspace(5, 8, 200)
+        z_full = np.abs(net.impedance(freqs))
+        z_depl = np.abs(depleted.impedance(freqs))
+        assert z_depl.max() > z_full.max()
+
+
+class TestImpedance:
+    def test_dc_limit_approaches_series_resistance(self):
+        net = simple_network(3)
+        z_low = np.abs(net.impedance(1e-2))
+        assert z_low == pytest.approx(net.dc_resistance, rel=0.05)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            simple_network().impedance(0.0)
+
+    def test_impedance_matches_state_space_transfer_function(self):
+        """The analytic ladder impedance and |C (jwI - A)^-1 B + D| agree."""
+        net = simple_network(3)
+        a, b, c, d = net.state_space()
+        freqs = np.logspace(4, 9, 30)
+        z_ladder = net.impedance(freqs)
+        for f, z_expected in zip(freqs, z_ladder):
+            jw = 2j * np.pi * f
+            h = c @ np.linalg.solve(
+                jw * np.eye(a.shape[0]) - a, b[:, [1]]
+            ) + d[:, [1]]
+            # The I->V transfer function is minus the impedance (current
+            # draw lowers the voltage).
+            assert abs(-h[0, 0] - z_expected) <= 1e-6 + 1e-3 * abs(z_expected)
+
+
+class TestStateSpace:
+    def test_shapes(self):
+        a, b, c, d = simple_network(3).state_space()
+        assert a.shape == (6, 6)
+        assert b.shape == (6, 2)
+        assert c.shape == (1, 6)
+        assert d.shape == (1, 2)
+
+    def test_system_is_stable(self):
+        a, _, _, _ = simple_network(3).state_space()
+        eigenvalues = np.linalg.eigvals(a)
+        assert np.all(eigenvalues.real < 0)
+
+    def test_dc_operating_point_is_equilibrium(self):
+        net = simple_network(3)
+        a, b, _, _ = net.state_space()
+        load = 7.5
+        x0 = net.dc_operating_point(load)
+        u = np.array([net.nominal_voltage, load])
+        dx = a @ x0 + b @ u
+        assert np.allclose(dx, 0.0, atol=1e-6 * np.abs(a @ x0).max())
+
+    def test_dc_output_matches_ir_drop(self):
+        net = simple_network(3)
+        _, _, c, d = net.state_space()
+        load = 5.0
+        x0 = net.dc_operating_point(load)
+        u = np.array([net.nominal_voltage, load])
+        v = (c @ x0 + d @ u).item()
+        assert v == pytest.approx(net.die_voltage_dc(load), rel=1e-9)
+
+    def test_single_stage_network(self):
+        net = PowerDeliveryNetwork(
+            [
+                PDNStage(
+                    "only",
+                    Inductor(1 * units.NANO_HENRY, esr=1e-3),
+                    Capacitor(1 * units.MICRO_FARAD, esr=1e-3),
+                )
+            ],
+            1.0,
+        )
+        a, b, c, d = net.state_space()
+        assert a.shape == (2, 2)
+        assert np.all(np.linalg.eigvals(a).real < 0)

@@ -1,0 +1,88 @@
+"""Calibration tests pinning the reference platform to the paper's numbers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pdn import platform
+from repro.pdn.decap import ordered_configs
+from repro.pdn.impedance import ImpedanceProfile
+
+
+class TestBuilders:
+    def test_build_network_by_name_and_config(self):
+        from repro.pdn.decap import proc_config
+
+        by_name = platform.build_network("Proc25")
+        by_config = platform.build_network(proc_config("Proc25"))
+        assert (
+            by_name.stages[1].decap.capacitance
+            == by_config.stages[1].decap.capacitance
+        )
+
+    def test_package_capacitor_includes_parasitics(self):
+        from repro.pdn.decap import proc_config
+
+        cap = platform.package_capacitor(proc_config("Proc0"))
+        assert cap.capacitance == pytest.approx(
+            platform.PARASITIC_PLANE_CAPACITANCE
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            platform.PlatformParameters(die_capacitance=-1.0)
+
+    def test_clock_constants_consistent(self):
+        assert platform.CLOCK_PERIOD_S == pytest.approx(
+            1.0 / platform.CLOCK_FREQUENCY_HZ
+        )
+
+
+class TestCalibration:
+    """The observables the paper reports for the physical machine."""
+
+    def test_stock_impedance_peaks_in_first_droop_band(self):
+        prof = ImpedanceProfile.from_network(platform.build_network("Proc100"))
+        peak = prof.peak()
+        assert 1.0e8 <= peak.frequency_hz <= 2.0e8, "Fig. 4a: 100-200 MHz"
+
+    def test_reset_droops_grow_with_decap_removal(self):
+        """Fig. 5(m-r)/Fig. 6: swings grow monotonically, knee at Proc25/3."""
+        droops = {}
+        for cfg in ordered_configs():
+            trace = platform.reset_response(cfg, n_samples=300_000)
+            droops[cfg.name] = trace.max_droop_fraction()
+        values = [droops[c.name] for c in ordered_configs()]
+        assert all(a <= b * 1.02 for a, b in zip(values, values[1:]))
+        # Relative growth roughly matches the paper's 150 mV -> 350 mV span.
+        rel = droops["Proc0"] / droops["Proc100"]
+        assert 2.0 <= rel <= 5.0
+        # The knee: Proc3's jump over Proc25 is larger than Proc25 over Proc50.
+        assert (droops["Proc3"] - droops["Proc25"]) > (
+            droops["Proc25"] - droops["Proc50"]
+        )
+
+    def test_proc0_reset_droop_violates_worst_case_margin(self):
+        """Proc0's 350 mV-class droop is why it cannot boot."""
+        trace = platform.reset_response("Proc0", n_samples=300_000)
+        assert trace.max_droop_fraction() > platform.WORST_CASE_MARGIN
+
+    def test_stock_reset_droop_within_margin(self):
+        trace = platform.reset_response("Proc100", n_samples=300_000)
+        assert trace.max_droop_fraction() < platform.WORST_CASE_MARGIN
+
+    def test_virus_level_activity_approaches_worst_case_margin(self):
+        """A resonant power virus must come close to (but not exceed by
+        much) the 14 % worst-case margin on the stock machine."""
+        from repro.pdn.stimulus import square_wave_current
+
+        sim = platform.build_simulator("Proc100", with_ripple=False)
+        prof = ImpedanceProfile.from_network(sim.network)
+        period = max(2, int(round(
+            platform.CLOCK_FREQUENCY_HZ / prof.resonance_frequency_hz()
+        )))
+        virus = square_wave_current(
+            100_000, 8.0, 44.0, period_samples=period
+        )
+        droop = sim.simulate(virus, include_ripple=False).max_droop_fraction()
+        assert 0.08 <= droop <= platform.WORST_CASE_MARGIN + 0.01

@@ -1,0 +1,127 @@
+"""Unit tests for the transient simulator and VoltageTrace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.pdn.platform import build_network, build_simulator, CLOCK_PERIOD_S
+from repro.pdn.simulate import TransientSimulator, VoltageTrace
+from repro.pdn.stimulus import current_step
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return build_simulator("Proc100", with_ripple=False)
+
+
+class TestVoltageTrace:
+    def test_basic_stats(self):
+        trace = VoltageTrace(np.array([1.0, 1.2, 0.9, 1.1]), 1e-9, 1.0)
+        assert len(trace) == 4
+        assert trace.peak_to_peak() == pytest.approx(0.3)
+        assert trace.max_droop_fraction() == pytest.approx(0.1)
+        assert trace.max_overshoot_fraction() == pytest.approx(0.2)
+
+    def test_no_droop_when_above_nominal(self):
+        trace = VoltageTrace(np.array([1.1, 1.2]), 1e-9, 1.0)
+        assert trace.max_droop_fraction() == 0.0
+
+    def test_window(self):
+        trace = VoltageTrace(np.arange(1.0, 2.0, 0.1), 1e-9, 1.0)
+        sub = trace.window(2, 5)
+        assert len(sub) == 3
+        assert sub.samples[0] == pytest.approx(1.2)
+        with pytest.raises(ConfigurationError):
+            trace.window(5, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            VoltageTrace(np.array([]), 1e-9, 1.0)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.5, max_value=1.5), min_size=1, max_size=50
+        )
+    )
+    def test_pkpk_nonnegative_and_consistent(self, values):
+        trace = VoltageTrace(np.array(values), 1e-9, 1.0)
+        assert trace.peak_to_peak() >= 0
+        assert trace.peak_to_peak_fraction() == pytest.approx(
+            trace.peak_to_peak() / 1.0
+        )
+        dev = trace.deviations_fraction()
+        assert np.isclose(
+            trace.peak_to_peak_fraction(), dev.max() - dev.min()
+        )
+
+
+class TestTransientSimulator:
+    def test_constant_current_gives_dc_solution(self, simulator):
+        current = np.full(5000, 12.0)
+        trace = simulator.simulate(current, include_ripple=False)
+        expected = simulator.network.die_voltage_dc(12.0)
+        assert np.allclose(trace.samples, expected, atol=1e-6)
+
+    def test_step_produces_droop_then_recovery(self, simulator):
+        trace = simulator.step_response(5.0, 40.0, n_samples=50000)
+        dc_high = simulator.network.die_voltage_dc(40.0)
+        # There is an undershoot below the final DC value...
+        assert trace.samples.min() < dc_high - 1e-4
+        # ...and the trace heads back towards it (full settling takes the
+        # bulk time constant, ~50 us, longer than this window).
+        assert trace.samples[-1] == pytest.approx(dc_high, abs=4e-3)
+        assert abs(trace.samples[-1] - dc_high) < 0.5 * abs(
+            trace.samples.min() - dc_high
+        )
+
+    def test_current_rise_causes_droop_fall_causes_overshoot(self, simulator):
+        nominal = simulator.network.nominal_voltage
+        up = simulator.simulate(
+            current_step(20000, 5.0, 35.0, step_at=1000), include_ripple=False
+        )
+        down = simulator.simulate(
+            current_step(20000, 35.0, 5.0, step_at=1000), include_ripple=False
+        )
+        assert up.samples.min() < down.samples.min()
+        assert down.samples.max() > nominal  # overshoot above nominal
+        # The rise droops deeper than it overshoots; the fall the reverse.
+        assert up.samples.max() - nominal < nominal - up.samples.min()
+        assert down.samples.max() > up.samples.max()
+
+    def test_fast_path_matches_reference(self):
+        """sosfilt fast path vs trapezoidal state-space reference."""
+        simulator = build_simulator("Proc100", with_ripple=False)
+        rng = np.random.default_rng(1)
+        current = 10.0 + np.cumsum(rng.normal(0, 0.2, 4000)).clip(-5, 25)
+        fast = simulator.simulate(current, include_ripple=False)
+        ref = simulator.simulate_reference(current)
+        scale = np.abs(ref.samples - ref.nominal_voltage).max() + 1e-9
+        error = np.abs(fast.samples - ref.samples).max()
+        assert error < 0.05 * scale
+
+    def test_rejects_bad_current(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.simulate(np.array([]))
+        with pytest.raises(SimulationError):
+            simulator.simulate(np.array([1.0, np.nan]))
+
+    def test_ripple_superimposed_when_enabled(self):
+        with_vrm = build_simulator("Proc100", with_ripple=True)
+        current = np.full(40000, 10.0)
+        quiet = with_vrm.simulate(current, include_ripple=False)
+        noisy = with_vrm.simulate(current, include_ripple=True, seed=3)
+        assert noisy.peak_to_peak() > quiet.peak_to_peak() + 1e-3
+
+    def test_natural_frequencies_span_expected_decades(self, simulator):
+        freqs = simulator.natural_frequencies_hz()
+        assert freqs.size >= 2
+        # Die resonance in the 100-200 MHz band must be present.
+        assert np.any((freqs > 5e7) & (freqs < 5e8))
+
+    def test_deterministic_given_seed(self, simulator):
+        sim = build_simulator("Proc100", with_ripple=True)
+        current = np.full(5000, 9.0)
+        a = sim.simulate(current, seed=42)
+        b = sim.simulate(current, seed=42)
+        assert np.array_equal(a.samples, b.samples)

@@ -1,0 +1,89 @@
+"""Unit tests for current stimuli."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.pdn.stimulus import current_step, reset_stimulus, square_wave_current
+
+
+class TestCurrentStep:
+    def test_levels(self):
+        trace = current_step(100, 2.0, 10.0, step_at=50)
+        assert np.all(trace[:50] == 2.0)
+        assert np.all(trace[51:] == 10.0)
+
+    def test_ramp(self):
+        trace = current_step(100, 0.0, 10.0, step_at=10, ramp_samples=5)
+        assert np.all(np.diff(trace[10:16]) > 0)
+        assert trace[15] == 10.0
+
+    def test_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            current_step(10, 0, 1, step_at=10)
+        with pytest.raises(ConfigurationError):
+            current_step(0, 0, 1, step_at=0)
+
+    @given(
+        low=st.floats(min_value=0, max_value=10),
+        high=st.floats(min_value=10, max_value=50),
+        step_at=st.integers(min_value=0, max_value=99),
+    )
+    def test_always_within_levels(self, low, high, step_at):
+        trace = current_step(100, low, high, step_at=step_at)
+        assert trace.min() >= low - 1e-12
+        assert trace.max() <= high + 1e-12
+
+
+class TestResetStimulus:
+    def test_shape(self):
+        trace = reset_stimulus(
+            10000, idle_amps=5.0, inrush_amps=40.0, reset_at=1000,
+            off_samples=2000, ramp_samples=4, settle_tau_samples=800,
+        )
+        # Idle before reset.
+        assert np.all(trace[:1000] == 5.0)
+        # Off region at zero.
+        assert np.all(trace[1010:3000] == 0.0)
+        # Inrush exceeds idle, then decays towards idle.
+        assert trace.max() > 35.0
+        assert trace[-1] == pytest.approx(5.0, abs=2.0)
+
+    def test_decay_timescale_respected(self):
+        trace = reset_stimulus(
+            50000, idle_amps=5.0, inrush_amps=40.0, reset_at=100,
+            off_samples=100, ramp_samples=2, settle_tau_samples=10000,
+        )
+        peak_idx = int(np.argmax(trace))
+        one_tau = trace[peak_idx + 10000]
+        expected = 5.0 + (trace[peak_idx] - 5.0) * np.exp(-1)
+        assert one_tau == pytest.approx(expected, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            reset_stimulus(10, 1, 2, reset_at=20, off_samples=5)
+        with pytest.raises(ConfigurationError):
+            reset_stimulus(10, 1, 2, reset_at=0, off_samples=0)
+        with pytest.raises(ConfigurationError):
+            reset_stimulus(
+                100, 1, 2, reset_at=0, off_samples=5, settle_tau_samples=0
+            )
+
+
+class TestSquareWave:
+    def test_period_and_duty(self):
+        trace = square_wave_current(100, 1.0, 9.0, period_samples=10, duty=0.3)
+        assert np.all(trace[:3] == 9.0)
+        assert np.all(trace[3:10] == 1.0)
+        assert np.array_equal(trace[:10], trace[10:20])
+
+    def test_mean_tracks_duty(self):
+        trace = square_wave_current(1000, 0.0, 10.0, period_samples=10, duty=0.5)
+        assert trace.mean() == pytest.approx(5.0, abs=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            square_wave_current(100, 0, 1, period_samples=1)
+        with pytest.raises(ConfigurationError):
+            square_wave_current(100, 0, 1, period_samples=10, duty=1.0)

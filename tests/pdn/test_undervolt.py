@@ -1,0 +1,62 @@
+"""Tests for undervolting-based worst-case margin discovery (Sec. II-C)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.pdn.platform import NOMINAL_VOLTAGE, WORST_CASE_MARGIN
+from repro.pdn.undervolt import (
+    CRITICAL_VOLTAGE,
+    undervolt_to_failure,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return undervolt_to_failure(n_cycles=40_000)
+
+
+class TestMarginDiscovery:
+    def test_derived_margin_matches_platform_constant(self, result):
+        """The shipped WORST_CASE_MARGIN constant is the derived quantity."""
+        assert result.worst_case_margin == pytest.approx(
+            WORST_CASE_MARGIN, abs=0.005
+        )
+
+    def test_headroom_plus_droop_accounts_for_guardband(self, result):
+        """Undervolt headroom + the virus's own droop ≈ the guardband:
+        the virus eats most of the margin, undervolting finds the rest."""
+        total = result.failing_undervolt + result.virus_droop_fraction
+        assert total == pytest.approx(result.worst_case_margin, abs=0.015)
+
+    def test_failure_is_reached(self, result):
+        assert result.min_voltages[-1] < CRITICAL_VOLTAGE
+        assert np.all(result.min_voltages[:-1] >= CRITICAL_VOLTAGE)
+
+    def test_min_voltage_decreases_with_undervolt(self, result):
+        assert np.all(np.diff(result.min_voltages) < 0)
+
+    def test_headroom_is_meaningful_but_limited(self, result):
+        """Some undervolt is safe (margins are conservative), but far less
+        than the full guardband (the virus claims the rest)."""
+        assert 0.01 <= result.headroom <= 0.12
+        assert result.headroom < result.worst_case_margin
+
+    def test_nominal_set_point_first(self, result):
+        assert result.set_points[0] == pytest.approx(NOMINAL_VOLTAGE)
+
+
+class TestValidation:
+    def test_bad_step(self):
+        with pytest.raises(ConfigurationError):
+            undervolt_to_failure(step=0)
+
+    def test_bad_ceiling(self):
+        with pytest.raises(ConfigurationError):
+            undervolt_to_failure(max_undervolt=0.9)
+
+    def test_unreachable_failure_raises(self):
+        with pytest.raises(SimulationError):
+            undervolt_to_failure(
+                n_cycles=20_000, critical_voltage=0.5, max_undervolt=0.02
+            )

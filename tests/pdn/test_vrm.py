@@ -1,0 +1,54 @@
+"""Unit tests for the VRM ripple model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pdn.vrm import VoltageRegulatorModule
+
+
+class TestRipple:
+    def test_zero_mean_and_bounded(self):
+        vrm = VoltageRegulatorModule(jitter_fraction=0.0)
+        ripple = vrm.ripple(100000, 5e-10, nominal_voltage=1.3)
+        amplitude = vrm.ripple_fraction * 1.3
+        assert abs(ripple.mean()) < 0.05 * amplitude
+        assert ripple.max() <= amplitude / 2 + 1e-12
+        assert ripple.min() >= -amplitude / 2 - 1e-12
+
+    def test_peak_to_peak_close_to_spec(self):
+        vrm = VoltageRegulatorModule(jitter_fraction=0.0)
+        ripple = vrm.ripple(200000, 5e-10, nominal_voltage=1.0)
+        assert ripple.max() - ripple.min() == pytest.approx(
+            vrm.ripple_fraction, rel=0.05
+        )
+
+    def test_periodicity_without_jitter(self):
+        vrm = VoltageRegulatorModule(
+            switching_frequency_hz=1e6, ripple_fraction=0.02, jitter_fraction=0.0
+        )
+        dt = 1e-9
+        period = int(round(1 / (1e6 * dt)))
+        ripple = vrm.ripple(5 * period, dt, 1.0)
+        assert np.allclose(ripple[:period], ripple[period : 2 * period], atol=1e-9)
+
+    def test_zero_ripple_configuration(self):
+        vrm = VoltageRegulatorModule(ripple_fraction=0.0)
+        assert np.all(vrm.ripple(100, 1e-9, 1.0) == 0.0)
+
+    def test_deterministic_with_seed(self):
+        vrm = VoltageRegulatorModule()
+        a = vrm.ripple(1000, 1e-9, 1.0, seed=7)
+        b = vrm.ripple(1000, 1e-9, 1.0, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VoltageRegulatorModule(switching_frequency_hz=0)
+        with pytest.raises(ConfigurationError):
+            VoltageRegulatorModule(ripple_fraction=0.5)
+        vrm = VoltageRegulatorModule()
+        with pytest.raises(ConfigurationError):
+            vrm.ripple(0, 1e-9, 1.0)
+        with pytest.raises(ConfigurationError):
+            vrm.ripple(10, -1e-9, 1.0)

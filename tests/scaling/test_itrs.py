@@ -1,0 +1,57 @@
+"""Unit tests for the ITRS scaling projection (Fig. 1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scaling.itrs import (
+    TECHNOLOGY_NODES,
+    TechnologyNode,
+    node_by_name,
+    projected_voltage_swings,
+)
+
+
+class TestNodes:
+    def test_table_spans_45_to_11(self):
+        names = [n.name for n in TECHNOLOGY_NODES]
+        assert names == ["45nm", "32nm", "22nm", "16nm", "11nm"]
+
+    def test_vdd_follows_itrs(self):
+        assert node_by_name("45nm").vdd == 1.0
+        assert node_by_name("11nm").vdd == 0.6
+        vdds = [n.vdd for n in TECHNOLOGY_NODES]
+        assert vdds == sorted(vdds, reverse=True)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            node_by_name("7nm")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyNode("x", -1, 1.0, 0.3)
+        with pytest.raises(ConfigurationError):
+            TechnologyNode("x", 45, 0.5, 0.7)
+
+
+class TestProjection:
+    @pytest.fixture(scope="class")
+    def swings(self):
+        return projected_voltage_swings(n_samples=20_000)
+
+    def test_reference_node_is_unity(self, swings):
+        assert swings["45nm"] == pytest.approx(1.0)
+
+    def test_monotone_growth(self, swings):
+        values = [swings[n.name] for n in TECHNOLOGY_NODES]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_doubles_by_16nm(self, swings):
+        """The paper's headline Fig. 1 claim."""
+        assert 1.8 <= swings["16nm"] <= 2.3
+
+    def test_11nm_between_2_and_3(self, swings):
+        assert 2.3 <= swings["11nm"] <= 3.2
+
+    def test_needs_nodes(self):
+        with pytest.raises(ConfigurationError):
+            projected_voltage_swings(nodes=())

@@ -1,0 +1,70 @@
+"""Unit tests for the ring-oscillator margin/frequency model (Fig. 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scaling.itrs import node_by_name
+from repro.scaling.ring_oscillator import (
+    RingOscillatorModel,
+    frequency_vs_margin,
+)
+
+
+class TestRingOscillatorModel:
+    def test_zero_margin_is_unity(self):
+        model = RingOscillatorModel(node_by_name("45nm"))
+        assert model.relative_frequency(0.0) == pytest.approx(1.0)
+
+    def test_frequency_falls_with_margin(self):
+        model = RingOscillatorModel(node_by_name("45nm"))
+        values = [model.relative_frequency(m) for m in (0.0, 0.1, 0.2, 0.3)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_paper_calibration_point(self):
+        """20% margin at 45 nm costs ~25% of peak frequency."""
+        model = RingOscillatorModel(node_by_name("45nm"))
+        loss = 1.0 - model.relative_frequency(0.20)
+        assert 0.18 <= loss <= 0.30
+
+    def test_low_vdd_node_hit_harder(self):
+        hi = RingOscillatorModel(node_by_name("45nm"))
+        lo = RingOscillatorModel(node_by_name("16nm"))
+        assert lo.relative_frequency(0.25) < hi.relative_frequency(0.25)
+
+    def test_16nm_loses_more_than_half_at_40pct(self):
+        """The paper: doubled swings by 16 nm imply >50% frequency loss."""
+        model = RingOscillatorModel(node_by_name("16nm"))
+        assert model.relative_frequency(0.40) < 0.50
+
+    def test_stops_at_threshold(self):
+        model = RingOscillatorModel(node_by_name("16nm"))
+        # 0.7 V * (1 - 0.65) = 0.245 V < Vth -> NaN (device stops).
+        assert math.isnan(model.relative_frequency(0.65))
+
+    def test_validation(self):
+        model = RingOscillatorModel(node_by_name("45nm"))
+        with pytest.raises(ConfigurationError):
+            model.relative_frequency(-0.1)
+        with pytest.raises(ConfigurationError):
+            model.stage_delay(0.1)
+        with pytest.raises(ConfigurationError):
+            RingOscillatorModel(node_by_name("45nm"), alpha=0)
+
+
+class TestFrequencyVsMargin:
+    def test_curves_for_four_nodes(self):
+        curves = frequency_vs_margin(np.linspace(0, 0.4, 9))
+        assert set(curves) == {"45nm", "32nm", "22nm", "16nm"}
+        for values in curves.values():
+            assert values.shape == (9,)
+            assert values[0] == pytest.approx(100.0)
+
+    def test_node_ordering_preserved_at_every_margin(self):
+        margins = np.linspace(0.05, 0.35, 7)
+        curves = frequency_vs_margin(margins)
+        for i in range(margins.size):
+            column = [curves[n][i] for n in ("45nm", "32nm", "22nm", "16nm")]
+            assert all(a >= b for a, b in zip(column, column[1:]))

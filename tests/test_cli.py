@@ -1,0 +1,36 @@
+"""Unit tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import DESCRIPTIONS, EXPERIMENTS, main
+
+
+class TestCli:
+    def test_every_experiment_described(self):
+        assert set(EXPERIMENTS) == set(DESCRIPTIONS)
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for alias in EXPERIMENTS:
+            assert alias in out
+
+    def test_run_one(self, capsys):
+        assert main(["run", "fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+        assert "finished in" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_aliases_resolve_to_modules(self):
+        import importlib
+
+        for name in EXPERIMENTS.values():
+            importlib.import_module(f"repro.experiments.{name}")

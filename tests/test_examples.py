@@ -1,0 +1,53 @@
+"""Smoke tests for the example scripts.
+
+The quickstart runs end to end (it is fast); the longer walk-throughs are
+checked for a clean import and a ``main`` entry point, which catches API
+drift without paying their full runtime in the unit-test suite.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = (
+    "quickstart.py",
+    "characterize_noise.py",
+    "future_nodes.py",
+    "noise_aware_scheduling.py",
+    "recovery_design_space.py",
+)
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_all_examples_exist(self):
+        for name in ALL_EXAMPLES:
+            assert (EXAMPLES_DIR / name).is_file(), name
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_defines_main(self, name):
+        module = _load(name)
+        assert callable(getattr(module, "main", None)), name
+
+    def test_quickstart_runs(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "peak-to-peak swing" in completed.stdout
+        assert "stall ratio" in completed.stdout

@@ -1,0 +1,94 @@
+"""Unit tests for activity-envelope synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.uarch.activity import MAX_ACTIVITY, event_envelope, synthesize_activity
+from repro.uarch.events import StallEvent, profile_for
+
+
+class TestEventEnvelope:
+    def test_drop_reaches_floor(self):
+        profile = profile_for(StallEvent.L2_MISS)
+        drop, _ = event_envelope(profile)
+        assert drop.min() == pytest.approx(1.0 - profile.drop_fraction)
+
+    def test_surge_peak(self):
+        profile = profile_for(StallEvent.BRANCH_MISPREDICT)
+        _, surge = event_envelope(profile)
+        assert surge.max() == pytest.approx(profile.surge_factor - 1.0)
+
+    def test_surge_zero_during_stall(self):
+        profile = profile_for(StallEvent.L2_MISS)
+        _, surge = event_envelope(profile)
+        stall_span = profile.drain_cycles + profile.stall_cycles
+        assert np.all(surge[:stall_span] == 0.0)
+
+    def test_same_length_arrays(self):
+        for event in StallEvent:
+            drop, surge = event_envelope(profile_for(event))
+            assert drop.shape == surge.shape
+
+
+class TestSynthesize:
+    def test_no_events_passthrough(self):
+        baseline = np.full(100, 0.7)
+        out = synthesize_activity(baseline, [])
+        assert np.allclose(out, baseline)
+
+    def test_event_causes_dip_then_surge(self):
+        baseline = np.full(2000, 0.8)
+        out = synthesize_activity(baseline, [(100, StallEvent.L2_MISS)])
+        profile = profile_for(StallEvent.L2_MISS)
+        stall_region = out[100 + profile.drain_cycles : 100 + profile.drain_cycles + 10]
+        assert np.all(stall_region < 0.2)
+        # Post-refill surge exceeds baseline.
+        refill_at = 100 + profile.drain_cycles + profile.stall_cycles + profile.refill_cycles
+        assert out[refill_at : refill_at + 10].max() > 0.8
+
+    def test_surge_is_absolute_not_multiplicative(self):
+        """A low-occupancy program still surges toward full activity."""
+        low = synthesize_activity(np.full(2000, 0.3), [(100, StallEvent.L2_MISS)])
+        surge_gain_low = low.max() - 0.3
+        profile = profile_for(StallEvent.L2_MISS)
+        # Roughly the absolute surge amplitude, not 0.3 * factor.
+        assert surge_gain_low > 0.6 * (profile.surge_factor - 1.0)
+
+    def test_overlapping_events_stack_multiplicatively(self):
+        baseline = np.full(1000, 0.9)
+        one = synthesize_activity(baseline, [(100, StallEvent.L1_MISS)])
+        two = synthesize_activity(
+            baseline, [(100, StallEvent.L1_MISS), (102, StallEvent.L1_MISS)]
+        )
+        assert two.min() < one.min()
+
+    def test_truncation_at_window_end(self):
+        baseline = np.full(50, 0.9)
+        out = synthesize_activity(baseline, [(48, StallEvent.EXCEPTION)])
+        assert out.shape == (50,)
+
+    def test_out_of_range_event_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_activity(np.full(10, 0.5), [(10, StallEvent.L1_MISS)])
+
+    def test_empty_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_activity(np.array([]), [])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        base=st.floats(min_value=0.05, max_value=1.0),
+        cycles=st.lists(
+            st.integers(min_value=0, max_value=1999), min_size=0, max_size=30
+        ),
+        event=st.sampled_from(list(StallEvent)),
+    )
+    def test_bounds_invariant(self, base, cycles, event):
+        """Realized activity always stays within [0, MAX_ACTIVITY]."""
+        out = synthesize_activity(
+            np.full(2000, base), [(c, event) for c in cycles]
+        )
+        assert out.min() >= 0.0
+        assert out.max() <= MAX_ACTIVITY + 1e-12

@@ -1,0 +1,102 @@
+"""Unit tests for the single-core execution model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.core import Core, CoreParameters
+from repro.uarch.events import StallEvent
+from repro.uarch.window import ExecutionWindow
+
+
+def window(activity=0.8, n=5000, events=(), ipc=1.5):
+    return ExecutionWindow(
+        baseline_activity=np.full(n, activity),
+        events=list(events),
+        base_ipc=ipc,
+        label="test",
+    )
+
+
+class TestCoreParameters:
+    def test_defaults_valid(self):
+        CoreParameters()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoreParameters(leakage_amps=-1)
+        with pytest.raises(ConfigurationError):
+            CoreParameters(dynamic_max_amps=0)
+        with pytest.raises(ConfigurationError):
+            CoreParameters(fast_fraction=0)
+        with pytest.raises(ConfigurationError):
+            CoreParameters(gating_tau_cycles=0)
+
+
+class TestCore:
+    def test_constant_activity_constant_current(self):
+        core = Core()
+        execution = core.execute(window(activity=0.6))
+        params = core.parameters
+        expected = params.leakage_amps + params.dynamic_max_amps * 0.6
+        assert np.allclose(execution.current_amps, expected, atol=1e-9)
+
+    def test_current_bounded_by_budget(self):
+        core = Core()
+        events = [(i, StallEvent.BRANCH_MISPREDICT) for i in range(0, 4000, 40)]
+        execution = core.execute(window(activity=1.0, events=events))
+        params = core.parameters
+        ceiling = params.leakage_amps + params.dynamic_max_amps * 1.5
+        assert execution.current_amps.max() <= ceiling
+        assert execution.current_amps.min() >= params.leakage_amps
+
+    def test_stall_event_reduces_instructions(self):
+        core = Core()
+        clean = core.execute(window())
+        events = [(i, StallEvent.L2_MISS) for i in range(0, 4000, 500)]
+        stalled = core.execute(window(events=events))
+        assert stalled.counters.instructions < clean.counters.instructions
+        assert stalled.counters.stall_ratio > clean.counters.stall_ratio
+
+    def test_counters_record_event_counts(self):
+        core = Core()
+        events = [(100, StallEvent.TLB_MISS), (300, StallEvent.TLB_MISS),
+                  (900, StallEvent.L1_MISS)]
+        execution = core.execute(window(events=events))
+        assert execution.counters.event_count(StallEvent.TLB_MISS) == 2
+        assert execution.counters.event_count(StallEvent.L1_MISS) == 1
+
+    def test_fast_edge_is_fraction_of_dynamic_current(self):
+        """A one-cycle flush only swings the fast gating component."""
+        core = Core()
+        execution = core.execute(
+            window(activity=1.0, events=[(2500, StallEvent.BRANCH_MISPREDICT)])
+        )
+        current = execution.current_amps
+        # Largest single-cycle delta is bounded by fast_fraction * dyn.
+        max_step = np.abs(np.diff(current)).max()
+        params = core.parameters
+        bound = params.fast_fraction * params.dynamic_max_amps * 1.1
+        assert 0 < max_step <= bound
+
+    def test_slow_component_follows_sustained_stall(self):
+        """A long stall eventually drains (almost) the full dynamic current."""
+        core = Core()
+        n = 8000
+        baseline = np.full(n, 0.9)
+        baseline[3000:] = 0.05  # sustained drop
+        execution = core.execute(
+            ExecutionWindow(baseline_activity=baseline, events=[], base_ipc=1.0)
+        )
+        params = core.parameters
+        early = execution.current_amps[2500]
+        late = execution.current_amps[-1]
+        full_swing = params.dynamic_max_amps * 0.85
+        assert early - late > 0.9 * full_swing
+
+    def test_ipc_scales_with_activity(self):
+        core = Core()
+        high = core.execute(window(activity=0.9, ipc=2.0))
+        low = core.execute(window(activity=0.45, ipc=2.0))
+        assert high.counters.ipc == pytest.approx(2.0 * 0.9, rel=1e-6)
+        assert low.counters.ipc == pytest.approx(2.0 * 0.45, rel=1e-6)

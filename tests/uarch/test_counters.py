@@ -1,0 +1,45 @@
+"""Unit tests for the performance-counter model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.counters import PerformanceCounters
+from repro.uarch.events import StallEvent
+
+
+class TestPerformanceCounters:
+    def test_derived_metrics(self):
+        counters = PerformanceCounters(
+            cycles=1000, instructions=1500.0, stall_cycles=250,
+        )
+        assert counters.ipc == pytest.approx(1.5)
+        assert counters.stall_ratio == pytest.approx(0.25)
+
+    def test_event_counts_default_zero(self):
+        counters = PerformanceCounters(cycles=10, instructions=1, stall_cycles=0)
+        assert counters.event_count(StallEvent.L2_MISS) == 0
+
+    def test_merge_adds_everything(self):
+        a = PerformanceCounters(
+            cycles=100, instructions=150, stall_cycles=20,
+            event_counts={StallEvent.L1_MISS: 3},
+        )
+        b = PerformanceCounters(
+            cycles=300, instructions=150, stall_cycles=80,
+            event_counts={StallEvent.L1_MISS: 2, StallEvent.TLB_MISS: 1},
+        )
+        merged = a.merged_with(b)
+        assert merged.cycles == 400
+        assert merged.instructions == 300
+        assert merged.stall_cycles == 100
+        assert merged.event_count(StallEvent.L1_MISS) == 5
+        assert merged.event_count(StallEvent.TLB_MISS) == 1
+        assert merged.ipc == pytest.approx(300 / 400)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PerformanceCounters(cycles=0, instructions=0, stall_cycles=0)
+        with pytest.raises(ConfigurationError):
+            PerformanceCounters(cycles=10, instructions=-1, stall_cycles=0)
+        with pytest.raises(ConfigurationError):
+            PerformanceCounters(cycles=10, instructions=0, stall_cycles=11)

@@ -1,0 +1,93 @@
+"""Unit tests for stall events and their profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.events import (
+    EVENT_PROFILES,
+    EventProfile,
+    StallEvent,
+    profile_for,
+)
+
+
+class TestStallEvent:
+    def test_all_five_paper_events_exist(self):
+        assert {e.label for e in StallEvent} == {"L1", "L2", "TLB", "BR", "EXCP"}
+
+    def test_every_event_has_a_profile(self):
+        for event in StallEvent:
+            assert profile_for(event) is EVENT_PROFILES[event]
+
+
+class TestEventProfile:
+    def test_footprint_covers_all_segments(self):
+        profile = EventProfile(
+            stall_cycles=10, drain_cycles=2, refill_cycles=3,
+            drop_fraction=0.5, surge_factor=1.2, surge_decay_cycles=5.0,
+        )
+        assert profile.footprint_cycles == 2 + 10 + 3 + 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"stall_cycles": 0},
+            {"drain_cycles": 0},
+            {"refill_cycles": 0},
+            {"drop_fraction": 0.0},
+            {"drop_fraction": 1.5},
+            {"surge_factor": 0.9},
+            {"surge_decay_cycles": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(
+            stall_cycles=10, drain_cycles=2, refill_cycles=3,
+            drop_fraction=0.5, surge_factor=1.2, surge_decay_cycles=5.0,
+        )
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            EventProfile(**base)
+
+
+class TestCalibration:
+    """Relations between profiles that the paper's figures depend on."""
+
+    def test_flush_events_drain_in_one_cycle(self):
+        # BR and EXCP flush the pipeline abruptly (sharpest dI/dt).
+        assert profile_for(StallEvent.BRANCH_MISPREDICT).drain_cycles == 1
+        assert profile_for(StallEvent.EXCEPTION).drain_cycles == 1
+
+    def test_flush_events_drain_completely(self):
+        assert profile_for(StallEvent.BRANCH_MISPREDICT).drop_fraction == 1.0
+        assert profile_for(StallEvent.EXCEPTION).drop_fraction == 1.0
+
+    def test_l1_miss_is_the_mildest_event(self):
+        l1 = profile_for(StallEvent.L1_MISS)
+        for event in StallEvent:
+            if event is StallEvent.L1_MISS:
+                continue
+            other = profile_for(event)
+            assert l1.drop_fraction <= other.drop_fraction
+            assert l1.surge_factor <= other.surge_factor
+
+    def test_memory_hierarchy_latency_ordering(self):
+        l1 = profile_for(StallEvent.L1_MISS).stall_cycles
+        tlb = profile_for(StallEvent.TLB_MISS).stall_cycles
+        l2 = profile_for(StallEvent.L2_MISS).stall_cycles
+        assert l1 < tlb < l2
+
+    def test_exception_is_longest_with_largest_energy(self):
+        excp = profile_for(StallEvent.EXCEPTION)
+        assert excp.stall_cycles == max(
+            profile_for(e).stall_cycles for e in StallEvent
+        )
+        # Deep-drop duration x surge: the exception carries the most
+        # charge displacement of any single event.
+        def energy(e):
+            p = profile_for(e)
+            return p.drop_fraction * p.stall_cycles * p.surge_factor
+
+        assert energy(StallEvent.EXCEPTION) == max(
+            energy(e) for e in StallEvent
+        )

@@ -1,0 +1,91 @@
+"""Unit tests for the cross-core slack-pickup coupling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.chip import SLACK_PICKUP_GATE, Chip
+from repro.uarch.events import StallEvent
+from repro.uarch.window import ExecutionWindow
+
+N = 6000
+
+
+def window(activity, events=(), label="w"):
+    return ExecutionWindow(
+        baseline_activity=np.full(N, activity),
+        events=list(events),
+        base_ipc=1.5,
+        label=label,
+    )
+
+
+class TestSlackCoupling:
+    def test_sibling_picks_up_stall_slack(self):
+        """When core 0 stalls deeply, an active core 1 speeds up."""
+        chip = Chip("Proc100", with_ripple=False, slack_coupling=0.35)
+        staller = window(0.9, [(3000, StallEvent.L2_MISS)])
+        steady = window(0.7)
+        run = chip.run([staller, steady])
+        # During core 0's stall, core 1's realized activity rises above
+        # its baseline.
+        stall_region = slice(3050, 3200)
+        assert run.cores[1].activity[stall_region].mean() > 0.71
+
+    def test_no_coupling_means_no_pickup(self):
+        chip = Chip("Proc100", with_ripple=False, slack_coupling=0.0)
+        staller = window(0.9, [(3000, StallEvent.L2_MISS)])
+        steady = window(0.7)
+        run = chip.run([staller, steady])
+        assert np.allclose(run.cores[1].activity, 0.7)
+
+    def test_idle_sibling_cannot_pick_up(self):
+        """The pickup gate: only actively running cores speed up."""
+        chip = Chip("Proc100", with_ripple=False, slack_coupling=0.35)
+        staller = window(0.9, [(3000, StallEvent.L2_MISS)])
+        nearly_idle = window(SLACK_PICKUP_GATE / 2)
+        run = chip.run([staller, nearly_idle])
+        assert np.allclose(
+            run.cores[1].activity, SLACK_PICKUP_GATE / 2, atol=1e-9
+        )
+
+    def test_coupling_damps_chip_current_swing(self):
+        staller = window(0.9, [(i, StallEvent.L2_MISS)
+                               for i in range(500, N - 500, 800)])
+        steady = window(0.7)
+        coupled = Chip("Proc100", with_ripple=False, slack_coupling=0.35)
+        uncoupled = Chip("Proc100", with_ripple=False, slack_coupling=0.0)
+        swing_coupled = np.ptp(coupled.run([staller, steady]).total_current_amps)
+        swing_uncoupled = np.ptp(
+            uncoupled.run([staller, steady]).total_current_amps
+        )
+        assert swing_coupled < swing_uncoupled
+
+    def test_aligned_stalls_get_no_relief(self):
+        """Both cores stalled together: nobody picks up the slack —
+        constructive interference goes through at full amplitude."""
+        events = [(3000, StallEvent.EXCEPTION)]
+        a = window(0.9, events)
+        b = window(0.9, events)
+        coupled = Chip("Proc100", with_ripple=False, slack_coupling=0.35)
+        uncoupled = Chip("Proc100", with_ripple=False, slack_coupling=0.0)
+        drop_coupled = coupled.run([a, b]).total_current_amps.min()
+        drop_uncoupled = uncoupled.run([a, b]).total_current_amps.min()
+        assert drop_coupled == pytest.approx(drop_uncoupled, abs=0.6)
+
+    def test_coupling_boosts_sibling_counters(self):
+        """Picked-up slack is real work: IPC rises with it."""
+        chip = Chip("Proc100", with_ripple=False, slack_coupling=0.35)
+        plain = Chip("Proc100", with_ripple=False, slack_coupling=0.0)
+        staller = window(0.9, [(i, StallEvent.L2_MISS)
+                               for i in range(500, N - 500, 600)])
+        steady = window(0.7)
+        with_pickup = chip.run([staller, steady]).counters(1).ipc
+        without = plain.run([staller, steady]).counters(1).ipc
+        assert with_pickup > without
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Chip(slack_coupling=1.5)
+        with pytest.raises(ConfigurationError):
+            Chip(slack_coupling=-0.1)

@@ -1,0 +1,90 @@
+"""Unit tests for the split-supply chip variant."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.uarch.chip import Chip
+from repro.uarch.split_supply import SplitSupplyChip
+from repro.workloads.microbenchmarks import IdleLoop
+from repro.workloads.spec import spec_benchmark
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def split_chip():
+    return SplitSupplyChip("Proc100", with_ripple=False)
+
+
+class TestConstruction:
+    def test_defaults(self, split_chip):
+        assert split_chip.n_cores == 2
+        assert split_chip.config_name == "Proc100"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SplitSupplyChip(n_cores=0)
+        with pytest.raises(ConfigurationError):
+            SplitSupplyChip(uncore_amps=-1)
+
+
+class TestRun:
+    def test_one_rail_per_core(self, split_chip):
+        run = split_chip.run([
+            spec_benchmark("mcf").sample_window(N, rng=1),
+            spec_benchmark("namd").sample_window(N, rng=2),
+        ])
+        assert len(run.rails) == 2
+        assert len(run.cores) == 2
+        assert run.n_cycles == N
+
+    def test_rails_are_independent(self, split_chip):
+        """Only the busy core's rail sees that core's noise."""
+        busy = spec_benchmark("mcf").sample_window(N, rng=3)
+        idle = IdleLoop().sample_window(N, rng=4)
+        run = split_chip.run([busy, idle])
+        assert (
+            run.rails[0].peak_to_peak_fraction()
+            > 2 * run.rails[1].peak_to_peak_fraction()
+        )
+
+    def test_missing_window_idles_core(self, split_chip):
+        run = split_chip.run([spec_benchmark("mcf").sample_window(N, rng=5)])
+        assert run.cores[1].label == "(idle)"
+
+    def test_worst_metrics_cover_both_rails(self, split_chip):
+        run = split_chip.run([
+            spec_benchmark("mcf").sample_window(N, rng=6),
+            spec_benchmark("lbm").sample_window(N, rng=7),
+        ])
+        assert run.worst_droop_fraction() == max(
+            r.max_droop_fraction() for r in run.rails
+        )
+        assert run.worst_peak_to_peak_fraction() == max(
+            r.peak_to_peak_fraction() for r in run.rails
+        )
+
+    def test_validation(self, split_chip):
+        with pytest.raises(SimulationError):
+            split_chip.run([None, None])
+        with pytest.raises(SimulationError):
+            split_chip.run([
+                spec_benchmark("mcf").sample_window(100, rng=1),
+                spec_benchmark("mcf").sample_window(200, rng=2),
+            ])
+
+
+class TestPower6Comparison:
+    def test_split_swings_exceed_connected(self):
+        """The paper's footnote-3 claim (POWER6 split-vs-connected)."""
+        connected = Chip("Proc100", with_ripple=False)
+        split = SplitSupplyChip("Proc100", with_ripple=False)
+        ratios = []
+        for seed in range(3):
+            wa = spec_benchmark("lbm").sample_window(N, rng=10 + seed)
+            wb = spec_benchmark("namd").sample_window(N, rng=20 + seed)
+            conn = connected.run([wa, wb]).voltage.peak_to_peak_fraction()
+            spl = split.run([wa, wb]).worst_peak_to_peak_fraction()
+            ratios.append(spl / conn)
+        assert np.mean(ratios) > 1.05

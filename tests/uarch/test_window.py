@@ -1,0 +1,47 @@
+"""Unit tests for ExecutionWindow."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.events import StallEvent
+from repro.uarch.window import ExecutionWindow
+
+
+class TestExecutionWindow:
+    def test_basic(self):
+        window = ExecutionWindow(
+            baseline_activity=np.full(100, 0.5),
+            events=[(10, StallEvent.L1_MISS), (20, StallEvent.L1_MISS)],
+        )
+        assert window.n_cycles == 100
+        assert window.event_count(StallEvent.L1_MISS) == 2
+        assert window.event_count(StallEvent.L2_MISS) == 0
+
+    def test_rejects_activity_out_of_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionWindow(baseline_activity=np.array([0.5, 1.2]))
+        with pytest.raises(ConfigurationError):
+            ExecutionWindow(baseline_activity=np.array([-0.1, 0.5]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionWindow(baseline_activity=np.array([]))
+
+    def test_rejects_event_outside_window(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionWindow(
+                baseline_activity=np.full(10, 0.5),
+                events=[(10, StallEvent.L1_MISS)],
+            )
+
+    def test_rejects_non_event(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionWindow(
+                baseline_activity=np.full(10, 0.5),
+                events=[(1, "L1")],
+            )
+
+    def test_rejects_bad_ipc(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionWindow(baseline_activity=np.full(10, 0.5), base_ipc=0.0)

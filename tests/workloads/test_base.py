@@ -1,0 +1,189 @@
+"""Unit tests for workload abstractions and window synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.uarch.events import StallEvent
+from repro.workloads.base import (
+    BurstModel,
+    PhasedWorkload,
+    PhaseSegment,
+    StatisticalWorkload,
+    StatProfile,
+    synthesize_window,
+)
+
+
+def profile(activity=0.7, sigma=0.05, rates=None, burst=None, ipc=1.5):
+    return StatProfile(
+        mean_activity=activity,
+        activity_sigma=sigma,
+        event_rates=rates or {},
+        burst=burst,
+        base_ipc=ipc,
+    )
+
+
+class TestBurstModel:
+    def test_duty_cycle_matches_fraction(self):
+        burst = BurstModel(memory_fraction=0.3, dwell_cycles=500)
+        rng = np.random.default_rng(0)
+        states = burst.state_series(200_000, rng)
+        assert states.mean() == pytest.approx(0.3, abs=0.06)
+
+    def test_zero_fraction_never_memory_bound(self):
+        burst = BurstModel(memory_fraction=0.0)
+        states = burst.state_series(1000, np.random.default_rng(0))
+        assert not states.any()
+
+    def test_dwell_scale(self):
+        burst = BurstModel(memory_fraction=0.5, dwell_cycles=1000)
+        rng = np.random.default_rng(1)
+        states = burst.state_series(300_000, rng)
+        transitions = np.count_nonzero(np.diff(states.astype(int)))
+        # Mean dwell ~1000 cycles -> ~300 transitions over 300k cycles.
+        assert 150 <= transitions <= 600
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstModel(memory_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            BurstModel(dwell_cycles=0)
+        with pytest.raises(ConfigurationError):
+            BurstModel(activity_drop=0)
+        with pytest.raises(ConfigurationError):
+            BurstModel(event_boost=0.5)
+
+
+class TestStatProfile:
+    def test_rate_lookup(self):
+        p = profile(rates={StallEvent.L2_MISS: 0.001})
+        assert p.rate(StallEvent.L2_MISS) == 0.001
+        assert p.rate(StallEvent.L1_MISS) == 0.0
+
+    def test_expected_stall_ratio_monotone_in_rates(self):
+        low = profile(rates={StallEvent.L2_MISS: 0.0005})
+        high = profile(rates={StallEvent.L2_MISS: 0.002})
+        assert high.expected_stall_ratio() > low.expected_stall_ratio()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            profile(activity=0.0)
+        with pytest.raises(ConfigurationError):
+            profile(sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            StatProfile(mean_activity=0.5, event_rates={StallEvent.L1_MISS: -1})
+        with pytest.raises(ConfigurationError):
+            StatProfile(mean_activity=0.5, event_rates={"L1": 0.1})
+
+
+class TestSynthesizeWindow:
+    def test_mean_activity_near_target(self):
+        window = synthesize_window(profile(activity=0.7, sigma=0.02), 50_000, rng=0)
+        assert window.baseline_activity.mean() == pytest.approx(0.7, abs=0.05)
+
+    def test_event_rate_realized(self):
+        p = profile(rates={StallEvent.L1_MISS: 0.01})
+        window = synthesize_window(p, 100_000, rng=1)
+        realized = window.event_count(StallEvent.L1_MISS) / 100_000
+        assert realized == pytest.approx(0.01, rel=0.2)
+
+    def test_burst_preserves_long_run_event_rate(self):
+        burst = BurstModel(memory_fraction=0.4, dwell_cycles=1000, event_boost=6.0)
+        p = profile(rates={StallEvent.L2_MISS: 0.002}, burst=burst)
+        window = synthesize_window(p, 200_000, rng=2)
+        realized = window.event_count(StallEvent.L2_MISS) / 200_000
+        assert realized == pytest.approx(0.002, rel=0.25)
+
+    def test_burst_lowers_activity_in_state(self):
+        burst = BurstModel(
+            memory_fraction=0.5, dwell_cycles=2000, activity_drop=0.4
+        )
+        p = profile(activity=0.8, sigma=0.0, burst=burst)
+        window = synthesize_window(p, 100_000, rng=3)
+        values = np.unique(np.round(window.baseline_activity, 6))
+        assert values.min() == pytest.approx(0.32, abs=0.01)
+        assert values.max() == pytest.approx(0.8, abs=0.01)
+
+    def test_deterministic_with_seed(self):
+        p = profile(rates={StallEvent.L1_MISS: 0.01})
+        a = synthesize_window(p, 10_000, rng=42)
+        b = synthesize_window(p, 10_000, rng=42)
+        assert np.array_equal(a.baseline_activity, b.baseline_activity)
+        assert a.events == b.events
+
+    def test_events_sorted(self):
+        p = profile(rates={StallEvent.L1_MISS: 0.01, StallEvent.TLB_MISS: 0.002})
+        window = synthesize_window(p, 50_000, rng=5)
+        cycles = [c for c, _ in window.events]
+        assert cycles == sorted(cycles)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_window(profile(), 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        activity=st.floats(min_value=0.1, max_value=1.0),
+        sigma=st.floats(min_value=0.0, max_value=0.2),
+    )
+    def test_activity_always_in_bounds(self, activity, sigma):
+        window = synthesize_window(
+            profile(activity=activity, sigma=sigma), 5000, rng=0
+        )
+        assert window.baseline_activity.min() >= 0.0
+        assert window.baseline_activity.max() <= 1.0
+
+
+class TestPhasedWorkload:
+    def segments(self):
+        return [
+            PhaseSegment(100, profile(activity=0.9), name="hot"),
+            PhaseSegment(200, profile(activity=0.4), name="cold"),
+        ]
+
+    def test_profile_at_selects_segment(self):
+        workload = PhasedWorkload("w", self.segments())
+        assert workload.profile_at(50).mean_activity == 0.9
+        assert workload.profile_at(150).mean_activity == 0.4
+
+    def test_clamps_past_end_without_repeat(self):
+        workload = PhasedWorkload("w", self.segments())
+        assert workload.profile_at(10_000).mean_activity == 0.4
+
+    def test_repeat_wraps(self):
+        workload = PhasedWorkload(
+            "w", self.segments(), repeat=True, total_duration_seconds=10_000
+        )
+        assert workload.cycle_seconds == 300
+        assert workload.profile_at(300 + 50).mean_activity == 0.9
+        assert workload.duration_seconds == 10_000
+
+    def test_negative_time_rejected(self):
+        workload = PhasedWorkload("w", self.segments())
+        with pytest.raises(WorkloadError):
+            workload.profile_at(-1)
+
+    def test_needs_segments(self):
+        with pytest.raises(WorkloadError):
+            PhasedWorkload("w", [])
+
+    def test_sample_window_uses_active_phase(self):
+        workload = PhasedWorkload("w", self.segments())
+        hot = workload.sample_window(20_000, rng=1, at_time_s=10)
+        cold = workload.sample_window(20_000, rng=1, at_time_s=200)
+        assert hot.baseline_activity.mean() > cold.baseline_activity.mean()
+
+
+class TestStatisticalWorkload:
+    def test_duration_and_label(self):
+        workload = StatisticalWorkload("x", profile(), duration_seconds=123)
+        assert workload.duration_seconds == 123
+        window = workload.sample_window(1000, rng=0)
+        assert window.label == "x"
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            StatisticalWorkload("x", profile(), duration_seconds=0)

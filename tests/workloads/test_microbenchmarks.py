@@ -1,0 +1,72 @@
+"""Unit tests for microbenchmarks and the idle loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.events import StallEvent
+from repro.workloads.microbenchmarks import (
+    DEFAULT_PERIODS,
+    EventLoopMicrobenchmark,
+    IdleLoop,
+    MICROBENCHMARKS,
+    microbenchmark_for,
+)
+
+
+class TestEventLoop:
+    def test_one_kernel_per_event(self):
+        assert set(MICROBENCHMARKS) == set(StallEvent)
+        for event in StallEvent:
+            assert microbenchmark_for(event).event is event
+
+    def test_event_train_periodicity(self):
+        ub = EventLoopMicrobenchmark(
+            StallEvent.TLB_MISS, period_cycles=100, jitter_cycles=0.0
+        )
+        window = ub.sample_window(10_000, rng=3)
+        cycles = np.array([c for c, _ in window.events])
+        gaps = np.diff(cycles)
+        assert np.all(gaps == 100)
+
+    def test_event_count_matches_period(self):
+        for event in StallEvent:
+            ub = microbenchmark_for(event)
+            window = ub.sample_window(50_000, rng=1)
+            expected = 50_000 / ub.period_cycles
+            assert window.event_count(event) == pytest.approx(expected, rel=0.1)
+
+    def test_only_its_own_event_kind(self):
+        window = microbenchmark_for(StallEvent.L2_MISS).sample_window(20_000, rng=2)
+        kinds = {e for _, e in window.events}
+        assert kinds == {StallEvent.L2_MISS}
+
+    def test_period_exceeds_event_footprint_duty(self):
+        """Each kernel's period leaves room for the activity to recover."""
+        for event, period in DEFAULT_PERIODS.items():
+            assert period > 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EventLoopMicrobenchmark(StallEvent.L1_MISS, period_cycles=1)
+        with pytest.raises(ConfigurationError):
+            EventLoopMicrobenchmark(StallEvent.L1_MISS, jitter_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            EventLoopMicrobenchmark(StallEvent.L1_MISS, activity=0)
+        with pytest.raises(ConfigurationError):
+            microbenchmark_for(StallEvent.L1_MISS).sample_window(0)
+
+
+class TestIdleLoop:
+    def test_low_activity_no_events(self):
+        window = IdleLoop().sample_window(10_000, rng=0)
+        assert window.baseline_activity.mean() < 0.06
+        assert not window.events
+
+    def test_activity_parameter(self):
+        window = IdleLoop(activity=0.1).sample_window(10_000, rng=0)
+        assert window.baseline_activity.mean() == pytest.approx(0.1, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IdleLoop(activity=0.0)

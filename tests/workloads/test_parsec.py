@@ -1,0 +1,68 @@
+"""Unit tests for the PARSEC catalog and thread correlation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.uarch.events import StallEvent
+from repro.workloads.parsec import PARSEC, ParsecWorkload, parsec_benchmark
+from repro.workloads.base import StatProfile
+
+
+class TestCatalog:
+    def test_exactly_11_benchmarks(self):
+        assert len(PARSEC) == 11
+
+    def test_names(self):
+        expected = {
+            "blackscholes", "bodytrack", "canneal", "dedup", "facesim",
+            "ferret", "fluidanimate", "streamcluster", "swaptions", "vips",
+            "x264",
+        }
+        assert set(PARSEC) == expected
+
+    def test_lookup(self):
+        assert parsec_benchmark("canneal").name == "canneal"
+        with pytest.raises(WorkloadError):
+            parsec_benchmark("quake")
+
+
+class TestThreadWindows:
+    def test_pairs_have_aligned_barriers(self):
+        workload = ParsecWorkload(
+            "sync-heavy",
+            StatProfile(mean_activity=0.7, event_rates={}),
+            barrier_rate_per_cycle=1e-3,
+            barrier_skew_cycles=5.0,
+        )
+        w0, w1 = workload.sample_thread_windows(2, 50_000, rng=1)
+        t0 = np.array([c for c, e in w0.events if e is StallEvent.EXCEPTION])
+        t1 = np.array([c for c, e in w1.events if e is StallEvent.EXCEPTION])
+        assert t0.size == t1.size
+        assert t0.size == pytest.approx(50, rel=0.4)
+        # Matching barriers land within a few skew deviations of each other.
+        assert np.abs(np.sort(t0) - np.sort(t1)).mean() < 40
+
+    def test_thread_count_respected(self):
+        workload = parsec_benchmark("ferret")
+        windows = workload.sample_thread_windows(2, 10_000, rng=2)
+        assert len(windows) == 2
+        assert all(w.n_cycles == 10_000 for w in windows)
+
+    def test_threads_differ_in_noise(self):
+        windows = parsec_benchmark("vips").sample_thread_windows(2, 10_000, rng=3)
+        assert not np.array_equal(
+            windows[0].baseline_activity, windows[1].baseline_activity
+        )
+
+    def test_single_window_api_works(self):
+        window = parsec_benchmark("x264").sample_window(5000, rng=4)
+        assert window.n_cycles == 5000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParsecWorkload(
+                "bad", StatProfile(mean_activity=0.5), barrier_rate_per_cycle=-1
+            )
+        with pytest.raises(ConfigurationError):
+            parsec_benchmark("dedup").sample_thread_windows(0, 100)

@@ -1,0 +1,95 @@
+"""Unit tests for the SPEC CPU2006 catalog."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import PhasedWorkload
+from repro.workloads.spec import SPEC_CPU2006, SPEC_NAMES, spec_benchmark
+
+
+class TestCatalog:
+    def test_exactly_29_benchmarks(self):
+        assert len(SPEC_CPU2006) == 29
+
+    def test_names_match_paper_fig15(self):
+        expected = {
+            "astar", "bwaves", "bzip2", "cactusadm", "calculix", "dealii",
+            "gamess", "gcc", "gemsfdtd", "gobmk", "gromacs", "h264ref",
+            "hmmer", "lbm", "leslie3d", "libquantum", "mcf", "milc", "namd",
+            "omnetpp", "perlbench", "povray", "sjeng", "soplex", "sphinx",
+            "tonto", "wrf", "xalan", "zeusmp",
+        }
+        assert set(SPEC_CPU2006) == expected
+
+    def test_lookup(self):
+        assert spec_benchmark("mcf").name == "mcf"
+        with pytest.raises(WorkloadError):
+            spec_benchmark("doom")
+
+    def test_names_tuple_sorted(self):
+        assert list(SPEC_NAMES) == sorted(SPEC_NAMES)
+
+    def test_all_durations_plausible(self):
+        for workload in SPEC_CPU2006.values():
+            assert 100 <= workload.duration_seconds <= 3600
+
+
+class TestPhaseExemplars:
+    """Fig. 14's three phase archetypes."""
+
+    def test_sphinx_has_no_phases(self):
+        assert not isinstance(spec_benchmark("sphinx"), PhasedWorkload)
+
+    def test_gamess_has_four_phases(self):
+        gamess = spec_benchmark("gamess")
+        assert isinstance(gamess, PhasedWorkload)
+        assert len(gamess.segments) == 4
+
+    def test_tonto_oscillates(self):
+        tonto = spec_benchmark("tonto")
+        assert isinstance(tonto, PhasedWorkload)
+        # Repeats every few tens of seconds over a long run.
+        assert 20 <= tonto.cycle_seconds <= 120
+        assert tonto.duration_seconds > 10 * tonto.cycle_seconds
+        # The two regimes differ substantially in activity.
+        p_a = tonto.profile_at(0.0)
+        p_b = tonto.profile_at(tonto.segments[0].duration_seconds + 1.0)
+        assert abs(p_a.mean_activity - p_b.mean_activity) > 0.1
+
+    def test_gamess_phases_alternate(self):
+        gamess = spec_benchmark("gamess")
+        activities = [seg.profile.mean_activity for seg in gamess.segments]
+        assert activities[0] > activities[1]
+        assert activities[2] > activities[3]
+
+
+class TestHeterogeneity:
+    def test_stall_weight_spans_a_wide_range(self):
+        from repro.workloads.spec import _stall_weight
+
+        weights = sorted(
+            _stall_weight(
+                w.profile.event_rates
+                if not isinstance(w, PhasedWorkload)
+                else w.segments[0].profile.event_rates
+            )
+            for w in SPEC_CPU2006.values()
+        )
+        assert weights[0] < 0.2
+        assert weights[-1] > 0.5
+
+    def test_memory_bound_have_low_ipc(self):
+        for name in ("mcf", "lbm", "libquantum"):
+            w = spec_benchmark(name)
+            assert w.profile.base_ipc < 1.0
+
+    def test_compute_bound_have_high_ipc(self):
+        for name in ("namd", "povray", "hmmer"):
+            w = spec_benchmark(name)
+            assert w.profile.base_ipc > 1.5
+
+    def test_windows_sample_without_error(self):
+        for name in SPEC_NAMES:
+            window = spec_benchmark(name).sample_window(5000, rng=1)
+            assert window.n_cycles == 5000

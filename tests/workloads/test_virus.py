@@ -1,0 +1,69 @@
+"""Unit tests for the power virus and the impedance loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.virus import PowerVirus, SteppedCurrentLoop
+
+
+class TestPowerVirus:
+    def test_toggles_between_levels(self):
+        virus = PowerVirus(slow_period_cycles=0)
+        window = virus.sample_window(1000)
+        values = np.unique(window.baseline_activity)
+        assert set(np.round(values, 3)) == {0.05, 1.0}
+
+    def test_fast_period(self):
+        virus = PowerVirus(toggle_period_cycles=10, slow_period_cycles=0)
+        window = virus.sample_window(100)
+        assert np.array_equal(
+            window.baseline_activity[:10], window.baseline_activity[10:20]
+        )
+
+    def test_slow_envelope_parks_low(self):
+        virus = PowerVirus(toggle_period_cycles=10, slow_period_cycles=200)
+        window = virus.sample_window(400)
+        # Second half of each slow period is all-low.
+        assert np.all(window.baseline_activity[100:200] == 0.05)
+        assert window.baseline_activity[:100].max() == 1.0
+
+    def test_copies_are_phase_locked(self):
+        virus = PowerVirus()
+        a = virus.sample_window(5000, rng=1)
+        b = virus.sample_window(5000, rng=99)
+        assert np.array_equal(a.baseline_activity, b.baseline_activity)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerVirus(toggle_period_cycles=1)
+        with pytest.raises(ConfigurationError):
+            PowerVirus(low_activity=0.9, high_activity=0.5)
+        with pytest.raises(ConfigurationError):
+            PowerVirus().sample_window(0)
+
+
+class TestSteppedCurrentLoop:
+    def test_period_from_frequency(self):
+        loop = SteppedCurrentLoop(frequency_hz=1e6, clock_hz=2e9)
+        assert loop.period_cycles == 2000
+
+    def test_square_wave_shape(self):
+        loop = SteppedCurrentLoop(frequency_hz=1e6, clock_hz=1e8)
+        window = loop.sample_window(1000)
+        activity = window.baseline_activity
+        assert activity[:50].max() == loop.high_activity
+        assert activity[50:100].min() == loop.low_activity
+
+    def test_too_high_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SteppedCurrentLoop(frequency_hz=2e9, clock_hz=2e9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SteppedCurrentLoop(frequency_hz=0, clock_hz=1e9)
+        with pytest.raises(ConfigurationError):
+            SteppedCurrentLoop(
+                frequency_hz=1e6, clock_hz=1e9,
+                low_activity=0.9, high_activity=0.5,
+            )
