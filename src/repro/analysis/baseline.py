@@ -1,0 +1,108 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is a committed JSON file listing findings that existed when a
+rule was introduced.  Matching is by ``(path, code, fingerprint)`` — the
+fingerprint hashes the offending line's *text*, so baselined findings
+survive edits elsewhere in the file but expire the moment the offending
+line itself changes.  The shipped ``simlint-baseline.json`` is empty and
+the test suite keeps it that way; the mechanism exists so future rules
+can land before their cleanups do.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Default baseline filename, looked up in the current directory.
+DEFAULT_BASELINE = "simlint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An accepted set of ``(path, code, fingerprint)`` identities."""
+
+    entries: frozenset
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=frozenset())
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(
+            entries=frozenset(
+                (f.path, f.code, f.fingerprint) for f in findings
+            )
+        )
+
+    def __contains__(self, finding: Finding) -> bool:
+        key: Tuple[str, str, str] = (
+            finding.path,
+            finding.code,
+            finding.fingerprint,
+        )
+        return key in self.entries
+
+    def filter(self, findings: Sequence[Finding]) -> List[Finding]:
+        """Findings not covered by this baseline."""
+        return [f for f in findings if f not in self]
+
+
+def load(path: str) -> Baseline:
+    """Load a baseline file (raises ``ValueError`` on a bad format)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path} is not a simlint baseline file")
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path} has baseline version {version!r}; "
+            f"this simlint reads version {_FORMAT_VERSION}"
+        )
+    entries = set()
+    for item in payload["findings"]:
+        entries.add((item["path"], item["code"], item["fingerprint"]))
+    return Baseline(entries=frozenset(entries))
+
+
+def save(path: str, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable output)."""
+    items = sorted(
+        (
+            {
+                "path": f.path,
+                "code": f.code,
+                "line": f.line,
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in findings
+        ),
+        key=lambda item: (item["path"], str(item["line"]), item["code"]),
+    )
+    payload = {"version": _FORMAT_VERSION, "findings": items}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def discover(explicit: str | None) -> Tuple[Baseline, str | None]:
+    """Resolve the baseline to use.
+
+    ``explicit`` wins (and must exist); otherwise ``simlint-baseline.json``
+    in the current directory is used when present; otherwise the empty
+    baseline.
+    """
+    if explicit is not None:
+        return load(explicit), explicit
+    if os.path.isfile(DEFAULT_BASELINE):
+        return load(DEFAULT_BASELINE), DEFAULT_BASELINE
+    return Baseline.empty(), None

@@ -1,0 +1,141 @@
+"""Command-line interface for simlint.
+
+Usage::
+
+    python -m repro.analysis src/repro
+    python -m repro.analysis src/repro --format json
+    python -m repro.analysis src/repro --write-baseline
+    repro-lint --list-rules
+
+Exit status: 0 when no unsuppressed, unbaselined findings remain; 1 when
+findings were reported; 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.engine import lint_paths
+from repro.analysis.registry import all_rules
+from repro.analysis.reporters import render
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "simlint: AST-based invariant checker for determinism, "
+            "unit-safety, and simulation hygiene"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: ./{baseline_mod.DEFAULT_BASELINE} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "write current findings to the baseline file and exit 0 "
+            "(creates ./simlint-baseline.json unless --baseline is given)"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(
+            f"{rule.code}  {rule.name:<28} [{rule.severity}] "
+            f"{rule.description}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    rules = all_rules()
+    if args.select:
+        wanted = {code.strip() for code in args.select.split(",")}
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.code in wanted]
+
+    paths = list(args.paths) or ["src/repro"]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        parser.error(f"path(s) do not exist: {', '.join(missing)}")
+    findings = lint_paths(paths, rules=rules)
+
+    if args.write_baseline:
+        target = args.baseline or baseline_mod.DEFAULT_BASELINE
+        baseline_mod.save(target, findings)
+        print(f"wrote {len(findings)} finding(s) to {target}")
+        return 0
+
+    if args.no_baseline:
+        surviving = findings
+        source = None
+    else:
+        try:
+            base, source = baseline_mod.discover(args.baseline)
+        except (OSError, ValueError) as exc:
+            parser.error(str(exc))
+        surviving = base.filter(findings)
+
+    print(render(surviving, args.format))
+    if source is not None and len(surviving) != len(findings):
+        skipped = len(findings) - len(surviving)
+        print(
+            f"(+{skipped} baselined finding(s) suppressed via {source})",
+            file=sys.stderr,
+        )
+    return 1 if surviving else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

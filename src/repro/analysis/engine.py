@@ -1,0 +1,199 @@
+"""The simlint engine: file walking, AST dispatch, suppressions.
+
+The engine parses each file once, builds a :class:`FileContext` (source
+lines, an import-alias table so rules can resolve ``np.random.seed`` to
+``numpy.random.seed``), runs every rule's module hook, then walks the
+tree dispatching each node to the rules that registered interest in its
+type.  Findings on lines carrying a matching ``# simlint: disable=CODE``
+comment are dropped before reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules
+
+#: ``# simlint: disable`` (everything) or ``# simlint: disable=A,B``.
+_DISABLE_RE = re.compile(
+    r"#\s*simlint\s*:\s*disable(?:-file)?\s*(?:=\s*([A-Z0-9_,\s]+))?"
+)
+_DISABLE_FILE_RE = re.compile(
+    r"#\s*simlint\s*:\s*disable-file\s*(?:=\s*([A-Z0-9_,\s]+))?"
+)
+
+#: Rule code used for unparseable files.
+PARSE_ERROR_CODE = "SIM000"
+
+
+@dataclass
+class FileContext:
+    """Everything rules may need about the file under analysis."""
+
+    path: str
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    #: Local name -> fully dotted origin, e.g. ``{"np": "numpy"}`` or
+    #: ``{"default_rng": "numpy.random.default_rng"}``.
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str, path: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        ctx = cls(
+            path=path,
+            source=source,
+            lines=source.splitlines(),
+            tree=tree,
+        )
+        ctx._collect_imports()
+        return ctx
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else local
+                    self.imports[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay unresolved
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{node.module}.{alias.name}"
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """``np.random.seed`` -> ``"numpy.random.seed"`` (via aliases)."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.imports.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+    def source_line(self, lineno: int) -> str:
+        """Stripped text of a 1-based source line ('' out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        rule: Rule,
+        node: ast.AST,
+        message: str,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ) -> Finding:
+        """Build a finding for ``node`` on behalf of ``rule``."""
+        lineno = line if line is not None else getattr(node, "lineno", 1)
+        col = column if column is not None else getattr(node, "col_offset", 0)
+        return Finding(
+            code=rule.code,
+            message=message,
+            path=self.path,
+            line=lineno,
+            column=col,
+            severity=rule.severity,
+            source_line=self.source_line(lineno),
+        )
+
+    # -- suppressions ---------------------------------------------------------
+
+    def _disabled_codes(self, text: str, pattern: re.Pattern) -> Optional[set]:
+        match = pattern.search(text)
+        if match is None:
+            return None
+        if match.group(1) is None:
+            return set()  # blanket disable
+        return {c.strip() for c in match.group(1).split(",") if c.strip()}
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True if an inline or file-level comment disables the code."""
+        codes = self._disabled_codes(
+            self.source_line(finding.line), _DISABLE_RE
+        )
+        if codes is not None and (not codes or finding.code in codes):
+            return True
+        for text in self.lines:
+            codes = self._disabled_codes(text, _DISABLE_FILE_RE)
+            if codes is not None and (not codes or finding.code in codes):
+                return True
+        return False
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one module's source text; returns sorted, unsuppressed findings."""
+    active = list(rules) if rules is not None else all_rules()
+    try:
+        ctx = FileContext.from_source(source, path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                column=(exc.offset or 1) - 1,
+                severity=Severity.ERROR,
+            )
+        ]
+
+    dispatch: Dict[type, List[Rule]] = {}
+    for rule in active:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+
+    findings: List[Finding] = []
+    for rule in active:
+        findings.extend(rule.check_module(ctx.tree, ctx))
+    for node in ast.walk(ctx.tree):
+        for rule in dispatch.get(type(node), ()):
+            findings.extend(rule.check(node, ctx))
+
+    findings = [f for f in findings if not ctx.is_suppressed(f)]
+    findings.sort(key=lambda f: (f.line, f.column, f.code))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d
+                for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(root, filename)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: List[Finding] = []
+    for filename in iter_python_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, path=filename, rules=rules))
+    return findings

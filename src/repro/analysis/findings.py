@@ -1,0 +1,63 @@
+"""Finding and severity primitives shared by the simlint engine.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:attr:`~Finding.fingerprint` deliberately excludes the line *number* so
+that baselined findings survive unrelated edits above them: two findings
+match when they share the file, the rule code, and the text of the
+offending line.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; errors gate CI, warnings inform."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int
+    severity: Severity
+    #: Stripped text of the offending source line (fingerprint material).
+    source_line: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity that survives line-number churn."""
+        material = "\x1f".join((self.path, self.code, self.source_line))
+        return hashlib.sha1(material.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable representation (reporters and baselines)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "severity": str(self.severity),
+            "fingerprint": self.fingerprint,
+        }
+
+    def format(self) -> str:
+        """Render as a classic ``path:line:col: CODE message`` line."""
+        return (
+            f"{self.path}:{self.line}:{self.column + 1}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )

@@ -1,0 +1,56 @@
+"""Text and JSON reporters for simlint findings."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.findings import Finding, Severity
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [f.format() for f in findings]
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    if findings:
+        by_code = Counter(f.code for f in findings)
+        breakdown = ", ".join(
+            f"{code}×{count}" for code, count in sorted(by_code.items())
+        )
+        lines.append("")
+        lines.append(
+            f"simlint: {errors} error(s), {warnings} warning(s) "
+            f"({breakdown})"
+        )
+    else:
+        lines.append("simlint: clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (consumed by CI and the baseline tests)."""
+    payload = {
+        "version": 1,
+        "summary": {
+            "total": len(findings),
+            "errors": sum(
+                1 for f in findings if f.severity is Severity.ERROR
+            ),
+            "warnings": sum(
+                1 for f in findings if f.severity is Severity.WARNING
+            ),
+        },
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render(findings: Sequence[Finding], fmt: str) -> str:
+    """Dispatch on ``fmt`` (``"text"`` or ``"json"``)."""
+    if fmt == "json":
+        return render_json(findings)
+    if fmt == "text":
+        return render_text(findings)
+    raise ValueError(f"unknown report format {fmt!r}")

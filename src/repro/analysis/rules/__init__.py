@@ -1,0 +1,19 @@
+"""Rule modules; importing this package registers every rule.
+
+Families:
+
+* :mod:`repro.analysis.rules.determinism` — ``DET0xx``: every stochastic
+  or time-dependent value must flow from an injectable seed.
+* :mod:`repro.analysis.rules.units` — ``UNI0xx``: physical quantities in
+  SI base units built from :mod:`repro.units` constants, never raw
+  scale-prefix literals.
+* :mod:`repro.analysis.rules.hygiene` — ``HYG0xx``: simulation-code
+  hygiene (float equality, mutable defaults, overbroad excepts, frozen
+  config dataclasses, ``__future__`` annotations).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import determinism, hygiene, units
+
+__all__ = ["determinism", "hygiene", "units"]

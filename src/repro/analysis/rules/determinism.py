@@ -1,0 +1,196 @@
+"""Determinism rules (``DET0xx``).
+
+Every simulation result in this repository must be bit-reproducible from
+an explicit seed.  That dies the moment anything draws from the stdlib
+``random`` module, numpy's *global* legacy RNG, or the wall clock.  The
+sanctioned style is :mod:`repro.random_utils`: accept a ``SeedLike``,
+normalize with ``as_generator``, fork child streams with
+``derive_generator``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.engine import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+#: ``numpy.random`` attributes that are part of the *seeded* Generator
+#: API and therefore fine to reference.
+_NUMPY_RANDOM_OK: Set[str] = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: Wall-clock calls that leak real time into simulated results.
+_WALL_CLOCK: Set[str] = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Parameter names that count as an injectable seed/stream.
+_SEED_PARAM_NAMES: Set[str] = {"seed", "rng", "generator", "random_state"}
+
+#: Annotation substrings that count as an injectable seed/stream.
+_SEED_ANNOTATIONS = ("SeedLike", "Generator")
+
+#: Callables that construct or derive a random stream.
+_STREAM_FACTORIES: Set[str] = {
+    "numpy.random.default_rng",
+    "repro.random_utils.as_generator",
+    "repro.random_utils.derive_generator",
+}
+
+
+@register
+class StdlibRandomRule(Rule):
+    """DET001: the stdlib ``random`` module is unseeded global state."""
+
+    code = "DET001"
+    name = "stdlib-random"
+    severity = Severity.ERROR
+    description = (
+        "stdlib `random` is process-global and unseeded per component; "
+        "use repro.random_utils (numpy Generator) instead"
+    )
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "import of stdlib `random`; use "
+                        "repro.random_utils.as_generator instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "random":
+                yield ctx.finding(
+                    self,
+                    node,
+                    "import from stdlib `random`; use "
+                    "repro.random_utils.as_generator instead",
+                )
+
+
+@register
+class NumpyGlobalRngRule(Rule):
+    """DET002: numpy's legacy global RNG defeats per-component seeding."""
+
+    code = "DET002"
+    name = "numpy-global-rng"
+    severity = Severity.ERROR
+    description = (
+        "module-level numpy.random calls (seed/rand/RandomState/...) share "
+        "one hidden global stream; construct a Generator via "
+        "numpy.random.default_rng / repro.random_utils"
+    )
+    node_types = (ast.Attribute,)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Attribute)
+        dotted = ctx.dotted_name(node)
+        if dotted is None or not dotted.startswith("numpy.random."):
+            return
+        tail = dotted[len("numpy.random.") :]
+        # Only flag direct attributes of the module (rng.integers resolves
+        # to a variable, not to numpy.random.*).
+        if "." in tail or tail in _NUMPY_RANDOM_OK:
+            return
+        yield ctx.finding(
+            self,
+            node,
+            f"legacy global-RNG attribute `{dotted}`; use a seeded "
+            "numpy.random.Generator (repro.random_utils.as_generator)",
+        )
+
+
+@register
+class WallClockRule(Rule):
+    """DET003: wall-clock reads make runs non-reproducible."""
+
+    code = "DET003"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    description = (
+        "time.time()/datetime.now() leak wall-clock state into results; "
+        "simulated time must come from the simulation, and elapsed-time "
+        "telemetry should use time.perf_counter()"
+    )
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        dotted = ctx.dotted_name(node.func)
+        if dotted in _WALL_CLOCK:
+            yield ctx.finding(
+                self,
+                node,
+                f"wall-clock call `{dotted}()`; thread simulated time "
+                "explicitly (or time.perf_counter() for telemetry)",
+            )
+
+
+def _has_seed_parameter(init: ast.FunctionDef) -> bool:
+    args = list(init.args.posonlyargs) + list(init.args.args)
+    args += list(init.args.kwonlyargs)
+    for arg in args:
+        if arg.arg in _SEED_PARAM_NAMES:
+            return True
+        if arg.annotation is not None:
+            try:
+                text = ast.unparse(arg.annotation)
+            except ValueError:  # pragma: no cover - malformed annotation
+                continue
+            if any(token in text for token in _SEED_ANNOTATIONS):
+                return True
+    return False
+
+
+@register
+class UnseededStochasticClassRule(Rule):
+    """DET004: stochastic classes must accept a seed at construction."""
+
+    code = "DET004"
+    name = "unseeded-stochastic-class"
+    severity = Severity.ERROR
+    description = (
+        "a class whose __init__ constructs a random Generator must accept "
+        "a SeedLike/rng parameter so callers control the stream"
+    )
+    node_types = (ast.ClassDef,)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.ClassDef)
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+                if _has_seed_parameter(item):
+                    return
+                for call in ast.walk(item):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    dotted = ctx.dotted_name(call.func)
+                    if dotted in _STREAM_FACTORIES:
+                        yield ctx.finding(
+                            self,
+                            call,
+                            f"{node.name}.__init__ builds a random stream "
+                            f"via `{dotted}` but has no seed/rng parameter",
+                        )
+                        return
+                return

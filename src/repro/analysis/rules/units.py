@@ -1,0 +1,191 @@
+"""Unit-safety rules (``UNI0xx``).
+
+All internal computation uses SI base units; :mod:`repro.units` exists so
+magnitudes are written as ``22 * units.MICRO_FARAD`` rather than
+``22e-6``.  A bare ``1e-9`` bound to ``bulk_inductance_henries`` is a
+latent nano/pico bug waiting for a reviewer to miss it; these rules make
+the convention mechanical.
+
+A name is *unit-suffixed* when any ``_``-separated segment names an SI
+unit used by the repro (``seconds``, ``volts``, ``farads``, ``henries``,
+``ohms``, ``hertz``/``hz``, ``amps``/``amperes``).  A literal is a *scale
+literal* when it is a nonzero float written in exponent notation
+(``1e-6``, ``5e-10``, ``1.5e9``) or smaller in magnitude than 1e-3 —
+i.e. a value normally written with an SI prefix, never a plain
+base-unit magnitude like ``600.0``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.engine import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+_UNIT_WORDS: Set[str] = {
+    "seconds",
+    "second",
+    "volts",
+    "volt",
+    "farads",
+    "farad",
+    "henries",
+    "henry",
+    "ohms",
+    "ohm",
+    "hertz",
+    "hz",
+    "amps",
+    "amperes",
+    "ampere",
+}
+
+#: Nonzero magnitudes at or below this read as an SI-prefixed scale even
+#: when written in plain decimal (0.0004 volts is really 0.4 mV).
+_SMALL_MAGNITUDE = 1e-3
+
+
+def is_unit_name(name: str) -> bool:
+    """True when any underscore segment of ``name`` is an SI unit word."""
+    return any(seg in _UNIT_WORDS for seg in name.lower().split("_"))
+
+
+def is_scale_literal(node: ast.AST, ctx: FileContext) -> bool:
+    """True for float constants that should be an SI-prefix product."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    if not isinstance(node, ast.Constant):
+        return False
+    value = node.value
+    if not isinstance(value, float):
+        return False
+    magnitude = abs(value)
+    if not magnitude > 0.0:
+        return False
+    text = ast.get_source_segment(ctx.source, node) or repr(value)
+    return "e" in text.lower() or magnitude <= _SMALL_MAGNITUDE
+
+
+def _suggestion(name: str) -> str:
+    return (
+        f"`{name}` holds a physical quantity; write the magnitude as a "
+        "product with a repro.units constant (e.g. 22 * units.MICRO_FARAD)"
+    )
+
+
+@register
+class RawScaleLiteralRule(Rule):
+    """UNI001: scale-prefix literal bound to a unit-suffixed name."""
+
+    code = "UNI001"
+    name = "raw-scale-literal"
+    severity = Severity.ERROR
+    description = (
+        "a raw scale-prefix literal (1e-6, 5e-10, 1.5e9) assigned or "
+        "passed to a *_seconds/*_volts/*_farads/... name hides its SI "
+        "prefix; use repro.units constants"
+    )
+    node_types = (
+        ast.Assign,
+        ast.AnnAssign,
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+        ast.Call,
+    )
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                name = _bound_name(target)
+                if name and is_unit_name(name) and is_scale_literal(node.value, ctx):
+                    yield ctx.finding(self, node.value, _suggestion(name))
+        elif isinstance(node, ast.AnnAssign):
+            name = _bound_name(node.target)
+            if (
+                name
+                and node.value is not None
+                and is_unit_name(name)
+                and is_scale_literal(node.value, ctx)
+            ):
+                yield ctx.finding(self, node.value, _suggestion(name))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from self._check_defaults(node, ctx)
+        elif isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if (
+                    keyword.arg
+                    and is_unit_name(keyword.arg)
+                    and is_scale_literal(keyword.value, ctx)
+                ):
+                    yield ctx.finding(
+                        self, keyword.value, _suggestion(keyword.arg)
+                    )
+
+    def _check_defaults(
+        self, node: ast.FunctionDef, ctx: FileContext
+    ) -> Iterator[Finding]:
+        positional = list(node.args.posonlyargs) + list(node.args.args)
+        defaults = list(node.args.defaults)
+        for arg, default in zip(positional[len(positional) - len(defaults):],
+                                defaults):
+            if is_unit_name(arg.arg) and is_scale_literal(default, ctx):
+                yield ctx.finding(self, default, _suggestion(arg.arg))
+        for arg, kw_default in zip(node.args.kwonlyargs,
+                                   node.args.kw_defaults):
+            if (
+                kw_default is not None
+                and is_unit_name(arg.arg)
+                and is_scale_literal(kw_default, ctx)
+            ):
+                yield ctx.finding(self, kw_default, _suggestion(arg.arg))
+
+
+@register
+class ManualScaleConversionRule(Rule):
+    """UNI002: unit-suffixed name scaled by a raw power-of-ten literal."""
+
+    code = "UNI002"
+    name = "manual-scale-conversion"
+    severity = Severity.WARNING
+    description = (
+        "multiplying/dividing a *_seconds/*_volts/... value by a raw "
+        "scale literal (t_seconds * 1e9) is a hand-rolled unit "
+        "conversion; divide by a repro.units constant instead"
+    )
+    node_types = (ast.BinOp,)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.BinOp)
+        if not isinstance(node.op, (ast.Mult, ast.Div)):
+            return
+        for value, other in ((node.left, node.right),
+                             (node.right, node.left)):
+            name = _terminal_name(value)
+            if name and is_unit_name(name) and is_scale_literal(other, ctx):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"`{name}` is scaled by a raw power-of-ten literal; "
+                    "express the conversion with a repro.units constant",
+                )
+                return
+
+
+def _bound_name(target: ast.AST) -> Optional[str]:
+    """Name bound by an assignment target (``x`` or ``self.x``)."""
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """Trailing identifier of a name/attribute chain, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None

@@ -112,9 +112,9 @@ def _run_one(alias: str, quick: bool) -> None:
     module = importlib.import_module(
         f"repro.experiments.{EXPERIMENTS[alias]}"
     )
-    started = time.time()
+    started = time.perf_counter()
     result = module.run(quick=quick)
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     print(result.format_table())
     print(f"({alias} finished in {elapsed:.1f} s)")
     print()

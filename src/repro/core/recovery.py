@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.resilience import OptimalMargin, ResilientDesignModel
 from repro.errors import ConfigurationError

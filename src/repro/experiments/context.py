@@ -10,7 +10,7 @@ benchmarks share work within a process.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Sequence, Tuple
+from typing import Tuple
 
 from repro.measurement.campaign import MeasurementCampaign
 

@@ -24,8 +24,6 @@ blindly.
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
 from repro.core.predictor import (

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import units
 from repro.experiments.common import ExperimentResult
 from repro.pdn.impedance import ImpedanceProfile
 from repro.pdn.platform import (
@@ -96,7 +97,7 @@ def run(quick: bool = False) -> ExperimentResult:
     result.series["loop_reconstructed_ohm"] = reconstructed
     result.series["loop_analytic_ohm"] = analytic
     result.notes.append(
-        f"stock resonance at {peak.frequency_hz / 1e6:.0f} MHz "
+        f"stock resonance at {peak.frequency_hz / units.MEGA_HERTZ:.0f} MHz "
         "(paper: 100-200 MHz band)"
     )
     result.notes.append(

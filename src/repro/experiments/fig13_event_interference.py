@@ -17,7 +17,6 @@ from repro.core.interference import (
 )
 from repro.experiments.common import ExperimentResult
 from repro.uarch.chip import Chip
-from repro.uarch.events import StallEvent
 
 
 def run(quick: bool = False, config: str = "Proc100") -> ExperimentResult:

@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
 from scipy import signal
 
+from repro import units
 from repro.errors import ConfigurationError
 from repro.measurement.histogram import CompressedHistogram
 from repro.pdn.simulate import VoltageTrace
@@ -35,8 +35,8 @@ class DifferentialProbe:
         well above the simulated content anyway).
     """
 
-    noise_volts_rms: float = 0.4e-3
-    bandwidth_hz: float | None = 1.5e9
+    noise_volts_rms: float = 0.4 * units.MILLI_VOLT
+    bandwidth_hz: float | None = 1.5 * units.GIGA_HERTZ
 
     def __post_init__(self) -> None:
         if self.noise_volts_rms < 0:

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import units
 from repro.errors import ConfigurationError, MeasurementError
 from repro.pdn.network import PowerDeliveryNetwork
 
@@ -71,8 +72,8 @@ class ImpedanceProfile:
     def from_network(
         cls,
         network: PowerDeliveryNetwork,
-        f_min_hz: float = 1e4,
-        f_max_hz: float = 1e9,
+        f_min_hz: float = 10 * units.KILO_HERTZ,
+        f_max_hz: float = 1.0 * units.GIGA_HERTZ,
         points_per_decade: int = 40,
         label: str = "",
     ) -> "ImpedanceProfile":
@@ -168,6 +169,6 @@ class ImpedanceProfile:
         peak = self.peak()
         return (
             f"ImpedanceProfile({self.label or 'unlabelled'}, "
-            f"{len(self)} points, peak {peak.impedance_ohm * 1e3:.2f} mOhm "
-            f"@ {peak.frequency_hz / 1e6:.1f} MHz)"
+            f"{len(self)} points, peak {peak.impedance_ohm / units.MILLI_OHM:.2f} mOhm "
+            f"@ {peak.frequency_hz / units.MEGA_HERTZ:.1f} MHz)"
         )

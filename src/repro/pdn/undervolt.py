@@ -32,7 +32,6 @@ import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.pdn import platform
-from repro.pdn.simulate import TransientSimulator
 
 #: Supply voltage below which the critical path misses timing at the
 #: shipped 1.86 GHz clock.  1.118 V = 86 % of the 1.30 V nominal — the
@@ -115,7 +114,7 @@ def undervolt_to_failure(
         v_min = float(trace.samples.min())
         set_points.append(supply)
         minima.append(v_min)
-        if undervolt == 0.0:
+        if virus_droop is None:  # first iteration: nominal set-point
             virus_droop = trace.max_droop_fraction()
         if v_min < critical_voltage:
             failing = undervolt

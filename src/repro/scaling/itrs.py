@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
+from repro import units
 from repro.errors import ConfigurationError
 from repro.pdn.network import PowerDeliveryNetwork
 from repro.pdn.platform import PlatformParameters, build_network
@@ -81,7 +82,7 @@ def _package_network(vdd: float) -> PowerDeliveryNetwork:
 def projected_voltage_swings(
     nodes: Sequence[TechnologyNode] = TECHNOLOGY_NODES,
     n_samples: int = 60_000,
-    dt_seconds: float = 5e-10,
+    dt_seconds: float = 0.5 * units.NANO_SECOND,
 ) -> Dict[str, float]:
     """Fig. 1: per-node peak-to-peak swing relative to the 45 nm node.
 

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.random_utils import SeedLike, as_generator
-from repro.uarch.events import StallEvent, profile_for
+from repro.uarch.events import StallEvent
 from repro.uarch.window import ExecutionWindow
 from repro.workloads.base import Workload
 

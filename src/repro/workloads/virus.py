@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import units
 from repro.errors import ConfigurationError
-from repro.random_utils import SeedLike, as_generator
+from repro.random_utils import SeedLike
 from repro.uarch.window import ExecutionWindow
 from repro.workloads.base import Workload
 
@@ -123,7 +124,7 @@ class SteppedCurrentLoop(Workload):
         self.period_cycles = period
         self.high_activity = float(high_activity)
         self.low_activity = float(low_activity)
-        self.name = f"current-loop-{frequency_hz / 1e6:.3g}MHz"
+        self.name = f"current-loop-{frequency_hz / units.MEGA_HERTZ:.3g}MHz"
         self.duration_seconds = 60.0
 
     def sample_window(

@@ -1,0 +1,31 @@
+"""Shared helpers for the simlint test suite."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: ``# expect: CODE`` or ``# expect: CODE1, CODE2`` markers in fixtures.
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)")
+
+
+def expected_findings(fixture_path: Path) -> set[tuple[str, int]]:
+    """Collect ``(code, line)`` pairs declared by ``# expect:`` markers."""
+    expected: set[tuple[str, int]] = set()
+    for lineno, text in enumerate(
+        fixture_path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        match = _EXPECT_RE.search(text)
+        if match:
+            for code in match.group(1).split(","):
+                expected.add((code.strip(), lineno))
+    return expected
+
+
+@pytest.fixture()
+def fixtures_dir() -> Path:
+    return FIXTURES

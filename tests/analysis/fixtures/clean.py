@@ -1,0 +1,23 @@
+"""Fixture: a module simlint must report zero findings for."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+from repro.random_utils import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    duration_seconds: float = 600.0
+    bandwidth_hz: float = 1.5 * units.GIGA_HERTZ
+
+
+def jitter(n: int, seed: SeedLike = None) -> float:
+    rng = as_generator(seed)
+    total = float(rng.random()) * n
+    if math.isclose(total, 0.0):
+        return 0.0
+    return total

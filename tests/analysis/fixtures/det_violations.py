@@ -1,0 +1,54 @@
+"""Fixture: determinism violations (DET001-DET004).
+
+Never imported — parsed by simlint only.  Each ``# expect: CODE`` marker
+declares that simlint must report exactly that code on that line; the
+test suite collects the markers and compares against actual findings.
+"""
+
+from __future__ import annotations
+
+import random  # expect: DET001
+
+import numpy as np
+from random import choice  # expect: DET001
+
+
+def roll() -> float:
+    return random.random() + float(choice([1, 2]))
+
+
+def legacy_seed() -> None:
+    np.random.seed(1234)  # expect: DET002
+
+
+def legacy_draw() -> float:
+    return float(np.random.rand(3).sum())  # expect: DET002
+
+
+def seeded_ok() -> float:
+    rng = np.random.default_rng(7)  # ok: seeded Generator API
+    return float(rng.random())
+
+
+def wall_clock() -> float:
+    import time
+
+    return time.time()  # expect: DET003
+
+
+def wall_clock_datetime() -> str:
+    import datetime
+
+    return datetime.datetime.now().isoformat()  # expect: DET003
+
+
+class UnseededNoise:
+    def __init__(self, scale: float) -> None:
+        self.scale = scale
+        self.rng_stream = np.random.default_rng()  # expect: DET004
+
+
+class SeededNoise:
+    def __init__(self, scale: float, seed: int | None = None) -> None:
+        self.scale = scale
+        self.rng_stream = np.random.default_rng(seed)  # ok: seed param

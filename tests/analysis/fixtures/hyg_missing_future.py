@@ -1,0 +1,9 @@
+"""Fixture: module with definitions but no ``__future__`` import (HYG005).
+
+Never imported — parsed by simlint only.  The HYG005 finding is reported
+on line 1; tests/analysis/test_rules.py asserts it directly.
+"""
+
+
+def helper(margin: float) -> float:
+    return margin * 2.0

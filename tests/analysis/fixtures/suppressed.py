@@ -1,0 +1,23 @@
+"""Fixture: violations silenced by inline suppression comments.
+
+Never imported — parsed by simlint only.  Every violation below carries
+a ``# simlint: disable=CODE`` comment, so simlint must report nothing.
+tests/analysis/test_suppressions.py also re-lints this file with the
+suppression comments stripped and expects the findings to reappear.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def elapsed_telemetry() -> float:
+    return time.time()  # simlint: disable=DET003
+
+
+def float_gate(voltage: float) -> bool:
+    return voltage == 0.0  # simlint: disable=HYG001
+
+
+def blanket(volts_rms: float = 0.4e-3) -> float:  # simlint: disable
+    return volts_rms

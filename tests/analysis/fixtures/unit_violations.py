@@ -1,0 +1,35 @@
+"""Fixture: unit-safety violations (UNI001-UNI002).
+
+Never imported — parsed by simlint only.  ``# expect: CODE`` markers are
+collected by tests/analysis/test_rules.py.
+"""
+
+from __future__ import annotations
+
+from repro import units
+
+RISE_TIME_SECONDS = 1e-6  # expect: UNI001
+SENSE_NOISE_VOLTS = 0.0004  # expect: UNI001
+BULK_CAP_FARADS = 22 * units.MICRO_FARAD  # ok: units constant
+STEP_SECONDS = 600.0  # ok: plain base-unit magnitude
+
+
+def simulate(
+    dt_seconds: float = 5e-10,  # expect: UNI001
+    bandwidth_hz: float = 1.5e9,  # expect: UNI001
+    duration_seconds: float = 60.0,  # ok: plain magnitude
+) -> float:
+    esr_ohms = 18e-3  # expect: UNI001
+    return dt_seconds * bandwidth_hz * duration_seconds * esr_ohms
+
+
+def call_site() -> float:
+    return simulate(dt_seconds=2e-10)  # expect: UNI001
+
+
+def manual_conversion(delay_seconds: float) -> float:
+    return delay_seconds * 1e9  # expect: UNI002
+
+
+def units_conversion(delay_seconds: float) -> float:
+    return delay_seconds / units.NANO_SECOND  # ok: units constant

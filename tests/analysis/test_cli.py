@@ -1,0 +1,101 @@
+"""CLI behavior: exit codes, formats, baseline flags, rule listing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.registry import all_rules
+
+from tests.analysis.conftest import FIXTURES
+
+CLEAN = str(FIXTURES / "clean.py")
+DIRTY = str(FIXTURES / "hyg_violations.py")
+
+
+def test_clean_file_exits_zero(capsys):
+    assert main([CLEAN]) == 0
+    assert "simlint: clean" in capsys.readouterr().out
+
+
+def test_dirty_file_exits_one(capsys):
+    assert main([DIRTY]) == 1
+    out = capsys.readouterr().out
+    assert "HYG001" in out
+    assert "error" in out
+
+
+def test_fixture_directory_fails(capsys):
+    assert main([str(FIXTURES)]) == 1
+
+
+def test_json_format_is_parseable(capsys):
+    assert main([DIRTY, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["total"] == len(payload["findings"])
+    assert payload["summary"]["total"] > 0
+    first = payload["findings"][0]
+    assert {"code", "message", "path", "line", "column", "severity"} <= set(
+        first
+    )
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.code in out
+
+
+def test_select_limits_rules(capsys):
+    assert main([DIRTY, "--select", "DET001"]) == 0
+    assert main([DIRTY, "--select", "HYG001"]) == 1
+
+
+def test_select_unknown_code_is_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main([DIRTY, "--select", "NOPE99"])
+    assert excinfo.value.code == 2
+
+
+def test_nonexistent_path_is_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["does/not/exist.py"])
+    assert excinfo.value.code == 2
+
+
+def test_write_then_use_baseline(tmp_path, capsys):
+    baseline = tmp_path / "base.json"
+    assert main([DIRTY, "--write-baseline", "--baseline", str(baseline)]) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+    # With every finding grandfathered the same tree is green...
+    assert main([DIRTY, "--baseline", str(baseline)]) == 0
+    # ...and --no-baseline resurfaces everything.
+    assert main([DIRTY, "--baseline", str(baseline), "--no-baseline"]) == 1
+
+
+def test_missing_explicit_baseline_is_usage_error(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main([DIRTY, "--baseline", str(tmp_path / "absent.json")])
+    assert excinfo.value.code == 2
+
+
+def test_module_entry_point(tmp_path):
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[2]
+    env_src = str(repo_root / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", CLEAN],
+        capture_output=True,
+        text=True,
+        cwd=str(tmp_path),
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "simlint: clean" in proc.stdout

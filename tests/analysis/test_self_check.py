@@ -1,0 +1,29 @@
+"""The gate: src/repro (simlint included) is simlint-clean, un-baselined.
+
+This is the test that lets the next ten refactors move fast: any new
+stdlib-random draw, wall-clock read, raw ``22e-6``, or float ``==``
+anywhere under src/repro fails the suite with an exact location.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_paths
+from repro.analysis.findings import Severity
+
+
+def src_repro_dir() -> str:
+    return str(Path(repro.__file__).resolve().parent)
+
+
+def test_src_repro_is_simlint_clean():
+    findings = lint_paths([src_repro_dir()])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_src_repro_has_no_errors_even_at_warning_level():
+    """Redundant with the above today; keeps severity semantics honest."""
+    findings = lint_paths([src_repro_dir()])
+    assert [f for f in findings if f.severity is Severity.ERROR] == []

@@ -1,0 +1,68 @@
+"""Inline-suppression behavior: comments silence exactly their codes."""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis import lint_paths, lint_source
+
+from tests.analysis.conftest import FIXTURES
+
+_SUPPRESSION_RE = re.compile(r"\s*#\s*simlint\s*:\s*disable.*$")
+
+
+def test_suppressed_fixture_reports_nothing():
+    assert lint_paths([str(FIXTURES / "suppressed.py")]) == []
+
+
+def test_stripping_suppressions_resurfaces_findings():
+    source = (FIXTURES / "suppressed.py").read_text(encoding="utf-8")
+    stripped = "\n".join(
+        _SUPPRESSION_RE.sub("", line) for line in source.splitlines()
+    )
+    findings = lint_source(stripped, path="suppressed_stripped.py")
+    assert {f.code for f in findings} == {"DET003", "HYG001", "UNI001"}
+
+
+def test_targeted_suppression_only_silences_named_code():
+    source = (
+        "from __future__ import annotations\n"
+        "import time\n"
+        "def f(noise_volts: float = 1e-3) -> float:"
+        "  # simlint: disable=UNI001\n"
+        "    return time.time()\n"
+    )
+    findings = lint_source(source, path="snippet.py")
+    assert [f.code for f in findings] == ["DET003"]
+
+
+def test_blanket_suppression_silences_all_codes_on_line():
+    source = (
+        "from __future__ import annotations\n"
+        "import time\n"
+        "def f() -> float:\n"
+        "    return time.time()  # simlint: disable\n"
+    )
+    assert lint_source(source, path="snippet.py") == []
+
+
+def test_file_level_suppression():
+    source = (
+        "from __future__ import annotations\n"
+        "# simlint: disable-file=HYG001\n"
+        "def a(x: float) -> bool:\n"
+        "    return x == 0.5\n"
+        "def b(x: float) -> bool:\n"
+        "    return x != 0.5\n"
+    )
+    assert lint_source(source, path="snippet.py") == []
+
+
+def test_unrelated_code_not_suppressed():
+    source = (
+        "from __future__ import annotations\n"
+        "def a(x: float) -> bool:\n"
+        "    return x == 0.5  # simlint: disable=DET001\n"
+    )
+    findings = lint_source(source, path="snippet.py")
+    assert [f.code for f in findings] == ["HYG001"]

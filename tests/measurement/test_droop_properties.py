@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.measurement.droops import detect_droops, detect_overshoots
+from repro.measurement.droops import (
+    detect_droops,
+    detect_overshoots,
+    droop_samples_per_1k,
+)
 from repro.pdn.simulate import VoltageTrace
 
 
@@ -67,8 +71,19 @@ class TestDetectorInvariants:
 
     @settings(max_examples=25, deadline=None)
     @given(dev=deviation_arrays)
-    def test_scaling_preserves_count_order(self, dev):
-        """Amplifying deviations never reduces the event count."""
+    def test_scaling_monotone_invariants(self, dev):
+        """Amplifying deviations never shrinks depth or sample exposure.
+
+        Note the event *count* is deliberately not asserted monotone:
+        with hysteresis, amplification can lift an inter-droop sample
+        above the exit level and merge two excursions into one (e.g.
+        [-0.125, -0.0117, -0.125] * 1.5 with threshold 0.02).
+        """
         small = detect_droops(trace_from(dev), threshold=0.02)
         big = detect_droops(trace_from(dev * 1.5), threshold=0.02)
-        assert big.count >= small.count
+        if small.count:
+            assert big.count >= 1
+            assert big.max_depth() >= small.max_depth()
+        assert droop_samples_per_1k(
+            trace_from(dev * 1.5), margin=0.02
+        ) >= droop_samples_per_1k(trace_from(dev), margin=0.02)
