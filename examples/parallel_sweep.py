@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Parallel campaign execution with a persistent result cache.
+
+Walks through the executor layer that backs every experiment harness:
+
+1. run a scaled-down pairing sweep serially (cold cache),
+2. run the identical sweep fanned out over worker processes and verify
+   the results are *bit-identical* — every run derives its random stream
+   from (seed, run spec) alone, so execution order and process placement
+   cannot change a single sample,
+3. replay the sweep from the warm on-disk cache with zero re-simulations
+   (what `repro-experiments report` does on a second invocation).
+
+Run:  python examples/parallel_sweep.py
+
+The CLI exposes the same knobs: `--jobs N`, `--cache-dir PATH`,
+`--no-cache` (environment: `REPRO_JOBS`, `REPRO_CACHE_DIR`,
+`REPRO_NO_CACHE`).
+"""
+
+import tempfile
+import time
+
+from repro.measurement import (
+    MeasurementCampaign,
+    ResultCache,
+    measurements_identical,
+)
+
+#: A miniature pairing sweep: 4x4 multi-program pairs + 4 singles.
+SUBSET = ("mcf", "lbm", "namd", "sjeng")
+WINDOW_CYCLES = 10_000
+SEED = 0
+
+
+def sweep(campaign):
+    return campaign.single_threaded_runs(SUBSET) + campaign.multiprogram_runs(
+        SUBSET
+    )
+
+
+def main() -> None:
+    cache_dir = tempfile.mkdtemp(prefix="repro-sweep-cache-")
+
+    # --- 1. serial, cold cache -----------------------------------------
+    serial = MeasurementCampaign(
+        "Proc3", n_cycles=WINDOW_CYCLES, seed=SEED,
+        jobs=1, cache=ResultCache(cache_dir),
+    )
+    started = time.perf_counter()
+    serial_runs = sweep(serial)
+    serial_s = time.perf_counter() - started
+    print(f"serial cold sweep   : {len(serial_runs)} runs in {serial_s:.2f} s")
+    print(f"                      {serial.executor.stats.summary()}")
+
+    # --- 2. parallel, no cache: bit-identical to serial ----------------
+    parallel = MeasurementCampaign(
+        "Proc3", n_cycles=WINDOW_CYCLES, seed=SEED, jobs=4
+    )
+    started = time.perf_counter()
+    parallel_runs = sweep(parallel)
+    parallel_s = time.perf_counter() - started
+    identical = all(
+        measurements_identical(a, b)
+        for a, b in zip(serial_runs, parallel_runs)
+    )
+    print(f"parallel (4 jobs)   : {len(parallel_runs)} runs in "
+          f"{parallel_s:.2f} s")
+    print(f"bit-identical       : {identical}")
+
+    # --- 3. warm cache: zero re-simulations ----------------------------
+    warm = MeasurementCampaign(
+        "Proc3", n_cycles=WINDOW_CYCLES, seed=SEED,
+        jobs=1, cache=ResultCache(cache_dir),
+    )
+    started = time.perf_counter()
+    warm_runs = sweep(warm)
+    warm_s = time.perf_counter() - started
+    replayed = all(
+        measurements_identical(a, b) for a, b in zip(serial_runs, warm_runs)
+    )
+    stats = warm.executor.stats
+    print(f"warm-cache replay   : {len(warm_runs)} runs in {warm_s:.2f} s "
+          f"({stats.cache.hits} cache hits, {stats.simulated} simulated)")
+    print(f"replay identical    : {replayed}")
+    print(f"cache directory     : {cache_dir}")
+
+    if not (identical and replayed and stats.simulated == 0):
+        raise SystemExit("executor equivalence violated")
+
+
+if __name__ == "__main__":
+    main()

@@ -77,6 +77,29 @@ DESCRIPTIONS: Dict[str, str] = {
 }
 
 
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for campaign simulation (default: "
+        "$REPRO_JOBS or 1; parallel runs are bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persistent result-cache directory (default: $REPRO_CACHE_DIR "
+        "or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache (always re-simulate)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -95,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true",
         help="use the full protocol sizes instead of quick subsets",
     )
+    _add_execution_arguments(report)
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument(
         "experiment",
@@ -105,7 +129,30 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the full 881-run protocol sizes instead of quick subsets",
     )
+    _add_execution_arguments(run)
     return parser
+
+
+def _configure_execution(args: argparse.Namespace) -> None:
+    from repro.experiments.context import configure_execution
+    from repro.measurement.executor import reset_global_stats
+
+    configure_execution(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=True if args.no_cache else None,
+    )
+    # Each CLI invocation reports its own campaign traffic.
+    reset_global_stats()
+
+
+def _print_execution_stats() -> None:
+    from repro.experiments.context import shared_cache
+    from repro.measurement.executor import format_stats, global_stats
+
+    stats = global_stats()
+    if stats.simulated or stats.cache.lookups or stats.memory_hits:
+        print(format_stats(stats, shared_cache()))
 
 
 def _run_one(alias: str, quick: bool) -> None:
@@ -130,15 +177,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report":
         from repro.reporting import generate_report
 
+        _configure_execution(args)
         generate_report(path=args.output, quick=not args.full)
         print(f"wrote {args.output}")
         return 0
     # command == "run"
+    _configure_execution(args)
     target = args.experiment.lower()
     quick = not args.full
     if target == "all":
         for alias in EXPERIMENTS:
             _run_one(alias, quick)
+        _print_execution_stats()
         return 0
     if target not in EXPERIMENTS:
         print(
@@ -147,6 +197,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
     _run_one(target, quick)
+    _print_execution_stats()
     return 0
 
 

@@ -49,6 +49,24 @@ class PairOracle:
     def run(self, a: str, b: str) -> RunMeasurement:
         return self._campaign.measure(a, b, kind="multiprogram")
 
+    def prefetch(self, names: Sequence[str]) -> None:
+        """Gather the oracle's a-priori table in one executor fan-out.
+
+        Batches every pairing (and each program's solo run) the policies
+        can query through ``measure_specs``, so scoring afterwards is
+        pure memo lookups — this is where ``--jobs N`` pays off for the
+        scheduling experiments.
+        """
+        campaign = self._campaign
+        campaign.measure_specs(
+            [campaign.run_spec(a, kind="single") for a in names]
+            + [
+                campaign.run_spec(a, b, kind="multiprogram")
+                for a in names
+                for b in names
+            ]
+        )
+
     def droop_metric(self, a: str, b: str) -> float:
         """Droop excursions beyond the margin per 1K cycles."""
         run = self.run(a, b)

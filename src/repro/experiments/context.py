@@ -2,17 +2,33 @@
 
 Several figures draw on the same underlying campaigns (the Proc3 pairing
 sweep feeds Figs. 17-19 and Tab. I; the Proc100/25/3 suites feed
-Figs. 7-10).  Campaigns cache per-run measurements internally; this module
-additionally caches the campaign objects themselves so harnesses and
-benchmarks share work within a process.
+Figs. 7-10).  Campaigns memoize per-run measurements internally; this
+module additionally caches the campaign objects themselves so harnesses
+and benchmarks share work within a process, and wires every campaign to
+the process-spanning executor layer:
+
+* a shared persistent :class:`~repro.measurement.cache.ResultCache`
+  (``~/.cache/repro`` / ``$REPRO_CACHE_DIR`` / ``--cache-dir``), so a
+  fresh process replays warm runs instead of re-simulating — this closes
+  the old cross-process coherence hole where the ``lru_cache`` here was
+  keyed only by ``(config, n_cycles, seed)`` and nothing outlived the
+  process;
+* process fan-out for cache misses (``$REPRO_JOBS`` / ``--jobs``).
+
+:func:`configure_execution` changes those knobs at runtime (the CLI calls
+it); it also drops the memoized campaigns, since a campaign built under
+the old settings would silently keep using them.
 """
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
-from typing import Tuple
+from typing import Optional, Tuple
 
+from repro.measurement.cache import ResultCache
 from repro.measurement.campaign import MeasurementCampaign
+from repro.measurement.executor import default_jobs
 
 #: A reduced benchmark subset for quick experiment variants: spans the
 #: suite's noise spectrum (memory-bound, branchy, phased, compute-dense).
@@ -27,15 +43,113 @@ QUICK_PARSEC_SUBSET: Tuple[str, ...] = ("canneal", "streamcluster", "swaptions")
 FULL_WINDOW_CYCLES = 40_000
 QUICK_WINDOW_CYCLES = 25_000
 
+#: Environment switch to disable the persistent cache entirely.
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+#: Runtime execution overrides (None = fall back to the environment).
+_jobs_override: Optional[int] = None
+_cache_dir_override: Optional[str] = None
+_no_cache_override: Optional[bool] = None
+
+#: The shared cache instance (one per (directory, enabled) setting, so
+#: all campaigns see one coherent set of stats and entries).
+_shared_cache: Optional[ResultCache] = None
+_shared_cache_settings: Optional[Tuple[Optional[str], bool]] = None
+
+
+def _env_no_cache() -> bool:
+    return os.environ.get(NO_CACHE_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+def execution_jobs() -> int:
+    """Effective worker count (override, else ``$REPRO_JOBS``, else 1)."""
+    if _jobs_override is not None:
+        return _jobs_override
+    return default_jobs()
+
+
+def cache_enabled() -> bool:
+    if _no_cache_override is not None:
+        return not _no_cache_override
+    return not _env_no_cache()
+
+
+def shared_cache() -> Optional[ResultCache]:
+    """The process-wide result cache (``None`` when caching is off)."""
+    global _shared_cache, _shared_cache_settings
+    settings = (_cache_dir_override, cache_enabled())
+    if settings != _shared_cache_settings:
+        _shared_cache_settings = settings
+        if not cache_enabled():
+            _shared_cache = None
+        else:
+            _shared_cache = ResultCache(_cache_dir_override)
+    return _shared_cache
+
+
+def configure_execution(
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    no_cache: Optional[bool] = None,
+) -> None:
+    """Set the executor knobs for every campaign built after this call.
+
+    ``None`` leaves a knob at its environment-derived default.  Memoized
+    campaigns are dropped: they were built against the previous settings
+    and holding on to them would reintroduce the coherence hole this
+    module exists to close.
+    """
+    global _jobs_override, _cache_dir_override, _no_cache_override
+    _jobs_override = jobs
+    _cache_dir_override = cache_dir
+    _no_cache_override = no_cache
+    reset_campaigns()
+
+
+def reset_campaigns() -> None:
+    """Forget memoized campaigns (and the shared cache binding)."""
+    global _shared_cache, _shared_cache_settings
+    _build_campaign.cache_clear()
+    _shared_cache = None
+    _shared_cache_settings = None
+
 
 @lru_cache(maxsize=8)
+def _build_campaign(
+    config: str,
+    n_cycles: int,
+    seed: int,
+    jobs: int,
+    cache_settings: Tuple[Optional[str], bool],
+) -> MeasurementCampaign:
+    # cache_settings is part of the key so that campaigns built under
+    # different --cache-dir / --no-cache regimes never alias each other.
+    del cache_settings
+    return MeasurementCampaign(
+        config, n_cycles=n_cycles, seed=seed, jobs=jobs, cache=shared_cache()
+    )
+
+
 def get_campaign(
     config: str,
     n_cycles: int = FULL_WINDOW_CYCLES,
     seed: int = 0,
 ) -> MeasurementCampaign:
-    """A process-wide shared campaign for one configuration."""
-    return MeasurementCampaign(config, n_cycles=n_cycles, seed=seed)
+    """A process-wide shared campaign for one configuration.
+
+    Campaigns route every measurement through the executor layer, so
+    results are coherent across processes via the shared persistent
+    cache, not just within this process's memo.
+    """
+    return _build_campaign(
+        config,
+        n_cycles,
+        seed,
+        execution_jobs(),
+        (_cache_dir_override, cache_enabled()),
+    )
 
 
 def spec_names(quick: bool) -> Tuple[str, ...]:

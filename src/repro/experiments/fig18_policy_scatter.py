@@ -29,6 +29,7 @@ def run(quick: bool = False, config: str = "Proc3") -> ExperimentResult:
     campaign = get_campaign(config, n_cycles=window_cycles(quick))
     names = spec_names(quick)
     oracle = PairOracle(campaign)
+    oracle.prefetch(names)  # one parallel fan-out; scoring hits the memo
     scheduler = BatchScheduler(oracle, programs=names)
     n_pairs = 20 if quick else 50
 

@@ -17,6 +17,12 @@ This package is that tooling for simulated traces:
   can resolve empirically.
 * :mod:`repro.measurement.campaign` — batch measurement over workload
   suites (the paper's 881 runs), with caching.
+* :mod:`repro.measurement.record` — compact, bit-exact per-run records
+  (cache entries, golden fixtures).
+* :mod:`repro.measurement.cache` — persistent on-disk result cache with
+  atomic writes and corruption-tolerant reads.
+* :mod:`repro.measurement.executor` — campaign execution engine: process
+  fan-out over cache misses, bit-identical to serial execution.
 """
 
 from repro.measurement.histogram import CompressedHistogram
@@ -33,6 +39,20 @@ from repro.measurement.campaign import (
     RunMeasurement,
     RunSpec,
 )
+from repro.measurement.record import (
+    SCHEMA_VERSION,
+    decode_measurement,
+    diff_measurements,
+    encode_measurement,
+    measurements_identical,
+)
+from repro.measurement.cache import CacheStats, ResultCache, cache_key
+from repro.measurement.executor import (
+    CampaignExecutor,
+    ExecutorStats,
+    global_stats,
+    reset_global_stats,
+)
 
 __all__ = [
     "CompressedHistogram",
@@ -46,4 +66,16 @@ __all__ = [
     "MeasurementCampaign",
     "RunMeasurement",
     "RunSpec",
+    "SCHEMA_VERSION",
+    "decode_measurement",
+    "diff_measurements",
+    "encode_measurement",
+    "measurements_identical",
+    "CacheStats",
+    "ResultCache",
+    "cache_key",
+    "CampaignExecutor",
+    "ExecutorStats",
+    "global_stats",
+    "reset_global_stats",
 ]

@@ -1,0 +1,209 @@
+"""Persistent on-disk cache of per-run measurement records.
+
+The paper's full protocol is 881 runs; most experiment harnesses re-visit
+the same (workload, configuration, window) points.  Within a process the
+campaign memoizes in a dict, but every fresh process used to re-simulate
+from scratch.  :class:`ResultCache` closes that gap: each run's record
+(see :mod:`repro.measurement.record`) is stored under a content hash of
+everything that determines the result — run spec, decap-configuration
+parameters, window length, seed and the record schema version — so a
+warm cache replays a whole figure suite with zero re-simulations while
+any change to those inputs transparently misses.
+
+Robustness contract:
+
+* **atomic writes** — records are written to a temp file in the cache
+  directory and ``os.replace``-d into place, so a killed process never
+  leaves a half-written entry visible;
+* **corruption-tolerant reads** — a truncated, garbled or wrong-schema
+  entry is treated as a miss (and counted in :attr:`CacheStats.corrupt`),
+  never an exception; the executor then falls back to re-simulation.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.measurement.campaign import RunMeasurement, RunSpec
+from repro.measurement.record import (
+    SCHEMA_VERSION,
+    decode_measurement,
+    encode_measurement,
+)
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Exceptions that mark a cache entry as corrupt rather than fatal.  A
+#: cache read must never take the campaign down: anything short of a
+#: programming error in *our* code means "re-simulate".
+_CORRUPTION_ERRORS = (
+    OSError,  # includes gzip.BadGzipFile
+    EOFError,
+    zlib.error,  # bit-flips inside the deflate stream
+    ValueError,  # includes json.JSONDecodeError and bad numeric fields
+    KeyError,
+    TypeError,
+    UnicodeDecodeError,
+    MeasurementError,
+    ConfigurationError,  # e.g. decoded counters violating invariants
+)
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def cache_key(
+    spec: RunSpec,
+    config_fingerprint: Mapping[str, Any],
+    n_cycles: int,
+    seed: int,
+) -> str:
+    """Content hash identifying one run's result.
+
+    The payload is serialized with sorted keys, so two fingerprint
+    mappings with the same items in any insertion order hash identically
+    (property-tested).  ``SCHEMA_VERSION`` is folded in so that record
+    layout changes invalidate old entries by construction.
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": spec.kind,
+        "workloads": list(spec.workloads),
+        "config": spec.config,
+        "config_fingerprint": dict(config_fingerprint),
+        "n_cycles": int(n_cycles),
+        "seed": int(seed),
+    }
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+
+class CacheStats:
+    """Mutable hit/miss counters for one cache (or one aggregate view)."""
+
+    __slots__ = ("hits", "misses", "stores", "corrupt")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def merged_into(self, other: "CacheStats") -> None:
+        other.hits += self.hits
+        other.misses += self.misses
+        other.stores += self.stores
+        other.corrupt += self.corrupt
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses "
+            f"({self.corrupt} corrupt), {self.stores} stores"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"CacheStats({self.summary()})"
+
+
+class ResultCache:
+    """Directory of gzip-compressed JSON records, one file per run key.
+
+    Entries are sharded into 256 subdirectories by the first two hex
+    digits of the key so the full 881-run protocol (and far larger
+    extension sweeps) never piles thousands of files into one directory.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self._directory = (
+            Path(directory).expanduser() if directory is not None
+            else default_cache_dir()
+        )
+        self.stats = CacheStats()
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def path_for(self, key: str) -> Path:
+        return self._directory / key[:2] / f"{key}.json.gz"
+
+    def load(self, key: str) -> Optional[RunMeasurement]:
+        """The cached measurement for ``key``, or ``None`` (miss/corrupt)."""
+        path = self.path_for(key)
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            measurement = decode_measurement(payload)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except _CORRUPTION_ERRORS:
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        self.stats.hits += 1
+        return measurement
+
+    def store(self, key: str, measurement: RunMeasurement) -> None:
+        """Atomically persist one measurement under ``key``."""
+        self.store_record(key, encode_measurement(measurement))
+
+    def store_record(self, key: str, record: Mapping[str, Any]) -> None:
+        """Atomically persist an already-encoded record under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename within the same directory: readers see either
+        # the old entry or the complete new one, never a partial file.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as raw:
+                with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as gz:
+                    gz.write(
+                        json.dumps(
+                            record, sort_keys=True, separators=(",", ":")
+                        ).encode("utf-8")
+                    )
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:  # pragma: no cover - already gone
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk (walks the shard dirs)."""
+        if not self._directory.is_dir():
+            return 0
+        return sum(1 for _ in self._directory.glob("*/*.json.gz"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"ResultCache({str(self._directory)!r})"

@@ -9,13 +9,19 @@ random point of program time), executes them on both cores, and records
 counters, droop/overshoot excursions and the sample histogram.
 
 Runs are cached by (workloads, configuration), so experiment harnesses can
-share one campaign instance without re-simulating.
+share one campaign instance without re-simulating.  All measurement goes
+through a :class:`~repro.measurement.executor.CampaignExecutor`, which
+adds two cross-process layers on top of the in-memory memo: an optional
+persistent :class:`~repro.measurement.cache.ResultCache` (``cache=``) and
+process fan-out for cache misses (``jobs=``).  Parallel and serial
+execution are bit-identical because every run's random stream is derived
+from the base seed and the run's own spec, never from shared state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +42,10 @@ from repro.workloads.base import Workload
 from repro.workloads.microbenchmarks import IdleLoop
 from repro.workloads.parsec import PARSEC, ParsecWorkload
 from repro.workloads.spec import SPEC_CPU2006
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.measurement.cache import ResultCache
+    from repro.measurement.executor import CampaignExecutor
 
 #: Histogram binning shared by all campaign measurements.
 HISTOGRAM_LO = -0.20
@@ -104,6 +114,13 @@ class MeasurementCampaign:
     seed:
         Base seed; every run derives an independent stream from it, so a
         campaign is fully reproducible.
+    jobs:
+        Worker processes for batch simulation (``1`` = serial in-process;
+        ``None`` = honor ``$REPRO_JOBS``).  Parallel runs are bit-identical
+        to serial ones.
+    cache:
+        Optional persistent :class:`~repro.measurement.cache.ResultCache`
+        shared across processes; ``None`` keeps results process-local.
     """
 
     def __init__(
@@ -111,6 +128,8 @@ class MeasurementCampaign:
         config: str = "Proc100",
         n_cycles: int = 40_000,
         seed: SeedLike = 0,
+        jobs: Optional[int] = None,
+        cache: Optional["ResultCache"] = None,
     ) -> None:
         if n_cycles < 1000:
             raise ConfigurationError("n_cycles must be at least 1000")
@@ -118,8 +137,11 @@ class MeasurementCampaign:
         self._n_cycles = int(n_cycles)
         self._seed = seed
         self._chip = Chip(config, with_ripple=True)
-        self._cache: Dict[Tuple[str, ...], RunMeasurement] = {}
         self._idle = IdleLoop()
+        # Imported here: the executor module imports this one at load time.
+        from repro.measurement.executor import CampaignExecutor
+
+        self._executor = CampaignExecutor(self, jobs=jobs, cache=cache)
 
     @property
     def config(self) -> str:
@@ -130,8 +152,16 @@ class MeasurementCampaign:
         return self._n_cycles
 
     @property
+    def seed(self) -> SeedLike:
+        return self._seed
+
+    @property
     def chip(self) -> Chip:
         return self._chip
+
+    @property
+    def executor(self) -> "CampaignExecutor":
+        return self._executor
 
     # ------------------------------------------------------------------
     # Measurement primitives
@@ -145,7 +175,14 @@ class MeasurementCampaign:
             return PARSEC[name]
         raise WorkloadError(f"unknown workload {name!r}")
 
-    def _measure(self, spec: RunSpec) -> RunMeasurement:
+    def simulate(self, spec: RunSpec) -> RunMeasurement:
+        """Simulate one run from scratch (no caching).
+
+        The run's random stream is derived from the campaign's base seed
+        and the spec alone — **never** from shared mutable state — which
+        is the contract that makes parallel fan-out and cache replay
+        bit-identical to serial execution.
+        """
         rng = derive_generator(self._seed, spec.kind, *spec.workloads, spec.config)
         if spec.kind == "multithread":
             workload = self._resolve(spec.workloads[0])
@@ -187,8 +224,10 @@ class MeasurementCampaign:
             ),
         )
 
-    def measure(self, *workload_names: str, kind: Optional[str] = None) -> RunMeasurement:
-        """Measure (or fetch from cache) one run.
+    def run_spec(
+        self, *workload_names: str, kind: Optional[str] = None
+    ) -> RunSpec:
+        """Validate workload names and infer the run kind.
 
         One name → single-threaded (other core idles), except PARSEC names
         which run multi-threaded; two names → multi-program pair.
@@ -197,6 +236,8 @@ class MeasurementCampaign:
             raise ConfigurationError(
                 f"need 1..{self._chip.n_cores} workloads, got {len(workload_names)}"
             )
+        for name in workload_names:
+            self._resolve(name)
         if kind is None:
             if len(workload_names) == 2:
                 kind = "multiprogram"
@@ -204,48 +245,58 @@ class MeasurementCampaign:
                 kind = "multithread"
             else:
                 kind = "single"
-        spec = RunSpec(kind=kind, workloads=tuple(workload_names), config=self._config)
-        key = (kind,) + spec.workloads
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = self._measure(spec)
-            self._cache[key] = cached
-        return cached
+        return RunSpec(
+            kind=kind, workloads=tuple(workload_names), config=self._config
+        )
+
+    def measure(self, *workload_names: str, kind: Optional[str] = None) -> RunMeasurement:
+        """Measure (or fetch from memo/cache) one run."""
+        return self._executor.run_one(self.run_spec(*workload_names, kind=kind))
 
     # ------------------------------------------------------------------
     # Suites
     # ------------------------------------------------------------------
+    def measure_specs(self, specs: Sequence[RunSpec]) -> List[RunMeasurement]:
+        """Measure a batch of specs through the executor (one fan-out)."""
+        return self._executor.run_many(specs)
+
     def single_threaded_runs(
         self, names: Optional[Sequence[str]] = None
     ) -> List[RunMeasurement]:
         """The 29 single-threaded CPU2006 runs (other core idle)."""
         names = list(names) if names is not None else sorted(SPEC_CPU2006)
-        return [self.measure(name, kind="single") for name in names]
+        return self.measure_specs(
+            [self.run_spec(name, kind="single") for name in names]
+        )
 
     def multithreaded_runs(
         self, names: Optional[Sequence[str]] = None
     ) -> List[RunMeasurement]:
         """The 11 PARSEC multi-threaded runs."""
         names = list(names) if names is not None else sorted(PARSEC)
-        return [self.measure(name, kind="multithread") for name in names]
+        return self.measure_specs(
+            [self.run_spec(name, kind="multithread") for name in names]
+        )
 
     def multiprogram_runs(
         self, names: Optional[Sequence[str]] = None
     ) -> List[RunMeasurement]:
         """The 29x29 CPU2006 pairing sweep (841 runs)."""
         names = list(names) if names is not None else sorted(SPEC_CPU2006)
-        return [
-            self.measure(a, b, kind="multiprogram")
+        return self.measure_specs([
+            self.run_spec(a, b, kind="multiprogram")
             for a in names
             for b in names
-        ]
+        ])
 
     def specrate_runs(
         self, names: Optional[Sequence[str]] = None
     ) -> List[RunMeasurement]:
         """SPECrate: two copies of the same program (the diagonal)."""
         names = list(names) if names is not None else sorted(SPEC_CPU2006)
-        return [self.measure(name, name, kind="multiprogram") for name in names]
+        return self.measure_specs([
+            self.run_spec(name, name, kind="multiprogram") for name in names
+        ])
 
     def all_runs(
         self,

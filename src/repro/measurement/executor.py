@@ -1,0 +1,326 @@
+"""Campaign execution engine: parallel fan-out + persistent result cache.
+
+The 881-run characterization protocol is embarrassingly parallel: every
+run derives its random stream *directly from the campaign's base seed and
+its own spec* (see :meth:`MeasurementCampaign.simulate`), so no run
+depends on any other's execution.  :class:`CampaignExecutor` exploits
+that twice over:
+
+* **fan-out** — cache misses are dispatched to a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; because each worker
+  re-derives the identical per-run stream from ``(seed, spec)``, parallel
+  and serial execution produce *bit-identical* measurements (enforced by
+  the equivalence test battery);
+* **persistence** — every simulated run is written to a
+  :class:`~repro.measurement.cache.ResultCache`, so later processes (and
+  the full Fig. 7–19 + Tab. I pipeline) replay warm runs without
+  re-simulating.
+
+Seeds that are live :class:`numpy.random.Generator` objects have state
+rather than identity; for those the executor degrades gracefully to
+serial, uncached simulation (results then depend on call order, exactly
+as they always did).
+
+Module-level aggregate statistics (:func:`global_stats`) power the cache
+hit/miss and wall-time lines in :mod:`repro.reporting`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.measurement.cache import CacheStats, ResultCache, cache_key
+from repro.measurement.campaign import (
+    HISTOGRAM_BINS,
+    HISTOGRAM_HI,
+    HISTOGRAM_LO,
+    MeasurementCampaign,
+    RunMeasurement,
+    RunSpec,
+)
+from repro.measurement.record import decode_measurement
+from repro.pdn.decap import proc_config
+from repro.random_utils import seed_fingerprint
+
+#: Environment override for the default worker count (read by
+#: :func:`default_jobs`; the CI matrix sets ``REPRO_JOBS=2`` so the
+#: parallel path is exercised on every push).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count from ``$REPRO_JOBS`` (defaults to 1 = serial)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{JOBS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if jobs < 1:
+        raise ConfigurationError(f"{JOBS_ENV} must be >= 1, got {jobs}")
+    return jobs
+
+
+class ExecutorStats:
+    """Counters for one executor: cache traffic, simulations, wall time."""
+
+    __slots__ = ("cache", "memory_hits", "simulated", "parallel_batches",
+                 "wall_seconds")
+
+    def __init__(self) -> None:
+        self.cache = CacheStats()
+        self.memory_hits = 0
+        self.simulated = 0
+        self.parallel_batches = 0
+        self.wall_seconds = 0.0
+
+    def merged_into(self, other: "ExecutorStats") -> None:
+        self.cache.merged_into(other.cache)
+        other.memory_hits += self.memory_hits
+        other.simulated += self.simulated
+        other.parallel_batches += self.parallel_batches
+        other.wall_seconds += self.wall_seconds
+
+    def summary(self) -> str:
+        return (
+            f"cache: {self.cache.summary()}; {self.memory_hits} in-memory "
+            f"hits; {self.simulated} runs simulated "
+            f"({self.parallel_batches} parallel batches); "
+            f"{self.wall_seconds:.1f} s execution wall time"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"ExecutorStats({self.summary()})"
+
+
+#: Process-wide aggregate, updated by every executor batch; the report
+#: generator resets it, runs the suites, then renders the totals.
+_GLOBAL_STATS = ExecutorStats()
+
+
+def global_stats() -> ExecutorStats:
+    """The process-wide aggregate executor statistics."""
+    return _GLOBAL_STATS
+
+
+def reset_global_stats() -> None:
+    """Zero the process-wide aggregate (start of a report run)."""
+    global _GLOBAL_STATS
+    _GLOBAL_STATS = ExecutorStats()
+
+
+def config_fingerprint(config: str, n_cores: int) -> Dict[str, Any]:
+    """Simulation-relevant parameters folded into every cache key.
+
+    Captures what, besides the run spec / window / seed, determines a
+    measurement: the decap configuration's electrical identity, the core
+    count, and the campaign's histogram binning.
+    """
+    decap = proc_config(config)
+    return {
+        "config": decap.name,
+        "decap_fraction": decap.fraction,
+        "effective_fraction": decap.effective_fraction,
+        "n_cores": int(n_cores),
+        "with_ripple": True,
+        "histogram": [HISTOGRAM_LO, HISTOGRAM_HI, HISTOGRAM_BINS],
+    }
+
+
+def _simulate_record(
+    config: str,
+    n_cycles: int,
+    seed: int,
+    spec_fields: Tuple[str, Tuple[str, ...], str],
+) -> Dict[str, Any]:
+    """Worker entry point: simulate one run, return its encoded record.
+
+    Must stay a module-level function (pickled by name into pool
+    workers).  Builds a throwaway serial campaign so the derived stream
+    is exactly what the parent's campaign would have used.
+    """
+    from repro.measurement.record import encode_measurement
+
+    kind, workloads, spec_config = spec_fields
+    campaign = MeasurementCampaign(config, n_cycles=n_cycles, seed=seed)
+    spec = RunSpec(kind=kind, workloads=tuple(workloads), config=spec_config)
+    return encode_measurement(campaign.simulate(spec))
+
+
+class CampaignExecutor:
+    """Runs batches of :class:`RunSpec` for one campaign.
+
+    Resolution order per spec: in-memory memo → persistent cache →
+    simulation (fanned out over processes when ``jobs > 1``).  Results
+    are returned in input order and every simulated run is persisted.
+
+    Parameters
+    ----------
+    campaign:
+        The owning campaign (supplies config, window, seed and the
+        serial simulation primitive).
+    jobs:
+        Worker processes for cache-miss simulation.  ``1`` = serial
+        in-process; ``None`` = :func:`default_jobs` (``$REPRO_JOBS``).
+    cache:
+        Persistent result cache, or ``None`` to keep runs process-local.
+    """
+
+    def __init__(
+        self,
+        campaign: MeasurementCampaign,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        if jobs is None:
+            jobs = default_jobs()
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self._campaign = campaign
+        self._jobs = int(jobs)
+        self._seed = seed_fingerprint(campaign.seed)
+        # A stateful Generator seed has no stable identity: no persistent
+        # cache entries could ever be valid and workers could not re-derive
+        # the stream, so degrade to serial, uncached execution.
+        self._cache = cache if self._seed is not None else None
+        self._fingerprint = config_fingerprint(
+            campaign.config, campaign.chip.n_cores
+        )
+        self._memory: Dict[RunSpec, RunMeasurement] = {}
+        self.stats = ExecutorStats()
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self._cache
+
+    def key_for(self, spec: RunSpec) -> Optional[str]:
+        """Persistent-cache key for one spec (``None`` if uncacheable)."""
+        if self._seed is None:
+            return None
+        return cache_key(
+            spec, self._fingerprint, self._campaign.n_cycles, self._seed
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_one(self, spec: RunSpec) -> RunMeasurement:
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Sequence[RunSpec]) -> List[RunMeasurement]:
+        """Measure every spec, reusing memo/cache, in input order."""
+        started = time.perf_counter()
+        batch = ExecutorStats()
+        results: Dict[RunSpec, RunMeasurement] = {}
+        missing: List[RunSpec] = []
+        seen: set = set()
+        for spec in specs:
+            if spec in seen:
+                continue
+            seen.add(spec)
+            memo = self._memory.get(spec)
+            if memo is not None:
+                batch.memory_hits += 1
+                results[spec] = memo
+                continue
+            cached = self._load_cached(spec, batch)
+            if cached is not None:
+                results[spec] = self._remember(spec, cached, batch)
+            else:
+                missing.append(spec)
+        if missing:
+            for spec, measurement in self._simulate_missing(missing, batch):
+                results[spec] = self._remember(
+                    spec, measurement, batch, store=True
+                )
+        batch.wall_seconds = time.perf_counter() - started
+        batch.merged_into(self.stats)
+        batch.merged_into(_GLOBAL_STATS)
+        return [results[spec] for spec in specs]
+
+    def _load_cached(
+        self, spec: RunSpec, batch: ExecutorStats
+    ) -> Optional[RunMeasurement]:
+        if self._cache is None:
+            return None
+        key = self.key_for(spec)
+        assert key is not None
+        corrupt_before = self._cache.stats.corrupt
+        measurement = self._cache.load(key)
+        if measurement is None:
+            batch.cache.misses += 1
+            batch.cache.corrupt += self._cache.stats.corrupt - corrupt_before
+            return None
+        batch.cache.hits += 1
+        return measurement
+
+    def _remember(
+        self,
+        spec: RunSpec,
+        measurement: RunMeasurement,
+        batch: ExecutorStats,
+        store: bool = False,
+    ) -> RunMeasurement:
+        self._memory[spec] = measurement
+        if store and self._cache is not None:
+            key = self.key_for(spec)
+            assert key is not None
+            self._cache.store(key, measurement)
+            batch.cache.stores += 1
+        return measurement
+
+    def _simulate_missing(
+        self, specs: List[RunSpec], batch: ExecutorStats
+    ) -> List[Tuple[RunSpec, RunMeasurement]]:
+        batch.simulated += len(specs)
+        if self._jobs > 1 and len(specs) > 1 and self._seed is not None:
+            return self._simulate_parallel(specs, batch)
+        return [(spec, self._campaign.simulate(spec)) for spec in specs]
+
+    def _simulate_parallel(
+        self, specs: List[RunSpec], batch: ExecutorStats
+    ) -> List[Tuple[RunSpec, RunMeasurement]]:
+        batch.parallel_batches += 1
+        assert self._seed is not None
+        config = self._campaign.config
+        n_cycles = self._campaign.n_cycles
+        fields = [(s.kind, s.workloads, s.config) for s in specs]
+        workers = min(self._jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            records = list(
+                pool.map(
+                    _simulate_record,
+                    [config] * len(specs),
+                    [n_cycles] * len(specs),
+                    [self._seed] * len(specs),
+                    fields,
+                )
+            )
+        return [
+            (spec, decode_measurement(record))
+            for spec, record in zip(specs, records)
+        ]
+
+
+def _describe_cache(cache: Optional[ResultCache]) -> str:
+    if cache is None:
+        return "disabled"
+    return str(cache.directory)
+
+
+def format_stats(
+    stats: ExecutorStats, cache: Optional[ResultCache] = None
+) -> str:
+    """One-line execution summary for CLI / report output."""
+    return f"[executor] {stats.summary()} (cache dir: {_describe_cache(cache)})"

@@ -63,9 +63,35 @@ class CompressedHistogram:
         merged._counts = self._counts + other._counts
         return merged
 
+    @classmethod
+    def from_counts(
+        cls, lo: float, hi: float, counts: np.ndarray
+    ) -> "CompressedHistogram":
+        """Rebuild a histogram from stored bin counts (cache/fixture decode)."""
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 1:
+            raise MeasurementError("counts must be one-dimensional")
+        if np.any(counts < 0):
+            raise MeasurementError("counts must be non-negative")
+        histogram = cls(lo, hi, int(counts.size))
+        histogram._counts = counts.copy()
+        return histogram
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def lo(self) -> float:
+        return self._lo
+
+    @property
+    def hi(self) -> float:
+        return self._hi
+
+    @property
+    def n_bins(self) -> int:
+        return int(self._counts.size)
+
     @property
     def total(self) -> int:
         return int(self._counts.sum())

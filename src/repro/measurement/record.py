@@ -1,0 +1,209 @@
+"""Compact, portable per-run measurement records.
+
+The persistent result cache and the golden regression fixtures both need a
+stable on-disk form of :class:`~repro.measurement.campaign.RunMeasurement`.
+This module defines that form: a JSON-able dict that round-trips every
+field *bit-exactly* (floats are serialized through Python's shortest
+round-trip ``repr``, so ``decode(encode(m))`` reconstructs the identical
+values), with the histogram stored sparsely (populated bins only — the
+scope histogram has 1600 bins but a short window touches a handful).
+
+``SCHEMA_VERSION`` is part of every record **and** of the cache key, so a
+change to what a record contains invalidates stale cache entries instead
+of mis-decoding them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.measurement.campaign import RunMeasurement, RunSpec
+from repro.measurement.droops import DroopStatistics
+from repro.measurement.histogram import CompressedHistogram
+from repro.uarch.counters import PerformanceCounters
+from repro.uarch.events import StallEvent
+
+#: Bump whenever the record layout or any simulation-relevant schema
+#: changes; old cache entries then miss (by key) rather than mis-decode.
+SCHEMA_VERSION = 1
+
+_EVENT_BY_LABEL = {event.value: event for event in StallEvent}
+
+
+def _encode_stats(stats: DroopStatistics) -> Dict[str, Any]:
+    return {
+        "depths": [float(d) for d in stats.depths],
+        "durations": [int(d) for d in stats.durations],
+        "n_cycles": int(stats.n_cycles),
+        "threshold": float(stats.threshold),
+    }
+
+
+def _decode_stats(payload: Mapping[str, Any]) -> DroopStatistics:
+    return DroopStatistics(
+        depths=np.asarray(payload["depths"], dtype=float),
+        durations=np.asarray(payload["durations"], dtype=int),
+        n_cycles=int(payload["n_cycles"]),
+        threshold=float(payload["threshold"]),
+    )
+
+
+def _encode_counters(counters: PerformanceCounters) -> Dict[str, Any]:
+    return {
+        "cycles": int(counters.cycles),
+        "instructions": float(counters.instructions),
+        "stall_cycles": int(counters.stall_cycles),
+        "events": {
+            event.value: int(count)
+            for event, count in sorted(
+                counters.event_counts.items(), key=lambda item: item[0].value
+            )
+        },
+    }
+
+
+def _decode_counters(payload: Mapping[str, Any]) -> PerformanceCounters:
+    events = {
+        _EVENT_BY_LABEL[label]: int(count)
+        for label, count in payload["events"].items()
+    }
+    return PerformanceCounters(
+        cycles=int(payload["cycles"]),
+        instructions=float(payload["instructions"]),
+        stall_cycles=int(payload["stall_cycles"]),
+        event_counts=events,
+    )
+
+
+def _encode_histogram(histogram: CompressedHistogram) -> Dict[str, Any]:
+    counts = histogram.counts
+    populated = np.flatnonzero(counts)
+    return {
+        "lo": float(histogram.lo),
+        "hi": float(histogram.hi),
+        "n_bins": int(histogram.n_bins),
+        "nonzero": [[int(i), int(counts[i])] for i in populated],
+    }
+
+
+def _decode_histogram(payload: Mapping[str, Any]) -> CompressedHistogram:
+    counts = np.zeros(int(payload["n_bins"]), dtype=np.int64)
+    for index, count in payload["nonzero"]:
+        counts[int(index)] = int(count)
+    return CompressedHistogram.from_counts(
+        float(payload["lo"]), float(payload["hi"]), counts
+    )
+
+
+def encode_measurement(measurement: RunMeasurement) -> Dict[str, Any]:
+    """Encode one run's measurement as a JSON-able dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "spec": {
+            "kind": measurement.spec.kind,
+            "workloads": list(measurement.spec.workloads),
+            "config": measurement.spec.config,
+        },
+        "n_cycles": int(measurement.n_cycles),
+        "counters": [_encode_counters(c) for c in measurement.counters],
+        "droops": _encode_stats(measurement.droops),
+        "overshoots": _encode_stats(measurement.overshoots),
+        "histogram": _encode_histogram(measurement.histogram),
+        "droop_samples_per_1k": float(measurement.droop_samples_per_1k),
+    }
+
+
+def decode_measurement(payload: Mapping[str, Any]) -> RunMeasurement:
+    """Rebuild a :class:`RunMeasurement` from its encoded record.
+
+    Raises :class:`~repro.errors.MeasurementError` on schema mismatch;
+    structurally invalid payloads raise ``KeyError``/``TypeError``/
+    ``ValueError``, which cache readers treat as corruption (→ miss).
+    """
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise MeasurementError(
+            f"record schema {payload.get('schema')!r} does not match "
+            f"current schema {SCHEMA_VERSION}"
+        )
+    spec_payload = payload["spec"]
+    spec = RunSpec(
+        kind=str(spec_payload["kind"]),
+        workloads=tuple(str(w) for w in spec_payload["workloads"]),
+        config=str(spec_payload["config"]),
+    )
+    return RunMeasurement(
+        spec=spec,
+        n_cycles=int(payload["n_cycles"]),
+        counters=tuple(_decode_counters(c) for c in payload["counters"]),
+        droops=_decode_stats(payload["droops"]),
+        overshoots=_decode_stats(payload["overshoots"]),
+        histogram=_decode_histogram(payload["histogram"]),
+        droop_samples_per_1k=float(payload["droop_samples_per_1k"]),
+    )
+
+
+def diff_measurements(a: RunMeasurement, b: RunMeasurement) -> List[str]:
+    """Human-readable field-by-field differences between two measurements.
+
+    Empty list ⇔ the two measurements are bit-identical.  Used by the
+    equivalence tests (serial vs parallel, cold vs warm cache) and by the
+    golden regression tests, whose failure message must say *what* drifted.
+    """
+    diffs: List[str] = []
+
+    def check(field: str, va: Any, vb: Any) -> None:
+        if va != vb:
+            diffs.append(f"{field}: {va!r} != {vb!r}")
+
+    check("spec", a.spec, b.spec)
+    check("n_cycles", a.n_cycles, b.n_cycles)
+    check("n_cores", len(a.counters), len(b.counters))
+    for i, (ca, cb) in enumerate(zip(a.counters, b.counters)):
+        check(f"counters[{i}].cycles", ca.cycles, cb.cycles)
+        check(f"counters[{i}].instructions", ca.instructions, cb.instructions)
+        check(f"counters[{i}].stall_cycles", ca.stall_cycles, cb.stall_cycles)
+        check(
+            f"counters[{i}].events",
+            dict(ca.event_counts),
+            dict(cb.event_counts),
+        )
+    for polarity in ("droops", "overshoots"):
+        sa: DroopStatistics = getattr(a, polarity)
+        sb: DroopStatistics = getattr(b, polarity)
+        check(f"{polarity}.count", sa.count, sb.count)
+        check(f"{polarity}.n_cycles", sa.n_cycles, sb.n_cycles)
+        check(f"{polarity}.threshold", sa.threshold, sb.threshold)
+        if sa.count == sb.count:
+            for j in np.flatnonzero(sa.depths != sb.depths):
+                check(
+                    f"{polarity}.depths[{int(j)}]",
+                    float(sa.depths[j]),
+                    float(sb.depths[j]),
+                )
+            for j in np.flatnonzero(sa.durations != sb.durations):
+                check(
+                    f"{polarity}.durations[{int(j)}]",
+                    int(sa.durations[j]),
+                    int(sb.durations[j]),
+                )
+    check("histogram.lo", a.histogram.lo, b.histogram.lo)
+    check("histogram.hi", a.histogram.hi, b.histogram.hi)
+    check("histogram.n_bins", a.histogram.n_bins, b.histogram.n_bins)
+    if a.histogram.n_bins == b.histogram.n_bins:
+        ca_hist, cb_hist = a.histogram.counts, b.histogram.counts
+        for j in np.flatnonzero(ca_hist != cb_hist):
+            check(
+                f"histogram.counts[{int(j)}]",
+                int(ca_hist[j]),
+                int(cb_hist[j]),
+            )
+    check("droop_samples_per_1k", a.droop_samples_per_1k, b.droop_samples_per_1k)
+    return diffs
+
+
+def measurements_identical(a: RunMeasurement, b: RunMeasurement) -> bool:
+    """True iff every field of the two measurements matches bit-for-bit."""
+    return not diff_measurements(a, b)

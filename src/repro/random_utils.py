@@ -52,6 +52,24 @@ def derive_generator(parent: SeedLike, *keys: object) -> np.random.Generator:
     return np.random.default_rng(seq)
 
 
+def seed_fingerprint(seed: SeedLike) -> Union[int, None]:
+    """Canonical integer identity of a seed, or ``None`` if it has none.
+
+    Two seeds with the same fingerprint produce identical derived streams
+    from :func:`derive_generator`: ``None`` collapses to the library-wide
+    default, integers map to themselves.  A live
+    :class:`numpy.random.Generator` has *state*, not identity — deriving
+    from it consumes entropy, so results depend on call order.  Such seeds
+    return ``None`` and callers (the campaign executor, the result cache)
+    must disable persistent caching and process fan-out for them.
+    """
+    if isinstance(seed, np.random.Generator):
+        return None
+    if seed is None:
+        return _DEFAULT_SEED
+    return int(seed)
+
+
 def _stable_key(key: object) -> int:
     """Map an arbitrary key to a stable non-negative integer."""
     if isinstance(key, (int, np.integer)):

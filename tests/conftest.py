@@ -1,0 +1,36 @@
+"""Shared test configuration.
+
+The executor layer persists run records under ``~/.cache/repro`` by
+default.  Tests must be hermetic: they may not read a developer's warm
+cache (which would mask simulation drift) nor leave entries behind, so
+the whole suite is pointed at a throwaway per-session cache directory.
+Tests that need a specific cache location build their own
+:class:`~repro.measurement.cache.ResultCache` on a ``tmp_path``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_result_cache(tmp_path_factory):
+    from repro.measurement.cache import CACHE_DIR_ENV
+
+    directory = tmp_path_factory.mktemp("repro-cache")
+    mp = pytest.MonkeyPatch()
+    mp.setenv(CACHE_DIR_ENV, str(directory))
+    yield
+    mp.undo()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_execution_settings():
+    """Reset runtime executor overrides that a test may have configured."""
+    yield
+    from repro.experiments import context
+
+    if (
+        context._jobs_override is not None
+        or context._cache_dir_override is not None
+        or context._no_cache_override is not None
+    ):
+        context.configure_execution()

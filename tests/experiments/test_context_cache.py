@@ -1,0 +1,104 @@
+"""Regression tests for the experiment-context cache coherence fix.
+
+The old ``get_campaign`` was a bare ``lru_cache`` keyed by
+``(config, n_cycles, seed)``: nothing outlived the process, and runtime
+execution settings could not invalidate already-memoized campaigns.
+These tests pin the fixed behavior: campaigns route through the shared
+persistent executor cache (so a "new process" — simulated here by
+dropping the memo — replays results instead of re-simulating), and
+:func:`configure_execution` rebuilds campaigns instead of handing back
+stale ones.
+"""
+
+import pytest
+
+from repro.experiments import context
+
+
+@pytest.fixture(autouse=True)
+def _isolated_context(tmp_path):
+    """Route the context at a private cache dir and reset it afterwards."""
+    context.configure_execution(cache_dir=str(tmp_path / "ctx-cache"))
+    yield
+    context.configure_execution()
+
+
+SUBSET = ("mcf", "namd")
+
+
+class TestSharedPersistentCache:
+    def test_campaigns_share_one_cache_instance(self):
+        a = context.get_campaign("Proc100", n_cycles=2000, seed=0)
+        b = context.get_campaign("Proc3", n_cycles=2000, seed=0)
+        assert a.executor.cache is b.executor.cache
+        assert a.executor.cache is context.shared_cache()
+
+    def test_results_survive_process_restart(self, tmp_path):
+        """The regression: results must outlive the lru_cache memo."""
+        first = context.get_campaign("Proc100", n_cycles=2000, seed=0)
+        first.single_threaded_runs(SUBSET)
+        assert first.executor.stats.simulated == len(SUBSET)
+
+        # Simulate a fresh process: drop every in-memory memo; the
+        # configured cache directory (the "disk") survives.
+        context.reset_campaigns()
+        reborn = context.get_campaign("Proc100", n_cycles=2000, seed=0)
+        assert reborn is not first
+        reborn.single_threaded_runs(SUBSET)
+        assert reborn.executor.stats.simulated == 0
+        assert reborn.executor.stats.cache.hits == len(SUBSET)
+
+    def test_mutated_settings_do_not_alias_old_campaigns(self, tmp_path):
+        """The lru_cache key now includes the execution settings, so a
+        campaign built under old settings is never handed back."""
+        stale = context.get_campaign("Proc100", n_cycles=2000, seed=0)
+        context.configure_execution(
+            jobs=2, cache_dir=str(tmp_path / "elsewhere")
+        )
+        fresh = context.get_campaign("Proc100", n_cycles=2000, seed=0)
+        assert fresh is not stale
+        assert fresh.executor.jobs == 2
+        assert fresh.executor.cache.directory == tmp_path / "elsewhere"
+
+    def test_no_cache_disables_persistence(self):
+        context.configure_execution(no_cache=True)
+        campaign = context.get_campaign("Proc100", n_cycles=2000, seed=0)
+        assert context.shared_cache() is None
+        assert campaign.executor.cache is None
+
+    def test_memo_still_shared_within_process(self):
+        a = context.get_campaign("Proc100", n_cycles=2000, seed=0)
+        b = context.get_campaign("Proc100", n_cycles=2000, seed=0)
+        assert a is b
+
+
+class TestEnvironmentDefaults:
+    def test_env_no_cache(self, monkeypatch):
+        context.configure_execution()
+        monkeypatch.setenv(context.NO_CACHE_ENV, "1")
+        assert not context.cache_enabled()
+        assert context.shared_cache() is None
+
+    def test_env_jobs(self, monkeypatch):
+        context.configure_execution()
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert context.execution_jobs() == 4
+        campaign = context.get_campaign("Proc100", n_cycles=2000, seed=0)
+        assert campaign.executor.jobs == 4
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        context.configure_execution(jobs=2)
+        assert context.execution_jobs() == 2
+
+
+class TestCacheKeyedCampaigns:
+    def test_distinct_seeds_distinct_campaigns(self):
+        a = context.get_campaign("Proc100", n_cycles=2000, seed=0)
+        b = context.get_campaign("Proc100", n_cycles=2000, seed=1)
+        assert a is not b
+
+    def test_shared_cache_reused_across_rebuilds(self):
+        first = context.shared_cache()
+        assert first is not None
+        assert context.shared_cache() is first

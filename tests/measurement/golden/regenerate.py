@@ -1,0 +1,80 @@
+"""Regenerate the golden regression fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/measurement/golden/regenerate.py
+
+Each fixture is one small-window run record (see
+``repro.measurement.record``) plus the campaign inputs that produced it.
+The fixtures pin the complete simulation pipeline — workload synthesis,
+core model, PDN transient, droop detection, histogramming — for six
+representative points of the paper's protocol:
+
+* ``mcf`` / ``lbm`` — memory-bound (the suite's worst noise offenders),
+* ``sjeng`` — branchy control-flow,
+* ``tonto`` — strongly phased behavior (Fig. 14),
+* ``canneal`` — multi-threaded PARSEC run,
+* ``mcf+namd`` and ``sphinx+sphinx`` — the pairing sweep (the latter is
+  a SPECrate diagonal point) on the noise-sensitive Proc3 chip.
+
+**Only regenerate after an intentional simulation change**, and say why
+in the commit message: the golden test exists to catch *unintentional*
+drift.  Records are written with sorted keys and indentation so git
+diffs of a regeneration are reviewable field by field.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+#: (filename stem, config, kind, workloads) — every fixture uses this
+#: window and seed so the records stay small and the suite fast.
+GOLDEN_N_CYCLES = 2000
+GOLDEN_SEED = 0
+GOLDEN_RUNS = (
+    ("single-mcf-Proc100", "Proc100", "single", ("mcf",)),
+    ("single-lbm-Proc100", "Proc100", "single", ("lbm",)),
+    ("single-sjeng-Proc100", "Proc100", "single", ("sjeng",)),
+    ("single-tonto-Proc100", "Proc100", "single", ("tonto",)),
+    ("multithread-canneal-Proc100", "Proc100", "multithread", ("canneal",)),
+    ("multiprogram-mcf-namd-Proc3", "Proc3", "multiprogram", ("mcf", "namd")),
+    (
+        "multiprogram-sphinx-sphinx-Proc3",
+        "Proc3",
+        "multiprogram",
+        ("sphinx", "sphinx"),
+    ),
+)
+
+
+def regenerate() -> None:
+    from repro.measurement.campaign import MeasurementCampaign
+    from repro.measurement.record import encode_measurement
+
+    for stem, config, kind, workloads in GOLDEN_RUNS:
+        campaign = MeasurementCampaign(
+            config, n_cycles=GOLDEN_N_CYCLES, seed=GOLDEN_SEED, jobs=1
+        )
+        measurement = campaign.measure(*workloads, kind=kind)
+        fixture = {
+            "campaign": {
+                "config": config,
+                "n_cycles": GOLDEN_N_CYCLES,
+                "seed": GOLDEN_SEED,
+            },
+            "record": encode_measurement(measurement),
+        }
+        path = GOLDEN_DIR / f"{stem}.json"
+        path.write_text(
+            json.dumps(fixture, sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent.parent)}")
+
+
+if __name__ == "__main__":
+    sys.exit(regenerate())

@@ -1,0 +1,155 @@
+"""Unit tests for the persistent result cache."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.measurement.cache import ResultCache, cache_key, default_cache_dir
+from repro.measurement.campaign import MeasurementCampaign
+from repro.measurement.executor import config_fingerprint
+from repro.measurement.record import encode_measurement, measurements_identical
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    campaign = MeasurementCampaign("Proc100", n_cycles=2000, seed=1, jobs=1)
+    return campaign.measure("lbm")
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+FINGERPRINT = {"config": "Proc100", "n_cores": 2}
+
+
+def _key(measurement):
+    return cache_key(measurement.spec, FINGERPRINT, measurement.n_cycles, 1)
+
+
+class TestKey:
+    def test_key_is_hex_digest(self, measurement):
+        key = _key(measurement)
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_key_depends_on_every_input(self, measurement):
+        base = _key(measurement)
+        spec = measurement.spec
+        assert cache_key(spec, FINGERPRINT, measurement.n_cycles, 2) != base
+        assert cache_key(spec, FINGERPRINT, 4000, 1) != base
+        assert (
+            cache_key(spec, {"config": "Proc3", "n_cores": 2}, 2000, 1) != base
+        )
+
+    def test_real_fingerprint_distinguishes_configs(self, measurement):
+        spec = measurement.spec
+        a = cache_key(spec, config_fingerprint("Proc100", 2), 2000, 1)
+        b = cache_key(spec, config_fingerprint("Proc3", 2), 2000, 1)
+        assert a != b
+
+
+class TestStoreLoad:
+    def test_round_trip(self, cache, measurement):
+        key = _key(measurement)
+        cache.store(key, measurement)
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert measurements_identical(measurement, loaded)
+
+    def test_miss_on_empty_cache(self, cache, measurement):
+        assert cache.load(_key(measurement)) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.corrupt == 0
+
+    def test_contains_and_entry_count(self, cache, measurement):
+        key = _key(measurement)
+        assert key not in cache
+        assert cache.entry_count() == 0
+        cache.store(key, measurement)
+        assert key in cache
+        assert cache.entry_count() == 1
+
+    def test_entries_are_sharded(self, cache, measurement):
+        key = _key(measurement)
+        cache.store(key, measurement)
+        assert cache.path_for(key).parent.name == key[:2]
+
+    def test_store_leaves_no_temp_files(self, cache, measurement):
+        key = _key(measurement)
+        cache.store(key, measurement)
+        leftovers = [
+            p for p in cache.directory.rglob("*") if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+    def test_overwrite_is_clean(self, cache, measurement):
+        key = _key(measurement)
+        cache.store(key, measurement)
+        cache.store(key, measurement)
+        assert cache.entry_count() == 1
+        assert cache.load(key) is not None
+
+    def test_deterministic_bytes(self, cache, measurement):
+        """Records are byte-stable (sorted keys, fixed gzip mtime), so a
+        re-stored identical result never dirties a synced cache."""
+        key = _key(measurement)
+        cache.store(key, measurement)
+        first = cache.path_for(key).read_bytes()
+        cache.store(key, measurement)
+        assert cache.path_for(key).read_bytes() == first
+
+
+class TestCorruptionTolerance:
+    def test_truncated_entry_is_miss(self, cache, measurement):
+        key = _key(measurement)
+        cache.store(key, measurement)
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:20])
+        assert cache.load(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_garbage_bytes_are_miss(self, cache, measurement):
+        key = _key(measurement)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not gzip at all")
+        assert cache.load(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_valid_gzip_invalid_json_is_miss(self, cache, measurement):
+        key = _key(measurement)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(gzip.compress(b"{broken"))
+        assert cache.load(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_valid_json_wrong_shape_is_miss(self, cache, measurement):
+        key = _key(measurement)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        record = encode_measurement(measurement)
+        del record["counters"]
+        path.write_bytes(gzip.compress(json.dumps(record).encode()))
+        assert cache.load(key) is None
+        assert cache.stats.corrupt == 1
+
+
+class TestDefaultDirectory:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro"
+
+    def test_home_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        monkeypatch.setenv("HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / ".cache" / "repro"

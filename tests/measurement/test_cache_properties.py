@@ -1,0 +1,266 @@
+"""Property-based tests (hypothesis) for the cache layer.
+
+Three invariants the persistent cache must never break:
+
+1. **key stability** — the cache key is a pure function of the key
+   *contents*; dict insertion order of the config fingerprint must not
+   matter (it is what makes keys portable across processes);
+2. **lossless records** — every field of a synthetic
+   :class:`RunMeasurement` survives encode → JSON → decode bit-exactly;
+3. **corruption tolerance** — an arbitrarily truncated or byte-flipped
+   cache entry is a miss (followed by transparent re-simulation), never
+   an exception.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.measurement.cache import ResultCache, cache_key
+from repro.measurement.campaign import (
+    HISTOGRAM_BINS,
+    HISTOGRAM_HI,
+    HISTOGRAM_LO,
+    MeasurementCampaign,
+    RunMeasurement,
+    RunSpec,
+)
+from repro.measurement.droops import DroopStatistics
+from repro.measurement.histogram import CompressedHistogram
+from repro.measurement.record import (
+    decode_measurement,
+    encode_measurement,
+    measurements_identical,
+)
+from repro.uarch.counters import PerformanceCounters
+from repro.uarch.events import StallEvent
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_", min_size=1, max_size=12
+)
+
+specs = st.builds(
+    RunSpec,
+    kind=st.sampled_from(["single", "multithread", "multiprogram"]),
+    workloads=st.lists(names, min_size=1, max_size=2).map(tuple),
+    config=st.sampled_from(["Proc100", "Proc25", "Proc3"]),
+)
+
+fingerprint_items = st.dictionaries(
+    keys=names,
+    values=st.one_of(
+        st.integers(min_value=-(2**31), max_value=2**31),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.booleans(),
+        names,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+finite_floats = st.floats(
+    min_value=0.0, max_value=0.5, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def counters(draw):
+    cycles = draw(st.integers(min_value=1, max_value=10**7))
+    return PerformanceCounters(
+        cycles=cycles,
+        instructions=draw(
+            st.floats(min_value=0.0, max_value=5e7, allow_nan=False)
+        ),
+        stall_cycles=draw(st.integers(min_value=0, max_value=cycles)),
+        event_counts=draw(
+            st.dictionaries(
+                keys=st.sampled_from(list(StallEvent)),
+                values=st.integers(min_value=0, max_value=10**6),
+                max_size=len(StallEvent),
+            )
+        ),
+    )
+
+
+@st.composite
+def droop_stats(draw, n_cycles):
+    count = draw(st.integers(min_value=0, max_value=8))
+    depths = draw(
+        st.lists(finite_floats, min_size=count, max_size=count)
+    )
+    durations = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=n_cycles),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return DroopStatistics(
+        depths=np.asarray(depths, dtype=float),
+        durations=np.asarray(durations, dtype=int),
+        n_cycles=n_cycles,
+        threshold=draw(
+            st.floats(min_value=0.001, max_value=0.05, allow_nan=False)
+        ),
+    )
+
+
+@st.composite
+def measurements(draw):
+    n_cycles = draw(st.integers(min_value=1000, max_value=100_000))
+    histogram = CompressedHistogram(HISTOGRAM_LO, HISTOGRAM_HI, HISTOGRAM_BINS)
+    samples = draw(
+        st.lists(
+            st.floats(min_value=-0.3, max_value=0.3, allow_nan=False),
+            max_size=50,
+        )
+    )
+    histogram.add(np.asarray(samples))
+    return RunMeasurement(
+        spec=draw(specs),
+        n_cycles=n_cycles,
+        counters=tuple(
+            draw(st.lists(counters(), min_size=1, max_size=2))
+        ),
+        droops=draw(droop_stats(n_cycles)),
+        overshoots=draw(droop_stats(n_cycles)),
+        histogram=histogram,
+        droop_samples_per_1k=draw(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1. Key stability
+# ---------------------------------------------------------------------------
+
+
+class TestKeyStability:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        spec=specs,
+        fingerprint=fingerprint_items,
+        n_cycles=st.integers(min_value=1000, max_value=10**6),
+        seed=st.integers(min_value=0, max_value=2**62),
+        shuffle=st.randoms(use_true_random=False),
+    )
+    def test_key_independent_of_dict_order(
+        self, spec, fingerprint, n_cycles, seed, shuffle
+    ):
+        items = list(fingerprint.items())
+        shuffle.shuffle(items)
+        reordered = dict(items)
+        assert cache_key(spec, fingerprint, n_cycles, seed) == cache_key(
+            spec, reordered, n_cycles, seed
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        spec=specs,
+        fingerprint=fingerprint_items,
+        n_cycles=st.integers(min_value=1000, max_value=10**6),
+        seed=st.integers(min_value=0, max_value=2**62),
+    )
+    def test_key_changes_with_seed(self, spec, fingerprint, n_cycles, seed):
+        assert cache_key(spec, fingerprint, n_cycles, seed) != cache_key(
+            spec, fingerprint, n_cycles, seed + 1
+        )
+
+
+# ---------------------------------------------------------------------------
+# 2. Lossless records
+# ---------------------------------------------------------------------------
+
+
+class TestRecordRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(measurement=measurements())
+    def test_every_field_round_trips(self, measurement):
+        decoded = decode_measurement(encode_measurement(measurement))
+        assert measurements_identical(measurement, decoded)
+
+    @settings(max_examples=60, deadline=None)
+    @given(measurement=measurements())
+    def test_round_trip_through_disk(self, measurement, tmp_path_factory):
+        cache = ResultCache(tmp_path_factory.mktemp("prop-cache"))
+        cache.store("0" * 64, measurement)
+        loaded = cache.load("0" * 64)
+        assert loaded is not None
+        assert measurements_identical(measurement, loaded)
+
+
+# ---------------------------------------------------------------------------
+# 3. Corruption tolerance
+# ---------------------------------------------------------------------------
+
+
+class TestCorruptionFallback:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cut=st.integers(min_value=0, max_value=200),
+        data=st.data(),
+    )
+    def test_truncated_entries_never_raise(
+        self, cut, data, tmp_path_factory
+    ):
+        cache = ResultCache(tmp_path_factory.mktemp("trunc-cache"))
+        campaign = MeasurementCampaign(
+            "Proc100", n_cycles=1000, seed=0, jobs=1
+        )
+        measurement = campaign.measure("mcf")
+        key = "a" * 64
+        cache.store(key, measurement)
+        path = cache.path_for(key)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: min(cut, len(raw))])
+        assert cache.load(key) is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        position=st.integers(min_value=0, max_value=10**6),
+        replacement=st.integers(min_value=0, max_value=255),
+    )
+    def test_flipped_bytes_never_raise(
+        self, position, replacement, tmp_path_factory
+    ):
+        cache = ResultCache(tmp_path_factory.mktemp("flip-cache"))
+        campaign = MeasurementCampaign(
+            "Proc100", n_cycles=1000, seed=0, jobs=1
+        )
+        measurement = campaign.measure("mcf")
+        key = "b" * 64
+        cache.store(key, measurement)
+        path = cache.path_for(key)
+        raw = bytearray(path.read_bytes())
+        raw[position % len(raw)] = replacement
+        path.write_bytes(bytes(raw))
+        loaded = cache.load(key)  # must not raise
+        # Either the flip landed somewhere harmless (checksummed gzip
+        # usually catches it) or the entry is treated as a miss.
+        assert loaded is None or measurements_identical(loaded, measurement)
+
+    def test_corrupt_entry_falls_back_to_resimulation(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = MeasurementCampaign(
+            "Proc100", n_cycles=1000, seed=0,
+            jobs=1, cache=ResultCache(cache_dir),
+        )
+        expected = cold.measure("mcf")
+        key = cold.executor.key_for(cold.run_spec("mcf"))
+        path = cold.executor.cache.path_for(key)
+        path.write_bytes(b"\x00" * 16)
+
+        warm = MeasurementCampaign(
+            "Proc100", n_cycles=1000, seed=0,
+            jobs=1, cache=ResultCache(cache_dir),
+        )
+        measurement = warm.measure("mcf")
+        assert warm.executor.stats.cache.corrupt == 1
+        assert warm.executor.stats.simulated == 1
+        assert measurements_identical(measurement, expected)
+        # The repaired entry replaced the corrupt one on disk.
+        assert warm.executor.cache.load(key) is not None

@@ -1,0 +1,136 @@
+"""Unit tests for the campaign execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.measurement.cache import ResultCache
+from repro.measurement.campaign import MeasurementCampaign
+from repro.measurement.executor import (
+    default_jobs,
+    global_stats,
+    reset_global_stats,
+)
+
+SUBSET = ("mcf", "namd", "lbm")
+
+
+def _campaign(tmp_path=None, **kwargs):
+    cache = ResultCache(tmp_path / "cache") if tmp_path is not None else None
+    kwargs.setdefault("jobs", 1)
+    return MeasurementCampaign(
+        "Proc100", n_cycles=2000, seed=3, cache=cache, **kwargs
+    )
+
+
+class TestResolutionOrder:
+    def test_memo_hit_returns_same_object(self, tmp_path):
+        campaign = _campaign(tmp_path)
+        first = campaign.measure("mcf")
+        assert campaign.measure("mcf") is first
+        assert campaign.executor.stats.memory_hits == 1
+
+    def test_miss_simulates_and_stores(self, tmp_path):
+        campaign = _campaign(tmp_path)
+        campaign.measure("mcf")
+        stats = campaign.executor.stats
+        assert stats.simulated == 1
+        assert stats.cache.misses == 1
+        assert stats.cache.stores == 1
+        assert campaign.executor.cache.entry_count() == 1
+
+    def test_cache_hit_skips_simulation(self, tmp_path):
+        _campaign(tmp_path).measure("mcf")
+        warm = _campaign(tmp_path)
+        warm.measure("mcf")
+        stats = warm.executor.stats
+        assert stats.simulated == 0
+        assert stats.cache.hits == 1
+
+    def test_duplicate_specs_measured_once(self, tmp_path):
+        campaign = _campaign(tmp_path)
+        spec = campaign.run_spec("mcf", "namd")
+        results = campaign.measure_specs([spec, spec, spec])
+        assert results[0] is results[1] is results[2]
+        assert campaign.executor.stats.simulated == 1
+
+    def test_batch_preserves_input_order(self, tmp_path):
+        campaign = _campaign(tmp_path)
+        runs = campaign.multiprogram_runs(SUBSET)
+        expected = [(a, b) for a in SUBSET for b in SUBSET]
+        assert [r.spec.workloads for r in runs] == expected
+
+
+class TestGeneratorSeedDegradation:
+    """Stateful Generator seeds have no stable identity: the executor
+    must fall back to serial, uncached simulation for them."""
+
+    def test_cache_disabled_for_generator_seed(self, tmp_path):
+        rng = np.random.default_rng(3)
+        campaign = MeasurementCampaign(
+            "Proc100", n_cycles=2000, seed=rng,
+            jobs=2, cache=ResultCache(tmp_path / "cache"),
+        )
+        assert campaign.executor.cache is None
+        assert campaign.executor.key_for(campaign.run_spec("mcf")) is None
+        campaign.single_threaded_runs(SUBSET)
+        assert campaign.executor.stats.parallel_batches == 0
+        assert campaign.executor.stats.simulated == 3
+
+    def test_generator_seed_still_memoizes_in_process(self):
+        campaign = MeasurementCampaign(
+            "Proc100", n_cycles=2000, seed=np.random.default_rng(3), jobs=1
+        )
+        assert campaign.measure("mcf") is campaign.measure("mcf")
+
+
+class TestJobs:
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementCampaign("Proc100", n_cycles=2000, seed=0, jobs=0)
+
+    def test_parallel_batch_counted(self, tmp_path):
+        campaign = _campaign(tmp_path, jobs=2)
+        campaign.single_threaded_runs(SUBSET)
+        stats = campaign.executor.stats
+        assert stats.parallel_batches == 1
+        assert stats.simulated == 3
+
+    def test_single_miss_stays_in_process(self, tmp_path):
+        campaign = _campaign(tmp_path, jobs=2)
+        campaign.measure("mcf")
+        assert campaign.executor.stats.parallel_batches == 0
+
+    def test_default_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "")
+        assert default_jobs() == 1
+        monkeypatch.delenv("REPRO_JOBS")
+        assert default_jobs() == 1
+
+    def test_default_jobs_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "zero")
+        with pytest.raises(ConfigurationError):
+            default_jobs()
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ConfigurationError):
+            default_jobs()
+
+
+class TestGlobalStats:
+    def test_batches_aggregate_into_global(self, tmp_path):
+        reset_global_stats()
+        campaign = _campaign(tmp_path)
+        campaign.single_threaded_runs(SUBSET)
+        campaign.single_threaded_runs(SUBSET)
+        stats = global_stats()
+        assert stats.simulated == 3
+        assert stats.memory_hits == 3
+        assert stats.cache.stores == 3
+        assert stats.wall_seconds > 0
+
+    def test_reset(self):
+        reset_global_stats()
+        assert global_stats().simulated == 0
+        assert global_stats().cache.lookups == 0

@@ -1,0 +1,117 @@
+"""Equivalence test battery: serial vs parallel, cold vs warm cache.
+
+The executor's central promise is that *how* a campaign is executed —
+in-process or fanned out over worker processes, freshly simulated or
+replayed from the persistent cache — never changes a single bit of any
+:class:`RunMeasurement`.  These tests compare complete run lists
+field-by-field (counters, droop/overshoot statistics, histograms, the
+droops-per-1K metric) via :func:`diff_measurements`, which reports the
+exact field on failure.
+"""
+
+import pytest
+
+from repro.measurement.cache import ResultCache
+from repro.measurement.campaign import MeasurementCampaign
+from repro.measurement.record import diff_measurements
+
+SUBSET = ("mcf", "namd", "sphinx")
+PARSEC_SUBSET = ("canneal",)
+
+
+def _assert_runs_identical(runs_a, runs_b):
+    assert len(runs_a) == len(runs_b)
+    for a, b in zip(runs_a, runs_b):
+        diffs = diff_measurements(a, b)
+        assert not diffs, (
+            f"{a.spec.label}: measurements differ:\n  " + "\n  ".join(diffs)
+        )
+
+
+def _protocol(campaign):
+    """The scaled-down 881-run protocol: ST + MT + pairing sweep."""
+    return campaign.all_runs(SUBSET, PARSEC_SUBSET)
+
+
+@pytest.mark.parametrize("seed", [0, 7, 123])
+class TestSerialVsParallel:
+    def test_quick_pairing_sweep_bit_identical(self, seed):
+        serial = MeasurementCampaign(
+            "Proc100", n_cycles=2000, seed=seed, jobs=1
+        )
+        parallel = MeasurementCampaign(
+            "Proc100", n_cycles=2000, seed=seed, jobs=4
+        )
+        _assert_runs_identical(_protocol(serial), _protocol(parallel))
+
+    def test_parallel_matches_across_configs(self, seed):
+        serial = MeasurementCampaign("Proc3", n_cycles=2000, seed=seed, jobs=1)
+        parallel = MeasurementCampaign(
+            "Proc3", n_cycles=2000, seed=seed, jobs=2
+        )
+        _assert_runs_identical(
+            serial.multiprogram_runs(SUBSET),
+            parallel.multiprogram_runs(SUBSET),
+        )
+
+
+class TestColdVsWarmCache:
+    def test_warm_replay_bit_identical(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = MeasurementCampaign(
+            "Proc100", n_cycles=2000, seed=0,
+            jobs=1, cache=ResultCache(cache_dir),
+        )
+        cold_runs = _protocol(cold)
+        assert cold.executor.stats.simulated == len(cold_runs)
+
+        warm = MeasurementCampaign(
+            "Proc100", n_cycles=2000, seed=0,
+            jobs=1, cache=ResultCache(cache_dir),
+        )
+        warm_runs = _protocol(warm)
+        assert warm.executor.stats.simulated == 0, (
+            "warm cache must serve every run without re-simulating"
+        )
+        _assert_runs_identical(cold_runs, warm_runs)
+
+    def test_warm_parallel_replay_bit_identical(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = MeasurementCampaign(
+            "Proc100", n_cycles=2000, seed=9,
+            jobs=2, cache=ResultCache(cache_dir),
+        )
+        cold_runs = cold.multiprogram_runs(SUBSET)
+        warm = MeasurementCampaign(
+            "Proc100", n_cycles=2000, seed=9,
+            jobs=2, cache=ResultCache(cache_dir),
+        )
+        warm_runs = warm.multiprogram_runs(SUBSET)
+        assert warm.executor.stats.simulated == 0
+        _assert_runs_identical(cold_runs, warm_runs)
+
+    def test_uncached_matches_cached(self, tmp_path):
+        plain = MeasurementCampaign("Proc100", n_cycles=2000, seed=4, jobs=1)
+        cached = MeasurementCampaign(
+            "Proc100", n_cycles=2000, seed=4,
+            jobs=1, cache=ResultCache(tmp_path / "cache"),
+        )
+        _assert_runs_identical(
+            plain.single_threaded_runs(SUBSET),
+            cached.single_threaded_runs(SUBSET),
+        )
+
+    def test_different_seeds_never_share_entries(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        a = MeasurementCampaign(
+            "Proc100", n_cycles=2000, seed=0,
+            jobs=1, cache=ResultCache(cache_dir),
+        )
+        a.single_threaded_runs(SUBSET)
+        b = MeasurementCampaign(
+            "Proc100", n_cycles=2000, seed=1,
+            jobs=1, cache=ResultCache(cache_dir),
+        )
+        b.single_threaded_runs(SUBSET)
+        assert b.executor.stats.cache.hits == 0
+        assert b.executor.stats.simulated == len(SUBSET)

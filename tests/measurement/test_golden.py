@@ -1,0 +1,80 @@
+"""Golden regression tests: pinned small-window simulation outputs.
+
+Each fixture in ``tests/measurement/golden/`` is the complete record of
+one representative run (memory-bound, branchy, phased, multi-threaded,
+and two pairing-sweep points).  A failure here means the simulation
+pipeline's *numbers changed* — workloads, core model, PDN, droop
+detection or histogramming drifted.  If the change is intentional,
+regenerate with::
+
+    PYTHONPATH=src python tests/measurement/golden/regenerate.py
+
+and justify the drift in the commit message; the test failure message
+lists exactly which fields moved.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.measurement.campaign import MeasurementCampaign, RunSpec
+from repro.measurement.record import decode_measurement, diff_measurements
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+FIXTURES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def _load(path):
+    fixture = json.loads(path.read_text(encoding="utf-8"))
+    return fixture["campaign"], decode_measurement(fixture["record"])
+
+
+class TestGoldenRuns:
+    def test_fixture_inventory(self):
+        """The battery covers the intended spread of behaviors (at least
+        one memory-bound, branchy, phased, multi-threaded and pairing
+        fixture must exist — see regenerate.py)."""
+        stems = {p.stem for p in FIXTURES}
+        assert len(FIXTURES) >= 6
+        assert any("mcf" in s or "lbm" in s for s in stems)  # memory-bound
+        assert any("sjeng" in s for s in stems)  # branchy
+        assert any("tonto" in s for s in stems)  # phased
+        assert any(s.startswith("multithread") for s in stems)
+        assert any(s.startswith("multiprogram") for s in stems)
+
+    @pytest.mark.parametrize(
+        "path", FIXTURES, ids=[p.stem for p in FIXTURES]
+    )
+    def test_simulation_matches_golden(self, path):
+        campaign_inputs, expected = _load(path)
+        campaign = MeasurementCampaign(
+            campaign_inputs["config"],
+            n_cycles=campaign_inputs["n_cycles"],
+            seed=campaign_inputs["seed"],
+            jobs=1,
+        )
+        measured = campaign.simulate(expected.spec)
+        diffs = diff_measurements(expected, measured)
+        assert not diffs, (
+            f"simulation output drifted from golden fixture {path.name}:\n"
+            + "\n".join(f"  {d}" for d in diffs)
+            + "\nIf this change is intentional, regenerate via "
+            "`PYTHONPATH=src python tests/measurement/golden/regenerate.py` "
+            "and explain the drift in the commit message."
+        )
+
+    @pytest.mark.parametrize(
+        "path", FIXTURES, ids=[p.stem for p in FIXTURES]
+    )
+    def test_fixture_spec_consistent(self, path):
+        """Fixture self-consistency: the embedded spec matches the file
+        name, so a mislabeled regeneration cannot slip through."""
+        _, expected = _load(path)
+        assert isinstance(expected.spec, RunSpec)
+        stem_parts = path.stem.split("-")
+        assert stem_parts[0] == expected.spec.kind
+        assert stem_parts[-1] == expected.spec.config
+        for workload in expected.spec.workloads:
+            assert workload in stem_parts

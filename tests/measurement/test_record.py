@@ -1,0 +1,92 @@
+"""Unit tests for the per-run record codec."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.campaign import MeasurementCampaign
+from repro.measurement.record import (
+    SCHEMA_VERSION,
+    decode_measurement,
+    diff_measurements,
+    encode_measurement,
+    measurements_identical,
+)
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    campaign = MeasurementCampaign("Proc100", n_cycles=2000, seed=5, jobs=1)
+    return campaign.measure("mcf", "namd")
+
+
+class TestRoundTrip:
+    def test_identity(self, measurement):
+        decoded = decode_measurement(encode_measurement(measurement))
+        assert measurements_identical(measurement, decoded)
+
+    def test_survives_json_serialization(self, measurement):
+        text = json.dumps(encode_measurement(measurement))
+        decoded = decode_measurement(json.loads(text))
+        assert measurements_identical(measurement, decoded)
+
+    def test_histogram_counts_exact(self, measurement):
+        decoded = decode_measurement(encode_measurement(measurement))
+        assert np.array_equal(
+            measurement.histogram.counts, decoded.histogram.counts
+        )
+        assert decoded.histogram.total == measurement.n_cycles
+
+    def test_derived_metrics_preserved(self, measurement):
+        decoded = decode_measurement(encode_measurement(measurement))
+        assert decoded.throughput_ipc == measurement.throughput_ipc
+        assert decoded.mean_stall_ratio == measurement.mean_stall_ratio
+        assert decoded.max_droop == measurement.max_droop
+        assert decoded.max_overshoot == measurement.max_overshoot
+
+    def test_record_is_compact_sparse_histogram(self, measurement):
+        record = encode_measurement(measurement)
+        assert record["histogram"]["n_bins"] == 1600
+        # A 2000-cycle window populates far fewer bins than exist.
+        assert len(record["histogram"]["nonzero"]) < 400
+
+
+class TestSchema:
+    def test_schema_stamped(self, measurement):
+        assert encode_measurement(measurement)["schema"] == SCHEMA_VERSION
+
+    def test_wrong_schema_rejected(self, measurement):
+        record = encode_measurement(measurement)
+        record["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(MeasurementError):
+            decode_measurement(record)
+
+    def test_missing_field_raises_structural_error(self, measurement):
+        record = encode_measurement(measurement)
+        del record["droops"]
+        with pytest.raises(KeyError):
+            decode_measurement(record)
+
+
+class TestDiff:
+    def test_no_diff_for_identical(self, measurement):
+        assert diff_measurements(measurement, measurement) == []
+
+    def test_diff_names_the_field(self, measurement):
+        other = decode_measurement(encode_measurement(measurement))
+        object.__setattr__(other, "droop_samples_per_1k", -1.0)
+        diffs = diff_measurements(measurement, other)
+        assert len(diffs) == 1
+        assert diffs[0].startswith("droop_samples_per_1k:")
+
+    def test_diff_pinpoints_histogram_bin(self, measurement):
+        record = encode_measurement(measurement)
+        index, count = record["histogram"]["nonzero"][0]
+        record["histogram"]["nonzero"][0] = [index, count + 1]
+        other = decode_measurement(record)
+        diffs = diff_measurements(measurement, other)
+        assert diffs == [
+            f"histogram.counts[{index}]: {count} != {count + 1}"
+        ]

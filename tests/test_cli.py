@@ -34,3 +34,46 @@ class TestCli:
 
         for name in EXPERIMENTS.values():
             importlib.import_module(f"repro.experiments.{name}")
+
+
+class TestExecutionFlags:
+    def test_jobs_and_cache_dir_configure_context(self, tmp_path, capsys):
+        from repro.experiments import context
+
+        assert main([
+            "run", "fig01",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cli-cache"),
+        ]) == 0
+        assert context.execution_jobs() == 2
+        cache = context.shared_cache()
+        assert cache is not None
+        assert cache.directory == tmp_path / "cli-cache"
+
+    def test_no_cache_flag(self, capsys):
+        from repro.experiments import context
+
+        assert main(["run", "fig01", "--no-cache"]) == 0
+        assert context.shared_cache() is None
+
+    def test_stats_line_printed_after_campaign_run(self, tmp_path, capsys):
+        # fig15 runs a real campaign (fig01 is analytic), so the executor
+        # summary line must appear.
+        assert main([
+            "run", "fig15", "--cache-dir", str(tmp_path / "c"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[executor]" in out
+        assert "cache:" in out
+
+    def test_warm_cache_rerun_skips_simulation(self, tmp_path, capsys):
+        args = ["run", "fig15", "--cache-dir", str(tmp_path / "c")]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+
+        from repro.experiments import context
+        context.reset_campaigns()  # simulate a fresh process
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 hits" in cold
+        assert " 0 runs simulated" in warm

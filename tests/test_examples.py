@@ -19,6 +19,7 @@ ALL_EXAMPLES = (
     "characterize_noise.py",
     "future_nodes.py",
     "noise_aware_scheduling.py",
+    "parallel_sweep.py",
     "recovery_design_space.py",
 )
 

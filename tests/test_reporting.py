@@ -29,6 +29,49 @@ class TestRenderReport:
         text = render_report(small_results, quick=False)
         assert "full" in text
 
+    def test_execution_stats_section(self, small_results):
+        from repro.measurement.executor import ExecutorStats
+
+        stats = ExecutorStats()
+        stats.cache.hits = 12
+        stats.cache.misses = 3
+        stats.cache.stores = 3
+        stats.simulated = 3
+        stats.wall_seconds = 1.25
+        text = render_report(small_results, execution_stats=stats)
+        assert "## Execution statistics" in text
+        assert "12 hits / 3 misses" in text
+        assert "3 runs simulated" in text
+        assert "1.2 s" in text
+
+    def test_warm_cache_called_out(self, small_results):
+        from repro.measurement.executor import ExecutorStats
+
+        stats = ExecutorStats()
+        stats.cache.hits = 5
+        text = render_report(small_results, execution_stats=stats)
+        assert "zero\nre-simulations" in text or "zero re-simulations" in text
+
+    def test_stats_section_absent_without_stats(self, small_results):
+        assert "Execution statistics" not in render_report(small_results)
+
+
+class TestWarmCacheReport:
+    def test_warm_rerun_reports_zero_resimulations(self, tmp_path):
+        """The acceptance check: a warm-cache replay of a campaign-backed
+        figure serves everything from disk and says so in the report."""
+        from repro.experiments import context
+
+        context.configure_execution(cache_dir=str(tmp_path / "cache"))
+        cold = generate_report(aliases=["fig15"], quick=True)
+        assert "## Execution statistics" in cold
+        assert "- simulation: 0 runs simulated" not in cold
+
+        context.reset_campaigns()  # simulate a fresh process
+        warm = generate_report(aliases=["fig15"], quick=True)
+        assert "- simulation: 0 runs simulated" in warm
+        assert "zero re-simulations" in warm
+
 
 class TestGenerateReport:
     def test_writes_file(self, tmp_path):
