@@ -9,7 +9,7 @@ def test_fig06_decap_swings(benchmark, quick):
     relative = result.series["relative_swings"]
     order = ["Proc100", "Proc75", "Proc50", "Proc25", "Proc3", "Proc0"]
     values = [relative[name] for name in order]
-    assert relative["Proc100"] == 1.0
+    assert relative["Proc100"] == 1.0  # simlint: disable=HYG001 (exact by construction)
     # Monotone growth towards less capacitance.
     assert all(a <= b * 1.02 for a, b in zip(values, values[1:]))
     # Overall span comparable to the paper's 150->350 mV (~2.3x), with

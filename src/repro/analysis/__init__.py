@@ -8,17 +8,20 @@ package enforces those conventions mechanically:
 
 * :mod:`repro.analysis.engine` — single-pass AST visitor engine with
   ``# simlint: disable=CODE`` inline suppressions;
-* :mod:`repro.analysis.rules` — the rule families (``DET*`` determinism,
-  ``UNI*`` unit-safety, ``HYG*`` hygiene);
+* :mod:`repro.analysis.rules` — the line-rule families (``DET*``
+  determinism, ``UNI*`` unit-safety, ``HYG*`` hygiene);
+* :mod:`repro.analysis.flow` — the project-wide dataflow engine
+  (``DIM*`` interprocedural dimensional analysis, ``CON*``
+  concurrency-safety), run under ``--flow``;
 * :mod:`repro.analysis.baseline` — committed grandfather lists;
-* :mod:`repro.analysis.reporters` — text and JSON output;
+* :mod:`repro.analysis.reporters` — text, JSON, and SARIF output;
 * :mod:`repro.analysis.cli` — ``python -m repro.analysis`` /
   ``repro-lint``.
 
 Programmatic use::
 
-    from repro.analysis import lint_paths, lint_source
-    findings = lint_paths(["src/repro"])
+    from repro.analysis import flow_paths, lint_paths, lint_source
+    findings = lint_paths(["src/repro"]) + flow_paths(["src/repro"])
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from repro.analysis.engine import (
     lint_source,
 )
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.flow.engine import flow_paths, flow_sources
 from repro.analysis.registry import Rule, all_rules, get_rule, register
 
 __all__ = [
@@ -38,6 +42,8 @@ __all__ = [
     "Rule",
     "Severity",
     "all_rules",
+    "flow_paths",
+    "flow_sources",
     "get_rule",
     "iter_python_files",
     "lint_paths",

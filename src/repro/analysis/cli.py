@@ -3,12 +3,16 @@
 Usage::
 
     python -m repro.analysis src/repro
-    python -m repro.analysis src/repro --format json
+    python -m repro.analysis src/repro --flow
+    python -m repro.analysis tests examples --profile tests --exclude '*/fixtures/*'
+    python -m repro.analysis src/repro --format sarif > simlint.sarif
     python -m repro.analysis src/repro --write-baseline
     repro-lint --list-rules
 
-Exit status: 0 when no unsuppressed, unbaselined findings remain; 1 when
-findings were reported; 2 on usage errors.
+Exit status: ``0`` when no unsuppressed, unbaselined findings remain (or
+only warnings remain without ``--strict-warnings``); ``1`` when errors
+were reported; ``2`` when only warnings were reported under
+``--strict-warnings``; ``2`` also on usage errors (argparse convention).
 """
 
 from __future__ import annotations
@@ -16,20 +20,33 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Optional, Sequence
+from typing import Dict, FrozenSet, Optional, Sequence
 
 from repro.analysis import baseline as baseline_mod
 from repro.analysis.engine import lint_paths
+from repro.analysis.findings import Severity
+from repro.analysis.flow.cache import LintCache
+from repro.analysis.flow.engine import flow_paths
 from repro.analysis.registry import all_rules
 from repro.analysis.reporters import render
+
+#: Rule codes disabled per profile.  The ``tests`` profile accepts the
+#: realities of test code: fixtures rarely carry the ``__future__``
+#: import boilerplate (HYG005) and tests legitimately convert units
+#: inline to state expected magnitudes (UNI002).
+PROFILES: Dict[str, FrozenSet[str]] = {
+    "default": frozenset(),
+    "tests": frozenset({"HYG005", "UNI002"}),
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "simlint: AST-based invariant checker for determinism, "
-            "unit-safety, and simulation hygiene"
+            "simlint: AST + dataflow invariant checker for determinism, "
+            "unit-safety, simulation hygiene, dimensional analysis, and "
+            "concurrency safety"
         ),
     )
     parser.add_argument(
@@ -39,9 +56,51 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--flow",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "also run the project-wide dataflow engine (DIM/CON rules: "
+            "interprocedural dimensional analysis + concurrency safety)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="default",
+        help=(
+            "rule profile; 'tests' relaxes conventions that do not apply "
+            "to test code (disables HYG005, UNI002)"
+        ),
+    )
+    parser.add_argument(
+        "--exclude",
+        metavar="GLOB",
+        action="append",
+        default=[],
+        help=(
+            "fnmatch pattern (against the full path) to skip; repeatable "
+            "(e.g. --exclude '*/fixtures/*')"
+        ),
+    )
+    parser.add_argument(
+        "--strict-warnings",
+        action="store_true",
+        help="exit 2 when only warnings were found (default: exit 0)",
+    )
+    parser.add_argument(
+        "--lint-cache",
+        metavar="FILE",
+        default=None,
+        help=(
+            "per-file result cache keyed on content hashes; warm runs "
+            "skip re-analysis of unchanged files"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -69,7 +128,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--select",
         metavar="CODES",
         default=None,
-        help="comma-separated rule codes to run (default: all)",
+        help=(
+            "comma-separated rule codes to run (default: all; selecting "
+            "a DIM/CON code implies --flow)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -82,8 +144,9 @@ def _build_parser() -> argparse.ArgumentParser:
 def _list_rules() -> str:
     lines = []
     for rule in all_rules():
+        marker = " (flow)" if rule.flow else ""
         lines.append(
-            f"{rule.code}  {rule.name:<28} [{rule.severity}] "
+            f"{rule.code}  {rule.name:<28} [{rule.severity}]{marker} "
             f"{rule.description}"
         )
     return "\n".join(lines)
@@ -104,12 +167,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if unknown:
             parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
         rules = [rule for rule in rules if rule.code in wanted]
+    disabled = PROFILES[args.profile]
+    rules = [rule for rule in rules if rule.code not in disabled]
+
+    line_rules = [rule for rule in rules if not rule.flow]
+    flow_rule_set = [rule for rule in rules if rule.flow]
+    run_flow = args.flow or (args.select is not None and bool(flow_rule_set))
 
     paths = list(args.paths) or ["src/repro"]
     missing = [path for path in paths if not os.path.exists(path)]
     if missing:
         parser.error(f"path(s) do not exist: {', '.join(missing)}")
-    findings = lint_paths(paths, rules=rules)
+
+    cache = LintCache(args.lint_cache) if args.lint_cache else None
+    findings = lint_paths(
+        paths, rules=line_rules, cache=cache, exclude=args.exclude
+    )
+    if run_flow:
+        findings.extend(
+            flow_paths(
+                paths,
+                rules=flow_rule_set,
+                cache=cache,
+                exclude=args.exclude,
+            )
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    if cache is not None:
+        cache.save()
+        print(
+            f"(lint-cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"via {args.lint_cache})",
+            file=sys.stderr,
+        )
 
     if args.write_baseline:
         target = args.baseline or baseline_mod.DEFAULT_BASELINE
@@ -134,7 +224,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"(+{skipped} baselined finding(s) suppressed via {source})",
             file=sys.stderr,
         )
-    return 1 if surviving else 0
+    if any(f.severity is Severity.ERROR for f in surviving):
+        return 1
+    if surviving and args.strict_warnings:
+        return 2
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

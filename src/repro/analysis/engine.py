@@ -11,10 +11,14 @@ comment are dropped before reporting.
 from __future__ import annotations
 
 import ast
+import fnmatch
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.flow.cache import LintCache
 
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import Rule, all_rules
@@ -169,11 +173,23 @@ def lint_source(
     return findings
 
 
-def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
-    """Expand files/directories into a sorted stream of ``.py`` paths."""
+def _is_excluded(path: str, exclude: Sequence[str]) -> bool:
+    normalized = path.replace(os.sep, "/")
+    return any(fnmatch.fnmatch(normalized, pattern) for pattern in exclude)
+
+
+def iter_python_files(
+    paths: Iterable[str], exclude: Sequence[str] = ()
+) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths.
+
+    ``exclude`` patterns are fnmatch globs matched against the full
+    slash-normalized path (``"*/fixtures/*"`` skips fixture trees).
+    """
     for path in paths:
         if os.path.isfile(path):
-            yield path
+            if not _is_excluded(path, exclude):
+                yield path
             continue
         for root, dirnames, filenames in os.walk(path):
             dirnames[:] = sorted(
@@ -183,17 +199,42 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
             )
             for filename in sorted(filenames):
                 if filename.endswith(".py"):
-                    yield os.path.join(root, filename)
+                    full = os.path.join(root, filename)
+                    if not _is_excluded(full, exclude):
+                        yield full
 
 
 def lint_paths(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
+    cache: Optional["LintCache"] = None,
+    exclude: Sequence[str] = (),
 ) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    With a ``cache``, per-file results key on the file's content digest
+    plus the active rule signature, so unchanged files are never
+    re-parsed on warm runs.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    signature = None
+    if cache is not None:
+        from repro.analysis.flow.cache import rules_signature, source_digest
+
+        signature = rules_signature(
+            rule.code for rule in active if not rule.flow
+        )
     findings: List[Finding] = []
-    for filename in iter_python_files(paths):
+    for filename in iter_python_files(paths, exclude=exclude):
         with open(filename, "r", encoding="utf-8") as handle:
             source = handle.read()
-        findings.extend(lint_source(source, path=filename, rules=rules))
+        if cache is not None:
+            key = f"ast:{source_digest(source)}:{filename}:{signature}"
+            cached = cache.get(key)
+            if cached is None:
+                cached = lint_source(source, path=filename, rules=active)
+                cache.put(key, cached)
+            findings.extend(cached)
+        else:
+            findings.extend(lint_source(source, path=filename, rules=active))
     return findings

@@ -1,0 +1,64 @@
+"""Project-wide dataflow analysis for simlint (the ``--flow`` engine).
+
+Where :mod:`repro.analysis.engine` pattern-matches one line at a time,
+this package understands the *program*: it builds a cross-module symbol
+table and call graph for the analyzed tree
+(:mod:`repro.analysis.flow.symbols`), runs an abstract-interpretation
+pass assigning every expression a physical dimension
+(:mod:`repro.analysis.flow.inference` over the algebra in
+:mod:`repro.analysis.flow.dimensions`), and runs a second pass tracking
+seed provenance and executor-payload picklability
+(:mod:`repro.analysis.flow.concurrency`).  Two rule families ride on it:
+
+* ``DIM001``–``DIM004`` — dimensional errors: volts added to amps, an
+  inductance passed for a ``c_farads`` parameter, a dimensionless ratio
+  bound to ``margin_volts``, a ``*_hertz`` function returning seconds;
+* ``CON001``–``CON003`` — concurrency-safety errors around the
+  :class:`~repro.measurement.executor.CampaignExecutor` fan-out: RNG
+  streams not derived from the run's seed on a worker path, unpicklable
+  payloads, module-global writes from worker-reachable code.
+
+Programmatic use::
+
+    from repro.analysis.flow import flow_paths
+    findings = flow_paths(["src/repro"])
+
+Results are ordinary :class:`repro.analysis.findings.Finding` objects, so
+text/JSON/SARIF reporting, baselines, and ``# simlint: disable``
+suppressions all apply unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.dimensions import (
+    AMPERE,
+    DIMENSIONLESS,
+    FARAD,
+    HENRY,
+    HERTZ,
+    OHM,
+    SECOND,
+    VOLT,
+    WATT,
+    Dim,
+    dim_for_name,
+    parse_dim,
+)
+from repro.analysis.flow.engine import flow_paths, flow_sources
+
+__all__ = [
+    "AMPERE",
+    "DIMENSIONLESS",
+    "Dim",
+    "FARAD",
+    "HENRY",
+    "HERTZ",
+    "OHM",
+    "SECOND",
+    "VOLT",
+    "WATT",
+    "dim_for_name",
+    "flow_paths",
+    "flow_sources",
+    "parse_dim",
+]

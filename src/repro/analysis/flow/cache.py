@@ -1,0 +1,135 @@
+"""Per-file lint result cache keyed on content hashes.
+
+Warm CI lint runs should not re-analyze files that have not changed.
+The cache is a single JSON file mapping opaque keys to serialized
+finding lists:
+
+* line-rule results key on the file's **content digest** plus the active
+  rule signature — editing any *other* file cannot invalidate them;
+* flow results additionally fold in the **project digest** (the sorted
+  set of ``(path, content digest)`` pairs), because interprocedural
+  findings in one file can be caused by an edit in another.  One changed
+  file therefore invalidates every flow entry — correctness first; the
+  warm-run fast path (nothing changed, the common CI case) stays O(read).
+
+Corrupt or version-skewed cache files are discarded silently: a cache
+can always be rebuilt, and a lint run must never fail because of one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.analysis.findings import Finding, Severity
+
+_FORMAT_VERSION = 1
+
+
+def source_digest(source: str) -> str:
+    """Content hash of one file's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:24]
+
+
+def rules_signature(codes: Iterable[str]) -> str:
+    """Stable identity of an active rule set."""
+    material = ",".join(sorted(codes))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:12]
+
+
+def project_digest(digests: Mapping[str, str]) -> str:
+    """Identity of a whole analyzed file set (``{path: source_digest}``)."""
+    material = "\x1f".join(
+        f"{path}={digest}" for path, digest in sorted(digests.items())
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:24]
+
+
+def _encode(finding: Finding) -> dict:
+    payload = finding.to_dict()
+    payload["source_line"] = finding.source_line
+    return payload
+
+
+def _decode(payload: dict) -> Finding:
+    return Finding(
+        code=payload["code"],
+        message=payload["message"],
+        path=payload["path"],
+        line=int(payload["line"]),
+        column=int(payload["column"]),
+        severity=Severity(payload["severity"]),
+        source_line=payload.get("source_line", ""),
+    )
+
+
+class LintCache:
+    """A content-addressed store of per-file finding lists."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._entries: Dict[str, List[dict]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != _FORMAT_VERSION
+            or not isinstance(payload.get("entries"), dict)
+        ):
+            return
+        self._entries = payload["entries"]
+
+    def get(self, key: str) -> Optional[List[Finding]]:
+        """Cached findings for ``key``, counting a hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            findings = [_decode(item) for item in entry]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            del self._entries[key]
+            return None
+        self.hits += 1
+        return findings
+
+    def peek(self, key: str) -> bool:
+        """True when ``key`` is cached (no hit/miss accounting)."""
+        return key in self._entries
+
+    def put(self, key: str, findings: List[Finding]) -> None:
+        self._entries[key] = [_encode(f) for f in findings]
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        payload = {"version": _FORMAT_VERSION, "entries": self._entries}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_path, self.path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+        self._dirty = False
+
+    def summary(self) -> Tuple[int, int]:
+        return self.hits, self.misses

@@ -1,0 +1,420 @@
+"""Concurrency-safety dataflow: seed provenance and payload picklability.
+
+The parallel campaign executor's bit-identical-to-serial guarantee rests
+on three conventions that nothing in the type system enforces:
+
+1. every random stream drawn inside a worker is *derived from the run's
+   seed material* (a parameter threaded from the spec), never fresh
+   entropy or a constant (``CON001``);
+2. everything shipped to a :class:`ProcessPoolExecutor` is picklable —
+   module-level functions, not lambdas or closures (``CON002``);
+3. workers do not write module globals, because those writes die with
+   the worker process and silently diverge from serial runs (``CON003``).
+
+This pass finds the pool dispatch sites, resolves their payload
+callables through the project symbol table, computes the
+*worker-reachable* function set as a breadth-first closure over the call
+graph (constructor edges, ``self.method()``, attribute calls through
+locally- and attribute-typed receivers, and a unique-method-name
+fallback), then audits that set with a flow-insensitive taint analysis:
+a name is *seed-derived* when it is a parameter or was ever assigned an
+expression mentioning a seed-derived name.
+
+Run :func:`repro.analysis.flow.inference.run_dimension_pass` first — it
+populates the class attribute-type tables this pass's call-graph
+resolution reuses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.symbols import (
+    PROCESS_POOLS,
+    STREAM_FACTORIES,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+)
+from repro.analysis.registry import get_rule
+
+#: Method names that mutate their receiver in place (CON003).
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: Pool methods that take a payload callable as their first argument.
+_DISPATCH_METHODS = frozenset({"map", "submit", "apply", "apply_async",
+                               "imap", "imap_unordered", "starmap"})
+
+
+def _local_types(
+    project: Project, fn: FunctionInfo
+) -> Tuple[Dict[str, str], Optional[str]]:
+    """Class types of locals constructed in ``fn`` (+ its ``self`` name)."""
+    self_name = fn.params[0] if (fn.is_method and fn.params) else None
+    types: Dict[str, str] = {}
+    for node in ast.walk(fn.node):
+        target: Optional[str] = None
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name):
+            target, value = node.targets[0].id, node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            target, value = node.target.id, node.value
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name) and isinstance(
+                    item.context_expr, ast.Call
+                ):
+                    resolved = project.resolve_callee(
+                        fn.module, item.context_expr.func, types,
+                        fn.class_name, self_name,
+                    )
+                    if isinstance(resolved, ClassInfo):
+                        types[item.optional_vars.id] = resolved.qualname
+            continue
+        if target is None or not isinstance(value, ast.Call):
+            continue
+        resolved = project.resolve_callee(
+            fn.module, value.func, types, fn.class_name, self_name
+        )
+        if isinstance(resolved, ClassInfo):
+            types[target] = resolved.qualname
+    return types, self_name
+
+
+def _callees(project: Project, fn: FunctionInfo) -> Set[str]:
+    """Qualnames of functions ``fn`` may call (call-graph edges)."""
+    types, self_name = _local_types(project, fn)
+    edges: Set[str] = set()
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = project.resolve_callee(
+            fn.module, node.func, types, fn.class_name, self_name
+        )
+        if isinstance(resolved, FunctionInfo):
+            edges.add(resolved.qualname)
+        elif isinstance(resolved, ClassInfo):
+            for ctor in ("__init__", "__post_init__"):
+                if ctor in resolved.methods:
+                    edges.add(resolved.methods[ctor].qualname)
+        elif isinstance(node.func, ast.Attribute):
+            # Unique-method-name fallback: keeps the worker closure sound
+            # when the receiver's type could not be inferred.
+            candidates = project.methods_by_name.get(node.func.attr, [])
+            if len(candidates) == 1:
+                edges.add(candidates[0].qualname)
+    return edges
+
+
+class ConcurrencyPass:
+    """CON001–CON003 over one analyzed project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.findings: List[Finding] = []
+
+    def _report(
+        self, code: str, module: ModuleInfo, node: ast.AST, message: str
+    ) -> None:
+        self.findings.append(
+            module.ctx.finding(get_rule(code), node, message)
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch sites (CON002) and worker entry points
+    # ------------------------------------------------------------------
+    def _pool_locals(
+        self, fn: FunctionInfo
+    ) -> Set[str]:
+        """Names bound to a process pool inside ``fn``."""
+        pools: Set[str] = set()
+        ctx = fn.module.ctx
+        for node in ast.walk(fn.node):
+            name: Optional[str] = None
+            value: Optional[ast.AST] = None
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        self._maybe_pool(
+                            ctx, item.context_expr,
+                            item.optional_vars.id, pools,
+                        )
+                continue
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                name, value = node.targets[0].id, node.value
+            if name is not None and value is not None:
+                self._maybe_pool(ctx, value, name, pools)
+        return pools
+
+    @staticmethod
+    def _maybe_pool(ctx, value: ast.AST, name: str, pools: Set[str]) -> None:
+        if isinstance(value, ast.Call):
+            dotted = ctx.dotted_name(value.func)
+            if dotted in PROCESS_POOLS:
+                pools.add(name)
+
+    def _scan_dispatches(
+        self, fn: FunctionInfo
+    ) -> List[FunctionInfo]:
+        """CON002 checks; returns the resolved worker entry functions."""
+        entries: List[FunctionInfo] = []
+        pools = self._pool_locals(fn)
+        if not pools:
+            return entries
+        local_defs = {
+            child.name
+            for child in ast.walk(fn.node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and child is not fn.node
+        }
+        lambda_names = {
+            node.targets[0].id
+            for node in ast.walk(fn.node)
+            if isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Lambda)
+        }
+        for node in ast.walk(fn.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in pools
+                and node.func.attr in _DISPATCH_METHODS
+            ):
+                continue
+            for arg in node.args:
+                payload = arg
+                if isinstance(payload, ast.Call):
+                    dotted = fn.module.ctx.dotted_name(payload.func)
+                    if dotted in ("functools.partial", "partial"):
+                        payload = payload.args[0] if payload.args else payload
+                if isinstance(payload, ast.Lambda):
+                    self._report(
+                        "CON002", fn.module, payload,
+                        "lambda shipped to a process pool; pool payloads "
+                        "are pickled by name and must be module-level "
+                        "functions",
+                    )
+                elif isinstance(payload, ast.Name) and (
+                    payload.id in local_defs or payload.id in lambda_names
+                ):
+                    self._report(
+                        "CON002", fn.module, payload,
+                        f"`{payload.id}` is a closure-captured local; "
+                        "process-pool payloads must be module-level "
+                        "functions",
+                    )
+                elif isinstance(payload, ast.Name):
+                    resolved = self.project.resolve_callee(
+                        fn.module, payload, None, fn.class_name,
+                        fn.params[0] if fn.is_method and fn.params else None,
+                    )
+                    if isinstance(resolved, FunctionInfo):
+                        entries.append(resolved)
+        return entries
+
+    # ------------------------------------------------------------------
+    # Worker-reachable closure
+    # ------------------------------------------------------------------
+    def _reachable(
+        self, entries: Iterable[FunctionInfo]
+    ) -> List[FunctionInfo]:
+        seen: Set[str] = set()
+        order: List[FunctionInfo] = []
+        queue = list(entries)
+        while queue:
+            fn = queue.pop(0)
+            if fn.qualname in seen:
+                continue
+            seen.add(fn.qualname)
+            order.append(fn)
+            for callee in sorted(_callees(self.project, fn)):
+                target = self.project.functions.get(callee)
+                if target is not None and target.qualname not in seen:
+                    queue.append(target)
+        return order
+
+    # ------------------------------------------------------------------
+    # Worker-side audits (CON001, CON003)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tainted_names(fn: FunctionInfo) -> Set[str]:
+        """Flow-insensitive seed-derivation closure over local names."""
+        tainted: Set[str] = set(fn.params)
+        tainted.update(a.arg for a in fn.node.args.kwonlyargs)
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(fn.node):
+                targets: List[str] = []
+                value: Optional[ast.AST] = None
+                if isinstance(node, ast.Assign):
+                    targets = [
+                        t.id for t in node.targets if isinstance(t, ast.Name)
+                    ]
+                    value = node.value
+                elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    targets, value = [node.target.id], node.value
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    targets, value = [node.target.id], node.value
+                elif isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(
+                    node.target, ast.Name
+                ):
+                    targets, value = [node.target.id], node.iter
+                if not targets or value is None:
+                    continue
+                if any(
+                    isinstance(sub, ast.Name) and sub.id in tainted
+                    for sub in ast.walk(value)
+                ):
+                    for name in targets:
+                        if name not in tainted:
+                            tainted.add(name)
+                            changed = True
+        return tainted
+
+    def _audit_worker(self, fn: FunctionInfo) -> None:
+        module = fn.module
+        tainted = self._tainted_names(fn)
+        global_decls: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                global_decls.update(node.names)
+
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                self._audit_factory_call(fn, module, node, tainted)
+                self._audit_mutation_call(fn, module, node, tainted)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                self._audit_global_store(fn, module, node, global_decls,
+                                         tainted)
+
+    def _audit_factory_call(
+        self,
+        fn: FunctionInfo,
+        module: ModuleInfo,
+        node: ast.Call,
+        tainted: Set[str],
+    ) -> None:
+        dotted = module.ctx.dotted_name(node.func)
+        if dotted not in STREAM_FACTORIES:
+            return
+        seed_args = list(node.args) + [kw.value for kw in node.keywords]
+        if not seed_args:
+            self._report(
+                "CON001", module, node,
+                f"`{dotted}()` inside worker-reachable "
+                f"{fn.qualname} draws fresh entropy; derive the stream "
+                "from the run's seed parameter",
+            )
+            return
+        derived = any(
+            isinstance(sub, ast.Name) and sub.id in tainted
+            for arg in seed_args
+            for sub in ast.walk(arg)
+        )
+        if not derived:
+            self._report(
+                "CON001", module, node,
+                f"seed material for `{dotted}` in worker-reachable "
+                f"{fn.qualname} is not derived from its parameters; "
+                "parallel runs would share or randomize the stream",
+            )
+
+    def _audit_mutation_call(
+        self,
+        fn: FunctionInfo,
+        module: ModuleInfo,
+        node: ast.Call,
+        tainted: Set[str],
+    ) -> None:
+        if not (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.attr in _MUTATORS
+        ):
+            return
+        name = node.func.value.id
+        if name in tainted or name not in module.mutable_globals:
+            return
+        self._report(
+            "CON003", module, node,
+            f"module global `{name}` mutated via .{node.func.attr}() in "
+            f"worker-reachable {fn.qualname}; worker writes never reach "
+            "the parent process",
+        )
+
+    def _audit_global_store(
+        self,
+        fn: FunctionInfo,
+        module: ModuleInfo,
+        node: Union[ast.Assign, ast.AugAssign],
+        global_decls: Set[str],
+        tainted: Set[str],
+    ) -> None:
+        targets = node.targets if isinstance(node, ast.Assign) else [
+            node.target
+        ]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in global_decls:
+                self._report(
+                    "CON003", module, node,
+                    f"module global `{target.id}` rebound in "
+                    f"worker-reachable {fn.qualname}; the write dies with "
+                    "the worker process",
+                )
+            elif (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in module.mutable_globals
+                and target.value.id not in tainted
+            ):
+                self._report(
+                    "CON003", module, node,
+                    f"module global `{target.value.id}` written by "
+                    f"subscript in worker-reachable {fn.qualname}; the "
+                    "write dies with the worker process",
+                )
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Finding]:
+        entries: List[FunctionInfo] = []
+        for fn in self.project.functions.values():
+            entries.extend(self._scan_dispatches(fn))
+        for fn in self._reachable(entries):
+            self._audit_worker(fn)
+        return self.findings
+
+
+def run_concurrency_pass(project: Project) -> List[Finding]:
+    """All CON findings for an analyzed project."""
+    return ConcurrencyPass(project).run()

@@ -1,0 +1,217 @@
+"""The physical-dimension algebra underlying the ``DIM`` rules.
+
+Every dimension this library cares about is expressible as a product of
+integer powers of three base quantities: **volts**, **amperes**, and
+**seconds**.  A :class:`Dim` is that exponent triple, so the derived
+units fall out of plain integer arithmetic::
+
+    OHM   = VOLT / AMPERE          # (1, -1, 0)
+    FARAD = AMPERE * SECOND / VOLT # (-1, 1, 1)
+    HENRY = VOLT * SECOND / AMPERE # (1, -1, 1)
+    HERTZ = DIMENSIONLESS / SECOND # (0, 0, -1)
+    WATT  = VOLT * AMPERE          # (1, 1, 0)
+
+and the identities the PDN model leans on hold by construction:
+``OHM * FARAD == SECOND`` (an RC time constant), ``HENRY / OHM ==
+SECOND`` (an L/R time constant), ``SECOND ** -1 == HERTZ``.
+
+The algebra is *total*: multiplying or dividing any two dims yields a
+dim (closure), ``*`` commutes, and ``/`` is the inverse of ``*`` — the
+hypothesis suite in ``tests/analysis/test_dimensions.py`` checks these
+laws over the whole lattice, not just the named points.
+
+``Dim`` deliberately models *dimension*, not *scale*: ``MILLI_VOLT`` and
+``VOLT`` are both volts.  Scale correctness is the line-level ``UNI``
+rules' job; this module powers the dataflow ``DIM`` rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "Dim",
+    "DIMENSIONLESS",
+    "VOLT",
+    "AMPERE",
+    "SECOND",
+    "OHM",
+    "FARAD",
+    "HENRY",
+    "HERTZ",
+    "WATT",
+    "NAMED_DIMS",
+    "dim_for_name",
+    "dim_for_unit_word",
+    "parse_dim",
+]
+
+
+@dataclass(frozen=True)
+class Dim:
+    """A physical dimension as integer exponents over (volt, ampere, second)."""
+
+    volt: int = 0
+    ampere: int = 0
+    second: int = 0
+
+    def __mul__(self, other: "Dim") -> "Dim":
+        if not isinstance(other, Dim):
+            return NotImplemented
+        return Dim(
+            self.volt + other.volt,
+            self.ampere + other.ampere,
+            self.second + other.second,
+        )
+
+    def __truediv__(self, other: "Dim") -> "Dim":
+        if not isinstance(other, Dim):
+            return NotImplemented
+        return Dim(
+            self.volt - other.volt,
+            self.ampere - other.ampere,
+            self.second - other.second,
+        )
+
+    def __pow__(self, exponent: int) -> "Dim":
+        if not isinstance(exponent, int):
+            return NotImplemented
+        return Dim(
+            self.volt * exponent,
+            self.ampere * exponent,
+            self.second * exponent,
+        )
+
+    def inverse(self) -> "Dim":
+        """The reciprocal dimension (``SECOND.inverse() == HERTZ``)."""
+        return Dim(-self.volt, -self.ampere, -self.second)
+
+    @property
+    def is_dimensionless(self) -> bool:
+        return self.volt == 0 and self.ampere == 0 and self.second == 0
+
+    def name(self) -> str:
+        """Human name: ``"Ω"`` for a known unit, exponents otherwise."""
+        known = _NAME_BY_DIM.get(self._key())
+        if known is not None:
+            return known
+        parts = []
+        for symbol, exp in (("V", self.volt), ("A", self.ampere),
+                            ("s", self.second)):
+            if exp == 1:
+                parts.append(symbol)
+            elif exp != 0:
+                parts.append(f"{symbol}^{exp}")
+        return "·".join(parts) if parts else "1"
+
+    def _key(self) -> Tuple[int, int, int]:
+        return (self.volt, self.ampere, self.second)
+
+    def __str__(self) -> str:
+        return self.name()
+
+
+DIMENSIONLESS = Dim(0, 0, 0)
+VOLT = Dim(1, 0, 0)
+AMPERE = Dim(0, 1, 0)
+SECOND = Dim(0, 0, 1)
+OHM = VOLT / AMPERE
+FARAD = AMPERE * SECOND / VOLT
+HENRY = VOLT * SECOND / AMPERE
+HERTZ = DIMENSIONLESS / SECOND
+WATT = VOLT * AMPERE
+
+#: Canonical spellings accepted by :func:`parse_dim` (annotation comments)
+#: and produced by :meth:`Dim.name`.
+NAMED_DIMS: Dict[str, Dim] = {
+    "1": DIMENSIONLESS,
+    "dimensionless": DIMENSIONLESS,
+    "ratio": DIMENSIONLESS,
+    "V": VOLT,
+    "volt": VOLT,
+    "volts": VOLT,
+    "A": AMPERE,
+    "ampere": AMPERE,
+    "amperes": AMPERE,
+    "amp": AMPERE,
+    "amps": AMPERE,
+    "s": SECOND,
+    "second": SECOND,
+    "seconds": SECOND,
+    "ohm": OHM,
+    "ohms": OHM,
+    "Ω": OHM,
+    "F": FARAD,
+    "farad": FARAD,
+    "farads": FARAD,
+    "H": HENRY,
+    "henry": HENRY,
+    "henries": HENRY,
+    "Hz": HERTZ,
+    "hz": HERTZ,
+    "hertz": HERTZ,
+    "W": WATT,
+    "watt": WATT,
+    "watts": WATT,
+}
+
+_NAME_BY_DIM: Dict[Tuple[int, int, int], str] = {
+    DIMENSIONLESS._key(): "1",
+    VOLT._key(): "V",
+    AMPERE._key(): "A",
+    SECOND._key(): "s",
+    OHM._key(): "Ω",
+    FARAD._key(): "F",
+    HENRY._key(): "H",
+    HERTZ._key(): "Hz",
+    WATT._key(): "W",
+}
+
+#: Underscore segments of an identifier that *pin* its dimension.  This is
+#: the same unit-word convention the ``UNI`` rules enforce, extended with
+#: the dimension each word implies.
+_UNIT_WORD_DIMS: Dict[str, Dim] = {
+    "volt": VOLT,
+    "volts": VOLT,
+    "amp": AMPERE,
+    "amps": AMPERE,
+    "ampere": AMPERE,
+    "amperes": AMPERE,
+    "second": SECOND,
+    "seconds": SECOND,
+    "ohm": OHM,
+    "ohms": OHM,
+    "farad": FARAD,
+    "farads": FARAD,
+    "henry": HENRY,
+    "henries": HENRY,
+    "hz": HERTZ,
+    "hertz": HERTZ,
+    "watt": WATT,
+    "watts": WATT,
+}
+
+
+def dim_for_unit_word(word: str) -> Optional[Dim]:
+    """Dimension implied by one identifier segment, or ``None``."""
+    return _UNIT_WORD_DIMS.get(word.lower())
+
+
+def dim_for_name(name: str) -> Optional[Dim]:
+    """Dimension pinned by a unit-suffixed identifier, else ``None``.
+
+    The *last* unit word wins so that ``volts_per_second``-style names do
+    not resolve (two unit words = a compound nobody should spell that
+    way), while ``bulk_inductance_henries`` and ``dt_seconds`` do.
+    """
+    words = [dim_for_unit_word(seg) for seg in name.split("_")]
+    hits = [d for d in words if d is not None]
+    if len(hits) == 1:
+        return hits[0]
+    return None
+
+
+def parse_dim(text: str) -> Optional[Dim]:
+    """Parse an annotation-comment dimension spelling (``"ohm"``, ``"Hz"``)."""
+    return NAMED_DIMS.get(text.strip())

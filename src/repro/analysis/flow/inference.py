@@ -1,0 +1,614 @@
+"""Abstract interpretation: a physical dimension for every expression.
+
+The pass walks each function with an abstract environment mapping local
+names to :class:`~repro.analysis.flow.dimensions.Dim` values.  The
+environment is seeded from the dimension *declarations* the codebase
+already carries — unit-suffixed parameter names, ``# simlint: dim(...)``
+annotation comments, unit-suffixed module constants (all of
+:mod:`repro.units`'s aliases resolve this way) — and dims then propagate
+through arithmetic (``V/A → Ω``, ``Ω·F → s``, ``1/s → Hz``),
+assignments, returns, subscripts, numpy pass-through calls, and resolved
+project calls (whose return dims come from an interprocedural fixpoint
+over the call graph).
+
+A literal or otherwise un-inferable expression has *unknown* dimension
+(``None``), which absorbs silently: ``22 * units.MICRO_FARAD`` is farads
+because the unknown ``22`` is assumed to be a scalar.  Findings fire only
+when two *concrete* dimensions disagree, which keeps the pass quiet on
+code that simply doesn't participate in the unit-naming convention:
+
+* ``DIM001`` — ``+``/``-``/comparison across different dimensions;
+* ``DIM002`` — argument vs. (unit-suffixed or annotated) parameter;
+* ``DIM003`` — computed dimension contradicting a unit-suffixed binding
+  target (canonically a dimensionless ratio stored as ``*_volts``);
+* ``DIM004`` — returned dimension contradicting the function's
+  unit-suffixed name or ``-> dim`` annotation.
+
+After a conflict is reported, the *declared* dimension wins for the rest
+of the walk so one root cause yields one finding, not a cascade.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.dimensions import (
+    DIMENSIONLESS,
+    Dim,
+    dim_for_name,
+)
+from repro.analysis.flow.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+)
+from repro.analysis.registry import get_rule
+
+#: Calls whose result carries the dimension of one argument (by index).
+_PASSTHROUGH_ARG: Dict[str, int] = {
+    "abs": 0,
+    "float": 0,
+    "int": 0,
+    "sum": 0,
+    "sorted": 0,
+    "numpy.abs": 0,
+    "numpy.absolute": 0,
+    "numpy.asarray": 0,
+    "numpy.array": 0,
+    "numpy.atleast_1d": 0,
+    "numpy.clip": 0,
+    "numpy.copy": 0,
+    "numpy.cumsum": 0,
+    "numpy.diff": 0,
+    "numpy.max": 0,
+    "numpy.amax": 0,
+    "numpy.mean": 0,
+    "numpy.median": 0,
+    "numpy.min": 0,
+    "numpy.amin": 0,
+    "numpy.nanmax": 0,
+    "numpy.nanmean": 0,
+    "numpy.nanmin": 0,
+    "numpy.percentile": 0,
+    "numpy.quantile": 0,
+    "numpy.ravel": 0,
+    "numpy.sort": 0,
+    "numpy.squeeze": 0,
+    "numpy.sum": 0,
+    "numpy.full": 1,
+    "numpy.full_like": 1,
+    "numpy.interp": 2,
+}
+
+#: Calls that unify the dimensions of *all* their positional arguments.
+_UNIFYING = frozenset({"min", "max", "numpy.maximum", "numpy.minimum",
+                       "numpy.hypot", "numpy.where"})
+
+#: Calls whose result is a pure number regardless of input.
+_DIMENSIONLESS_RESULT = frozenset(
+    {
+        "len",
+        "numpy.log",
+        "numpy.log10",
+        "numpy.log2",
+        "numpy.exp",
+        "numpy.sign",
+        "numpy.argmax",
+        "numpy.argmin",
+        "numpy.count_nonzero",
+    }
+)
+
+
+def unify(a: Optional[Dim], b: Optional[Dim]) -> Optional[Dim]:
+    """Join two abstract dims: unknown absorbs, conflict degrades to unknown."""
+    if a is None:
+        return b
+    if b is None or a == b:
+        return a
+    return None
+
+
+class FunctionInference:
+    """One walk of one function body under an abstract dim environment."""
+
+    def __init__(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        function: Optional[FunctionInfo],
+        summaries: Dict[str, Optional[Dim]],
+        emit: bool,
+    ) -> None:
+        self.project = project
+        self.module = module
+        self.function = function
+        self.summaries = summaries
+        self.emit = emit
+        self.findings: List[Finding] = []
+        self.env: Dict[str, Dim] = {}
+        self.local_types: Dict[str, str] = {}
+        self.return_dim: Optional[Dim] = None
+        self.saw_return = False
+        self.self_name: Optional[str] = None
+        self.class_info: Optional[ClassInfo] = None
+        if function is not None:
+            self.env.update(function.param_dims)
+            if function.is_method and function.params:
+                self.self_name = function.params[0]
+                self.class_info = project.classes.get(
+                    f"{module.name}.{function.class_name}"
+                )
+
+    # ------------------------------------------------------------------
+    # Entry
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        body = (
+            self.function.node.body
+            if self.function is not None
+            else [
+                stmt
+                for stmt in self.module.ctx.tree.body
+                if not isinstance(
+                    stmt,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                )
+            ]
+        )
+        self._walk(body)
+
+    def _report(self, code: str, node: ast.AST, message: str) -> None:
+        if self.emit:
+            self.findings.append(
+                self.module.ctx.finding(get_rule(code), node, message)
+            )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _walk(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            dim = self.infer(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, dim)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                dim = self.infer(stmt.value)
+                self._bind(stmt.target, stmt.value, dim)
+        elif isinstance(stmt, ast.AugAssign):
+            target_dim = self.infer(stmt.target)
+            value_dim = self.infer(stmt.value)
+            if (
+                isinstance(stmt.op, (ast.Add, ast.Sub))
+                and target_dim is not None
+                and value_dim is not None
+                and target_dim != value_dim
+            ):
+                op = "+=" if isinstance(stmt.op, ast.Add) else "-="
+                self._report(
+                    "DIM001",
+                    stmt,
+                    f"dimension mismatch: {target_dim} {op} {value_dim}",
+                )
+        elif isinstance(stmt, ast.Return):
+            self.saw_return = True
+            if stmt.value is not None:
+                dim = self.infer(stmt.value)
+                self.return_dim = unify(self.return_dim, dim)
+                self._check_return(stmt, dim)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.infer(stmt.test)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_dim = self.infer(stmt.iter)
+            if isinstance(stmt.target, ast.Name) and iter_dim is not None:
+                self.env[stmt.target.id] = iter_dim
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.infer(item.context_expr)
+                if isinstance(item.optional_vars, ast.Name) and isinstance(
+                    item.context_expr, ast.Call
+                ):
+                    resolved = self.project.resolve_callee(
+                        self.module,
+                        item.context_expr.func,
+                        self.local_types,
+                        self.function.class_name if self.function else None,
+                        self.self_name,
+                    )
+                    if isinstance(resolved, ClassInfo):
+                        self.local_types[item.optional_vars.id] = (
+                            resolved.qualname
+                        )
+            self._walk(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body)
+            for handler in stmt.handlers:
+                self._walk(handler.body)
+            self._walk(stmt.orelse)
+            self._walk(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self.infer(stmt.value)
+        elif isinstance(stmt, ast.Assert):
+            self.infer(stmt.test)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.infer(stmt.exc)
+        # Nested defs/classes are opaque to this walk (own scopes).
+
+    def _check_return(self, stmt: ast.Return, dim: Optional[Dim]) -> None:
+        fn = self.function
+        if fn is None or fn.declared_return is None or dim is None:
+            return
+        if dim != fn.declared_return:
+            source = (
+                "dim annotation" if fn.annotated_return else "name"
+            )
+            self._report(
+                "DIM004",
+                stmt,
+                f"{fn.name}() returns {dim} but its {source} implies "
+                f"{fn.declared_return}",
+            )
+
+    def _bind(
+        self, target: ast.AST, value: ast.AST, dim: Optional[Dim]
+    ) -> None:
+        # Track locally constructed class instances for method resolution.
+        resolved_type: Optional[str] = None
+        if isinstance(value, ast.Call):
+            resolved = self.project.resolve_callee(
+                self.module,
+                value.func,
+                self.local_types,
+                self.function.class_name if self.function else None,
+                self.self_name,
+            )
+            if isinstance(resolved, ClassInfo):
+                resolved_type = resolved.qualname
+
+        if isinstance(target, ast.Name):
+            declared = dim_for_name(target.id)
+            if declared is not None and dim is not None and dim != declared:
+                self._report_binding(target, target.id, dim, declared)
+            if declared is not None:
+                self.env[target.id] = declared
+            elif dim is not None:
+                self.env[target.id] = dim
+            else:
+                self.env.pop(target.id, None)
+            if resolved_type is not None:
+                self.local_types[target.id] = resolved_type
+        elif isinstance(target, ast.Attribute):
+            self._bind_attribute(target, dim, resolved_type)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    self.env.pop(element.id, None)
+
+    def _bind_attribute(
+        self,
+        target: ast.Attribute,
+        dim: Optional[Dim],
+        resolved_type: Optional[str],
+    ) -> None:
+        is_self = (
+            isinstance(target.value, ast.Name)
+            and self.self_name is not None
+            and target.value.id == self.self_name
+        )
+        declared = dim_for_name(target.attr)
+        if is_self and self.class_info is not None:
+            declared = self.class_info.attr_dims.get(target.attr) or declared
+        if declared is not None and dim is not None and dim != declared:
+            self._report_binding(target, target.attr, dim, declared)
+        if is_self and self.class_info is not None:
+            if declared is None and dim is not None:
+                existing = self.class_info.attr_dims.get(target.attr)
+                if existing is None or existing == dim:
+                    self.class_info.attr_dims[target.attr] = dim
+                else:
+                    del self.class_info.attr_dims[target.attr]
+            if resolved_type is not None:
+                self.class_info.attr_types[target.attr] = resolved_type
+
+    def _report_binding(
+        self, node: ast.AST, name: str, dim: Dim, declared: Dim
+    ) -> None:
+        if dim.is_dimensionless:
+            detail = (
+                f"a dimensionless result is bound to `{name}` which "
+                f"implies {declared} — a ratio stored where a physical "
+                "magnitude belongs"
+            )
+        else:
+            detail = (
+                f"a value of dimension {dim} is bound to `{name}` "
+                f"which implies {declared}"
+            )
+        self._report("DIM003", node, detail)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def infer(self, expr: ast.AST) -> Optional[Dim]:
+        if isinstance(expr, ast.Name):
+            return self._name_dim(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return self._attribute_dim(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._binop_dim(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self.infer(expr.operand)
+        if isinstance(expr, ast.Compare):
+            self._compare(expr)
+            return None
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                self.infer(value)
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_dim(expr)
+        if isinstance(expr, ast.Subscript):
+            self.infer(expr.slice)
+            return self.infer(expr.value)
+        if isinstance(expr, ast.IfExp):
+            self.infer(expr.test)
+            return unify(self.infer(expr.body), self.infer(expr.orelse))
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            dims = [self.infer(element) for element in expr.elts]
+            concrete = {d for d in dims if d is not None}
+            return concrete.pop() if len(concrete) == 1 else None
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for comp in expr.generators:
+                iter_dim = self.infer(comp.iter)
+                if isinstance(comp.target, ast.Name) and iter_dim is not None:
+                    self.env[comp.target.id] = iter_dim
+            return self.infer(expr.elt)
+        if isinstance(expr, ast.Starred):
+            return self.infer(expr.value)
+        return None
+
+    def _name_dim(self, name: str) -> Optional[Dim]:
+        if name in self.env:
+            return self.env[name]
+        if name in self.module.constant_dims:
+            return self.module.constant_dims[name]
+        origin = self.module.ctx.imports.get(name)
+        if origin is not None and "." in origin:
+            imported = self.project.constant_dim(self.module, origin)
+            if imported is not None:
+                return imported
+            # Constants from modules outside the analyzed set still pin a
+            # dimension through their unit-suffixed names.
+            return dim_for_name(origin.rpartition(".")[2])
+        return dim_for_name(name)
+
+    def _attribute_dim(self, expr: ast.Attribute) -> Optional[Dim]:
+        base = expr.value
+        if isinstance(base, ast.Name):
+            if self.self_name is not None and base.id == self.self_name:
+                if self.class_info is not None:
+                    known = self.class_info.attr_dims.get(expr.attr)
+                    if known is not None:
+                        return known
+                return dim_for_name(expr.attr)
+            type_q = self.local_types.get(base.id)
+            if type_q is not None:
+                cls_info = self.project.classes.get(type_q)
+                if cls_info is not None:
+                    known = cls_info.attr_dims.get(expr.attr)
+                    if known is not None:
+                        return known
+        dotted = self.module.ctx.dotted_name(expr)
+        if dotted is not None:
+            imported = self.project.constant_dim(self.module, dotted)
+            if imported is not None:
+                return imported
+        return dim_for_name(expr.attr)
+
+    def _binop_dim(self, expr: ast.BinOp) -> Optional[Dim]:
+        left = self.infer(expr.left)
+        right = self.infer(expr.right)
+        op = expr.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None and left != right:
+                symbol = "+" if isinstance(op, ast.Add) else "-"
+                self._report(
+                    "DIM001",
+                    expr,
+                    f"dimension mismatch: {left} {symbol} {right}",
+                )
+                return None
+            return left if left is not None else right
+        if isinstance(op, ast.Mult):
+            if left is not None and right is not None:
+                return left * right
+            return left if left is not None else right
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if left is not None and right is not None:
+                return left / right
+            if left is not None:
+                return left
+            if right is not None:
+                return right.inverse()
+            return None
+        if isinstance(op, ast.Pow):
+            if (
+                left is not None
+                and isinstance(expr.right, ast.Constant)
+                and isinstance(expr.right.value, int)
+            ):
+                return left ** expr.right.value
+            return None
+        if isinstance(op, ast.Mod):
+            return left
+        return None
+
+    def _compare(self, expr: ast.Compare) -> None:
+        operands = [expr.left, *expr.comparators]
+        dims = [self.infer(operand) for operand in operands]
+        for op, left, right in zip(expr.ops, dims, dims[1:]):
+            if isinstance(op, (ast.Is, ast.IsNot, ast.In, ast.NotIn)):
+                continue
+            if left is not None and right is not None and left != right:
+                self._report(
+                    "DIM001",
+                    expr,
+                    f"dimension mismatch: comparing {left} to {right}",
+                )
+                return
+
+    def _call_dim(self, expr: ast.Call) -> Optional[Dim]:
+        arg_dims = [self.infer(arg) for arg in expr.args]
+        kw_dims = {
+            kw.arg: self.infer(kw.value)
+            for kw in expr.keywords
+            if kw.arg is not None
+        }
+        resolved = self.project.resolve_callee(
+            self.module,
+            expr.func,
+            self.local_types,
+            self.function.class_name if self.function else None,
+            self.self_name,
+        )
+        target: Optional[FunctionInfo] = None
+        bound = False
+        if isinstance(resolved, FunctionInfo):
+            target = resolved
+            bound = resolved.is_method and isinstance(expr.func, ast.Attribute)
+        elif isinstance(resolved, ClassInfo):
+            target = resolved.methods.get("__init__")
+            bound = True
+
+        # DIM002: keyword arguments against declared/unit-suffixed params.
+        for kw, dim in zip(
+            (k for k in expr.keywords if k.arg is not None),
+            (kw_dims[k.arg] for k in expr.keywords if k.arg is not None),
+        ):
+            declared = None
+            if target is not None:
+                declared = target.param_dims.get(kw.arg)
+            if declared is None:
+                declared = dim_for_name(kw.arg)
+            if declared is not None and dim is not None and dim != declared:
+                self._report(
+                    "DIM002",
+                    kw.value,
+                    f"argument of dimension {dim} passed for parameter "
+                    f"`{kw.arg}` which expects {declared}",
+                )
+
+        # DIM002: positional arguments for resolved project functions.
+        if target is not None:
+            for index, dim in enumerate(arg_dims):
+                if dim is None or isinstance(expr.args[index], ast.Starred):
+                    continue
+                param = target.positional_param(index, bound=bound)
+                if param is None:
+                    continue
+                declared = target.param_dims.get(param)
+                if declared is not None and dim != declared:
+                    self._report(
+                        "DIM002",
+                        expr.args[index],
+                        f"argument of dimension {dim} passed for "
+                        f"parameter `{param}` of {target.name}() which "
+                        f"expects {declared}",
+                    )
+
+        if isinstance(resolved, ClassInfo):
+            return None
+        if target is not None:
+            return self.summaries.get(target.qualname, target.declared_return)
+
+        dotted = self.module.ctx.dotted_name(expr.func)
+        if dotted is not None:
+            if dotted in _DIMENSIONLESS_RESULT:
+                return DIMENSIONLESS
+            index = _PASSTHROUGH_ARG.get(dotted)
+            if index is not None:
+                return arg_dims[index] if index < len(arg_dims) else None
+            if dotted in _UNIFYING:
+                result: Optional[Dim] = None
+                for dim in arg_dims:
+                    result = unify(result, dim)
+                return result
+            if dotted == "numpy.sqrt" and arg_dims and arg_dims[0] is not None:
+                root = arg_dims[0]
+                if (
+                    root.volt % 2 == 0
+                    and root.ampere % 2 == 0
+                    and root.second % 2 == 0
+                ):
+                    return Dim(root.volt // 2, root.ampere // 2,
+                               root.second // 2)
+                return None
+            if dotted.endswith((".copy", ".astype", ".reshape", ".flatten")):
+                return self.infer(expr.func.value) if isinstance(
+                    expr.func, ast.Attribute
+                ) else None
+        # Unresolved call: the function *name* may still pin a dimension
+        # (``total_resistance_ohms(...)`` from an un-analyzed module).
+        tail = (dotted or "").rpartition(".")[2]
+        return dim_for_name(tail) if tail else None
+
+
+class DimensionPass:
+    """Interprocedural fixpoint + final reporting walk over the project."""
+
+    def __init__(self, project: Project, max_rounds: int = 5) -> None:
+        self.project = project
+        self.max_rounds = max_rounds
+        self.summaries: Dict[str, Optional[Dim]] = {
+            qual: fn.declared_return
+            for qual, fn in project.functions.items()
+        }
+
+    def _round(self, emit: bool) -> List[Finding]:
+        findings: List[Finding] = []
+        changed = False
+        for module in self.project.modules.values():
+            scopes: List[Optional[FunctionInfo]] = [None]
+            scopes.extend(
+                fn
+                for fn in self.project.functions.values()
+                if fn.module is module
+            )
+            for fn in scopes:
+                walk = FunctionInference(
+                    self.project, module, fn, self.summaries, emit
+                )
+                walk.run()
+                findings.extend(walk.findings)
+                if fn is not None and fn.declared_return is None:
+                    inferred = walk.return_dim if walk.saw_return else None
+                    if self.summaries.get(fn.qualname) != inferred:
+                        self.summaries[fn.qualname] = inferred
+                        changed = True
+        self._changed = changed
+        return findings
+
+    def run(self) -> List[Finding]:
+        for _ in range(self.max_rounds):
+            self._round(emit=False)
+            if not self._changed:
+                break
+        return self._round(emit=True)
+
+
+def run_dimension_pass(project: Project) -> List[Finding]:
+    """All DIM findings for an analyzed project."""
+    return DimensionPass(project).run()

@@ -1,0 +1,383 @@
+"""Cross-module symbol table for the flow engine.
+
+The flow passes need to answer questions a single-file visitor cannot:
+*which function does this call resolve to*, *what dimension does that
+imported constant carry*, *what class is bound to this local*.  This
+module builds the project model those answers come from:
+
+* :class:`ModuleInfo` — one parsed file: its import-alias table (reused
+  from :class:`repro.analysis.engine.FileContext`), module-level
+  constants with their pinned dimensions, and mutable module globals;
+* :class:`FunctionInfo` — one function or method: parameters, the
+  dimensions *declared* for them (annotation comment first, unit-suffixed
+  name second), and the declared return dimension;
+* :class:`ClassInfo` — one class: its methods, instance-attribute
+  dimensions and attribute *types* (``self.chip = Chip(...)``), both
+  refined later by the inference pass;
+* :class:`Project` — the cross-module indexes plus name resolution.
+
+Signature annotations use a structured comment on the ``def`` line (or
+the line directly above)::
+
+    def time_constant(r, c):  # simlint: dim(r=ohm, c=F) -> s
+
+Spellings are those of :data:`repro.analysis.flow.dimensions.NAMED_DIMS`.
+An annotation always wins over a unit-suffixed name.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.analysis.engine import FileContext
+from repro.analysis.flow.dimensions import Dim, dim_for_name, parse_dim
+
+#: ``# simlint: dim(a=V, b=ohm) -> Hz`` annotation comments.
+_DIM_COMMENT_RE = re.compile(
+    r"#\s*simlint\s*:\s*dim\s*\(([^)]*)\)\s*(?:->\s*([^\s#]+))?"
+)
+
+#: Callables that construct or derive a random stream (CON001 targets).
+STREAM_FACTORIES = frozenset(
+    {
+        "numpy.random.default_rng",
+        "repro.random_utils.as_generator",
+        "repro.random_utils.derive_generator",
+    }
+)
+
+#: Dotted names that identify a process-pool constructor (CON002 scope).
+PROCESS_POOLS = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+        "multiprocessing.Pool",
+        "multiprocessing.pool.Pool",
+    }
+)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for ``path`` (walks up through ``__init__.py``)."""
+    resolved = os.path.abspath(path)
+    directory, filename = os.path.split(resolved)
+    stem = filename[:-3] if filename.endswith(".py") else filename
+    parts: List[str] = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.insert(0, package)
+    return ".".join(parts) if parts else stem
+
+
+def _parse_dim_comment(
+    lines: List[str], def_line: int
+) -> Tuple[Dict[str, Dim], Optional[Dim]]:
+    """Parse a ``# simlint: dim(...)`` comment at/above a ``def`` line."""
+    for lineno in (def_line, def_line - 1):
+        if not 1 <= lineno <= len(lines):
+            continue
+        match = _DIM_COMMENT_RE.search(lines[lineno - 1])
+        if match is None:
+            continue
+        params: Dict[str, Dim] = {}
+        for pair in match.group(1).split(","):
+            if "=" not in pair:
+                continue
+            name, spelling = pair.split("=", 1)
+            dim = parse_dim(spelling)
+            if dim is not None:
+                params[name.strip()] = dim
+        returns = parse_dim(match.group(2)) if match.group(2) else None
+        return params, returns
+    return {}, None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method plus its declared dimensional signature."""
+
+    qualname: str
+    name: str
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    module: "ModuleInfo"
+    class_name: Optional[str] = None
+    #: Positional parameter names in call order (``self`` included).
+    params: List[str] = field(default_factory=list)
+    #: Declared dims: annotation comment first, unit-suffixed name second.
+    param_dims: Dict[str, Dim] = field(default_factory=dict)
+    declared_return: Optional[Dim] = None
+    #: True when ``declared_return`` came from an annotation comment (the
+    #: strongest source; name-implied dims are weaker evidence).
+    annotated_return: bool = False
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    def positional_param(self, index: int, *, bound: bool) -> Optional[str]:
+        """Name of the parameter receiving positional arg ``index``.
+
+        ``bound`` skips ``self``/``cls`` for instance-style calls.
+        """
+        offset = 1 if (bound and self.is_method) else 0
+        position = index + offset
+        if 0 <= position < len(self.params):
+            return self.params[position]
+        return None
+
+    @classmethod
+    def build(
+        cls,
+        node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+        module: "ModuleInfo",
+        class_name: Optional[str] = None,
+    ) -> "FunctionInfo":
+        qual = f"{module.name}.{class_name}.{node.name}" if class_name \
+            else f"{module.name}.{node.name}"
+        args = node.args
+        params = [a.arg for a in args.posonlyargs + args.args]
+        kwonly = [a.arg for a in args.kwonlyargs]
+        annotations, annotated_return = _parse_dim_comment(
+            module.ctx.lines, node.lineno
+        )
+        param_dims: Dict[str, Dim] = {}
+        for name in params + kwonly:
+            if name in annotations:
+                param_dims[name] = annotations[name]
+            else:
+                implied = dim_for_name(name)
+                if implied is not None:
+                    param_dims[name] = implied
+        declared = annotated_return
+        if declared is None:
+            declared = dim_for_name(node.name)
+        return cls(
+            qualname=qual,
+            name=node.name,
+            node=node,
+            module=module,
+            class_name=class_name,
+            params=params,
+            param_dims=param_dims,
+            declared_return=declared,
+            annotated_return=annotated_return is not None,
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods plus instance-attribute dims and types."""
+
+    qualname: str
+    name: str
+    module: "ModuleInfo"
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.attr`` dimension, from attr-name suffix or ``__init__`` inference.
+    attr_dims: Dict[str, Dim] = field(default_factory=dict)
+    #: ``self.attr`` -> class qualname, for ``self.chip.run()`` resolution.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its module-scope symbol information."""
+
+    name: str
+    path: str
+    ctx: FileContext
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: Module-level constants whose names pin a dimension.
+    constant_dims: Dict[str, Dim] = field(default_factory=dict)
+    #: Module-level names bound to mutable literals/constructors (CON003).
+    mutable_globals: Dict[str, int] = field(default_factory=dict)
+    #: Every name assigned at module scope (mutable or not).
+    global_names: Dict[str, int] = field(default_factory=dict)
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"list", "dict", "set", "defaultdict",
+                                "Counter", "deque"}
+    return False
+
+
+class Project:
+    """Cross-module symbol table + call-target resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: Bare method name -> list of (class qualname, FunctionInfo); used
+        #: as a reachability fallback when the receiver type is unknown.
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, sources: Mapping[str, str]) -> "Project":
+        """Build the model from ``{path: source}`` (unparseable files skipped)."""
+        project = cls()
+        for path in sorted(sources):
+            try:
+                ctx = FileContext.from_source(sources[path], path)
+            except SyntaxError:
+                continue  # the line engine reports SIM000 for these
+            project._add_module(ctx)
+        return project
+
+    def _add_module(self, ctx: FileContext) -> None:
+        module = ModuleInfo(
+            name=module_name_for(ctx.path), path=ctx.path, ctx=ctx
+        )
+        self.modules[module.name] = module
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo.build(node, module)
+                module.functions[node.name] = info
+                self.functions[info.qualname] = info
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(node, module)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._add_module_binding(node, module)
+
+    def _add_class(self, node: ast.ClassDef, module: ModuleInfo) -> None:
+        cls_info = ClassInfo(
+            qualname=f"{module.name}.{node.name}",
+            name=node.name,
+            module=module,
+        )
+        module.classes[node.name] = cls_info
+        self.classes[cls_info.qualname] = cls_info
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo.build(item, module, class_name=node.name)
+                cls_info.methods[item.name] = info
+                self.functions[info.qualname] = info
+                self.methods_by_name.setdefault(item.name, []).append(info)
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                implied = dim_for_name(item.target.id)
+                if implied is not None:
+                    cls_info.attr_dims[item.target.id] = implied
+
+    def _add_module_binding(
+        self, node: Union[ast.Assign, ast.AnnAssign], module: ModuleInfo
+    ) -> None:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        value = node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            module.global_names[target.id] = target.lineno
+            if value is not None and _is_mutable_value(value):
+                module.mutable_globals[target.id] = target.lineno
+            implied = dim_for_name(target.id)
+            if implied is not None:
+                module.constant_dims[target.id] = implied
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve_dotted(
+        self, dotted: str
+    ) -> Optional[Union[FunctionInfo, ClassInfo]]:
+        """A fully dotted name to the function/class it denotes, if known."""
+        if dotted in self.functions:
+            return self.functions[dotted]
+        if dotted in self.classes:
+            return self.classes[dotted]
+        # ``repro.pdn.decap.DecapConfig.method`` style references.
+        head, _, tail = dotted.rpartition(".")
+        if head in self.classes and tail in self.classes[head].methods:
+            return self.classes[head].methods[tail]
+        return None
+
+    def resolve_callee(
+        self,
+        module: ModuleInfo,
+        func_expr: ast.AST,
+        local_types: Optional[Mapping[str, str]] = None,
+        current_class: Optional[str] = None,
+        self_name: Optional[str] = None,
+    ) -> Optional[Union[FunctionInfo, ClassInfo]]:
+        """Resolve a call's target within the project, or ``None``.
+
+        Resolution sources, strongest first: the module's import-alias
+        table (absolute imports), module-local definitions, ``self.meth()``
+        inside ``current_class``, and attribute calls on locals whose
+        class type is known (``local_types``).
+        """
+        local_types = local_types or {}
+        if isinstance(func_expr, ast.Name):
+            dotted = module.ctx.imports.get(func_expr.id, func_expr.id)
+            resolved = self.resolve_dotted(dotted)
+            if resolved is not None:
+                return resolved
+            return self.resolve_dotted(f"{module.name}.{func_expr.id}")
+        if isinstance(func_expr, ast.Attribute):
+            base = func_expr.value
+            attr = func_expr.attr
+            if isinstance(base, ast.Name):
+                # self.method() within the current class
+                if (
+                    current_class is not None
+                    and self_name is not None
+                    and base.id == self_name
+                ):
+                    cls_q = f"{module.name}.{current_class}"
+                    cls_info = self.classes.get(cls_q)
+                    if cls_info is not None:
+                        if attr in cls_info.methods:
+                            return cls_info.methods[attr]
+                        attr_type = cls_info.attr_types.get(attr)
+                        # self.attr used as a value elsewhere; handled by
+                        # attribute_call below when chained.
+                        if attr_type:
+                            return self.classes.get(attr_type)
+                # obj.method() where obj's class is locally known
+                type_q = local_types.get(base.id)
+                if type_q is not None:
+                    cls_info = self.classes.get(type_q)
+                    if cls_info is not None and attr in cls_info.methods:
+                        return cls_info.methods[attr]
+            elif isinstance(base, ast.Attribute) and isinstance(
+                base.value, ast.Name
+            ):
+                # self.attr.method() via the class's attribute types
+                if (
+                    current_class is not None
+                    and self_name is not None
+                    and base.value.id == self_name
+                ):
+                    cls_q = f"{module.name}.{current_class}"
+                    cls_info = self.classes.get(cls_q)
+                    if cls_info is not None:
+                        attr_type = cls_info.attr_types.get(base.attr)
+                        if attr_type:
+                            target = self.classes.get(attr_type)
+                            if target is not None and attr in target.methods:
+                                return target.methods[attr]
+            # Fully dotted module-path call (``network.ladder(...)``).
+            dotted = module.ctx.dotted_name(func_expr)
+            if dotted is not None:
+                return self.resolve_dotted(dotted)
+        return None
+
+    def constant_dim(self, module: ModuleInfo, dotted: str) -> Optional[Dim]:
+        """Dimension of a fully dotted module-level constant, if known."""
+        head, _, tail = dotted.rpartition(".")
+        target = self.modules.get(head)
+        if target is not None:
+            return target.constant_dims.get(tail)
+        return None

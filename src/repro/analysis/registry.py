@@ -37,6 +37,9 @@ class Rule:
     description: str = ""
     #: AST node types :meth:`check` wants to see; empty means none.
     node_types: Tuple[Type[ast.AST], ...] = ()
+    #: True for rules emitted by the dataflow engine (``--flow``) rather
+    #: than the single-file visitor; they never fire through :meth:`check`.
+    flow: bool = False
 
     def check(self, node: ast.AST, ctx: "FileContext") -> Iterator[Finding]:
         """Yield findings for one node of a registered type."""

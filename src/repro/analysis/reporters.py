@@ -1,4 +1,4 @@
-"""Text and JSON reporters for simlint findings."""
+"""Text, JSON, and SARIF reporters for simlint findings."""
 
 from __future__ import annotations
 
@@ -7,6 +7,13 @@ from collections import Counter
 from typing import Sequence
 
 from repro.analysis.findings import Finding, Severity
+
+#: SARIF 2.1.0 schema constants (consumed by GitHub code scanning).
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_SARIF_VERSION = "2.1.0"
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -47,10 +54,77 @@ def render_json(findings: Sequence[Finding]) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _sarif_uri(path: str) -> str:
+    uri = path.replace("\\", "/")
+    while uri.startswith("./"):
+        uri = uri[2:]
+    return uri
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 report: findings annotate PRs via GitHub code scanning."""
+    from repro.analysis.registry import all_rules
+
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {
+                "level": "error"
+                if rule.severity is Severity.ERROR
+                else "warning"
+            },
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": f.code,
+            "level": "error" if f.severity is Severity.ERROR else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _sarif_uri(f.path),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.column + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"simlintFingerprint": f.fingerprint},
+        }
+        for f in findings
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 def render(findings: Sequence[Finding], fmt: str) -> str:
-    """Dispatch on ``fmt`` (``"text"`` or ``"json"``)."""
+    """Dispatch on ``fmt`` (``"text"``, ``"json"``, or ``"sarif"``)."""
     if fmt == "json":
         return render_json(findings)
     if fmt == "text":
         return render_text(findings)
+    if fmt == "sarif":
+        return render_sarif(findings)
     raise ValueError(f"unknown report format {fmt!r}")

@@ -10,10 +10,14 @@ Families:
 * :mod:`repro.analysis.rules.hygiene` — ``HYG0xx``: simulation-code
   hygiene (float equality, mutable defaults, overbroad excepts, frozen
   config dataclasses, ``__future__`` annotations).
+* :mod:`repro.analysis.flow.rules` — ``DIM0xx``/``CON0xx``: the dataflow
+  families (dimensional analysis, concurrency safety), emitted by the
+  ``--flow`` engine rather than the single-file visitor.
 """
 
 from __future__ import annotations
 
+from repro.analysis.flow import rules as flow_rules
 from repro.analysis.rules import determinism, hygiene, units
 
-__all__ = ["determinism", "hygiene", "units"]
+__all__ = ["determinism", "flow_rules", "hygiene", "units"]

@@ -8,6 +8,8 @@ from pathlib import Path
 import pytest
 
 FIXTURES = Path(__file__).parent / "fixtures"
+FLOW_FIXTURES = FIXTURES / "flow"
+CORPUS = Path(__file__).parent / "corpus"
 
 #: ``# expect: CODE`` or ``# expect: CODE1, CODE2`` markers in fixtures.
 _EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)")

@@ -1,0 +1,25 @@
+"""Known bug: unpicklable payload plus worker-side global accumulation.
+
+A lambda cannot be pickled by ``ProcessPoolExecutor``, and the stats
+dict mutated inside the worker lives in the *worker* process — the
+parent's copy never changes, silently diverging from a serial run.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List
+
+_STATS: Dict[str, int] = {}
+
+
+def record_margin(index: int) -> float:
+    _STATS["records"] = _STATS.get("records", 0) + 1  # expect: CON003
+    return float(index) * 0.5
+
+
+def run(indices: List[int]) -> List[float]:
+    with ProcessPoolExecutor() as pool:
+        margins = list(pool.map(record_margin, indices))
+        doubled = list(pool.map(lambda m: m * 2.0, margins))  # expect: CON002
+    return margins + doubled

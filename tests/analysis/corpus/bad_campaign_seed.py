@@ -1,0 +1,32 @@
+"""Known bug: campaign workers ignore the run-spec seed material.
+
+One worker draws fresh OS entropy (irreproducible), the other hard-codes
+a constant seed (every parallel record sees the *same* stream).  Both
+break the executor's bit-identical-to-serial guarantee.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List
+
+import numpy as np
+
+from repro.random_utils import as_generator
+
+
+def noisy_record(index: int) -> float:
+    rng = np.random.default_rng()  # expect: CON001
+    return float(rng.normal()) + index
+
+
+def cloned_record(index: int) -> float:
+    rng = as_generator(2024)  # expect: CON001
+    return float(rng.normal()) + index
+
+
+def run(indices: List[int]) -> List[float]:
+    with ProcessPoolExecutor() as pool:
+        noisy = list(pool.map(noisy_record, indices))
+        cloned = list(pool.map(cloned_record, indices))
+    return noisy + cloned

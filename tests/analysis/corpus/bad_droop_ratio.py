@@ -1,0 +1,18 @@
+"""Known bug: a droop *fraction* stored under a ``*_volts`` name.
+
+Normalizing the droop depth by the nominal rail voltage produces a
+dimensionless ratio; binding it to ``worst_droop_volts`` invites the
+next reader to subtract it from a voltage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NOMINAL_VOLTS = 1.1
+
+
+def worst_case(samples_volts: np.ndarray) -> float:
+    depth_volts = NOMINAL_VOLTS - np.min(samples_volts)
+    worst_droop_volts = depth_volts / NOMINAL_VOLTS  # expect: DIM003
+    return worst_droop_volts

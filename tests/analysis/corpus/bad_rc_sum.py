@@ -1,0 +1,18 @@
+"""Known bug: totals a decap bank by summing R with C.
+
+The effective series resistance and the capacitance of a decap stage
+live in different dimensions; adding them is the classic transcription
+slip when porting board-level spreadsheets into the PDN model.
+"""
+
+from __future__ import annotations
+
+from repro import units
+
+STAGE_ESR_OHMS = 1.2 * units.MILLI_OHM
+STAGE_CAPACITANCE_FARADS = 100.0 * units.MICRO_FARAD
+
+
+def stage_budget(n_stages: int) -> float:
+    per_stage = STAGE_ESR_OHMS + STAGE_CAPACITANCE_FARADS  # expect: DIM001
+    return n_stages * per_stage

@@ -1,0 +1,28 @@
+"""Known bug: L and C swapped at a resonance helper's call site.
+
+The helper's parameters are unit-suffixed, so passing the package
+inductance where the capacitance belongs (and vice versa) is visible
+interprocedurally even though both arguments are plain floats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+
+PACKAGE_INDUCTANCE_HENRIES = 32.0 * units.PICO_HENRY
+DIE_CAPACITANCE_FARADS = 335.0 * units.NANO_FARAD
+
+
+def resonance_hz(inductance_henries: float, capacitance_farads: float) -> float:
+    return 1.0 / (
+        2.0 * np.pi * np.sqrt(inductance_henries * capacitance_farads)
+    )
+
+
+def package_resonance() -> float:
+    return resonance_hz(
+        DIE_CAPACITANCE_FARADS,  # expect: DIM002
+        PACKAGE_INDUCTANCE_HENRIES,  # expect: DIM002
+    )

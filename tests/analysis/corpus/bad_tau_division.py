@@ -1,0 +1,23 @@
+"""Known bug: RC time constant computed as R/C instead of R*C.
+
+Dividing ohms by farads does not yield seconds; the function's
+unit-suffixed name pins the intended return dimension, so the flow
+engine can see the algebra contradict it.
+"""
+
+from __future__ import annotations
+
+from repro import units
+
+BULK_RESISTANCE_OHMS = 0.6 * units.MILLI_OHM
+BULK_CAPACITANCE_FARADS = 220.0 * units.MICRO_FARAD
+
+
+def time_constant_seconds(resistance_ohms: float, capacitance_farads: float) -> float:
+    return resistance_ohms / capacitance_farads  # expect: DIM004
+
+
+def settle_window() -> float:
+    return 5.0 * time_constant_seconds(
+        BULK_RESISTANCE_OHMS, BULK_CAPACITANCE_FARADS
+    )

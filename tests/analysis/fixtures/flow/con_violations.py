@@ -1,0 +1,35 @@
+"""Fixture: CON-rule violations, analyzed via ``flow_paths`` as one project.
+
+``# expect: CODE`` markers declare the exact finding set the dataflow
+engine must produce for this file (see tests/analysis/test_flow.py).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List
+
+import numpy as np
+
+from repro.random_utils import as_generator
+
+RESULT_LOG: List[int] = []
+
+
+def fresh_entropy_worker(index: int) -> float:
+    rng = np.random.default_rng()  # expect: CON001
+    return float(rng.random()) + index
+
+
+def constant_seed_worker(index: int) -> float:
+    rng = as_generator(1234)  # expect: CON001
+    RESULT_LOG.append(index)  # expect: CON003
+    return float(rng.random())
+
+
+def run_campaign(indices: List[int]) -> List[float]:
+    with ProcessPoolExecutor() as pool:
+        first = list(pool.map(fresh_entropy_worker, indices))
+        second = list(pool.map(constant_seed_worker, indices))
+        third = list(pool.map(lambda i: i * 2.0, indices))  # expect: CON002
+    return first + second + third

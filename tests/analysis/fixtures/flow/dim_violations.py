@@ -1,0 +1,51 @@
+"""Fixture: DIM-rule violations, analyzed via ``flow_paths`` as one project.
+
+``# expect: CODE`` markers declare the exact finding set the dataflow
+engine must produce for this file (see tests/analysis/test_flow.py).
+"""
+
+from __future__ import annotations
+
+from repro import units
+
+LINE_RESISTANCE_OHMS = 4.0 * units.MILLI_OHM
+BULK_CAPACITANCE_FARADS = 220.0 * units.MICRO_FARAD
+NOMINAL_VOLTS = 1.0
+
+
+def rc_time_constant(resistance_ohms: float, capacitance_farads: float) -> float:
+    return resistance_ohms * capacitance_farads
+
+
+def broken_total() -> float:
+    return LINE_RESISTANCE_OHMS + BULK_CAPACITANCE_FARADS  # expect: DIM001
+
+
+def broken_compare(limit_volts: float) -> bool:
+    return limit_volts > LINE_RESISTANCE_OHMS  # expect: DIM001
+
+
+def misuse_keyword() -> float:
+    return rc_time_constant(
+        resistance_ohms=LINE_RESISTANCE_OHMS,
+        capacitance_farads=NOMINAL_VOLTS,  # expect: DIM002
+    )
+
+
+def misuse_positional() -> float:
+    return rc_time_constant(NOMINAL_VOLTS, BULK_CAPACITANCE_FARADS)  # expect: DIM002
+
+
+def droop_ratio(depth_volts: float) -> float:
+    sag_volts = depth_volts / NOMINAL_VOLTS  # expect: DIM003
+    return sag_volts
+
+
+def resonant_frequency_hz(
+    inductance_henries: float, capacitance_farads: float
+) -> float:
+    return inductance_henries * capacitance_farads  # expect: DIM004
+
+
+def annotated_tau(r, c):  # simlint: dim(r=ohm, c=F) -> Hz
+    return r * c  # expect: DIM004

@@ -1,0 +1,38 @@
+"""Fixture: a module the flow engine must report zero findings for."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List
+
+from repro import units
+from repro.random_utils import as_generator
+
+LINE_RESISTANCE_OHMS = 4.0 * units.MILLI_OHM
+BULK_CAPACITANCE_FARADS = 220.0 * units.MICRO_FARAD
+
+
+def time_constant_seconds(
+    resistance_ohms: float, capacitance_farads: float
+) -> float:
+    return resistance_ohms * capacitance_farads
+
+
+def corner_frequency_hz(period_seconds: float) -> float:
+    return 1.0 / period_seconds
+
+
+def seeded_worker(seed: int) -> float:
+    rng = as_generator(seed)
+    return float(rng.random())
+
+
+def run_campaign(seeds: List[int]) -> List[float]:
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(seeded_worker, seeds))
+
+
+def nominal_tau_seconds() -> float:
+    return time_constant_seconds(
+        LINE_RESISTANCE_OHMS, BULK_CAPACITANCE_FARADS
+    )

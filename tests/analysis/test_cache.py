@@ -1,0 +1,161 @@
+"""Lint-cache behavior: cold fills, warm skips, edits invalidate."""
+
+from __future__ import annotations
+
+from repro.analysis import flow_paths, lint_paths
+from repro.analysis.flow.cache import (
+    LintCache,
+    project_digest,
+    rules_signature,
+    source_digest,
+)
+
+DIRTY = (
+    "from __future__ import annotations\n"
+    "import random\n"
+    "def f():\n"
+    "    return random.random()\n"
+)
+CLEAN = (
+    "from __future__ import annotations\n"
+    "RAIL_VOLTS = 1.0\n"
+)
+FLOW_DIRTY = (
+    "RAIL_OHMS = 1.0\n"
+    "RAIL_VOLTS = 1.0\n"
+    "bad = RAIL_OHMS + RAIL_VOLTS\n"
+)
+
+
+def make_tree(tmp_path):
+    (tmp_path / "dirty.py").write_text(DIRTY, encoding="utf-8")
+    (tmp_path / "clean.py").write_text(CLEAN, encoding="utf-8")
+    (tmp_path / "flow_dirty.py").write_text(FLOW_DIRTY, encoding="utf-8")
+    return str(tmp_path)
+
+
+class TestDigests:
+    def test_source_digest_is_content_addressed(self):
+        assert source_digest("a = 1\n") == source_digest("a = 1\n")
+        assert source_digest("a = 1\n") != source_digest("a = 2\n")
+
+    def test_rules_signature_is_order_independent(self):
+        assert rules_signature(["A1", "B2"]) == rules_signature(["B2", "A1"])
+        assert rules_signature(["A1"]) != rules_signature(["A1", "B2"])
+
+    def test_project_digest_sees_every_file(self):
+        base = {"a.py": "d1", "b.py": "d2"}
+        assert project_digest(base) == project_digest(dict(reversed(list(base.items()))))
+        assert project_digest(base) != project_digest({"a.py": "d1", "b.py": "dX"})
+
+
+class TestLineRuleCache:
+    def test_cold_then_warm(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache_file = str(tmp_path / "cache.json")
+
+        cold = LintCache(cache_file)
+        cold_findings = lint_paths([tree], cache=cold)
+        assert cold.hits == 0 and cold.misses == 3
+        cold.save()
+
+        warm = LintCache(cache_file)
+        warm_findings = lint_paths([tree], cache=warm)
+        assert warm.hits == 3 and warm.misses == 0
+        assert [(f.code, f.path, f.line) for f in warm_findings] == [
+            (f.code, f.path, f.line) for f in cold_findings
+        ]
+
+    def test_editing_one_file_invalidates_only_it(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache_file = str(tmp_path / "cache.json")
+        cold = LintCache(cache_file)
+        lint_paths([tree], cache=cold)
+        cold.save()
+
+        (tmp_path / "clean.py").write_text(
+            CLEAN + "OTHER_VOLTS = 2.0\n", encoding="utf-8"
+        )
+        warm = LintCache(cache_file)
+        lint_paths([tree], cache=warm)
+        assert warm.hits == 2 and warm.misses == 1
+
+
+class TestFlowCache:
+    def test_cold_then_warm(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache_file = str(tmp_path / "cache.json")
+
+        cold = LintCache(cache_file)
+        cold_findings = flow_paths([tree], cache=cold)
+        assert cold.hits == 0 and cold.misses == 3
+        assert [f.code for f in cold_findings] == ["DIM001"]
+        cold.save()
+
+        warm = LintCache(cache_file)
+        warm_findings = flow_paths([tree], cache=warm)
+        assert warm.hits == 3 and warm.misses == 0
+        assert [(f.code, f.path, f.line) for f in warm_findings] == [
+            (f.code, f.path, f.line) for f in cold_findings
+        ]
+
+    def test_any_edit_invalidates_flow_results(self, tmp_path):
+        """Interprocedural results fold in the whole-project digest."""
+        tree = make_tree(tmp_path)
+        cache_file = str(tmp_path / "cache.json")
+        cold = LintCache(cache_file)
+        flow_paths([tree], cache=cold)
+        cold.save()
+
+        (tmp_path / "clean.py").write_text(
+            CLEAN + "OTHER_VOLTS = 2.0\n", encoding="utf-8"
+        )
+        warm = LintCache(cache_file)
+        warm_findings = flow_paths([tree], cache=warm)
+        assert warm.misses == 3
+        assert [f.code for f in warm_findings] == ["DIM001"]
+
+    def test_findings_survive_a_round_trip_intact(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cache_file = str(tmp_path / "cache.json")
+        cold = LintCache(cache_file)
+        [finding] = flow_paths([tree], cache=cold)
+        cold.save()
+        warm = LintCache(cache_file)
+        [revived] = flow_paths([tree], cache=warm)
+        assert revived == finding
+        assert revived.source_line == finding.source_line
+        assert revived.fingerprint == finding.fingerprint
+
+
+class TestRobustness:
+    def test_corrupt_cache_file_is_discarded(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json", encoding="utf-8")
+        cache = LintCache(str(cache_file))
+        assert cache.get("anything") is None
+        assert cache.misses == 1
+
+    def test_version_skew_is_discarded(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text(
+            '{"version": 999, "entries": {"k": []}}', encoding="utf-8"
+        )
+        cache = LintCache(str(cache_file))
+        assert not cache.peek("k")
+
+    def test_save_is_a_noop_when_clean(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache = LintCache(str(cache_file))
+        cache.save()
+        assert not cache_file.exists()
+
+    def test_corrupt_entry_is_evicted(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text(
+            '{"version": 1, "entries": {"k": [{"bogus": true}]}}',
+            encoding="utf-8",
+        )
+        cache = LintCache(str(cache_file))
+        assert cache.get("k") is None
+        assert not cache.peek("k")

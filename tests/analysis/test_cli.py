@@ -9,10 +9,12 @@ import pytest
 from repro.analysis.cli import main
 from repro.analysis.registry import all_rules
 
-from tests.analysis.conftest import FIXTURES
+from tests.analysis.conftest import CORPUS, FIXTURES
 
 CLEAN = str(FIXTURES / "clean.py")
 DIRTY = str(FIXTURES / "hyg_violations.py")
+#: Line-rule-clean but dimensionally wrong: findings only under --flow.
+FLOW_DIRTY = str(CORPUS / "bad_rc_sum.py")
 
 
 def test_clean_file_exits_zero(capsys):
@@ -99,3 +101,127 @@ def test_module_entry_point(tmp_path):
     )
     assert proc.returncode == 0, proc.stderr
     assert "simlint: clean" in proc.stdout
+
+
+class TestExitCodes:
+    """The full matrix: 0 clean, 1 errors, 2 warnings-only under strict."""
+
+    def test_clean_is_zero_even_strict(self, capsys):
+        assert main([CLEAN, "--strict-warnings"]) == 0
+
+    def test_errors_are_one(self, capsys):
+        assert main([DIRTY]) == 1
+
+    def test_errors_stay_one_under_strict(self, capsys):
+        assert main([DIRTY, "--strict-warnings"]) == 1
+
+    def test_warnings_only_is_zero_by_default(self, capsys):
+        # HYG003 (overbroad except) is warning severity.
+        assert main([DIRTY, "--select", "HYG003"]) == 0
+
+    def test_warnings_only_is_two_under_strict(self, capsys):
+        assert main([DIRTY, "--select", "HYG003", "--strict-warnings"]) == 2
+
+
+class TestFlowFlag:
+    def test_flow_findings_need_the_flag(self, capsys):
+        assert main([FLOW_DIRTY, "--no-baseline"]) == 0
+        assert main([FLOW_DIRTY, "--no-baseline", "--flow"]) == 1
+        assert "DIM001" in capsys.readouterr().out
+
+    def test_selecting_a_flow_code_implies_flow(self, capsys):
+        assert main([FLOW_DIRTY, "--no-baseline", "--select", "DIM001"]) == 1
+
+    def test_no_flow_is_accepted(self, capsys):
+        assert main([FLOW_DIRTY, "--no-baseline", "--no-flow"]) == 0
+
+    def test_list_rules_marks_flow_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            if line.startswith(("DIM", "CON")):
+                assert "(flow)" in line
+
+
+class TestProfiles:
+    def test_tests_profile_relaxes_future_import(self, capsys):
+        # HYG005 is a warning, so surface it via --strict-warnings.
+        target = str(FIXTURES / "hyg_missing_future.py")
+        base = [target, "--no-baseline", "--strict-warnings"]
+        assert main(base) == 2
+        assert main([*base, "--profile", "tests"]) == 0
+
+    def test_default_profile_keeps_everything(self, capsys):
+        assert main([DIRTY, "--no-baseline", "--profile", "default"]) == 1
+
+
+class TestExclude:
+    def test_exclude_skips_matching_paths(self, capsys):
+        assert main([str(FIXTURES), "--no-baseline", "--exclude", "*"]) == 0
+        assert "simlint: clean" in capsys.readouterr().out
+
+    def test_exclude_is_selective(self, capsys):
+        assert (
+            main(
+                [
+                    str(FIXTURES),
+                    "--no-baseline",
+                    "--exclude",
+                    "*/hyg_*.py",
+                    "--select",
+                    "HYG001,HYG002,HYG003,HYG004,HYG005",
+                ]
+            )
+            == 0
+        )
+
+
+class TestSarif:
+    def test_sarif_is_valid_and_complete(self, capsys):
+        assert main([DIRTY, "--format", "sarif", "--no-baseline"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in payload["$schema"]
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {rule.code for rule in all_rules()} <= declared
+        assert run["results"], "dirty fixture must produce results"
+        for result in run["results"]:
+            assert result["ruleId"].startswith("HYG")
+            assert result["level"] in ("error", "warning")
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].endswith(
+                "hyg_violations.py"
+            )
+            assert location["region"]["startLine"] >= 1
+            assert location["region"]["startColumn"] >= 1
+            assert result["partialFingerprints"]["simlintFingerprint"]
+
+    def test_sarif_clean_run_has_no_results(self, capsys):
+        assert main([CLEAN, "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []
+
+
+class TestLintCacheFlag:
+    def test_cold_then_warm_counters(self, tmp_path, capsys):
+        cache_file = str(tmp_path / "cache.json")
+        args = [CLEAN, "--flow", "--lint-cache", cache_file]
+        assert main(args) == 0
+        cold_err = capsys.readouterr().err
+        assert "0 hit(s)" in cold_err
+
+        assert main(args) == 0
+        warm_err = capsys.readouterr().err
+        assert "0 miss(es)" in warm_err
+        assert "hit(s)" in warm_err
+
+    def test_cache_preserves_findings_and_exit_code(self, tmp_path, capsys):
+        cache_file = str(tmp_path / "cache.json")
+        args = [DIRTY, "--no-baseline", "--lint-cache", cache_file]
+        assert main(args) == 1
+        cold_out = capsys.readouterr().out
+        assert main(args) == 1
+        warm_out = capsys.readouterr().out
+        assert warm_out == cold_out

@@ -1,0 +1,147 @@
+"""Property tests for the dimension algebra (hypothesis-driven).
+
+The ``DIM`` rules are only as sound as the algebra underneath them, so
+the laws are checked over the whole exponent lattice, not just the named
+unit points: closure, commutativity/associativity of ``*``, identity,
+``/`` as the inverse of ``*``, and power/inverse consistency.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.flow.dimensions import (
+    AMPERE,
+    DIMENSIONLESS,
+    FARAD,
+    HENRY,
+    HERTZ,
+    NAMED_DIMS,
+    OHM,
+    SECOND,
+    VOLT,
+    WATT,
+    Dim,
+    dim_for_name,
+    parse_dim,
+)
+
+dims = st.builds(
+    Dim,
+    st.integers(min_value=-4, max_value=4),
+    st.integers(min_value=-4, max_value=4),
+    st.integers(min_value=-4, max_value=4),
+)
+
+
+class TestAlgebraLaws:
+    @given(dims, dims)
+    def test_product_closure(self, a, b):
+        assert isinstance(a * b, Dim)
+        assert isinstance(a / b, Dim)
+
+    @given(dims, dims)
+    def test_product_commutes(self, a, b):
+        assert a * b == b * a
+
+    @given(dims, dims, dims)
+    def test_product_associates(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @given(dims)
+    def test_dimensionless_is_identity(self, a):
+        assert a * DIMENSIONLESS == a
+        assert a / DIMENSIONLESS == a
+
+    @given(dims, dims)
+    def test_division_inverts_multiplication(self, a, b):
+        assert (a * b) / b == a
+        assert (a / b) * b == a
+
+    @given(dims)
+    def test_inverse(self, a):
+        assert a * a.inverse() == DIMENSIONLESS
+        assert a.inverse() == DIMENSIONLESS / a
+
+    @given(dims, st.integers(min_value=-3, max_value=3))
+    def test_power_is_repeated_product(self, a, n):
+        expected = DIMENSIONLESS
+        base = a if n >= 0 else a.inverse()
+        for _ in range(abs(n)):
+            expected = expected * base
+        assert a**n == expected
+
+    @given(dims)
+    def test_dimensionless_predicate(self, a):
+        assert (a / a).is_dimensionless
+        assert a.is_dimensionless == (a == DIMENSIONLESS)
+
+
+class TestDerivedUnits:
+    """The PDN identities the inference pass leans on."""
+
+    def test_ohms_law(self):
+        assert OHM == VOLT / AMPERE
+
+    def test_rc_time_constant(self):
+        assert OHM * FARAD == SECOND
+
+    def test_lr_time_constant(self):
+        assert HENRY / OHM == SECOND
+
+    def test_lc_resonance(self):
+        assert HENRY * FARAD == SECOND**2
+
+    def test_hertz_is_inverse_second(self):
+        assert HERTZ == SECOND.inverse()
+        assert HERTZ * SECOND == DIMENSIONLESS
+
+    def test_power(self):
+        assert WATT == VOLT * AMPERE
+        assert WATT == VOLT**2 / OHM
+
+    @pytest.mark.parametrize(
+        ("dim", "name"),
+        [
+            (DIMENSIONLESS, "1"),
+            (VOLT, "V"),
+            (OHM, "Ω"),
+            (FARAD, "F"),
+            (HERTZ, "Hz"),
+            (HENRY * FARAD, "s^2"),
+        ],
+    )
+    def test_names(self, dim, name):
+        assert dim.name() == name
+
+
+class TestNameInference:
+    def test_spellings_round_trip(self):
+        for spelling, dim in NAMED_DIMS.items():
+            assert parse_dim(spelling) == dim
+
+    def test_unknown_spelling(self):
+        assert parse_dim("parsec") is None
+
+    @pytest.mark.parametrize(
+        ("identifier", "dim"),
+        [
+            ("dt_seconds", SECOND),
+            ("bulk_inductance_henries", HENRY),
+            ("f_max_hz", HERTZ),
+            ("noise_volts_rms", VOLT),
+            ("esr_ohms", OHM),
+            ("total_capacitance_farads", FARAD),
+        ],
+    )
+    def test_single_unit_word_pins(self, identifier, dim):
+        assert dim_for_name(identifier) == dim
+
+    @pytest.mark.parametrize(
+        "identifier",
+        ["samples", "droop_fraction", "volts_per_second", "ohm_farad_mix"],
+    )
+    def test_zero_or_two_unit_words_do_not(self, identifier):
+        assert dim_for_name(identifier) is None

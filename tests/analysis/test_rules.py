@@ -6,7 +6,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import lint_paths, lint_source
+from repro.analysis import flow_paths, lint_paths, lint_source
 from repro.analysis.findings import Severity
 from repro.analysis.registry import all_rules
 
@@ -42,17 +42,22 @@ class TestFixtureFindings:
         assert lint_fixture("clean.py") == []
 
     def test_every_rule_family_has_fixture_coverage(self):
-        """Each family (DET/UNI/HYG) is verified by at least one marker."""
+        """Each family (line and flow) is verified by at least one marker."""
         covered = set()
-        for fixture in FIXTURES.glob("*.py"):
+        for fixture in FIXTURES.rglob("*.py"):
             covered |= {code[:3] for code, _ in expected_findings(fixture)}
-        assert {"DET", "UNI", "HYG"} <= covered
+        assert {"DET", "UNI", "HYG", "DIM", "CON"} <= covered
 
     def test_every_rule_code_has_fixture_coverage(self):
-        """No rule ships without a fixture that triggers it."""
+        """No rule ships without a fixture that triggers it.
+
+        Line rules fire through ``lint_paths``; flow rules only through
+        ``flow_paths`` — each engine covers its own registry half.
+        """
         covered = set()
         for fixture in sorted(FIXTURES.glob("*.py")):
             covered |= {f.code for f in lint_fixture(fixture.name)}
+        covered |= {f.code for f in flow_paths([str(FIXTURES / "flow")])}
         assert {rule.code for rule in all_rules()} <= covered
 
 
@@ -62,11 +67,13 @@ class TestRuleMetadata:
         codes = [rule.code for rule in rules]
         assert len(set(codes)) == len(codes)
         for rule in rules:
-            assert rule.code[:3] in ("DET", "UNI", "HYG")
+            assert rule.code[:3] in ("DET", "UNI", "HYG", "DIM", "CON")
             assert rule.code[3:].isdigit()
             assert rule.name
             assert rule.description
             assert isinstance(rule.severity, Severity)
+            # Flow rules belong to the dataflow families and vice versa.
+            assert rule.flow == (rule.code[:3] in ("DIM", "CON"))
 
     def test_fixture_dir_fails_as_a_whole(self):
         findings = lint_paths([str(FIXTURES)])

@@ -10,7 +10,7 @@ from __future__ import annotations
 from pathlib import Path
 
 import repro
-from repro.analysis import lint_paths
+from repro.analysis import flow_paths, lint_paths
 from repro.analysis.findings import Severity
 
 
@@ -20,6 +20,17 @@ def src_repro_dir() -> str:
 
 def test_src_repro_is_simlint_clean():
     findings = lint_paths([src_repro_dir()])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_src_repro_is_flow_clean():
+    """The dataflow engine (DIM/CON) reports nothing either.
+
+    This is the dimensional-analysis analogue of the line-rule gate:
+    any new Ω+F sum, wrong-dimension argument, fresh-entropy worker
+    stream, or worker-side global write fails with an exact location.
+    """
+    findings = flow_paths([src_repro_dir()])
     assert findings == [], "\n".join(f.format() for f in findings)
 
 

@@ -31,7 +31,7 @@ class TestParameters:
         params = ResilienceParameters()
         # Removing a 10% margin buys 15% frequency.
         assert params.frequency_gain(0.04) == pytest.approx(1.15)
-        assert params.frequency_gain(params.worst_case_margin) == 1.0
+        assert params.frequency_gain(params.worst_case_margin) == 1.0  # simlint: disable=HYG001 (exact by construction)
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):

@@ -66,10 +66,10 @@ class TestFig10Helper:
             [0.16, 0.15, 0.12, 0.10, 0.08],   # cost 100: hits 15%
             [0.10, 0.08, 0.05, 0.02, 0.00],   # cost 10k: misses
         ])
-        assert coarsest_cost_for_target(margins, costs, grid, 0.15) == 100.0
+        assert coarsest_cost_for_target(margins, costs, grid, 0.15) == 100.0  # simlint: disable=HYG001 (exact by construction)
 
     def test_no_feasible_cost(self):
         margins = np.linspace(0.02, 0.14, 3)
         costs = np.array([1.0])
         grid = np.array([[0.05, 0.04, 0.03]])
-        assert coarsest_cost_for_target(margins, costs, grid, 0.15) == 0.0
+        assert coarsest_cost_for_target(margins, costs, grid, 0.15) == 0.0  # simlint: disable=HYG001 (exact by construction)

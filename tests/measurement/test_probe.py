@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import units
 from repro.errors import ConfigurationError
 from repro.measurement.probe import DifferentialProbe, Oscilloscope
 from repro.pdn.simulate import VoltageTrace
@@ -14,7 +15,7 @@ def flat_trace(n=10_000, value=1.3):
 
 class TestDifferentialProbe:
     def test_noise_added(self):
-        probe = DifferentialProbe(noise_volts_rms=1e-3, bandwidth_hz=None)
+        probe = DifferentialProbe(noise_volts_rms=1 * units.MILLI_VOLT, bandwidth_hz=None)
         sensed = probe.sense(flat_trace(), seed=0)
         assert sensed.samples.std() == pytest.approx(1e-3, rel=0.1)
 
@@ -28,7 +29,7 @@ class TestDifferentialProbe:
         rng = np.random.default_rng(0)
         samples = 1.3 + rng.normal(0, 0.01, 20_000)
         trace = VoltageTrace(samples, 1e-9, 1.3)
-        probe = DifferentialProbe(noise_volts_rms=0.0, bandwidth_hz=5e7)
+        probe = DifferentialProbe(noise_volts_rms=0.0, bandwidth_hz=50 * units.MEGA_HERTZ)
         sensed = probe.sense(trace)
         assert sensed.samples.std() < trace.samples.std()
 

@@ -21,7 +21,7 @@ class TestCapacitorBank:
 
     def test_empty_bank_has_infinite_esr(self):
         bank = CapacitorBank(1e-6, 10e-3, 0)
-        assert bank.total_capacitance == 0.0
+        assert bank.total_capacitance == 0.0  # simlint: disable=HYG001 (exact by construction)
         assert bank.effective_esr == float("inf")
 
     def test_keep_bounds(self):
@@ -59,7 +59,7 @@ class TestProcFamily:
 
     def test_proc0_keeps_only_parasitics(self):
         cfg = proc_config("Proc0")
-        assert cfg.total_capacitance == 0.0
+        assert cfg.total_capacitance == 0.0  # simlint: disable=HYG001 (exact by construction)
         assert cfg.fraction == pytest.approx(PARASITIC_FRACTION)
         assert all(bank.count == 0 for bank in cfg.banks)
 

@@ -18,7 +18,7 @@ class TestResistor:
         assert np.all(z.imag == 0)
 
     def test_zero_resistance_allowed(self):
-        assert Resistor(0.0).impedance(1.0) == 0.0
+        assert Resistor(0.0).impedance(1.0) == 0.0  # simlint: disable=HYG001 (exact by construction)
 
     def test_negative_resistance_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -31,7 +31,7 @@ class TestInductor:
         z1 = ind.impedance(OMEGA)
         z2 = ind.impedance(2 * OMEGA)
         assert np.isclose(z2.imag, 2 * z1.imag)
-        assert z1.real == 0.0
+        assert z1.real == 0.0  # simlint: disable=HYG001 (exact by construction)
 
     def test_esr_appears_in_real_part(self):
         ind = Inductor(1e-9, esr=0.25)

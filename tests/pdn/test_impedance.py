@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import units
 from repro.errors import ConfigurationError, MeasurementError
 from repro.pdn.impedance import ImpedanceProfile
 from repro.pdn.platform import build_network
@@ -28,7 +29,7 @@ class TestConstruction:
 
     def test_from_network_point_count(self):
         prof = ImpedanceProfile.from_network(
-            build_network("Proc100"), f_min_hz=1e5, f_max_hz=1e8,
+            build_network("Proc100"), f_min_hz=100 * units.KILO_HERTZ, f_max_hz=100 * units.MEGA_HERTZ,
             points_per_decade=10,
         )
         assert len(prof) == 31  # 3 decades * 10 + 1
@@ -44,12 +45,12 @@ class TestAnalysis:
             stock_profile.at(1e12)
 
     def test_peak_in_band(self, stock_profile):
-        peak = stock_profile.peak(f_min_hz=5e7, f_max_hz=5e8)
+        peak = stock_profile.peak(f_min_hz=50 * units.MEGA_HERTZ, f_max_hz=500 * units.MEGA_HERTZ)
         assert 5e7 <= peak.frequency_hz <= 5e8
 
     def test_peak_empty_band_rejected(self, stock_profile):
         with pytest.raises(MeasurementError):
-            stock_profile.peak(f_min_hz=1e12, f_max_hz=2e12)
+            stock_profile.peak(f_min_hz=1000 * units.GIGA_HERTZ, f_max_hz=2000 * units.GIGA_HERTZ)
 
     def test_normalized_reference_is_unity(self, stock_profile):
         norm = stock_profile.normalized_to(1e6)
@@ -77,5 +78,5 @@ class TestPaperCalibration:
         peaks = []
         for name in ("Proc100", "Proc75", "Proc50", "Proc25", "Proc3", "Proc0"):
             prof = ImpedanceProfile.from_network(build_network(name))
-            peaks.append(prof.peak(f_min_hz=2e5, f_max_hz=3e7).impedance_ohm)
+            peaks.append(prof.peak(f_min_hz=200 * units.KILO_HERTZ, f_max_hz=30 * units.MEGA_HERTZ).impedance_ohm)
         assert all(a <= b * 1.001 for a, b in zip(peaks, peaks[1:]))

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import units
 from repro.errors import ConfigurationError
 from repro.pdn.vrm import VoltageRegulatorModule
 
@@ -25,7 +26,7 @@ class TestRipple:
 
     def test_periodicity_without_jitter(self):
         vrm = VoltageRegulatorModule(
-            switching_frequency_hz=1e6, ripple_fraction=0.02, jitter_fraction=0.0
+            switching_frequency_hz=1 * units.MEGA_HERTZ, ripple_fraction=0.02, jitter_fraction=0.0
         )
         dt = 1e-9
         period = int(round(1 / (1e6 * dt)))
@@ -34,7 +35,7 @@ class TestRipple:
 
     def test_zero_ripple_configuration(self):
         vrm = VoltageRegulatorModule(ripple_fraction=0.0)
-        assert np.all(vrm.ripple(100, 1e-9, 1.0) == 0.0)
+        assert np.all(vrm.ripple(100, 1e-9, 1.0) == 0.0)  # simlint: disable=HYG001 (exact by construction)
 
     def test_deterministic_with_seed(self):
         vrm = VoltageRegulatorModule()

@@ -17,8 +17,8 @@ class TestNodes:
         assert names == ["45nm", "32nm", "22nm", "16nm", "11nm"]
 
     def test_vdd_follows_itrs(self):
-        assert node_by_name("45nm").vdd == 1.0
-        assert node_by_name("11nm").vdd == 0.6
+        assert node_by_name("45nm").vdd == 1.0  # simlint: disable=HYG001 (exact by construction)
+        assert node_by_name("11nm").vdd == 0.6  # simlint: disable=HYG001 (exact by construction)
         vdds = [n.vdd for n in TECHNOLOGY_NODES]
         assert vdds == sorted(vdds, reverse=True)
 

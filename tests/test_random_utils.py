@@ -61,9 +61,9 @@ class TestUnits:
     def test_prefixes(self):
         from repro import units
 
-        assert units.MICRO_FARAD == 1e-6
-        assert units.PICO_HENRY == 1e-12
-        assert units.MEGA_HERTZ == 1e6
+        assert units.MICRO_FARAD == 1e-6  # simlint: disable=HYG001 (exact constant definition)
+        assert units.PICO_HENRY == 1e-12  # simlint: disable=HYG001 (exact constant definition)
+        assert units.MEGA_HERTZ == 1e6  # simlint: disable=HYG001 (exact constant definition)
 
     def test_percent_roundtrip(self):
         from repro import units

@@ -24,7 +24,7 @@ class TestEventEnvelope:
         profile = profile_for(StallEvent.L2_MISS)
         _, surge = event_envelope(profile)
         stall_span = profile.drain_cycles + profile.stall_cycles
-        assert np.all(surge[:stall_span] == 0.0)
+        assert np.all(surge[:stall_span] == 0.0)  # simlint: disable=HYG001 (exact by construction)
 
     def test_same_length_arrays(self):
         for event in StallEvent:

@@ -60,8 +60,8 @@ class TestBurstModel:
 class TestStatProfile:
     def test_rate_lookup(self):
         p = profile(rates={StallEvent.L2_MISS: 0.001})
-        assert p.rate(StallEvent.L2_MISS) == 0.001
-        assert p.rate(StallEvent.L1_MISS) == 0.0
+        assert p.rate(StallEvent.L2_MISS) == 0.001  # simlint: disable=HYG001 (exact by construction)
+        assert p.rate(StallEvent.L1_MISS) == 0.0  # simlint: disable=HYG001 (exact by construction)
 
     def test_expected_stall_ratio_monotone_in_rates(self):
         low = profile(rates={StallEvent.L2_MISS: 0.0005})
@@ -146,19 +146,19 @@ class TestPhasedWorkload:
 
     def test_profile_at_selects_segment(self):
         workload = PhasedWorkload("w", self.segments())
-        assert workload.profile_at(50).mean_activity == 0.9
-        assert workload.profile_at(150).mean_activity == 0.4
+        assert workload.profile_at(50).mean_activity == 0.9  # simlint: disable=HYG001 (exact by construction)
+        assert workload.profile_at(150).mean_activity == 0.4  # simlint: disable=HYG001 (exact by construction)
 
     def test_clamps_past_end_without_repeat(self):
         workload = PhasedWorkload("w", self.segments())
-        assert workload.profile_at(10_000).mean_activity == 0.4
+        assert workload.profile_at(10_000).mean_activity == 0.4  # simlint: disable=HYG001 (exact by construction)
 
     def test_repeat_wraps(self):
         workload = PhasedWorkload(
             "w", self.segments(), repeat=True, total_duration_seconds=10_000
         )
         assert workload.cycle_seconds == 300
-        assert workload.profile_at(300 + 50).mean_activity == 0.9
+        assert workload.profile_at(300 + 50).mean_activity == 0.9  # simlint: disable=HYG001 (exact by construction)
         assert workload.duration_seconds == 10_000
 
     def test_negative_time_rejected(self):
