@@ -21,6 +21,7 @@ The CLI exposes the same knobs: `--jobs N`, `--cache-dir PATH`,
 import tempfile
 import time
 
+from repro import observability
 from repro.measurement import (
     MeasurementCampaign,
     ResultCache,
@@ -39,8 +40,37 @@ def sweep(campaign):
     )
 
 
+def print_metrics(session) -> None:
+    """Deterministic counters collected across all three phases.
+
+    These totals are identical whichever phase count you re-run with —
+    serial, parallel, warm — because content metrics are recorded from
+    the returned measurements, not from where the work happened.
+    """
+    registry = session.metrics
+    print()
+    print("metrics (deterministic counters)")
+    for metric in (
+        "repro_runs_total",
+        "repro_run_cycles_total",
+        "repro_runs_simulated_total",
+        "repro_cache_hits_total",
+    ):
+        print(f"  {metric:30s} = {int(registry.counter_value(metric))}")
+    droop_counters = registry.counters_matching("repro_droop_events_total")
+    for sample in sorted(droop_counters):
+        print(f"  {sample:30s} = {int(droop_counters[sample])}")
+    print(f"  spans recorded (incl. worker)  = {session.tracer.span_count}")
+
+
 def main() -> None:
     cache_dir = tempfile.mkdtemp(prefix="repro-sweep-cache-")
+    with observability.capture() as session:
+        run_phases(cache_dir)
+    print_metrics(session)
+
+
+def run_phases(cache_dir: str) -> None:
 
     # --- 1. serial, cold cache -----------------------------------------
     serial = MeasurementCampaign(

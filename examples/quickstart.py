@@ -9,7 +9,7 @@ deepest droop, droop excursion statistics, and performance counters.
 Run:  python examples/quickstart.py
 """
 
-from repro import Chip, IdleLoop, spec_benchmark
+from repro import Chip, IdleLoop, observability, spec_benchmark
 from repro.measurement.droops import detect_droops, droop_samples_per_1k
 
 WINDOW_CYCLES = 60_000  # ~32 us of execution at 1.86 GHz
@@ -20,13 +20,14 @@ def main() -> None:
     mcf = spec_benchmark("mcf")
     idle = IdleLoop()
 
-    run = chip.run(
-        [
-            mcf.sample_window(WINDOW_CYCLES, rng=0),
-            idle.sample_window(WINDOW_CYCLES, rng=1),
-        ],
-        seed=42,
-    )
+    with observability.capture() as session:
+        run = chip.run(
+            [
+                mcf.sample_window(WINDOW_CYCLES, rng=0),
+                idle.sample_window(WINDOW_CYCLES, rng=1),
+            ],
+            seed=42,
+        )
 
     voltage = run.voltage
     counters = run.counters(0)
@@ -48,6 +49,16 @@ def main() -> None:
     print()
     print(f"IPC                 : {counters.ipc:.2f}")
     print(f"stall ratio         : {counters.stall_ratio:.2f}")
+    print()
+    print("metrics recorded    : (see docs/observability.md)")
+    registry = session.metrics
+    for metric in (
+        "repro_chip_runs_total",
+        "repro_chip_cycles_total",
+        "repro_pdn_samples_total",
+    ):
+        print(f"  {metric:26s} = {int(registry.counter_value(metric))}")
+    print(f"  spans recorded             = {session.tracer.span_count}")
     print()
     print("The 14% worst-case margin would never trip here — this is the")
     print("typical-case gap the paper's resilient designs exploit.")

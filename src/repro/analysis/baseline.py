@@ -4,9 +4,10 @@ A baseline is a committed JSON file listing findings that existed when a
 rule was introduced.  Matching is by ``(path, code, fingerprint)`` — the
 fingerprint hashes the offending line's *text*, so baselined findings
 survive edits elsewhere in the file but expire the moment the offending
-line itself changes.  The shipped ``simlint-baseline.json`` is empty and
-the test suite keeps it that way; the mechanism exists so future rules
-can land before their cleanups do.
+line itself changes.  The shipped ``simlint-baseline.json`` grandfathers
+exactly one thing — the ``OBS001`` wall-clock comparison in
+``examples/parallel_sweep.py``, whose speedup measurement is the point
+of that example — and the test suite pins it to that.
 """
 
 from __future__ import annotations

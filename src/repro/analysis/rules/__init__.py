@@ -10,6 +10,9 @@ Families:
 * :mod:`repro.analysis.rules.hygiene` — ``HYG0xx``: simulation-code
   hygiene (float equality, mutable defaults, overbroad excepts, frozen
   config dataclasses, ``__future__`` annotations).
+* :mod:`repro.analysis.rules.observability` — ``OBS0xx``: telemetry
+  discipline (all monotonic-clock timing goes through
+  :mod:`repro.observability`).
 * :mod:`repro.analysis.flow.rules` — ``DIM0xx``/``CON0xx``: the dataflow
   families (dimensional analysis, concurrency safety), emitted by the
   ``--flow`` engine rather than the single-file visitor.
@@ -18,6 +21,6 @@ Families:
 from __future__ import annotations
 
 from repro.analysis.flow import rules as flow_rules
-from repro.analysis.rules import determinism, hygiene, units
+from repro.analysis.rules import determinism, hygiene, observability, units
 
-__all__ = ["determinism", "flow_rules", "hygiene", "units"]
+__all__ = ["determinism", "flow_rules", "hygiene", "observability", "units"]

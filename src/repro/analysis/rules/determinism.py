@@ -130,7 +130,8 @@ class WallClockRule(Rule):
     description = (
         "time.time()/datetime.now() leak wall-clock state into results; "
         "simulated time must come from the simulation, and elapsed-time "
-        "telemetry should use time.perf_counter()"
+        "telemetry belongs in repro.observability (spans / "
+        "monotonic_seconds)"
     )
     node_types = (ast.Call,)
 
@@ -142,7 +143,7 @@ class WallClockRule(Rule):
                 self,
                 node,
                 f"wall-clock call `{dotted}()`; thread simulated time "
-                "explicitly (or time.perf_counter() for telemetry)",
+                "explicitly (or repro.observability for telemetry)",
             )
 
 

@@ -1,0 +1,65 @@
+"""Observability rules (``OBS0xx``).
+
+The repository has exactly one sanctioned timing layer:
+:mod:`repro.observability`.  Its spans time stages, its metrics carry
+wall-clock totals, and :func:`repro.observability.monotonic_seconds`
+wraps the monotonic clock for code that needs a raw reading.  Scattered
+``time.perf_counter()`` pairs bypass all of it — the reading never lands
+in a trace or a metrics export, and each call site reinvents the
+subtraction.  ``OBS001`` funnels every timing need through the one
+layer.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, Set
+
+from repro.analysis.engine import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+#: Monotonic-clock reads that belong inside the observability layer.
+_PERF_CLOCKS: Set[str] = {
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+}
+
+#: The package that is allowed to touch the clock directly.
+_SANCTIONED_PACKAGE = "repro/observability"
+
+
+def _in_observability_layer(path: str) -> bool:
+    return _SANCTIONED_PACKAGE in path.replace(os.sep, "/")
+
+
+@register
+class ScatteredTimingRule(Rule):
+    """OBS001: ad-hoc monotonic-clock timing outside the telemetry layer."""
+
+    code = "OBS001"
+    name = "scattered-timing"
+    severity = Severity.ERROR
+    description = (
+        "time.perf_counter()/time.monotonic() outside repro.observability "
+        "bypasses the sanctioned timing layer; use observability spans "
+        "(repro.observability.span) or monotonic_seconds() so readings "
+        "land in traces and metrics exports"
+    )
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if _in_observability_layer(ctx.path):
+            return
+        dotted = ctx.dotted_name(node.func)
+        if dotted in _PERF_CLOCKS:
+            yield ctx.finding(
+                self,
+                node,
+                f"ad-hoc timing call `{dotted}()`; time through "
+                "repro.observability (span(...) or monotonic_seconds())",
+            )

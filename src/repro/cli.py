@@ -6,19 +6,28 @@ Usage::
     python -m repro.cli run fig08
     python -m repro.cli run tab1 --full
     python -m repro.cli run all
+    python -m repro.cli measure mcf lbm mcf+lbm --jobs 2
 
 Each experiment prints the reproduced figure/table rows plus its
 paper-vs-measured notes.  ``--full`` switches from the quick subsets to
 the paper's full protocol sizes (slower).
+
+Every executing subcommand accepts the observability flags ``--trace``,
+``--metrics`` and ``--profile-stages`` (env: ``$REPRO_TRACE`` /
+``$REPRO_METRICS``); see docs/observability.md for the span model and
+metric catalog.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import json
+import os
 import sys
-import time
-from typing import Dict
+from typing import Dict, Tuple
+
+from repro import observability as obs
 
 #: Short alias -> experiment module name.
 EXPERIMENTS: Dict[str, str] = {
@@ -100,6 +109,80 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=os.environ.get("REPRO_TRACE") or None,
+        metavar="FILE",
+        help="write the hierarchical span trace as JSON "
+        "(default: $REPRO_TRACE; disabled otherwise)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=os.environ.get("REPRO_METRICS") or None,
+        metavar="FILE",
+        help="write the metrics registry (default: $REPRO_METRICS; "
+        "JSON, or Prometheus text when FILE ends in .prom)",
+    )
+    parser.add_argument(
+        "--profile-stages",
+        action="store_true",
+        help="print the per-stage timing table and hottest runs on exit",
+    )
+
+
+def _observability_requested(args: argparse.Namespace) -> bool:
+    return bool(args.trace or args.metrics or args.profile_stages)
+
+
+def _configure_observability(args: argparse.Namespace) -> None:
+    if _observability_requested(args):
+        obs.start()
+
+
+def _finalize_observability(args: argparse.Namespace) -> None:
+    """Export trace/metrics files and print profiles, as requested."""
+    if not _observability_requested(args):
+        return
+    session = obs.stop()
+    if session is None:  # pragma: no cover - start/stop always paired
+        return
+    if args.trace:
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(session.trace_payload(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote trace to {args.trace}")
+    if args.metrics:
+        if args.metrics.endswith(".prom"):
+            text = session.metrics.prometheus_text()
+        else:
+            text = json.dumps(session.metrics_payload(), indent=2) + "\n"
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote metrics to {args.metrics}")
+    if args.profile_stages:
+        from repro.observability import (
+            format_hottest,
+            format_stage_table,
+            hottest_spans,
+            stage_table,
+        )
+
+        print()
+        print(format_stage_table(stage_table(session.tracer)))
+        hottest = hottest_spans(session.tracer)
+        if hottest:
+            print()
+            print(format_hottest(hottest))
+
+
+#: What ``measure`` runs when no runs are named: two solo runs and two
+#: pairings spanning the quiet-to-loud range of the quick subset.
+DEFAULT_MEASURE_RUNS: Tuple[str, ...] = (
+    "mcf", "lbm", "mcf+lbm", "namd+povray",
+)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -119,6 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use the full protocol sizes instead of quick subsets",
     )
     _add_execution_arguments(report)
+    _add_observability_arguments(report)
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument(
         "experiment",
@@ -130,6 +214,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use the full 881-run protocol sizes instead of quick subsets",
     )
     _add_execution_arguments(run)
+    _add_observability_arguments(run)
+    measure = sub.add_parser(
+        "measure",
+        help="measure named runs directly (e.g. 'mcf' or 'astar+lbm')",
+    )
+    measure.add_argument(
+        "runs",
+        nargs="*",
+        metavar="RUN",
+        help="workload name, or 'a+b' for a co-running pair "
+        f"(default: {' '.join(DEFAULT_MEASURE_RUNS)})",
+    )
+    measure.add_argument(
+        "--config",
+        default="Proc3",
+        help="decap configuration to measure on (default: Proc3)",
+    )
+    measure.add_argument(
+        "--cycles",
+        type=int,
+        default=20_000,
+        metavar="N",
+        help="window length per run in cycles (default: 20000)",
+    )
+    measure.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign base seed (default: 0)",
+    )
+    _add_execution_arguments(measure)
+    _add_observability_arguments(measure)
     return parser
 
 
@@ -159,12 +275,50 @@ def _run_one(alias: str, quick: bool) -> None:
     module = importlib.import_module(
         f"repro.experiments.{EXPERIMENTS[alias]}"
     )
-    started = time.perf_counter()
-    result = module.run(quick=quick)
-    elapsed = time.perf_counter() - started
+    with obs.span(f"experiment.{alias}", experiment=alias):
+        started = obs.monotonic_seconds()
+        result = module.run(quick=quick)
+        elapsed = obs.monotonic_seconds() - started
+        obs.set_gauge(
+            "repro_experiment_seconds", elapsed, experiment=alias
+        )
     print(result.format_table())
     print(f"({alias} finished in {elapsed:.1f} s)")
     print()
+
+
+def _run_measure(args: argparse.Namespace) -> int:
+    """Measure the named runs and print a per-run summary table."""
+    from repro.errors import ReproError
+    from repro.experiments.context import get_campaign
+
+    tokens = list(args.runs) or list(DEFAULT_MEASURE_RUNS)
+    campaign = get_campaign(
+        args.config, n_cycles=args.cycles, seed=args.seed
+    )
+    try:
+        specs = [
+            campaign.run_spec(*token.split("+")) for token in tokens
+        ]
+        measurements = campaign.measure_specs(specs)
+    except ReproError as error:
+        print(f"measure: {error}", file=sys.stderr)
+        return 2
+    width = max(len(m.spec.label) for m in measurements)
+    print(
+        f"{'run'.ljust(width)}  droops/1k  max droop  overshoot    IPC"
+    )
+    for m in measurements:
+        print(
+            f"{m.spec.label.ljust(width)}  "
+            f"{m.droop_samples_per_1k:9.2f}  "
+            f"{100 * m.max_droop:8.2f}%  "
+            f"{100 * m.max_overshoot:8.2f}%  "
+            f"{m.throughput_ipc:5.2f}"
+        )
+    print()
+    _print_execution_stats()
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -178,17 +332,27 @@ def main(argv: list[str] | None = None) -> int:
         from repro.reporting import generate_report
 
         _configure_execution(args)
+        _configure_observability(args)
         generate_report(path=args.output, quick=not args.full)
+        _finalize_observability(args)
         print(f"wrote {args.output}")
         return 0
+    if args.command == "measure":
+        _configure_execution(args)
+        _configure_observability(args)
+        status = _run_measure(args)
+        _finalize_observability(args)
+        return status
     # command == "run"
     _configure_execution(args)
+    _configure_observability(args)
     target = args.experiment.lower()
     quick = not args.full
     if target == "all":
         for alias in EXPERIMENTS:
             _run_one(alias, quick)
         _print_execution_stats()
+        _finalize_observability(args)
         return 0
     if target not in EXPERIMENTS:
         print(
@@ -198,6 +362,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     _run_one(target, quick)
     _print_execution_stats()
+    _finalize_observability(args)
     return 0
 
 

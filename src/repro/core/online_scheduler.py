@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import observability as obs
 from repro.errors import SchedulingError
 from repro.measurement.droops import (
     CHARACTERIZATION_MARGIN,
@@ -138,6 +139,18 @@ class OnlineScheduler:
         interval: int,
         rng: np.random.Generator,
     ) -> IntervalRecord:
+        pair_label = f"{jobs[0].name}+{jobs[1].name}"
+        with obs.span(
+            "scheduler.interval", interval=interval, run=pair_label
+        ):
+            return self._run_interval_impl(jobs, interval, rng)
+
+    def _run_interval_impl(
+        self,
+        jobs: Tuple[Job, Job],
+        interval: int,
+        rng: np.random.Generator,
+    ) -> IntervalRecord:
         windows = []
         for slot, job in enumerate(jobs):
             workload = self._workload(job.name)
@@ -160,6 +173,8 @@ class OnlineScheduler:
             droops = droop_samples_per_1k(
                 run.voltage, CHARACTERIZATION_MARGIN
             )
+        obs.increment("repro_scheduler_intervals_total")
+        obs.observe("repro_interval_droops_per_1k", droops)
         return IntervalRecord(
             interval=interval,
             pair=(jobs[0].name, jobs[1].name),

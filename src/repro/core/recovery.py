@@ -25,6 +25,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
+from repro import observability as obs
 from repro.core.resilience import OptimalMargin, ResilientDesignModel
 from repro.errors import ConfigurationError
 
@@ -139,7 +140,17 @@ def evaluate_mechanisms(
     mechanisms: Sequence[RecoveryMechanism] = MECHANISMS,
 ) -> Dict[str, OptimalMargin]:
     """Optimal margin and improvement per catalogued mechanism."""
-    return {
-        mechanism.name: model.optimal_margin(mechanism.cost_cycles)
-        for mechanism in mechanisms
-    }
+    results: Dict[str, OptimalMargin] = {}
+    with obs.span("recovery.evaluate", mechanisms=len(mechanisms)):
+        for mechanism in mechanisms:
+            optimal = model.optimal_margin(mechanism.cost_cycles)
+            obs.increment("repro_recovery_evaluations_total")
+            # Expected rollback recoveries the mechanism would service at
+            # its own optimal margin, in events per 1K cycles.
+            obs.set_gauge(
+                "repro_recovery_rollbacks_per_1k",
+                1000.0 * model.mean_emergency_rate(optimal.margin),
+                mechanism=mechanism.name,
+            )
+            results[mechanism.name] = optimal
+    return results

@@ -143,6 +143,15 @@ class ResilientDesignModel:
             for tail in self._tails
         ]))
 
+    def mean_emergency_rate(self, margin: float) -> float:
+        """Average per-cycle emergency rate across all runs at a margin.
+
+        This is the rate of margin crossings a rollback-style recovery
+        mechanism would actually service — the telemetry layer exports
+        it (scaled to events per 1K cycles) per evaluated mechanism.
+        """
+        return float(np.mean([tail.rate(margin) for tail in self._tails]))
+
     def margin_grid(self, n_points: int = 60) -> np.ndarray:
         """The margin axis used by sweeps (min_margin … worst case)."""
         return np.linspace(

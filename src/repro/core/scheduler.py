@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import observability as obs
 from repro.errors import SchedulingError
 from repro.measurement.campaign import MeasurementCampaign, RunMeasurement
 from repro.measurement.droops import CHARACTERIZATION_MARGIN
@@ -22,6 +23,13 @@ from repro.core.policies import SchedulingPolicy, SPECratePolicy
 from repro.random_utils import SeedLike, as_generator
 
 Pair = Tuple[str, str]
+
+
+def _count_schedule(pairs: Tuple[Pair, ...]) -> Tuple[Pair, ...]:
+    """Record one built schedule in the metrics registry (pass-through)."""
+    obs.increment("repro_schedules_built_total")
+    obs.increment("repro_schedule_pairs_total", len(pairs))
+    return pairs
 
 
 class PairOracle:
@@ -58,14 +66,15 @@ class PairOracle:
         scheduling experiments.
         """
         campaign = self._campaign
-        campaign.measure_specs(
-            [campaign.run_spec(a, kind="single") for a in names]
-            + [
-                campaign.run_spec(a, b, kind="multiprogram")
-                for a in names
-                for b in names
-            ]
-        )
+        with obs.span("oracle.prefetch", programs=len(names)):
+            campaign.measure_specs(
+                [campaign.run_spec(a, kind="single") for a in names]
+                + [
+                    campaign.run_spec(a, b, kind="multiprogram")
+                    for a in names
+                    for b in names
+                ]
+            )
 
     def droop_metric(self, a: str, b: str) -> float:
         """Droop excursions beyond the margin per 1K cycles."""
@@ -160,7 +169,7 @@ class BatchScheduler:
         if n_pairs < 1:
             raise SchedulingError("n_pairs must be >= 1")
         if isinstance(policy, SPECratePolicy):
-            return self.specrate_schedule(n_pairs)
+            return _count_schedule(self.specrate_schedule(n_pairs))
         if max_repeats is None:
             max_repeats = max(2, int(np.ceil(2 * n_pairs / len(self._programs))))
         rng = as_generator(seed)
@@ -191,7 +200,7 @@ class BatchScheduler:
             usage[anchor] += 1
             usage[partner] += 1
             pairs.append((anchor, partner))
-        return tuple(pairs)
+        return _count_schedule(tuple(pairs))
 
     def specrate_schedule(self, n_pairs: Optional[int] = None) -> Tuple[Pair, ...]:
         """The SPECrate baseline: each program paired with itself."""
@@ -212,8 +221,11 @@ class BatchScheduler:
         """Mean droop and IPC metrics over one schedule's pairs."""
         if not pairs:
             raise SchedulingError("empty schedule")
-        droops = [self._oracle.droop_metric(a, b) for a, b in pairs]
-        ipcs = [self._oracle.ipc_metric(a, b) for a, b in pairs]
+        with obs.span(
+            "scheduler.evaluate", policy=policy_name, pairs=len(pairs)
+        ):
+            droops = [self._oracle.droop_metric(a, b) for a, b in pairs]
+            ipcs = [self._oracle.ipc_metric(a, b) for a, b in pairs]
         return ScheduleEvaluation(
             policy_name=policy_name,
             pairs=tuple(pairs),

@@ -26,6 +26,7 @@ import os
 from functools import lru_cache
 from typing import Optional, Tuple
 
+from repro import observability as obs
 from repro.measurement.cache import ResultCache
 from repro.measurement.campaign import MeasurementCampaign
 from repro.measurement.executor import default_jobs
@@ -127,9 +128,13 @@ def _build_campaign(
     # cache_settings is part of the key so that campaigns built under
     # different --cache-dir / --no-cache regimes never alias each other.
     del cache_settings
-    return MeasurementCampaign(
-        config, n_cycles=n_cycles, seed=seed, jobs=jobs, cache=shared_cache()
-    )
+    with obs.span(
+        "campaign.build", config=config, cycles=n_cycles, jobs=jobs
+    ):
+        obs.increment("repro_campaigns_built_total")
+        return MeasurementCampaign(
+            config, n_cycles=n_cycles, seed=seed, jobs=jobs, cache=shared_cache()
+        )
 
 
 def get_campaign(

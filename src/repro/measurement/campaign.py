@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import observability as obs
 from repro.errors import ConfigurationError, WorkloadError
 from repro.measurement.droops import (
     CHARACTERIZATION_MARGIN,
@@ -183,6 +184,10 @@ class MeasurementCampaign:
         is the contract that makes parallel fan-out and cache replay
         bit-identical to serial execution.
         """
+        with obs.span("run.simulate", run=spec.label, kind=spec.kind):
+            return self._simulate_impl(spec)
+
+    def _simulate_impl(self, spec: RunSpec) -> RunMeasurement:
         rng = derive_generator(self._seed, spec.kind, *spec.workloads, spec.config)
         if spec.kind == "multithread":
             workload = self._resolve(spec.workloads[0])

@@ -28,10 +28,10 @@ hit/miss and wall-time lines in :mod:`repro.reporting`.
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import observability as obs
 from repro.errors import ConfigurationError
 from repro.measurement.cache import CacheStats, ResultCache, cache_key
 from repro.measurement.campaign import (
@@ -134,24 +134,96 @@ def config_fingerprint(config: str, n_cores: int) -> Dict[str, Any]:
     }
 
 
+def _record_batch_telemetry(
+    measurements: Sequence[RunMeasurement], batch: ExecutorStats
+) -> None:
+    """Record one batch's metric samples (observability enabled only).
+
+    Content metrics (runs, cycles, droop/overshoot events by depth
+    bucket, the droops-per-1K histogram) are derived from the returned
+    measurements — whether they came from memo, cache, or simulation —
+    so their values depend only on the requested specs, never on cache
+    temperature or worker count.  Traffic and wall-time samples come
+    from the batch statistics and describe this execution.
+    """
+    obs.increment("repro_runs_total", len(measurements))
+    for measurement in measurements:
+        obs.increment("repro_run_cycles_total", measurement.n_cycles)
+        for depth in measurement.droops.depths:
+            obs.increment(
+                "repro_droop_events_total",
+                depth=obs.depth_bucket(float(depth)),
+            )
+        for depth in measurement.overshoots.depths:
+            obs.increment(
+                "repro_overshoot_events_total",
+                depth=obs.depth_bucket(float(depth)),
+            )
+        obs.observe(
+            "repro_run_droops_per_1k", measurement.droop_samples_per_1k
+        )
+    obs.increment("repro_memo_hits_total", batch.memory_hits)
+    obs.increment("repro_cache_hits_total", batch.cache.hits)
+    obs.increment("repro_cache_misses_total", batch.cache.misses)
+    obs.increment("repro_cache_stores_total", batch.cache.stores)
+    obs.increment("repro_cache_corrupt_total", batch.cache.corrupt)
+    obs.increment("repro_runs_simulated_total", batch.simulated)
+    obs.increment(
+        "repro_parallel_batches_total", batch.parallel_batches
+    )
+    obs.increment(
+        "repro_batch_wall_seconds_total", batch.wall_seconds
+    )
+
+
+def _absorb_worker_payloads(
+    payloads: Sequence[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Merge worker telemetry into the active session, in input order.
+
+    Input order is spec order (:meth:`ProcessPoolExecutor.map`
+    preserves it), which is what makes the merged span tree and the
+    counter totals independent of process placement.
+    """
+    session = obs.active_session()
+    records: List[Dict[str, Any]] = []
+    for payload in payloads:
+        records.append(dict(payload["record"]))
+        if session is not None:
+            session.absorb_worker(payload["telemetry"])
+    return records
+
+
 def _simulate_record(
     config: str,
     n_cycles: int,
     seed: int,
     spec_fields: Tuple[str, Tuple[str, ...], str],
+    telemetry: bool = False,
 ) -> Dict[str, Any]:
     """Worker entry point: simulate one run, return its encoded record.
 
     Must stay a module-level function (pickled by name into pool
     workers).  Builds a throwaway serial campaign so the derived stream
     is exactly what the parent's campaign would have used.
+
+    With ``telemetry=True`` the run executes under a fresh
+    worker-local observability session whose spans and metric samples
+    travel back alongside the record (``{"record": ..., "telemetry":
+    ...}``); the parent grafts them into its own session in spec order,
+    so a parallel campaign produces one merged, deterministic trace.
     """
     from repro.measurement.record import encode_measurement
 
     kind, workloads, spec_config = spec_fields
     campaign = MeasurementCampaign(config, n_cycles=n_cycles, seed=seed)
     spec = RunSpec(kind=kind, workloads=tuple(workloads), config=spec_config)
-    return encode_measurement(campaign.simulate(spec))
+    if not telemetry:
+        return encode_measurement(campaign.simulate(spec))
+    with obs.capture() as session:
+        obs.increment("repro_worker_runs_total", worker=os.getpid())
+        record = encode_measurement(campaign.simulate(spec))
+    return {"record": record, "telemetry": session.worker_payload()}
 
 
 class CampaignExecutor:
@@ -220,7 +292,13 @@ class CampaignExecutor:
 
     def run_many(self, specs: Sequence[RunSpec]) -> List[RunMeasurement]:
         """Measure every spec, reusing memo/cache, in input order."""
-        started = time.perf_counter()
+        with obs.span("campaign.batch", runs=len(specs)):
+            return self._run_many_impl(specs)
+
+    def _run_many_impl(
+        self, specs: Sequence[RunSpec]
+    ) -> List[RunMeasurement]:
+        started = obs.monotonic_seconds()
         batch = ExecutorStats()
         results: Dict[RunSpec, RunMeasurement] = {}
         missing: List[RunSpec] = []
@@ -244,10 +322,13 @@ class CampaignExecutor:
                 results[spec] = self._remember(
                     spec, measurement, batch, store=True
                 )
-        batch.wall_seconds = time.perf_counter() - started
+        batch.wall_seconds = obs.monotonic_seconds() - started
         batch.merged_into(self.stats)
         batch.merged_into(_GLOBAL_STATS)
-        return [results[spec] for spec in specs]
+        ordered = [results[spec] for spec in specs]
+        if obs.enabled():
+            _record_batch_telemetry(ordered, batch)
+        return ordered
 
     def _load_cached(
         self, spec: RunSpec, batch: ExecutorStats
@@ -297,16 +378,21 @@ class CampaignExecutor:
         n_cycles = self._campaign.n_cycles
         fields = [(s.kind, s.workloads, s.config) for s in specs]
         workers = min(self._jobs, len(specs))
+        telemetry = obs.enabled()
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            records = list(
+            payloads = list(
                 pool.map(
                     _simulate_record,
                     [config] * len(specs),
                     [n_cycles] * len(specs),
                     [self._seed] * len(specs),
                     fields,
+                    [telemetry] * len(specs),
                 )
             )
+        records = (
+            _absorb_worker_payloads(payloads) if telemetry else payloads
+        )
         return [
             (spec, decode_measurement(record))
             for spec, record in zip(specs, records)

@@ -1,0 +1,28 @@
+"""The sanctioned wall-time source for the whole library.
+
+Telemetry timing is easy to scatter: a ``perf_counter()`` pair here, a
+wall-seconds field there, each with its own notion of what is being
+timed.  This module is the single place allowed to read the monotonic
+clock (simlint rule ``OBS001`` flags ``time.perf_counter()`` anywhere
+outside ``repro.observability``); everything else imports
+:func:`monotonic_seconds` or, better, wraps the work in a span
+(:func:`repro.observability.span`).
+
+Monotonic time never feeds simulation results — only telemetry.  The
+determinism rules (``DET003``) still forbid wall-clock reads
+(``time.time``/``datetime.now``) everywhere, including here.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def monotonic_seconds() -> float:
+    """Monotonic timestamp in seconds, for elapsed-time telemetry.
+
+    Differences between two readings are wall durations; the absolute
+    value is meaningless (and differs between processes — worker spans
+    therefore export durations only, never start times).
+    """
+    return time.perf_counter()

@@ -1,0 +1,423 @@
+"""Metrics registry: counters, gauges and histograms with a fixed catalog.
+
+Every metric the pipeline may record is declared up front in
+:data:`CATALOG` with its kind, unit and determinism class; recording an
+undeclared name raises.  A closed catalog keeps the docs honest (the
+table in ``docs/observability.md`` is generated from the same
+declarations) and makes the determinism contract checkable:
+
+* **content metrics** (``deterministic=True``) describe the measured
+  physics and the work performed — droop/overshoot events by depth
+  bucket, cycles simulated, cache traffic.  Their values are bit-stable
+  across ``--jobs N`` for a given starting cache state (enforced by
+  ``tests/observability/test_determinism.py``).
+* **runtime metrics** (``deterministic=False``) describe this particular
+  execution — wall seconds, parallel batches, per-worker run counts —
+  and are exported under a separate ``runtime`` key so diffing the
+  deterministic sections of two metric files is meaningful.
+
+Exporters: :meth:`MetricsRegistry.json_payload` (machine-diffable JSON)
+and :meth:`MetricsRegistry.prometheus_text` (the Prometheus text
+exposition format, for scraping long campaigns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Canonical ``((key, value), ...)`` rendering of a label set.
+LabelItems = Tuple[Tuple[str, str], ...]
+#: ``(metric name, label items)`` — one exported sample's identity.
+SampleKey = Tuple[str, LabelItems]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric: its meaning, unit and determinism."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    unit: str
+    help: str
+    #: Bit-stable across ``--jobs N`` (given the same starting cache)?
+    deterministic: bool = True
+    #: Upper bucket bounds for histograms (``+Inf`` is implicit).
+    buckets: Tuple[float, ...] = ()
+
+
+#: Depth-bucket labels for droop/overshoot event counters: each event's
+#: maximum deviation (fraction of nominal) falls into exactly one bucket.
+DEPTH_BUCKET_BOUNDS: Tuple[Tuple[str, float], ...] = (
+    ("lt2pct", 0.02),
+    ("2to3pct", 0.03),
+    ("3to5pct", 0.05),
+    ("5to10pct", 0.10),
+    ("ge10pct", float("inf")),
+)
+
+_PER_1K_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+CATALOG: Dict[str, MetricSpec] = {
+    spec.name: spec
+    for spec in (
+        # -- measurement content (recorded per resolved run) -----------
+        MetricSpec(
+            "repro_runs_total", "counter", "runs",
+            "measurement runs resolved by the executor "
+            "(memo + cache + simulation)",
+        ),
+        MetricSpec(
+            "repro_run_cycles_total", "counter", "cycles",
+            "execution-window cycles covered by resolved runs",
+        ),
+        MetricSpec(
+            "repro_droop_events_total", "counter", "events",
+            "distinct droop excursions in resolved runs, by depth bucket "
+            "(label `depth`, fraction of nominal voltage)",
+        ),
+        MetricSpec(
+            "repro_overshoot_events_total", "counter", "events",
+            "distinct overshoot excursions in resolved runs, by depth "
+            "bucket (label `depth`)",
+        ),
+        MetricSpec(
+            "repro_run_droops_per_1k", "histogram", "events/kcycle",
+            "per-run droop samples per 1K cycles at the 2.3% "
+            "characterization margin",
+            buckets=_PER_1K_BUCKETS,
+        ),
+        # -- executor / cache traffic -----------------------------------
+        MetricSpec(
+            "repro_memo_hits_total", "counter", "lookups",
+            "runs served from a campaign's in-memory memo",
+        ),
+        MetricSpec(
+            "repro_cache_hits_total", "counter", "lookups",
+            "runs replayed from the persistent result cache",
+        ),
+        MetricSpec(
+            "repro_cache_misses_total", "counter", "lookups",
+            "persistent-cache lookups that required simulation",
+        ),
+        MetricSpec(
+            "repro_cache_stores_total", "counter", "entries",
+            "new entries written to the persistent result cache",
+        ),
+        MetricSpec(
+            "repro_cache_corrupt_total", "counter", "entries",
+            "corrupt/truncated cache entries ignored (re-simulated)",
+        ),
+        MetricSpec(
+            "repro_runs_simulated_total", "counter", "runs",
+            "runs actually simulated (cache misses)",
+        ),
+        # -- simulation internals (recorded where the work happens) ----
+        MetricSpec(
+            "repro_chip_runs_total", "counter", "runs",
+            "Chip.run invocations (one execution window per core)",
+        ),
+        MetricSpec(
+            "repro_chip_cycles_total", "counter", "cycles",
+            "chip cycles simulated by Chip.run",
+        ),
+        MetricSpec(
+            "repro_pdn_samples_total", "counter", "samples",
+            "current samples filtered through the PDN ladder",
+        ),
+        MetricSpec(
+            "repro_campaigns_built_total", "counter", "campaigns",
+            "measurement campaigns constructed by the experiment context",
+        ),
+        # -- core-layer work --------------------------------------------
+        MetricSpec(
+            "repro_schedules_built_total", "counter", "schedules",
+            "batch schedules built by BatchScheduler",
+        ),
+        MetricSpec(
+            "repro_schedule_pairs_total", "counter", "pairs",
+            "workload pairs placed into batch schedules",
+        ),
+        MetricSpec(
+            "repro_scheduler_intervals_total", "counter", "intervals",
+            "scheduling intervals executed by the online scheduler",
+        ),
+        MetricSpec(
+            "repro_interval_droops_per_1k", "histogram", "events/kcycle",
+            "per-interval droop rate observed by the online scheduler",
+            buckets=_PER_1K_BUCKETS,
+        ),
+        MetricSpec(
+            "repro_recovery_evaluations_total", "counter", "mechanisms",
+            "recovery mechanisms evaluated for an optimal margin",
+        ),
+        MetricSpec(
+            "repro_recovery_rollbacks_per_1k", "gauge", "events/kcycle",
+            "expected rollback recoveries per 1K cycles at the chosen "
+            "optimal margin (label `mechanism`)",
+        ),
+        # -- runtime (this execution only; never diffed) ----------------
+        MetricSpec(
+            "repro_parallel_batches_total", "counter", "batches",
+            "cache-miss batches fanned out over the process pool",
+            deterministic=False,
+        ),
+        MetricSpec(
+            "repro_worker_runs_total", "counter", "runs",
+            "runs simulated per pool worker (label `worker`)",
+            deterministic=False,
+        ),
+        MetricSpec(
+            "repro_batch_wall_seconds_total", "counter", "s",
+            "wall time spent inside executor batches",
+            deterministic=False,
+        ),
+        MetricSpec(
+            "repro_experiment_seconds", "gauge", "s",
+            "wall time of one experiment harness (label `experiment`)",
+            deterministic=False,
+        ),
+    )
+}
+
+
+def depth_bucket(depth_fraction: float) -> str:
+    """The depth-bucket label for one excursion depth."""
+    for label, bound in DEPTH_BUCKET_BOUNDS:
+        if depth_fraction < bound:
+            return label
+    return DEPTH_BUCKET_BOUNDS[-1][0]  # pragma: no cover - inf bound
+
+
+def _label_items(labels: Mapping[str, Any]) -> LabelItems:
+    return tuple((key, str(labels[key])) for key in sorted(labels))
+
+
+def sample_name(name: str, labels: LabelItems) -> str:
+    """Render ``name{a="x",b="y"}`` (Prometheus-style sample identity)."""
+    if not labels:
+        return name
+    rendered = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * (n_buckets + 1)  # +Inf last
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float, buckets: Tuple[float, ...]) -> None:
+        for i, bound in enumerate(buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    def merge(self, counts: List[int], total: float, count: int) -> None:
+        for i, n in enumerate(counts):
+            self.bucket_counts[i] += n
+        self.total += total
+        self.count += count
+
+
+class MetricsRegistry:
+    """One process's (or worker's) recorded metric samples."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[SampleKey, float] = {}
+        self._gauges: Dict[SampleKey, float] = {}
+        self._histograms: Dict[SampleKey, _HistogramState] = {}
+
+    # -- recording ------------------------------------------------------
+    def _spec(self, name: str, kind: str) -> MetricSpec:
+        spec = CATALOG.get(name)
+        if spec is None:
+            raise ConfigurationError(
+                f"unknown metric {name!r}; declare it in "
+                "repro.observability.metrics.CATALOG"
+            )
+        if spec.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} is a {spec.kind}, not a {kind}"
+            )
+        return spec
+
+    def increment(
+        self, name: str, value: float = 1.0, **labels: Any
+    ) -> None:
+        self._spec(name, "counter")
+        if value < 0:
+            raise ConfigurationError(
+                f"counter {name!r} cannot decrease (got {value})"
+            )
+        key = (name, _label_items(labels))
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        self._spec(name, "gauge")
+        self._gauges[(name, _label_items(labels))] = float(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        spec = self._spec(name, "histogram")
+        key = (name, _label_items(labels))
+        state = self._histograms.get(key)
+        if state is None:
+            state = self._histograms[key] = _HistogramState(
+                len(spec.buckets)
+            )
+        state.observe(float(value), spec.buckets)
+
+    # -- worker merge ---------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable dump for shipping a worker's samples to the parent."""
+        return {
+            "counters": [
+                [name, list(labels), value]
+                for (name, labels), value in self._counters.items()
+            ],
+            "gauges": [
+                [name, list(labels), value]
+                for (name, labels), value in self._gauges.items()
+            ],
+            "histograms": [
+                [name, list(labels), h.bucket_counts, h.total, h.count]
+                for (name, labels), h in self._histograms.items()
+            ],
+        }
+
+    def merge(self, payload: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` into this registry (adds counters and
+        histogram buckets; gauges take the incoming value)."""
+        for name, labels, value in payload.get("counters", ()):
+            key = (name, tuple((k, v) for k, v in labels))
+            self._counters[key] = self._counters.get(key, 0.0) + value
+        for name, labels, value in payload.get("gauges", ()):
+            self._gauges[(name, tuple((k, v) for k, v in labels))] = value
+        for name, labels, counts, total, count in payload.get(
+            "histograms", ()
+        ):
+            key = (name, tuple((k, v) for k, v in labels))
+            state = self._histograms.get(key)
+            if state is None:
+                state = self._histograms[key] = _HistogramState(
+                    len(counts) - 1
+                )
+            state.merge(counts, total, count)
+
+    # -- export ---------------------------------------------------------
+    @staticmethod
+    def _render_value(value: float) -> float:
+        # Counters are conceptually integers most of the time; exporting
+        # 12 rather than 12.0 keeps the JSON diffable by eye.
+        return int(value) if float(value).is_integer() else value
+
+    def json_payload(self) -> Dict[str, Any]:
+        """Deterministic sections first, ``runtime`` quarantined last."""
+        payload: Dict[str, Any] = {
+            "version": 1,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "runtime": {},
+        }
+        for (name, labels), value in sorted(self._counters.items()):
+            section = (
+                payload["counters"]
+                if CATALOG[name].deterministic
+                else payload["runtime"]
+            )
+            section[sample_name(name, labels)] = self._render_value(value)
+        for (name, labels), value in sorted(self._gauges.items()):
+            section = (
+                payload["gauges"]
+                if CATALOG[name].deterministic
+                else payload["runtime"]
+            )
+            section[sample_name(name, labels)] = value
+        for (name, labels), state in sorted(self._histograms.items()):
+            spec = CATALOG[name]
+            entry = {
+                "buckets": {
+                    f"le_{bound:g}": count
+                    for bound, count in zip(
+                        spec.buckets, state.bucket_counts
+                    )
+                },
+                "inf": state.bucket_counts[-1],
+                "sum": state.total,
+                "count": state.count,
+            }
+            section = (
+                payload["histograms"]
+                if spec.deterministic
+                else payload["runtime"]
+            )
+            section[sample_name(name, labels)] = entry
+        return payload
+
+    def prometheus_text(self) -> str:
+        """The Prometheus text exposition format (one scrape's worth)."""
+        lines: List[str] = []
+        seen_help: set = set()
+
+        def _header(name: str) -> None:
+            if name in seen_help:
+                return
+            seen_help.add(name)
+            spec = CATALOG[name]
+            lines.append(f"# HELP {name} {spec.help} (unit: {spec.unit})")
+            lines.append(f"# TYPE {name} {spec.kind}")
+
+        for (name, labels), value in sorted(self._counters.items()):
+            _header(name)
+            lines.append(
+                f"{sample_name(name, labels)} {self._render_value(value)}"
+            )
+        for (name, labels), value in sorted(self._gauges.items()):
+            _header(name)
+            lines.append(f"{sample_name(name, labels)} {value}")
+        for (name, labels), state in sorted(self._histograms.items()):
+            _header(name)
+            spec = CATALOG[name]
+            cumulative = 0
+            for bound, count in zip(spec.buckets, state.bucket_counts):
+                cumulative += count
+                key = sample_name(
+                    f"{name}_bucket", labels + (("le", f"{bound:g}"),)
+                )
+                lines.append(f"{key} {cumulative}")
+            cumulative += state.bucket_counts[-1]
+            inf_key = sample_name(
+                f"{name}_bucket", labels + (("le", "+Inf"),)
+            )
+            lines.append(f"{inf_key} {cumulative}")
+            lines.append(
+                f"{sample_name(name + '_sum', labels)} {state.total}"
+            )
+            lines.append(
+                f"{sample_name(name + '_count', labels)} {state.count}"
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- test / report helpers -----------------------------------------
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of one counter sample (0 if never recorded)."""
+        self._spec(name, "counter")
+        return self._counters.get((name, _label_items(labels)), 0.0)
+
+    def counters_matching(self, prefix: str) -> Dict[str, float]:
+        """Rendered-name → value for counters whose name starts with
+        ``prefix`` (report summaries)."""
+        return {
+            sample_name(name, labels): value
+            for (name, labels), value in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }

@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 from scipy import signal
 
+from repro import observability as obs
 from repro.errors import ConfigurationError, SimulationError
 from repro.pdn.network import PowerDeliveryNetwork
 from repro.pdn.vrm import VoltageRegulatorModule
@@ -173,16 +174,18 @@ class TransientSimulator:
             raise SimulationError("current trace must be a non-empty 1-D array")
         if np.any(~np.isfinite(current)):
             raise SimulationError("current trace contains non-finite values")
-        zi = self._zi_unit * current[0]
-        response, _ = signal.sosfilt(self._sos, current, zi=zi)
-        voltage = self._network.nominal_voltage + response
-        if include_ripple and self._vrm is not None:
-            voltage = voltage + self._vrm.ripple(
-                current.size,
-                self._dt,
-                self._network.nominal_voltage,
-                seed=seed,
-            )
+        with obs.span("pdn.simulate", samples=int(current.size)):
+            obs.increment("repro_pdn_samples_total", int(current.size))
+            zi = self._zi_unit * current[0]
+            response, _ = signal.sosfilt(self._sos, current, zi=zi)
+            voltage = self._network.nominal_voltage + response
+            if include_ripple and self._vrm is not None:
+                voltage = voltage + self._vrm.ripple(
+                    current.size,
+                    self._dt,
+                    self._network.nominal_voltage,
+                    seed=seed,
+                )
         return VoltageTrace(voltage, self._dt, self._network.nominal_voltage)
 
     def step_response(

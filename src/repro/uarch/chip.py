@@ -18,6 +18,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import observability as obs
 from repro.errors import ConfigurationError, SimulationError
 from repro.pdn import platform
 from repro.pdn.decap import DecapConfiguration
@@ -205,20 +206,25 @@ class Chip:
             window = windows[i] if i < len(windows) else None
             padded.append(window if window is not None else self._idle_window(n_cycles))
 
-        activities = [
-            core.realize_activity(window)
-            for core, window in zip(self._cores, padded)
-        ]
-        activities = self._apply_slack_coupling(activities, padded)
-        executions = tuple(
-            core.finalize(window, activity)
-            for core, window, activity in zip(self._cores, padded, activities)
-        )
-        total_current = self._uncore_amps + sum(
-            execution.current_amps for execution in executions
-        )
-        ripple_rng = derive_generator(seed, "vrm", self._config_name)
-        voltage = self._simulator.simulate(total_current, seed=ripple_rng)
+        with obs.span(
+            "chip.run", config=self._config_name, cycles=int(n_cycles)
+        ):
+            obs.increment("repro_chip_runs_total")
+            obs.increment("repro_chip_cycles_total", int(n_cycles))
+            activities = [
+                core.realize_activity(window)
+                for core, window in zip(self._cores, padded)
+            ]
+            activities = self._apply_slack_coupling(activities, padded)
+            executions = tuple(
+                core.finalize(window, activity)
+                for core, window, activity in zip(self._cores, padded, activities)
+            )
+            total_current = self._uncore_amps + sum(
+                execution.current_amps for execution in executions
+            )
+            ripple_rng = derive_generator(seed, "vrm", self._config_name)
+            voltage = self._simulator.simulate(total_current, seed=ripple_rng)
         return ChipRun(
             voltage=voltage,
             cores=executions,

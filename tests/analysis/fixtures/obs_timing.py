@@ -1,0 +1,39 @@
+"""Fixture: observability violations (OBS001).
+
+Never imported — parsed by simlint only.  Ad-hoc monotonic-clock timing
+outside :mod:`repro.observability` must route through the sanctioned
+layer (spans or ``monotonic_seconds()``).
+"""
+
+from __future__ import annotations
+
+import time
+from time import perf_counter
+
+from repro.observability import monotonic_seconds, span
+
+
+def hand_rolled_timing() -> float:
+    started = time.perf_counter()  # expect: OBS001
+    work = sum(range(100))
+    del work
+    return time.perf_counter() - started  # expect: OBS001
+
+
+def hand_rolled_ns() -> int:
+    return time.perf_counter_ns()  # expect: OBS001
+
+
+def from_import_timing() -> float:
+    return perf_counter()  # expect: OBS001
+
+
+def monotonic_read() -> float:
+    return time.monotonic()  # expect: OBS001
+
+
+def sanctioned_timing() -> float:
+    started = monotonic_seconds()  # ok: the one sanctioned clock wrapper
+    with span("fixture.stage"):  # ok: span timing
+        pass
+    return monotonic_seconds() - started

@@ -27,7 +27,12 @@ class TestFixtureFindings:
 
     @pytest.mark.parametrize(
         "fixture",
-        ["det_violations.py", "unit_violations.py", "hyg_violations.py"],
+        [
+            "det_violations.py",
+            "unit_violations.py",
+            "hyg_violations.py",
+            "obs_timing.py",
+        ],
     )
     def test_markers_match_exactly(self, fixture):
         expected = expected_findings(FIXTURES / fixture)
@@ -46,7 +51,7 @@ class TestFixtureFindings:
         covered = set()
         for fixture in FIXTURES.rglob("*.py"):
             covered |= {code[:3] for code, _ in expected_findings(fixture)}
-        assert {"DET", "UNI", "HYG", "DIM", "CON"} <= covered
+        assert {"DET", "UNI", "HYG", "OBS", "DIM", "CON"} <= covered
 
     def test_every_rule_code_has_fixture_coverage(self):
         """No rule ships without a fixture that triggers it.
@@ -67,7 +72,7 @@ class TestRuleMetadata:
         codes = [rule.code for rule in rules]
         assert len(set(codes)) == len(codes)
         for rule in rules:
-            assert rule.code[:3] in ("DET", "UNI", "HYG", "DIM", "CON")
+            assert rule.code[:3] in ("DET", "UNI", "HYG", "OBS", "DIM", "CON")
             assert rule.code[3:].isdigit()
             assert rule.name
             assert rule.description
@@ -103,14 +108,25 @@ class TestTargetedDetections:
         findings = lint_source(source, path="snippet.py")
         assert [(f.code, f.line) for f in findings] == [("DET003", 4)]
 
-    def test_perf_counter_is_allowed(self):
+    def test_perf_counter_flagged_outside_observability(self):
         source = (
             "from __future__ import annotations\n"
             "import time\n"
             "def f() -> float:\n"
             "    return time.perf_counter()\n"
         )
-        assert lint_source(source, path="snippet.py") == []
+        findings = lint_source(source, path="snippet.py")
+        assert [(f.code, f.line) for f in findings] == [("OBS001", 4)]
+
+    def test_perf_counter_allowed_inside_observability(self):
+        source = (
+            "from __future__ import annotations\n"
+            "import time\n"
+            "def f() -> float:\n"
+            "    return time.perf_counter()\n"
+        )
+        path = "src/repro/observability/clock.py"
+        assert lint_source(source, path=path) == []
 
     def test_syntax_error_reported_not_raised(self):
         findings = lint_source("def broken(:\n", path="broken.py")

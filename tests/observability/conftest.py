@@ -1,0 +1,16 @@
+"""Observability suite: guard against leaked global sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observability as obs
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    """Every test must leave instrumentation off (the process default)."""
+    assert not obs.enabled(), "a previous test leaked an active session"
+    yield
+    leaked = obs.stop()
+    assert leaked is None, "test left an observability session installed"

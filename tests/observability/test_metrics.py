@@ -1,0 +1,163 @@
+"""Metrics registry unit tests: catalog, recording, merge, exporters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import (
+    CATALOG,
+    DEPTH_BUCKET_BOUNDS,
+    MetricsRegistry,
+    depth_bucket,
+)
+
+
+class TestCatalog:
+    def test_every_metric_declared_consistently(self):
+        for name, spec in CATALOG.items():
+            assert spec.name == name
+            assert name.startswith("repro_")
+            assert spec.kind in ("counter", "gauge", "histogram")
+            assert spec.unit
+            assert spec.help
+            assert (spec.kind == "histogram") == bool(spec.buckets)
+
+    def test_unknown_metric_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            registry.increment("repro_not_declared_total")
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="is a counter"):
+            registry.set_gauge("repro_runs_total", 1.0)
+
+    def test_counters_cannot_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            registry.increment("repro_runs_total", -1)
+
+
+class TestDepthBuckets:
+    @pytest.mark.parametrize(
+        "fraction,label",
+        [
+            (0.0, "lt2pct"),
+            (0.019, "lt2pct"),
+            (0.02, "2to3pct"),
+            (0.04, "3to5pct"),
+            (0.07, "5to10pct"),
+            (0.5, "ge10pct"),
+        ],
+    )
+    def test_bucket_assignment(self, fraction, label):
+        assert depth_bucket(fraction) == label
+
+    def test_bounds_are_increasing(self):
+        bounds = [bound for _, bound in DEPTH_BUCKET_BOUNDS]
+        assert bounds == sorted(bounds)
+
+
+class TestRecording:
+    def test_counter_accumulates_by_label(self):
+        registry = MetricsRegistry()
+        registry.increment("repro_droop_events_total", 2, depth="lt2pct")
+        registry.increment("repro_droop_events_total", 3, depth="lt2pct")
+        registry.increment("repro_droop_events_total", 1, depth="ge10pct")
+        assert registry.counter_value(
+            "repro_droop_events_total", depth="lt2pct"
+        ) == 5
+        assert registry.counter_value(
+            "repro_droop_events_total", depth="ge10pct"
+        ) == 1
+
+    def test_gauge_takes_latest(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("repro_experiment_seconds", 1.0, experiment="a")
+        registry.set_gauge("repro_experiment_seconds", 2.0, experiment="a")
+        payload = registry.json_payload()
+        assert payload["runtime"]['repro_experiment_seconds{experiment="a"}'] == 2.0
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        for value in (0.5, 1.5, 150.0):
+            registry.observe("repro_run_droops_per_1k", value)
+        entry = registry.json_payload()["histograms"][
+            "repro_run_droops_per_1k"
+        ]
+        assert entry["count"] == 3
+        assert entry["sum"] == pytest.approx(152.0)
+        assert entry["buckets"]["le_1"] == 1
+        assert entry["buckets"]["le_2"] == 1
+        assert entry["inf"] == 1
+
+
+class TestWorkerMerge:
+    def test_snapshot_merge_round_trip(self):
+        worker = MetricsRegistry()
+        worker.increment("repro_runs_simulated_total", 4)
+        worker.observe("repro_run_droops_per_1k", 3.0)
+        parent = MetricsRegistry()
+        parent.increment("repro_runs_simulated_total", 1)
+        parent.merge(worker.snapshot())
+        parent.merge(worker.snapshot())
+        assert parent.counter_value("repro_runs_simulated_total") == 9
+        entry = parent.json_payload()["histograms"][
+            "repro_run_droops_per_1k"
+        ]
+        assert entry["count"] == 2
+
+    def test_snapshot_is_picklable_primitives(self):
+        registry = MetricsRegistry()
+        registry.increment("repro_runs_total", 1)
+        snapshot = registry.snapshot()
+        import json
+
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+class TestExporters:
+    def test_runtime_metrics_quarantined(self):
+        registry = MetricsRegistry()
+        registry.increment("repro_runs_total", 2)
+        registry.increment("repro_parallel_batches_total", 1)
+        registry.increment("repro_worker_runs_total", 5, worker=1234)
+        payload = registry.json_payload()
+        assert payload["counters"] == {"repro_runs_total": 2}
+        assert payload["runtime"]["repro_parallel_batches_total"] == 1
+        assert (
+            payload["runtime"]['repro_worker_runs_total{worker="1234"}'] == 5
+        )
+
+    def test_integers_rendered_as_integers(self):
+        registry = MetricsRegistry()
+        registry.increment("repro_runs_total", 2.0)
+        assert registry.json_payload()["counters"]["repro_runs_total"] == 2
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.increment("repro_runs_total", 2)
+        registry.observe("repro_run_droops_per_1k", 1.5)
+        text = registry.prometheus_text()
+        assert "# HELP repro_runs_total" in text
+        assert "# TYPE repro_runs_total counter" in text
+        assert "\nrepro_runs_total 2\n" in text or text.startswith(
+            "repro_runs_total 2"
+        )
+        # Histogram buckets are cumulative and end with +Inf.
+        assert 'repro_run_droops_per_1k_bucket{le="2"} 1' in text
+        assert 'repro_run_droops_per_1k_bucket{le="+Inf"} 1' in text
+        assert "repro_run_droops_per_1k_count 1" in text
+        assert text.endswith("\n")
+
+    def test_counters_matching_prefix(self):
+        registry = MetricsRegistry()
+        registry.increment("repro_cache_hits_total", 2)
+        registry.increment("repro_cache_misses_total", 1)
+        registry.increment("repro_runs_total", 3)
+        matched = registry.counters_matching("repro_cache_")
+        assert matched == {
+            "repro_cache_hits_total": 2,
+            "repro_cache_misses_total": 1,
+        }

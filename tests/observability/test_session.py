@@ -1,0 +1,82 @@
+"""Session lifecycle: enable/disable, capture nesting, no-op fast path."""
+
+from __future__ import annotations
+
+from repro import observability as obs
+from repro.observability import NULL_SPAN, ObservabilitySession
+
+
+class TestLifecycle:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.active_session() is None
+
+    def test_start_stop(self):
+        session = obs.start()
+        assert obs.enabled()
+        assert obs.active_session() is session
+        assert obs.stop() is session
+        assert not obs.enabled()
+
+    def test_stop_is_idempotent(self):
+        assert obs.stop() is None
+
+    def test_capture_restores_previous_session(self):
+        outer = obs.start()
+        with obs.capture() as inner:
+            assert obs.active_session() is inner
+            obs.increment("repro_runs_total")
+        assert obs.active_session() is outer
+        assert inner.metrics.counter_value("repro_runs_total") == 1
+        assert outer.metrics.counter_value("repro_runs_total") == 0
+        obs.stop()
+
+    def test_capture_restores_on_exception(self):
+        try:
+            with obs.capture():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not obs.enabled()
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_span(self):
+        assert obs.span("anything") is NULL_SPAN
+        assert obs.span("other", key="value") is obs.span("different")
+
+    def test_metric_calls_are_noops(self):
+        # Unknown names do not even validate while disabled: nothing runs.
+        obs.increment("repro_runs_total")
+        obs.set_gauge("repro_experiment_seconds", 1.0, experiment="x")
+        obs.observe("repro_run_droops_per_1k", 2.0)
+        with obs.capture() as session:
+            pass
+        assert session.metrics.json_payload()["counters"] == {}
+
+
+class TestEnabledPath:
+    def test_module_level_calls_record_on_active_session(self):
+        with obs.capture() as session:
+            with obs.span("stage", runs=1):
+                obs.increment("repro_runs_total", 2)
+                obs.observe("repro_run_droops_per_1k", 1.0)
+        assert session.tracer.structure() == (("stage", ()),)
+        assert session.metrics.counter_value("repro_runs_total") == 2
+
+    def test_worker_payload_absorb_round_trip(self):
+        worker = ObservabilitySession()
+        with worker.tracer.span("run", {"run": "mcf"}):
+            pass
+        worker.metrics.increment("repro_runs_simulated_total")
+        with obs.capture() as parent:
+            with obs.span("campaign.batch"):
+                parent.absorb_worker(worker.worker_payload())
+        assert parent.tracer.structure() == (
+            ("campaign.batch", (("run", ()),)),
+        )
+        grafted = parent.tracer.roots[0].children[0]
+        assert grafted.worker
+        assert (
+            parent.metrics.counter_value("repro_runs_simulated_total") == 1
+        )

@@ -1,0 +1,122 @@
+"""Span tree unit tests: nesting, payloads, grafting, error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import NULL_SPAN, NullSpan, SpanRecord, Tracer
+
+
+def build_small_trace() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("campaign", {"runs": 2}):
+        with tracer.span("run", {"run": "mcf"}):
+            with tracer.span("pdn.simulate"):
+                pass
+        with tracer.span("run", {"run": "lbm"}):
+            pass
+    return tracer
+
+
+class TestTracer:
+    def test_nesting_mirrors_call_structure(self):
+        tracer = build_small_trace()
+        assert tracer.structure() == (
+            ("campaign", (("run", (("pdn.simulate", ()),)), ("run", ()))),
+        )
+        assert tracer.span_count == 4
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_durations_recorded(self):
+        tracer = build_small_trace()
+        durations = [span.duration_seconds for span in tracer.walk()]
+        assert all(d >= 0.0 for d in durations)
+        # The parent encloses its children.
+        root = tracer.roots[0]
+        assert root.duration_seconds >= max(
+            c.duration_seconds for c in root.children
+        )
+
+    def test_annotate_merges_metadata(self):
+        tracer = Tracer()
+        with tracer.span("stage", {"runs": 1}) as span:
+            span.annotate(hits=3)
+        assert tracer.roots[0].metadata == {"runs": 1, "hits": 3}
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ConfigurationError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_empty_span_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpanRecord("")
+
+
+class TestPayloads:
+    def test_round_trip_preserves_structure(self):
+        tracer = build_small_trace()
+        payload = tracer.to_payload()
+        assert payload["version"] == 1
+        assert payload["span_count"] == 4
+        rebuilt = [
+            SpanRecord.from_payload(root) for root in payload["roots"]
+        ]
+        assert [r.structure() for r in rebuilt] == list(tracer.structure())
+
+    def test_payload_omits_empty_fields(self):
+        record = SpanRecord("leaf")
+        payload = record.to_payload()
+        assert set(payload) == {"name", "duration_seconds"}
+
+    def test_metadata_keys_sorted(self):
+        record = SpanRecord("s", {"zeta": 1, "alpha": 2})
+        assert list(record.to_payload()["metadata"]) == ["alpha", "zeta"]
+
+
+class TestGraft:
+    def test_grafted_spans_marked_worker(self):
+        worker = Tracer()
+        with worker.span("run", {"run": "mcf"}):
+            with worker.span("chip.run"):
+                pass
+        parent = Tracer()
+        with parent.span("campaign.batch"):
+            parent.graft([root.to_payload() for root in worker.roots])
+        grafted = parent.roots[0].children[0]
+        assert all(span.worker for span in grafted.walk())
+        assert parent.structure() == (
+            ("campaign.batch", (("run", (("chip.run", ()),)),)),
+        )
+
+    def test_graft_preserves_order(self):
+        parent = Tracer()
+        payloads = [
+            SpanRecord(f"run{i}").to_payload() for i in range(3)
+        ]
+        with parent.span("batch"):
+            parent.graft(payloads)
+        names = [c.name for c in parent.roots[0].children]
+        assert names == ["run0", "run1", "run2"]
+
+
+class TestNullSpan:
+    def test_shared_singleton(self):
+        assert isinstance(NULL_SPAN, NullSpan)
+
+    def test_context_protocol_is_noop(self):
+        with NULL_SPAN as span:
+            span.annotate(anything="goes")
+        assert not hasattr(NULL_SPAN, "__dict__")
