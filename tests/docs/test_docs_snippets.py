@@ -1,0 +1,104 @@
+"""Executable-documentation gate.
+
+Every fenced code block whose info string is exactly ``python`` in
+``README.md`` and ``docs/*.md`` is executed in a fresh subprocess with
+``src`` on ``PYTHONPATH``.  A snippet that fails to run is documentation
+drift, and this gate turns it into a test failure with the snippet's
+file and line in the test id.
+
+Blocks that are deliberately illustrative — pseudo-code, elided
+fragments, API sketches — must opt out by using the info string
+``python fragment`` (rendered identically by GitHub), which this gate
+skips.  ``bash``/plain fences are never executed.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SNIPPET_TIMEOUT_SECONDS = 180
+
+
+def documentation_pages() -> List[Path]:
+    return [REPO_ROOT / "README.md"] + sorted(
+        (REPO_ROOT / "docs").glob("*.md")
+    )
+
+
+def extract_python_blocks(path: Path) -> List[Tuple[int, str]]:
+    """Return ``(start_line, source)`` for each runnable ``python`` fence.
+
+    Fences indented up to three spaces (CommonMark list-item fences) are
+    recognized, and the fence's indentation is stripped from the block's
+    lines so list-embedded snippets stay syntactically valid.
+    """
+    blocks: List[Tuple[int, str]] = []
+    fence_indent = 0
+    fence_info = None
+    start_line = 0
+    collected: List[str] = []
+    for lineno, raw in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        stripped = raw.lstrip(" ")
+        indent = len(raw) - len(stripped)
+        if fence_info is None:
+            if stripped.startswith("```") and indent <= 3:
+                fence_indent = indent
+                fence_info = stripped[3:].strip()
+                start_line = lineno
+                collected = []
+        elif stripped == "```":
+            if fence_info == "python":
+                blocks.append((start_line, "\n".join(collected) + "\n"))
+            fence_info = None
+        else:
+            collected.append(raw[min(fence_indent, indent):])
+    return blocks
+
+
+def snippet_params() -> List["pytest.param"]:
+    params = []
+    for path in documentation_pages():
+        rel = path.relative_to(REPO_ROOT)
+        for lineno, source in extract_python_blocks(path):
+            params.append(pytest.param(source, id=f"{rel}:{lineno}"))
+    return params
+
+
+def test_gate_is_not_vacuous():
+    """The docs must keep at least a handful of runnable snippets."""
+    assert len(snippet_params()) >= 3
+
+
+@pytest.mark.parametrize("source", snippet_params())
+def test_documentation_snippet_runs(source: str, tmp_path: Path) -> None:
+    env = dict(os.environ)
+    src_dir = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir + os.pathsep + existing if existing else src_dir
+    )
+    result = subprocess.run(
+        [sys.executable, "-"],
+        input=source,
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,
+        env=env,
+        timeout=SNIPPET_TIMEOUT_SECONDS,
+    )
+    assert result.returncode == 0, (
+        "documentation snippet failed to execute\n"
+        "--- snippet ---\n"
+        f"{source}"
+        "--- stderr ---\n"
+        f"{result.stderr}"
+    )
