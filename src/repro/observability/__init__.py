@@ -28,9 +28,9 @@ or programmatically::
     session.trace_payload()                 # the span tree
 
 While disabled, every call site costs one attribute read; no span
-objects are allocated (``tests/observability/test_noop.py`` asserts
-this).  See ``docs/observability.md`` for the span model, metric
-catalog, exporter formats, and overhead measurements.
+objects are allocated (``tests/observability/test_determinism.py``
+asserts this).  See ``docs/observability.md`` for the span model,
+metric catalog, exporter formats, and overhead measurements.
 """
 
 from __future__ import annotations

@@ -1,0 +1,59 @@
+"""docs/observability.md's metric tables must match the live CATALOG.
+
+The catalog is the single source of truth (`repro.observability.CATALOG`);
+this gate fails whenever a metric is added, removed, re-kinded, re-united
+or re-described without updating the documentation tables.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.observability import CATALOG
+
+DOC_PATH = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+
+#: ``| `name` | kind | unit | meaning |`` rows in the two catalog tables.
+_ROW = re.compile(
+    r"^\| `(?P<name>repro_[a-z0-9_]+)` \| (?P<kind>\w+) \| "
+    r"(?P<unit>[^|]+) \| (?P<help>.+) \|$"
+)
+
+
+def documented_metrics() -> Dict[str, Tuple[str, str, str, bool]]:
+    """``name -> (kind, unit, help, deterministic)`` from the doc tables."""
+    rows: Dict[str, Tuple[str, str, str, bool]] = {}
+    deterministic = True
+    for line in DOC_PATH.read_text(encoding="utf-8").splitlines():
+        if line.startswith("### Content metrics"):
+            deterministic = True
+        elif line.startswith("### Runtime metrics"):
+            deterministic = False
+        match = _ROW.match(line)
+        if match:
+            rows[match["name"]] = (
+                match["kind"],
+                match["unit"].strip(),
+                match["help"].strip(),
+                deterministic,
+            )
+    return rows
+
+
+def test_every_catalog_metric_documented():
+    assert set(documented_metrics()) == set(CATALOG)
+
+
+def test_documented_rows_match_declarations():
+    for name, (kind, unit, help_text, deterministic) in (
+        documented_metrics().items()
+    ):
+        spec = CATALOG[name]
+        assert kind == spec.kind, name
+        assert unit == spec.unit, name
+        assert deterministic == spec.deterministic, name
+        documented = " ".join(help_text.replace("`", "").split())
+        declared = " ".join(spec.help.replace("`", "").split())
+        assert documented == declared, name

@@ -77,7 +77,9 @@ class TestRecording:
         registry.set_gauge("repro_experiment_seconds", 1.0, experiment="a")
         registry.set_gauge("repro_experiment_seconds", 2.0, experiment="a")
         payload = registry.json_payload()
-        assert payload["runtime"]['repro_experiment_seconds{experiment="a"}'] == 2.0
+        assert payload["runtime"][
+            'repro_experiment_seconds{experiment="a"}'
+        ] == pytest.approx(2.0)
 
     def test_histogram_buckets(self):
         registry = MetricsRegistry()
