@@ -1,0 +1,244 @@
+"""Benchmark-regression gate: timed pinned units vs a committed baseline.
+
+CI times a pinned subset of the benchmark suite and fails when any unit
+regresses by more than the tolerance (default 25%) against
+``benchmarks/baseline.json``.  Raw wall times are useless across machine
+generations, so every unit is *normalized*: the gate first times a fixed
+numpy calibration workload on the same machine and records each unit as
+``unit_seconds / calibration_seconds``.  A faster runner speeds both
+numerator and denominator; genuine regressions in the simulation code
+move only the numerator.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/gate.py --output BENCH_5.json
+    PYTHONPATH=src python benchmarks/gate.py --update-baseline
+
+The ``--output`` report (uploaded as a CI artifact) carries raw seconds,
+normalized scores, the baseline and the verdict for every unit, so a
+failing gate is diagnosable from the artifact alone.  ``--update-baseline``
+rewrites ``benchmarks/baseline.json`` from this machine's scores — run it
+deliberately when a known, accepted performance change lands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro import observability as obs
+
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_REPEATS = 3
+BASELINE_PATH = Path(__file__).parent / "baseline.json"
+
+#: Units whose normalized score falls below this are too fast to gate
+#: reliably (timer noise dominates); they are reported but never fail.
+MIN_GATED_SCORE = 0.05
+
+
+def _calibrate() -> float:
+    """Seconds for a fixed numpy workload — the machine-speed yardstick.
+
+    FFTs plus sorts over a fixed-seed array: the same mix of vectorized
+    numerics that dominates the simulation, so machine-to-machine speed
+    differences cancel to first order in the normalized scores.
+    """
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal(200_000)
+    start = obs.monotonic_seconds()
+    for _ in range(20):
+        np.fft.rfft(data)
+        np.sort(data)
+    return obs.monotonic_seconds() - start
+
+
+def _unit_scaling_trends() -> None:
+    """Analytic experiment: scaling/analysis layer, no campaign.
+
+    Run several times per timing: one pass is too quick to time stably.
+    """
+    from repro.experiments import fig01_scaling_trends
+
+    for _ in range(8):
+        fig01_scaling_trends.run(quick=True)
+
+
+def _unit_campaign_quad() -> None:
+    """Four representative runs through the full measurement pipeline."""
+    from repro.measurement.campaign import MeasurementCampaign
+
+    campaign = MeasurementCampaign("Proc25", n_cycles=30_000, seed=0, jobs=1)
+    campaign.measure_specs([
+        campaign.run_spec(*token.split("+"))
+        for token in ("mcf", "lbm", "mcf+lbm", "namd+povray")
+    ])
+
+
+def _unit_pairing_sweep() -> None:
+    """A 4x4 multiprogram pairing sweep (the Fig. 17-19 workhorse)."""
+    from repro.measurement.campaign import MeasurementCampaign
+
+    campaign = MeasurementCampaign("Proc3", n_cycles=10_000, seed=0, jobs=1)
+    campaign.multiprogram_runs(("mcf", "namd", "lbm", "povray"))
+
+
+#: The pinned gate subset.  Add units sparingly: each must be slow
+#: enough to time stably (see MIN_GATED_SCORE) and deterministic.
+UNITS: Tuple[Tuple[str, Callable[[], None]], ...] = (
+    ("scaling_trends", _unit_scaling_trends),
+    ("campaign_quad", _unit_campaign_quad),
+    ("pairing_sweep", _unit_pairing_sweep),
+)
+
+
+def time_units(repeats: int = DEFAULT_REPEATS) -> Dict[str, float]:
+    """Best-of-``repeats`` wall seconds per unit (min discards noise)."""
+    seconds: Dict[str, float] = {}
+    for name, fn in UNITS:
+        best = float("inf")
+        for _ in range(repeats):
+            start = obs.monotonic_seconds()
+            fn()
+            best = min(best, obs.monotonic_seconds() - start)
+        seconds[name] = best
+    return seconds
+
+
+def normalize(
+    seconds: Dict[str, float], calibration: float
+) -> Dict[str, float]:
+    return {name: value / calibration for name, value in seconds.items()}
+
+
+def compare(
+    scores: Dict[str, float],
+    baseline: Dict[str, float],
+    tolerance: float,
+) -> List[str]:
+    """Failure messages for units regressing past the tolerance."""
+    failures: List[str] = []
+    for name, base in sorted(baseline.items()):
+        got = scores.get(name)
+        if got is None:
+            failures.append(f"{name}: present in baseline but not timed")
+            continue
+        if base < MIN_GATED_SCORE and got < MIN_GATED_SCORE:
+            continue  # both under the timing-noise floor
+        if got > base * (1.0 + tolerance):
+            failures.append(
+                f"{name}: score {got:.3f} exceeds baseline {base:.3f} "
+                f"by more than {tolerance:.0%}"
+            )
+    for name in sorted(set(scores) - set(baseline)):
+        failures.append(
+            f"{name}: not in the baseline — refresh it with "
+            "--update-baseline"
+        )
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the full gate report as JSON (the CI artifact)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), metavar="FILE",
+        help=f"baseline scores to gate against (default: {BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRACTION",
+        help="allowed regression (default: the baseline's own tolerance, "
+        f"else {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS, metavar="N",
+        help=f"timings per unit, best kept (default: {DEFAULT_REPEATS})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this run's scores and exit",
+    )
+    args = parser.parse_args(argv)
+
+    calibration = _calibrate()
+    seconds = time_units(repeats=args.repeats)
+    scores = normalize(seconds, calibration)
+    print(f"calibration: {calibration:.3f} s")
+    for name in sorted(scores):
+        print(
+            f"{name}: {seconds[name]:.3f} s "
+            f"(normalized score {scores[name]:.3f})"
+        )
+
+    if args.update_baseline:
+        payload = {
+            "version": 1,
+            "tolerance": (
+                DEFAULT_TOLERANCE if args.tolerance is None
+                else args.tolerance
+            ),
+            "units": {name: round(scores[name], 4) for name in sorted(scores)},
+        }
+        Path(args.baseline).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_file():
+        print(
+            f"gate: no baseline at {baseline_path}; seed one with "
+            "--update-baseline",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    tolerance = (
+        args.tolerance if args.tolerance is not None
+        else float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    )
+    failures = compare(scores, baseline["units"], tolerance)
+
+    if args.output:
+        report = {
+            "version": 1,
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "calibration_seconds": round(calibration, 4),
+            "tolerance": tolerance,
+            "units": {
+                name: {
+                    "seconds": round(seconds[name], 4),
+                    "score": round(scores[name], 4),
+                    "baseline": baseline["units"].get(name),
+                }
+                for name in sorted(scores)
+            },
+            "failures": failures,
+            "passed": not failures,
+        }
+        Path(args.output).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"report written to {args.output}")
+
+    if failures:
+        for line in failures:
+            print(f"gate: {line}", file=sys.stderr)
+        return 1
+    print(f"gate: all {len(scores)} units within {tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

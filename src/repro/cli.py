@@ -7,10 +7,14 @@ Usage::
     python -m repro.cli run tab1 --full
     python -m repro.cli run all
     python -m repro.cli measure mcf lbm mcf+lbm --jobs 2
+    python -m repro.cli chaos --plan default
 
 Each experiment prints the reproduced figure/table rows plus its
 paper-vs-measured notes.  ``--full`` switches from the quick subsets to
-the paper's full protocol sizes (slower).
+the paper's full protocol sizes (slower).  ``chaos`` is the
+fault-injection self-test: it re-measures a run set under a seeded
+fault plan and fails unless the recovered results are bit-identical to
+a clean pass (docs/robustness.md).
 
 Every executing subcommand accepts the observability flags ``--trace``,
 ``--metrics`` and ``--profile-stages`` (env: ``$REPRO_TRACE`` /
@@ -106,6 +110,29 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the persistent result cache (always re-simulate)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="failed-run retries before serial fallback (default: "
+        "$REPRO_MAX_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock timeout for pool workers (default: "
+        "$REPRO_RUN_TIMEOUT; unlimited otherwise)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help="seeded fault plan, e.g. 'crash:0.1,corrupt:0.2,seed=7' or "
+        "'default' (default: $REPRO_INJECT_FAULTS; see docs/robustness.md)",
     )
 
 
@@ -246,6 +273,67 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_arguments(measure)
     _add_observability_arguments(measure)
+    chaos = sub.add_parser(
+        "chaos",
+        help="self-test: re-measure under seeded fault injection and "
+        "verify the results are bit-identical to a clean run",
+    )
+    chaos.add_argument(
+        "runs",
+        nargs="*",
+        metavar="RUN",
+        help="workload name, or 'a+b' for a co-running pair "
+        f"(default: {' '.join(DEFAULT_MEASURE_RUNS)})",
+    )
+    chaos.add_argument(
+        "--plan",
+        default="default",
+        metavar="PLAN",
+        help="fault plan to inject (default: the canonical chaos plan; "
+        "see docs/robustness.md)",
+    )
+    chaos.add_argument(
+        "--config",
+        default="Proc25",
+        help="decap configuration to measure on (default: Proc25)",
+    )
+    chaos.add_argument(
+        "--cycles",
+        type=int,
+        default=6000,
+        metavar="N",
+        help="window length per run in cycles (default: 6000)",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign base seed (default: 0)",
+    )
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes for the faulted passes (default: 2)",
+    )
+    chaos.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="failed-run retries before serial fallback (default: "
+        "$REPRO_MAX_RETRIES or 2)",
+    )
+    chaos.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run timeout for the faulted passes (default: "
+        "$REPRO_RUN_TIMEOUT; unlimited otherwise)",
+    )
+    _add_observability_arguments(chaos)
     return parser
 
 
@@ -257,6 +345,9 @@ def _configure_execution(args: argparse.Namespace) -> None:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         no_cache=True if args.no_cache else None,
+        max_retries=args.max_retries,
+        run_timeout=args.run_timeout,
+        inject_faults=args.inject_faults,
     )
     # Each CLI invocation reports its own campaign traffic.
     reset_global_stats()
@@ -321,6 +412,98 @@ def _run_measure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    """Chaos self-test: clean run vs two faulted passes, bit-compared.
+
+    Pass 1 measures with a cold persistent cache under injection
+    (exercising worker crashes/hangs/exceptions and store-time
+    corruption); pass 2 re-measures against the now possibly-corrupted
+    warm cache with a fresh injector (exercising the corrupt-read
+    recovery path).  Both must reproduce the clean measurements
+    bit-for-bit or the command exits non-zero.
+    """
+    import tempfile
+
+    from repro.errors import ReproError
+    from repro.faults import FaultInjector, parse_plan
+    from repro.measurement.cache import ResultCache
+    from repro.measurement.campaign import MeasurementCampaign
+    from repro.measurement.executor import RetryPolicy
+    from repro.measurement.record import diff_measurements
+
+    try:
+        plan = parse_plan(args.plan)
+    except ReproError as error:
+        print(f"chaos: {error}", file=sys.stderr)
+        return 2
+    if plan is None:
+        print(
+            "chaos: plan disables every fault; nothing to test",
+            file=sys.stderr,
+        )
+        return 2
+    retry = RetryPolicy.from_env(
+        max_retries=args.max_retries, run_timeout=args.run_timeout
+    )
+    tokens = list(args.runs) or list(DEFAULT_MEASURE_RUNS)
+
+    def measure(campaign: MeasurementCampaign) -> list:
+        specs = [
+            campaign.run_spec(*token.split("+")) for token in tokens
+        ]
+        return campaign.measure_specs(specs)
+
+    try:
+        clean = measure(
+            MeasurementCampaign(
+                args.config, n_cycles=args.cycles, seed=args.seed,
+                jobs=1, retry=retry,
+            )
+        )
+        failed = 0
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            for attempt in ("cold", "warm"):
+                injector = FaultInjector(plan)
+                campaign = MeasurementCampaign(
+                    args.config, n_cycles=args.cycles, seed=args.seed,
+                    jobs=args.jobs, cache=ResultCache(tmp), retry=retry,
+                    injector=injector,
+                )
+                faulted = measure(campaign)
+                diffs = [
+                    f"  {m.spec.label}: {line}"
+                    for m, f in zip(clean, faulted)
+                    for line in diff_measurements(m, f)
+                ]
+                verdict = "bit-identical" if not diffs else "DIVERGED"
+                stats = campaign.executor.stats
+                injected = injector.summary()
+                if not injector.injected and stats.recovery_active:
+                    # Pool workers rebuild their own injector, so fires
+                    # inside them never reach this process's counters.
+                    injected = "faults injected in workers (parent saw none)"
+                print(f"{attempt} pass: {injected}; {verdict}")
+                print(f"  {stats.summary()}")
+                if diffs:
+                    failed += 1
+                    print("\n".join(diffs), file=sys.stderr)
+    except ReproError as error:
+        print(f"chaos: {error}", file=sys.stderr)
+        return 2
+    if failed:
+        print(
+            f"chaos: {failed} faulted pass(es) diverged from the clean "
+            "run",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"chaos: {len(tokens)} runs recovered bit-identical under plan "
+        f"{plan.spec!r}"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -341,6 +524,11 @@ def main(argv: list[str] | None = None) -> int:
         _configure_execution(args)
         _configure_observability(args)
         status = _run_measure(args)
+        _finalize_observability(args)
+        return status
+    if args.command == "chaos":
+        _configure_observability(args)
+        status = _run_chaos(args)
         _finalize_observability(args)
         return status
     # command == "run"

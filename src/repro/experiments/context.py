@@ -13,7 +13,12 @@ the process-spanning executor layer:
   the old cross-process coherence hole where the ``lru_cache`` here was
   keyed only by ``(config, n_cycles, seed)`` and nothing outlived the
   process;
-* process fan-out for cache misses (``$REPRO_JOBS`` / ``--jobs``).
+* process fan-out for cache misses (``$REPRO_JOBS`` / ``--jobs``);
+* fault-tolerance knobs: retry budget and per-run timeout
+  (``$REPRO_MAX_RETRIES`` / ``$REPRO_RUN_TIMEOUT`` / ``--max-retries`` /
+  ``--run-timeout``) and the seeded fault plan
+  (``$REPRO_INJECT_FAULTS`` / ``--inject-faults``; see
+  :mod:`repro.faults`).
 
 :func:`configure_execution` changes those knobs at runtime (the CLI calls
 it); it also drops the memoized campaigns, since a campaign built under
@@ -27,9 +32,10 @@ from functools import lru_cache
 from typing import Optional, Tuple
 
 from repro import observability as obs
+from repro.faults import FaultInjector, FaultPlan, plan_from_env
 from repro.measurement.cache import ResultCache
 from repro.measurement.campaign import MeasurementCampaign
-from repro.measurement.executor import default_jobs
+from repro.measurement.executor import RetryPolicy, default_jobs
 
 #: A reduced benchmark subset for quick experiment variants: spans the
 #: suite's noise spectrum (memory-bound, branchy, phased, compute-dense).
@@ -51,11 +57,17 @@ NO_CACHE_ENV = "REPRO_NO_CACHE"
 _jobs_override: Optional[int] = None
 _cache_dir_override: Optional[str] = None
 _no_cache_override: Optional[bool] = None
+_max_retries_override: Optional[int] = None
+_run_timeout_override: Optional[float] = None
+_fault_plan_override: Optional[str] = None
 
-#: The shared cache instance (one per (directory, enabled) setting, so
-#: all campaigns see one coherent set of stats and entries).
+#: The shared cache instance (one per (directory, enabled, plan) setting,
+#: so all campaigns see one coherent set of stats and entries — and a
+#: plan change rebinds the cache so its injector hooks follow suit).
 _shared_cache: Optional[ResultCache] = None
-_shared_cache_settings: Optional[Tuple[Optional[str], bool]] = None
+_shared_cache_settings: Optional[
+    Tuple[Optional[str], bool, Optional[str]]
+] = None
 
 
 def _env_no_cache() -> bool:
@@ -77,10 +89,32 @@ def cache_enabled() -> bool:
     return not _env_no_cache()
 
 
+def fault_plan() -> Optional[FaultPlan]:
+    """The effective fault plan (override, else ``$REPRO_INJECT_FAULTS``)."""
+    if _fault_plan_override is not None:
+        from repro.faults import parse_plan
+
+        return parse_plan(_fault_plan_override)
+    return plan_from_env()
+
+
+def retry_policy() -> RetryPolicy:
+    """The effective retry policy (overrides, else the environment)."""
+    return RetryPolicy.from_env(
+        max_retries=_max_retries_override,
+        run_timeout=_run_timeout_override,
+    )
+
+
 def shared_cache() -> Optional[ResultCache]:
     """The process-wide result cache (``None`` when caching is off)."""
     global _shared_cache, _shared_cache_settings
-    settings = (_cache_dir_override, cache_enabled())
+    plan = fault_plan()
+    settings = (
+        _cache_dir_override,
+        cache_enabled(),
+        plan.spec if plan is not None else None,
+    )
     if settings != _shared_cache_settings:
         _shared_cache_settings = settings
         if not cache_enabled():
@@ -94,6 +128,9 @@ def configure_execution(
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     no_cache: Optional[bool] = None,
+    max_retries: Optional[int] = None,
+    run_timeout: Optional[float] = None,
+    inject_faults: Optional[str] = None,
 ) -> None:
     """Set the executor knobs for every campaign built after this call.
 
@@ -103,9 +140,13 @@ def configure_execution(
     module exists to close.
     """
     global _jobs_override, _cache_dir_override, _no_cache_override
+    global _max_retries_override, _run_timeout_override, _fault_plan_override
     _jobs_override = jobs
     _cache_dir_override = cache_dir
     _no_cache_override = no_cache
+    _max_retries_override = max_retries
+    _run_timeout_override = run_timeout
+    _fault_plan_override = inject_faults
     reset_campaigns()
 
 
@@ -124,16 +165,26 @@ def _build_campaign(
     seed: int,
     jobs: int,
     cache_settings: Tuple[Optional[str], bool],
+    retry: RetryPolicy,
+    plan_spec: Optional[str],
 ) -> MeasurementCampaign:
     # cache_settings is part of the key so that campaigns built under
-    # different --cache-dir / --no-cache regimes never alias each other.
+    # different --cache-dir / --no-cache regimes never alias each other;
+    # retry and plan_spec likewise keep fault-tolerance regimes apart.
     del cache_settings
+    injector = FaultInjector(plan_spec) if plan_spec is not None else None
     with obs.span(
         "campaign.build", config=config, cycles=n_cycles, jobs=jobs
     ):
         obs.increment("repro_campaigns_built_total")
         return MeasurementCampaign(
-            config, n_cycles=n_cycles, seed=seed, jobs=jobs, cache=shared_cache()
+            config,
+            n_cycles=n_cycles,
+            seed=seed,
+            jobs=jobs,
+            cache=shared_cache(),
+            retry=retry,
+            injector=injector,
         )
 
 
@@ -148,12 +199,15 @@ def get_campaign(
     results are coherent across processes via the shared persistent
     cache, not just within this process's memo.
     """
+    plan = fault_plan()
     return _build_campaign(
         config,
         n_cycles,
         seed,
         execution_jobs(),
         (_cache_dir_override, cache_enabled()),
+        retry_policy(),
+        plan.spec if plan is not None else None,
     )
 
 

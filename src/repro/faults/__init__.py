@@ -1,0 +1,56 @@
+"""Deterministic, seeded fault injection for the measurement pipeline.
+
+The paper's central argument is that resilience mechanisms — not
+worst-case margins — should absorb rare events (PAPER.md §4).  This
+package applies the same philosophy to the reproduction's own execution
+layer: instead of hoping that worker crashes, hung processes, transient
+exceptions and corrupt cache records never happen, we *inject* them on
+demand and require the campaign executor to recover to bit-identical
+results (Soyturk et al., arXiv:1912.00154, show software injection is a
+faithful stand-in for the real faults).
+
+Two pieces:
+
+* :class:`~repro.faults.plan.FaultPlan` — a parsed, canonical fault
+  plan: per-site firing rates, a base seed, and the hang duration.
+  Plans are written as compact strings (``"crash:0.1,corrupt:0.2,
+  seed=7"``; see :func:`~repro.faults.plan.parse_plan`) so they travel
+  through CLI flags, environment variables (``$REPRO_INJECT_FAULTS``)
+  and pickled worker arguments unchanged.
+* :class:`~repro.faults.injector.FaultInjector` — decides, at each
+  named hook point, whether a fault fires.  Every decision is drawn
+  from a generator *derived* from ``(plan seed, site, key,
+  occurrence)``, never from shared state, so a chaos run's fault
+  pattern is reproducible bit-for-bit and independent of worker
+  scheduling.
+
+Hook points live in :mod:`repro.measurement.executor` (worker crash,
+worker hang, transient simulation exception) and
+:mod:`repro.measurement.cache` (record corruption on store, transient
+corruption on load); ``docs/robustness.md`` documents the full fault
+model and the recovery contract.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultInjector, InjectedFault, garble_file
+from repro.faults.plan import (
+    DEFAULT_PLAN_SPEC,
+    FAULT_SITES,
+    INJECT_FAULTS_ENV,
+    FaultPlan,
+    parse_plan,
+    plan_from_env,
+)
+
+__all__ = [
+    "DEFAULT_PLAN_SPEC",
+    "FAULT_SITES",
+    "INJECT_FAULTS_ENV",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "garble_file",
+    "parse_plan",
+    "plan_from_env",
+]

@@ -1,0 +1,128 @@
+"""The fault injector: deterministic decisions at named hook points.
+
+Every decision is drawn from a generator derived from ``(plan seed,
+site, key, occurrence)`` via :func:`repro.random_utils.derive_generator`
+— the same derivation discipline the simulation itself uses — so
+whether a given fault fires depends only on the plan and the decision's
+identity, never on wall-clock time, worker placement, or how many other
+decisions were taken first.  A chaos run is therefore reproducible
+bit-for-bit: re-running the same campaign under the same plan injects
+the same faults at the same points.
+
+``occurrence`` disambiguates repeated decisions at one ``(site, key)``:
+the executor passes the run's attempt number explicitly (so a retried
+run faces a fresh, but still deterministic, decision), while cache hook
+points let the injector count occurrences per instance.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro import observability as obs
+from repro.faults.plan import FaultPlan, parse_plan
+from repro.random_utils import derive_generator
+
+
+class InjectedFault(RuntimeError):
+    """A transient, injected simulation failure.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults model infrastructure failures (a worker dying mid-run), not
+    configuration mistakes, and must travel through the executor's
+    retry machinery like any unexpected exception would.
+    """
+
+
+def garble_file(path: Union[str, Path]) -> None:
+    """Destroy a file's contents in place (keeps the entry present).
+
+    Used by the ``cache.store`` hook: the record file stays on disk —
+    so the next lookup *finds* it — but no longer decodes, exercising
+    the corruption-tolerant read path rather than the plain-miss path.
+    """
+    Path(path).write_bytes(b"\x00injected-fault: not a gzip record\x00")
+
+
+class FaultInjector:
+    """Decides, per hook point, whether a planned fault fires.
+
+    Parameters
+    ----------
+    plan:
+        A :class:`~repro.faults.plan.FaultPlan` or a plan spec string
+        (workers rebuild their injector from the pickled spec).
+    """
+
+    def __init__(self, plan: Union[FaultPlan, str]) -> None:
+        parsed = parse_plan(plan) if isinstance(plan, str) else plan
+        if parsed is None:
+            raise ValueError("FaultInjector needs a non-empty plan")
+        self._plan = parsed
+        self._occurrences: Dict[Tuple[str, str], int] = {}
+        self.injected: Dict[str, int] = {}
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    def fires(
+        self, site: str, key: str, occurrence: Optional[int] = None
+    ) -> bool:
+        """Whether the planned fault at ``site`` fires for ``key``.
+
+        ``occurrence`` is the decision's repeat index (e.g. the run's
+        attempt number); when omitted the injector counts repeats of
+        ``(site, key)`` itself, so e.g. a re-stored cache record faces
+        a fresh decision each time.
+        """
+        rate = self._plan.rate(site)
+        if occurrence is None:
+            slot = (site, key)
+            occurrence = self._occurrences.get(slot, 0)
+            self._occurrences[slot] = occurrence + 1
+        if rate <= 0.0:
+            return False
+        rng = derive_generator(
+            self._plan.seed, "fault", site, key, occurrence
+        )
+        fired = bool(rng.random() < rate)
+        if fired:
+            self.injected[site] = self.injected.get(site, 0) + 1
+            obs.increment("repro_faults_injected_total", site=site)
+        return fired
+
+    # -- fault actions (what a fired decision does) ---------------------
+    def crash_worker(self, key: str, occurrence: int) -> None:
+        """``worker.crash``: kill this process hard, as a real worker
+        crash (OOM kill, segfault) would — no cleanup, no exception."""
+        if self.fires("worker.crash", key, occurrence):
+            os._exit(3)
+
+    def hang_worker(self, key: str, occurrence: int) -> None:
+        """``worker.hang``: stall this worker for the plan's hang
+        duration before it does any work (a slow/hung worker)."""
+        if self.fires("worker.hang", key, occurrence):
+            time.sleep(self._plan.hang_seconds)
+
+    def raise_transient(self, key: str, occurrence: int) -> None:
+        """``simulate.exception``: fail this attempt with a transient
+        error the retry path must absorb."""
+        if self.fires("simulate.exception", key, occurrence):
+            raise InjectedFault(
+                f"injected transient failure for {key!r} "
+                f"(attempt {occurrence})"
+            )
+
+    def summary(self) -> str:
+        """``site xN`` counts of faults this injector actually fired."""
+        if not self.injected:
+            return "no faults injected"
+        parts = [
+            f"{site} x{count}"
+            for site, count in sorted(self.injected.items())
+        ]
+        return "injected " + ", ".join(parts)

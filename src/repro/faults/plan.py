@@ -1,0 +1,180 @@
+"""Fault plans: which faults fire, how often, and from which seed.
+
+A plan is written as a compact comma-separated string so one value can
+travel through ``--inject-faults``, ``$REPRO_INJECT_FAULTS`` and the
+pickled worker arguments identically::
+
+    crash:0.1,hang:0.05,exception:0.1,corrupt:0.2,seed=7,hang-seconds=0.05
+
+Each ``kind[:rate]`` token enables one fault kind (rate defaults to
+:data:`DEFAULT_RATE`); ``seed=N`` seeds the decision streams and
+``hang-seconds=S`` sets how long an injected hang sleeps.  The reserved
+word ``default`` expands to :data:`DEFAULT_PLAN_SPEC` — the chaos plan
+the CI gate runs (crashes, slow workers, transient exceptions, and
+cache corruption all enabled) — and ``off``/``none`` disable injection.
+
+Fault kinds map to named hook points in the execution layer:
+
+========== ==================== =========================================
+token       site                 effect
+========== ==================== =========================================
+crash       ``worker.crash``     pool worker exits hard (``os._exit``)
+hang        ``worker.hang``      worker sleeps ``hang_seconds`` first
+exception   ``simulate.exception`` transient :class:`~repro.faults.injector.InjectedFault`
+corrupt     ``cache.store``      stored cache record is garbled on disk
+corrupt-read ``cache.load``      one cache read is treated as corrupt
+========== ==================== =========================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Environment variable carrying the session-wide fault plan.
+INJECT_FAULTS_ENV = "REPRO_INJECT_FAULTS"
+
+#: token -> hook-point site name.
+FAULT_SITES: Dict[str, str] = {
+    "crash": "worker.crash",
+    "hang": "worker.hang",
+    "exception": "simulate.exception",
+    "corrupt": "cache.store",
+    "corrupt-read": "cache.load",
+}
+
+_TOKEN_BY_SITE: Dict[str, str] = {site: token for token, site in FAULT_SITES.items()}
+
+#: Rate used by a bare ``kind`` token with no explicit ``:rate``.
+DEFAULT_RATE = 0.1
+
+#: Sleep applied by an injected hang unless the plan overrides it.  Kept
+#: small so a "slow worker" stays slow, not stuck: recovery must come
+#: from the executor's timeout/retry path, never from test patience.
+DEFAULT_HANG_SECONDS = 0.05
+
+#: The canonical chaos plan: every fault kind enabled at rates that make
+#: a quick campaign hit each recovery path without drowning in retries.
+DEFAULT_PLAN_SPEC = (
+    "crash:0.08,hang:0.05,exception:0.08,corrupt:0.15,corrupt-read:0.05,"
+    "hang-seconds=0.05,seed=0"
+)
+
+_DISABLED = ("", "off", "none", "0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One parsed fault plan: per-site rates plus decision-seed material."""
+
+    rates: Tuple[Tuple[str, float], ...]  # ((site, rate), ...) sorted
+    seed: int = 0
+    hang_seconds: float = DEFAULT_HANG_SECONDS
+    _rate_map: Dict[str, float] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self._rate_map.update(dict(self.rates))
+
+    def rate(self, site: str) -> float:
+        """Firing probability at ``site`` (0.0 when the kind is off)."""
+        if site not in _TOKEN_BY_SITE:
+            raise ConfigurationError(f"unknown fault site {site!r}")
+        return self._rate_map.get(site, 0.0)
+
+    @property
+    def spec(self) -> str:
+        """Canonical string form (parse → spec round-trips)."""
+        tokens = [
+            f"{_TOKEN_BY_SITE[site]}:{rate:g}" for site, rate in self.rates
+        ]
+        tokens.append(f"hang-seconds={self.hang_seconds:g}")
+        tokens.append(f"seed={self.seed}")
+        return ",".join(tokens)
+
+
+def parse_plan(spec: Optional[str]) -> Optional[FaultPlan]:
+    """Parse a plan string; ``None``/``off``/``none`` → no injection.
+
+    Raises :class:`~repro.errors.ConfigurationError` on unknown tokens,
+    malformed rates, or rates outside ``[0, 1]`` — a mistyped chaos plan
+    must fail loudly, not silently run clean.
+    """
+    if spec is None:
+        return None
+    text = spec.strip().lower()
+    if text in _DISABLED:
+        return None
+    if text == "default":
+        text = DEFAULT_PLAN_SPEC
+    rates: Dict[str, float] = {}
+    seed = 0
+    hang_seconds = DEFAULT_HANG_SECONDS
+    for raw_token in text.split(","):
+        token = raw_token.strip()
+        if not token:
+            continue
+        if "=" in token:
+            key, _, value = token.partition("=")
+            key = key.strip()
+            if key == "seed":
+                seed = _parse_int(value, token)
+            elif key == "hang-seconds":
+                hang_seconds = _parse_float(value, token)
+                if hang_seconds < 0:
+                    raise ConfigurationError(
+                        f"hang-seconds must be >= 0 in fault plan "
+                        f"token {token!r}"
+                    )
+            else:
+                raise ConfigurationError(
+                    f"unknown fault-plan option {key!r} (token {token!r})"
+                )
+            continue
+        kind, _, rate_text = token.partition(":")
+        kind = kind.strip()
+        if kind not in FAULT_SITES:
+            raise ConfigurationError(
+                f"unknown fault kind {kind!r}; choose from "
+                f"{sorted(FAULT_SITES)}"
+            )
+        rate = DEFAULT_RATE if not rate_text else _parse_float(
+            rate_text, token
+        )
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"fault rate must be within [0, 1], got {rate!r} "
+                f"in token {token!r}"
+            )
+        rates[FAULT_SITES[kind]] = rate
+    if not rates:
+        return None
+    ordered = tuple(sorted(rates.items()))
+    return FaultPlan(rates=ordered, seed=seed, hang_seconds=hang_seconds)
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The plan named by ``$REPRO_INJECT_FAULTS``, or ``None``."""
+    return parse_plan(os.environ.get(INJECT_FAULTS_ENV))
+
+
+def _parse_float(text: str, token: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"malformed number in fault-plan token {token!r}"
+        ) from None
+
+
+def _parse_int(text: str, token: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"malformed integer in fault-plan token {token!r}"
+        ) from None

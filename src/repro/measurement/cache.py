@@ -18,6 +18,11 @@ Robustness contract:
 * **corruption-tolerant reads** — a truncated, garbled or wrong-schema
   entry is treated as a miss (and counted in :attr:`CacheStats.corrupt`),
   never an exception; the executor then falls back to re-simulation.
+
+Both halves of that contract carry fault-injection hook points
+(``cache.store`` garbles a just-written record in place, ``cache.load``
+treats one read as corrupt) so chaos runs exercise exactly the recovery
+paths the contract promises; see :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -29,9 +34,12 @@ import os
 import tempfile
 import zlib
 from pathlib import Path
-from typing import Any, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Union
 
 from repro.errors import ConfigurationError, MeasurementError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultInjector
 from repro.measurement.campaign import RunMeasurement, RunSpec
 from repro.measurement.record import (
     SCHEMA_VERSION,
@@ -141,6 +149,9 @@ class ResultCache:
             else default_cache_dir()
         )
         self.stats = CacheStats()
+        #: Optional :class:`~repro.faults.FaultInjector` driving the
+        #: ``cache.store`` / ``cache.load`` hook points; ``None`` = clean.
+        self.injector: Optional["FaultInjector"] = None
 
     @property
     def directory(self) -> Path:
@@ -152,6 +163,12 @@ class ResultCache:
     def load(self, key: str) -> Optional[RunMeasurement]:
         """The cached measurement for ``key``, or ``None`` (miss/corrupt)."""
         path = self.path_for(key)
+        if self.injector is not None and self.injector.fires("cache.load", key):
+            # Hook point ``cache.load``: this read behaves as if the entry
+            # were corrupt; callers must fall back to re-simulation.
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
         try:
             with gzip.open(path, "rt", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -195,6 +212,13 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        if self.injector is not None and self.injector.fires("cache.store", key):
+            # Hook point ``cache.store``: garble the record *after* the
+            # atomic rename, modeling on-disk rot rather than a torn write
+            # (which the write-then-rename protocol already rules out).
+            from repro.faults import garble_file
+
+            garble_file(path)
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).is_file()

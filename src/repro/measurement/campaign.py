@@ -45,8 +45,9 @@ from repro.workloads.parsec import PARSEC, ParsecWorkload
 from repro.workloads.spec import SPEC_CPU2006
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.faults import FaultInjector
     from repro.measurement.cache import ResultCache
-    from repro.measurement.executor import CampaignExecutor
+    from repro.measurement.executor import CampaignExecutor, RetryPolicy
 
 #: Histogram binning shared by all campaign measurements.
 HISTOGRAM_LO = -0.20
@@ -122,6 +123,14 @@ class MeasurementCampaign:
     cache:
         Optional persistent :class:`~repro.measurement.cache.ResultCache`
         shared across processes; ``None`` keeps results process-local.
+    retry:
+        Optional :class:`~repro.measurement.executor.RetryPolicy`
+        governing per-run timeouts, retry budget and backoff; ``None``
+        honors ``$REPRO_MAX_RETRIES`` / ``$REPRO_RUN_TIMEOUT``.
+    injector:
+        Optional :class:`~repro.faults.FaultInjector` enabling seeded
+        fault injection at the executor and cache hook points (chaos
+        testing); ``None`` runs clean.
     """
 
     def __init__(
@@ -131,6 +140,8 @@ class MeasurementCampaign:
         seed: SeedLike = 0,
         jobs: Optional[int] = None,
         cache: Optional["ResultCache"] = None,
+        retry: Optional["RetryPolicy"] = None,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         if n_cycles < 1000:
             raise ConfigurationError("n_cycles must be at least 1000")
@@ -142,7 +153,9 @@ class MeasurementCampaign:
         # Imported here: the executor module imports this one at load time.
         from repro.measurement.executor import CampaignExecutor
 
-        self._executor = CampaignExecutor(self, jobs=jobs, cache=cache)
+        self._executor = CampaignExecutor(
+            self, jobs=jobs, cache=cache, retry=retry, injector=injector
+        )
 
     @property
     def config(self) -> str:

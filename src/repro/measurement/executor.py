@@ -1,4 +1,4 @@
-"""Campaign execution engine: parallel fan-out + persistent result cache.
+"""Campaign execution engine: parallel fan-out, persistent cache, recovery.
 
 The 881-run characterization protocol is embarrassingly parallel: every
 run derives its random stream *directly from the campaign's base seed and
@@ -16,6 +16,26 @@ that twice over:
   the full Fig. 7–19 + Tab. I pipeline) replay warm runs without
   re-simulating.
 
+And — mirroring the paper's typical-case-design argument — it assumes
+the infrastructure *will* fail and recovers instead of margining:
+
+* every run attempt is bounded by :attr:`RetryPolicy.run_timeout` and
+  retried up to :attr:`RetryPolicy.max_retries` times with deterministic
+  exponential backoff;
+* a broken process pool (worker crash) is rebuilt and only the
+  *incomplete* runs are requeued — completed results are never redone;
+* a run that keeps failing in the pool degrades to serial in-process
+  re-simulation, whose final attempt runs with fault injection
+  suppressed, so an injected chaos plan can never change campaign
+  content — only how hard the executor had to work for it;
+* every failed attempt is recorded as a structured :class:`RunFailure`
+  in :attr:`ExecutorStats.failures` and surfaced by the CLI and the
+  report's execution-statistics section.
+
+Fault injection itself lives in :mod:`repro.faults`; the executor hosts
+the ``worker.crash`` / ``worker.hang`` / ``simulate.exception`` hook
+points (the cache hosts ``cache.store`` / ``cache.load``).
+
 Seeds that are live :class:`numpy.random.Generator` objects have state
 rather than identity; for those the executor degrades gracefully to
 serial, uncached simulation (results then depend on call order, exactly
@@ -28,11 +48,16 @@ hit/miss and wall-time lines in :mod:`repro.reporting`.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import observability as obs
 from repro.errors import ConfigurationError
+from repro.faults import FaultInjector
 from repro.measurement.cache import CacheStats, ResultCache, cache_key
 from repro.measurement.campaign import (
     HISTOGRAM_BINS,
@@ -51,6 +76,19 @@ from repro.random_utils import seed_fingerprint
 #: parallel path is exercised on every push).
 JOBS_ENV = "REPRO_JOBS"
 
+#: Environment overrides for the retry policy (see :class:`RetryPolicy`).
+MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+RUN_TIMEOUT_ENV = "REPRO_RUN_TIMEOUT"
+
+#: Default bounded-retry budget per run (attempts = retries + 1).
+DEFAULT_MAX_RETRIES = 2
+
+#: First backoff step; doubles per retry, capped at the ceiling.  The
+#: sequence is a pure function of the attempt number — no jitter — so
+#: recovery behavior is as reproducible as the fault plan that forced it.
+DEFAULT_BACKOFF_SECONDS = 0.02
+MAX_BACKOFF_SECONDS = 1.0
+
 
 def default_jobs() -> int:
     """Worker count from ``$REPRO_JOBS`` (defaults to 1 = serial)."""
@@ -68,11 +106,111 @@ def default_jobs() -> int:
     return jobs
 
 
-class ExecutorStats:
-    """Counters for one executor: cache traffic, simulations, wall time."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the executor fights for each run before degrading.
 
-    __slots__ = ("cache", "memory_hits", "simulated", "parallel_batches",
-                 "wall_seconds")
+    ``max_retries`` bounds *faulting* attempts per run per stage (pool
+    and serial count separately); ``run_timeout`` bounds one attempt's
+    wall time in the pool (``None`` = wait forever — hung workers then
+    surface only through pool breakage); backoff between retries is
+    deterministic exponential: ``base * 2**(attempt-1)``, capped at
+    :data:`MAX_BACKOFF_SECONDS`.
+    """
+
+    max_retries: int = DEFAULT_MAX_RETRIES
+    run_timeout: Optional[float] = None
+    backoff_base: float = DEFAULT_BACKOFF_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.run_timeout is not None and not self.run_timeout > 0:
+            raise ConfigurationError(
+                f"run_timeout must be positive, got {self.run_timeout}"
+            )
+        if self.backoff_base < 0:
+            raise ConfigurationError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+
+    @staticmethod
+    def from_env(
+        max_retries: Optional[int] = None,
+        run_timeout: Optional[float] = None,
+    ) -> "RetryPolicy":
+        """Policy from ``$REPRO_MAX_RETRIES`` / ``$REPRO_RUN_TIMEOUT``,
+        with explicit arguments (CLI flags) taking precedence."""
+        if max_retries is None:
+            raw = os.environ.get(MAX_RETRIES_ENV, "").strip()
+            if raw:
+                try:
+                    max_retries = int(raw)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{MAX_RETRIES_ENV} must be an integer, got {raw!r}"
+                    ) from None
+        if run_timeout is None:
+            raw = os.environ.get(RUN_TIMEOUT_ENV, "").strip()
+            if raw:
+                try:
+                    run_timeout = float(raw)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{RUN_TIMEOUT_ENV} must be a number of seconds, "
+                        f"got {raw!r}"
+                    ) from None
+        return RetryPolicy(
+            max_retries=(
+                DEFAULT_MAX_RETRIES if max_retries is None else max_retries
+            ),
+            run_timeout=run_timeout,
+        )
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Deterministic backoff before retry number ``attempt`` (1-based)."""
+        return min(
+            self.backoff_base * (2 ** max(attempt - 1, 0)),
+            MAX_BACKOFF_SECONDS,
+        )
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One failed run attempt, and what the executor did about it.
+
+    ``site`` names where the failure surfaced: ``"pool"`` (worker crash /
+    broken pool), ``"timeout"`` (attempt exceeded ``run_timeout``),
+    ``"worker"`` (exception raised inside a pool worker) or
+    ``"simulate"`` (exception in a serial in-process attempt).
+    ``action`` is the recovery taken: ``"retried"`` (same stage, next
+    attempt), ``"requeued"`` (pool rebuilt, run redispatched) or
+    ``"serial-fallback"`` (degraded to in-process re-simulation).
+    """
+
+    run: str
+    site: str
+    error: str
+    attempt: int
+    action: str
+
+    def summary(self) -> str:
+        return (
+            f"{self.run}: attempt {self.attempt} failed at {self.site} "
+            f"({self.error}) -> {self.action}"
+        )
+
+
+class ExecutorStats:
+    """Counters for one executor: cache traffic, simulations, recovery."""
+
+    __slots__ = (
+        "cache", "memory_hits", "simulated", "parallel_batches",
+        "wall_seconds", "attempts", "retries", "timeouts",
+        "pool_rebuilds", "requeued", "serial_fallbacks", "failures",
+    )
 
     def __init__(self) -> None:
         self.cache = CacheStats()
@@ -80,6 +218,16 @@ class ExecutorStats:
         self.simulated = 0
         self.parallel_batches = 0
         self.wall_seconds = 0.0
+        #: Simulation attempts dispatched (>= ``simulated`` under faults;
+        #: ``simulated`` itself counts each run exactly once no matter
+        #: how many retries, requeues or pool rebuilds it took).
+        self.attempts = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.pool_rebuilds = 0
+        self.requeued = 0
+        self.serial_fallbacks = 0
+        self.failures: List[RunFailure] = []
 
     def merged_into(self, other: "ExecutorStats") -> None:
         self.cache.merged_into(other.cache)
@@ -87,14 +235,40 @@ class ExecutorStats:
         other.simulated += self.simulated
         other.parallel_batches += self.parallel_batches
         other.wall_seconds += self.wall_seconds
+        other.attempts += self.attempts
+        other.retries += self.retries
+        other.timeouts += self.timeouts
+        other.pool_rebuilds += self.pool_rebuilds
+        other.requeued += self.requeued
+        other.serial_fallbacks += self.serial_fallbacks
+        other.failures.extend(self.failures)
+
+    @property
+    def recovery_active(self) -> bool:
+        """Did any fault-recovery machinery engage?"""
+        return bool(
+            self.retries or self.timeouts or self.pool_rebuilds
+            or self.requeued or self.serial_fallbacks or self.failures
+        )
+
+    def recovery_summary(self) -> str:
+        return (
+            f"{self.retries} retries, {self.timeouts} timeouts, "
+            f"{self.pool_rebuilds} pool rebuilds, {self.requeued} "
+            f"requeued, {self.serial_fallbacks} serial fallbacks "
+            f"({len(self.failures)} failed attempts recovered)"
+        )
 
     def summary(self) -> str:
-        return (
+        text = (
             f"cache: {self.cache.summary()}; {self.memory_hits} in-memory "
             f"hits; {self.simulated} runs simulated "
             f"({self.parallel_batches} parallel batches); "
             f"{self.wall_seconds:.1f} s execution wall time"
         )
+        if self.recovery_active:
+            text += f"; recovery: {self.recovery_summary()}"
+        return text
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"ExecutorStats({self.summary()})"
@@ -143,8 +317,9 @@ def _record_batch_telemetry(
     bucket, the droops-per-1K histogram) are derived from the returned
     measurements — whether they came from memo, cache, or simulation —
     so their values depend only on the requested specs, never on cache
-    temperature or worker count.  Traffic and wall-time samples come
-    from the batch statistics and describe this execution.
+    temperature, worker count, or injected faults.  Traffic, wall-time
+    and recovery samples come from the batch statistics and describe
+    this execution.
     """
     obs.increment("repro_runs_total", len(measurements))
     for measurement in measurements:
@@ -174,24 +349,15 @@ def _record_batch_telemetry(
     obs.increment(
         "repro_batch_wall_seconds_total", batch.wall_seconds
     )
-
-
-def _absorb_worker_payloads(
-    payloads: Sequence[Mapping[str, Any]],
-) -> List[Dict[str, Any]]:
-    """Merge worker telemetry into the active session, in input order.
-
-    Input order is spec order (:meth:`ProcessPoolExecutor.map`
-    preserves it), which is what makes the merged span tree and the
-    counter totals independent of process placement.
-    """
-    session = obs.active_session()
-    records: List[Dict[str, Any]] = []
-    for payload in payloads:
-        records.append(dict(payload["record"]))
-        if session is not None:
-            session.absorb_worker(payload["telemetry"])
-    return records
+    obs.increment("repro_run_attempts_total", batch.attempts)
+    obs.increment("repro_run_retries_total", batch.retries)
+    obs.increment("repro_run_timeouts_total", batch.timeouts)
+    obs.increment("repro_pool_rebuilds_total", batch.pool_rebuilds)
+    obs.increment("repro_runs_requeued_total", batch.requeued)
+    obs.increment(
+        "repro_serial_fallbacks_total", batch.serial_fallbacks
+    )
+    obs.increment("repro_run_failures_total", len(batch.failures))
 
 
 def _simulate_record(
@@ -200,6 +366,8 @@ def _simulate_record(
     seed: int,
     spec_fields: Tuple[str, Tuple[str, ...], str],
     telemetry: bool = False,
+    plan_spec: Optional[str] = None,
+    attempt: int = 0,
 ) -> Dict[str, Any]:
     """Worker entry point: simulate one run, return its encoded record.
 
@@ -212,18 +380,39 @@ def _simulate_record(
     travel back alongside the record (``{"record": ..., "telemetry":
     ...}``); the parent grafts them into its own session in spec order,
     so a parallel campaign produces one merged, deterministic trace.
+
+    ``plan_spec``/``attempt`` carry the chaos contract into the worker:
+    the worker rebuilds the :class:`~repro.faults.FaultInjector` from
+    the plan string and consults the ``worker.crash``, ``worker.hang``
+    and ``simulate.exception`` hook points, keyed by this run's label
+    and attempt number — so whether this attempt faults is decided by
+    the plan alone, not by which worker process drew the task.
     """
     from repro.measurement.record import encode_measurement
 
     kind, workloads, spec_config = spec_fields
     campaign = MeasurementCampaign(config, n_cycles=n_cycles, seed=seed)
     spec = RunSpec(kind=kind, workloads=tuple(workloads), config=spec_config)
+    injector = FaultInjector(plan_spec) if plan_spec is not None else None
     if not telemetry:
+        _inject_worker_faults(injector, spec.label, attempt)
         return encode_measurement(campaign.simulate(spec))
     with obs.capture() as session:
         obs.increment("repro_worker_runs_total", worker=os.getpid())
+        _inject_worker_faults(injector, spec.label, attempt)
         record = encode_measurement(campaign.simulate(spec))
     return {"record": record, "telemetry": session.worker_payload()}
+
+
+def _inject_worker_faults(
+    injector: Optional[FaultInjector], label: str, attempt: int
+) -> None:
+    """Consult the worker-side hook points, in severity order."""
+    if injector is None:
+        return
+    injector.crash_worker(label, attempt)
+    injector.hang_worker(label, attempt)
+    injector.raise_transient(label, attempt)
 
 
 class CampaignExecutor:
@@ -243,6 +432,13 @@ class CampaignExecutor:
         in-process; ``None`` = :func:`default_jobs` (``$REPRO_JOBS``).
     cache:
         Persistent result cache, or ``None`` to keep runs process-local.
+    retry:
+        Recovery budget; ``None`` = :meth:`RetryPolicy.from_env`
+        (``$REPRO_MAX_RETRIES`` / ``$REPRO_RUN_TIMEOUT``).
+    injector:
+        Optional :class:`~repro.faults.FaultInjector` (chaos testing).
+        Attached to ``cache`` as well so the ``cache.store`` /
+        ``cache.load`` hook points see the same plan.
     """
 
     def __init__(
@@ -250,6 +446,8 @@ class CampaignExecutor:
         campaign: MeasurementCampaign,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         if jobs is None:
             jobs = default_jobs()
@@ -262,6 +460,11 @@ class CampaignExecutor:
         # cache entries could ever be valid and workers could not re-derive
         # the stream, so degrade to serial, uncached execution.
         self._cache = cache if self._seed is not None else None
+        self._retry = retry if retry is not None else RetryPolicy.from_env()
+        self._injector = injector
+        if injector is not None and self._cache is not None:
+            if self._cache.injector is None:
+                self._cache.injector = injector
         self._fingerprint = config_fingerprint(
             campaign.config, campaign.chip.n_cores
         )
@@ -275,6 +478,14 @@ class CampaignExecutor:
     @property
     def cache(self) -> Optional[ResultCache]:
         return self._cache
+
+    @property
+    def retry(self) -> RetryPolicy:
+        return self._retry
+
+    @property
+    def injector(self) -> Optional[FaultInjector]:
+        return self._injector
 
     def key_for(self, spec: RunSpec) -> Optional[str]:
         """Persistent-cache key for one spec (``None`` if uncacheable)."""
@@ -364,39 +575,221 @@ class CampaignExecutor:
     def _simulate_missing(
         self, specs: List[RunSpec], batch: ExecutorStats
     ) -> List[Tuple[RunSpec, RunMeasurement]]:
+        # Each missing spec is counted as simulated exactly once, here,
+        # regardless of how many attempts, requeues or pool rebuilds the
+        # recovery machinery spends on it (pinned by the stats
+        # regression tests: retried runs must not double-count).
         batch.simulated += len(specs)
         if self._jobs > 1 and len(specs) > 1 and self._seed is not None:
             return self._simulate_parallel(specs, batch)
-        return [(spec, self._campaign.simulate(spec)) for spec in specs]
+        return [
+            (spec, self._simulate_serial(spec, batch)) for spec in specs
+        ]
 
+    # -- serial path (and parallel fallback) ----------------------------
+    def _simulate_serial(
+        self, spec: RunSpec, batch: ExecutorStats
+    ) -> RunMeasurement:
+        """Simulate in-process with bounded retries and backoff.
+
+        Attempts ``0..max_retries`` run under fault injection (and
+        absorb *any* exception, injected or real); the final attempt
+        runs clean and uncaught, so persistent real errors still
+        propagate while injected chaos always converges to the
+        fault-free result.
+        """
+        label = spec.label
+        for attempt in range(self._retry.max_retries + 1):
+            batch.attempts += 1
+            try:
+                if self._injector is not None:
+                    self._injector.raise_transient(label, attempt)
+                if attempt == 0:
+                    return self._campaign.simulate(spec)
+                with obs.span("run.retry", run=label, attempt=attempt):
+                    return self._campaign.simulate(spec)
+            except Exception as error:  # simlint: disable=HYG003
+                batch.retries += 1
+                batch.failures.append(
+                    RunFailure(
+                        run=label,
+                        site="simulate",
+                        error=_describe_error(error),
+                        attempt=attempt + 1,
+                        action="retried",
+                    )
+                )
+                time.sleep(self._retry.backoff_seconds(attempt + 1))
+        batch.attempts += 1
+        with obs.span("run.retry", run=label, attempt="final"):
+            return self._campaign.simulate(spec)
+
+    # -- parallel path ---------------------------------------------------
     def _simulate_parallel(
         self, specs: List[RunSpec], batch: ExecutorStats
     ) -> List[Tuple[RunSpec, RunMeasurement]]:
-        batch.parallel_batches += 1
+        """Fan specs over a process pool, surviving crashes and hangs.
+
+        Each round submits every pending spec; a broken pool or a timed
+        out attempt abandons the round, tears the pool down, and
+        requeues exactly the runs that have no result yet.  A run that
+        exhausts its pool attempts is handed to the serial path, whose
+        final attempt is injection-free — so this method always returns
+        a complete, bit-identical result set.
+        """
         assert self._seed is not None
+        batch.parallel_batches += 1
         config = self._campaign.config
         n_cycles = self._campaign.n_cycles
-        fields = [(s.kind, s.workloads, s.config) for s in specs]
-        workers = min(self._jobs, len(specs))
         telemetry = obs.enabled()
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            payloads = list(
-                pool.map(
-                    _simulate_record,
-                    [config] * len(specs),
-                    [n_cycles] * len(specs),
-                    [self._seed] * len(specs),
-                    fields,
-                    [telemetry] * len(specs),
-                )
-            )
-        records = (
-            _absorb_worker_payloads(payloads) if telemetry else payloads
+        plan_spec = (
+            self._injector.plan.spec if self._injector is not None else None
         )
-        return [
-            (spec, decode_measurement(record))
-            for spec, record in zip(specs, records)
-        ]
+        max_attempts = self._retry.max_retries + 1
+        attempts: Dict[RunSpec, int] = {spec: 0 for spec in specs}
+        payloads: Dict[RunSpec, Any] = {}
+        fallback: List[RunSpec] = []
+        pending: List[RunSpec] = list(specs)
+        pool: Optional[ProcessPoolExecutor] = None
+        rounds = 0
+        try:
+            while pending:
+                rounds += 1
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(self._jobs, len(pending))
+                    )
+                futures = {}
+                requeue: List[RunSpec] = []
+                abandoned = False
+                for spec in pending:
+                    try:
+                        futures[spec] = pool.submit(
+                            _simulate_record,
+                            config,
+                            n_cycles,
+                            self._seed,
+                            (spec.kind, spec.workloads, spec.config),
+                            telemetry,
+                            plan_spec,
+                            attempts[spec],
+                        )
+                    except BrokenProcessPool as error:
+                        # The pool died while we were still submitting;
+                        # everything not yet submitted joins the requeue.
+                        abandoned = True
+                        self._parallel_failure(
+                            batch, spec, "pool", _describe_error(error),
+                            attempts, max_attempts, requeue, fallback,
+                        )
+                batch.attempts += len(futures)
+                for spec in pending:
+                    future = futures.get(spec)
+                    if future is None:
+                        continue
+                    if abandoned and not future.done():
+                        # Casualty of this round's crash/hang: no result,
+                        # but nothing to wait for either — requeue it.
+                        self._parallel_failure(
+                            batch, spec, "pool",
+                            "round abandoned (pool torn down)",
+                            attempts, max_attempts, requeue, fallback,
+                        )
+                        continue
+                    try:
+                        payloads[spec] = future.result(
+                            timeout=(
+                                None if abandoned
+                                else self._retry.run_timeout
+                            )
+                        )
+                    except FuturesTimeoutError:
+                        batch.timeouts += 1
+                        abandoned = True
+                        self._parallel_failure(
+                            batch, spec, "timeout",
+                            f"no result within {self._retry.run_timeout}s",
+                            attempts, max_attempts, requeue, fallback,
+                        )
+                    except BrokenProcessPool as error:
+                        abandoned = True
+                        self._parallel_failure(
+                            batch, spec, "pool", _describe_error(error),
+                            attempts, max_attempts, requeue, fallback,
+                        )
+                    except Exception as error:  # simlint: disable=HYG003
+                        self._parallel_failure(
+                            batch, spec, "worker", _describe_error(error),
+                            attempts, max_attempts, requeue, fallback,
+                        )
+                if abandoned:
+                    batch.pool_rebuilds += 1
+                    with obs.span("pool.rebuild", round=rounds):
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = None
+                    time.sleep(self._retry.backoff_seconds(rounds))
+                pending = requeue
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        session = obs.active_session()
+        results: List[Tuple[RunSpec, RunMeasurement]] = []
+        for spec in specs:
+            payload = payloads.get(spec)
+            if payload is None:
+                with obs.span("run.fallback", run=spec.label):
+                    results.append(
+                        (spec, self._simulate_serial(spec, batch))
+                    )
+                continue
+            if telemetry:
+                record = dict(payload["record"])
+                if session is not None:
+                    session.absorb_worker(payload["telemetry"])
+            else:
+                record = payload
+            results.append((spec, decode_measurement(record)))
+        return results
+
+    def _parallel_failure(
+        self,
+        batch: ExecutorStats,
+        spec: RunSpec,
+        site: str,
+        error: str,
+        attempts: Dict[RunSpec, int],
+        max_attempts: int,
+        requeue: List[RunSpec],
+        fallback: List[RunSpec],
+    ) -> None:
+        """Book one failed pool attempt and route the spec onward."""
+        attempts[spec] += 1
+        exhausted = attempts[spec] >= max_attempts
+        action = "serial-fallback" if exhausted else "requeued"
+        batch.failures.append(
+            RunFailure(
+                run=spec.label,
+                site=site,
+                error=error,
+                attempt=attempts[spec],
+                action=action,
+            )
+        )
+        if exhausted:
+            batch.serial_fallbacks += 1
+            fallback.append(spec)
+        else:
+            batch.retries += 1
+            batch.requeued += 1
+            requeue.append(spec)
+
+
+def _describe_error(error: BaseException) -> str:
+    """One-line error description for :class:`RunFailure` records."""
+    text = str(error).strip().splitlines()
+    detail = text[0] if text else ""
+    name = type(error).__name__
+    return f"{name}: {detail}" if detail else name
 
 
 def _describe_cache(cache: Optional[ResultCache]) -> str:

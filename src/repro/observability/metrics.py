@@ -179,6 +179,49 @@ CATALOG: Dict[str, MetricSpec] = {
             "wall time of one experiment harness (label `experiment`)",
             deterministic=False,
         ),
+        # -- fault injection & recovery (runtime: recovery effort varies
+        # with scheduling even though recovered *content* is bit-stable) -
+        MetricSpec(
+            "repro_faults_injected_total", "counter", "faults",
+            "injected faults actually fired, by hook point (label `site`)",
+            deterministic=False,
+        ),
+        MetricSpec(
+            "repro_run_attempts_total", "counter", "attempts",
+            "simulation attempts dispatched (first tries plus retries)",
+            deterministic=False,
+        ),
+        MetricSpec(
+            "repro_run_retries_total", "counter", "retries",
+            "failed run attempts absorbed by the retry path",
+            deterministic=False,
+        ),
+        MetricSpec(
+            "repro_run_timeouts_total", "counter", "timeouts",
+            "run attempts abandoned for exceeding the per-run timeout",
+            deterministic=False,
+        ),
+        MetricSpec(
+            "repro_pool_rebuilds_total", "counter", "rebuilds",
+            "process pools torn down and rebuilt after breakage/timeouts",
+            deterministic=False,
+        ),
+        MetricSpec(
+            "repro_runs_requeued_total", "counter", "runs",
+            "incomplete runs requeued onto a rebuilt process pool",
+            deterministic=False,
+        ),
+        MetricSpec(
+            "repro_serial_fallbacks_total", "counter", "runs",
+            "runs degraded to in-process serial simulation after "
+            "exhausting pool retries",
+            deterministic=False,
+        ),
+        MetricSpec(
+            "repro_run_failures_total", "counter", "failures",
+            "structured run failures recorded by the executor",
+            deterministic=False,
+        ),
     )
 }
 

@@ -32,5 +32,8 @@ def _fresh_execution_settings():
         context._jobs_override is not None
         or context._cache_dir_override is not None
         or context._no_cache_override is not None
+        or context._max_retries_override is not None
+        or context._run_timeout_override is not None
+        or context._fault_plan_override is not None
     ):
         context.configure_execution()

@@ -1,0 +1,139 @@
+"""The fault injector: deterministic decisions, actions, accounting."""
+
+import pytest
+
+from repro import observability as obs
+from repro.faults import FaultInjector, InjectedFault, garble_file, parse_plan
+
+ALL_SITES_ON = "crash:1.0,hang:1.0,exception:1.0,corrupt:1.0,corrupt-read:1.0"
+
+
+class TestDecisions:
+    def test_same_plan_same_decisions(self):
+        spec = "crash:0.3,corrupt:0.6,seed=11"
+        a, b = FaultInjector(spec), FaultInjector(spec)
+        decisions_a = [
+            a.fires(site, key, occurrence)
+            for site in ("worker.crash", "cache.store")
+            for key in ("mcf@Proc3", "lbm@Proc3", "deadbeef")
+            for occurrence in range(4)
+        ]
+        decisions_b = [
+            b.fires(site, key, occurrence)
+            for site in ("worker.crash", "cache.store")
+            for key in ("mcf@Proc3", "lbm@Proc3", "deadbeef")
+            for occurrence in range(4)
+        ]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_decisions_are_order_independent(self):
+        spec = "crash:0.5,seed=4"
+        forward = FaultInjector(spec)
+        backward = FaultInjector(spec)
+        keys = [f"run{i}" for i in range(16)]
+        want = {
+            key: forward.fires("worker.crash", key, 0) for key in keys
+        }
+        got = {
+            key: backward.fires("worker.crash", key, 0)
+            for key in reversed(keys)
+        }
+        assert got == want
+
+    def test_seed_changes_the_pattern(self):
+        keys = [f"run{i}" for i in range(64)]
+        one = FaultInjector("crash:0.5,seed=1")
+        two = FaultInjector("crash:0.5,seed=2")
+        pattern_one = [one.fires("worker.crash", k, 0) for k in keys]
+        pattern_two = [two.fires("worker.crash", k, 0) for k in keys]
+        assert pattern_one != pattern_two
+
+    def test_rate_zero_never_fires(self):
+        injector = FaultInjector("crash:0.0,hang:1.0")
+        assert not any(
+            injector.fires("worker.crash", f"run{i}", 0) for i in range(50)
+        )
+
+    def test_rate_one_always_fires(self):
+        injector = FaultInjector("crash:1.0")
+        assert all(
+            injector.fires("worker.crash", f"run{i}", 0) for i in range(10)
+        )
+
+    def test_unplanned_site_never_fires(self):
+        injector = FaultInjector("crash:1.0")
+        assert not injector.fires("cache.store", "key", 0)
+
+    def test_implicit_occurrence_counts_per_key(self):
+        # Auto-counted occurrences must reproduce explicit 0, 1, 2, ...
+        spec = "corrupt:0.5,seed=7"
+        implicit = FaultInjector(spec)
+        explicit = FaultInjector(spec)
+        for occurrence in range(6):
+            assert implicit.fires("cache.store", "key") == explicit.fires(
+                "cache.store", "key", occurrence
+            )
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector("off")
+
+
+class TestActions:
+    def test_raise_transient(self):
+        injector = FaultInjector("exception:1.0")
+        with pytest.raises(InjectedFault):
+            injector.raise_transient("mcf@Proc3", 0)
+
+    def test_raise_transient_quiet_when_off(self):
+        FaultInjector("crash:1.0").raise_transient("mcf@Proc3", 0)
+
+    def test_hang_worker_counts_and_returns(self):
+        injector = FaultInjector("hang:1.0,hang-seconds=0.0")
+        injector.hang_worker("mcf@Proc3", 0)
+        assert injector.injected["worker.hang"] == 1
+
+    def test_crash_worker_quiet_when_off(self):
+        # rate 0 → must NOT call os._exit (the test surviving proves it).
+        FaultInjector("hang:1.0").crash_worker("mcf@Proc3", 0)
+
+    def test_garble_file_keeps_entry_but_destroys_content(self, tmp_path):
+        victim = tmp_path / "record.json.gz"
+        victim.write_bytes(b"\x1f\x8b" + b"x" * 40)
+        garble_file(victim)
+        assert victim.exists()
+        assert not victim.read_bytes().startswith(b"\x1f\x8b")
+
+
+class TestAccounting:
+    def test_summary_counts_fired_faults(self):
+        injector = FaultInjector("exception:1.0")
+        assert injector.summary() == "no faults injected"
+        for attempt in range(3):
+            with pytest.raises(InjectedFault):
+                injector.raise_transient("mcf@Proc3", attempt)
+        assert injector.summary() == "injected simulate.exception x3"
+        assert injector.injected == {"simulate.exception": 3}
+
+    def test_fired_decisions_hit_the_metrics_registry(self):
+        injector = FaultInjector(ALL_SITES_ON)
+        with obs.capture() as session:
+            injector.fires("worker.crash", "run0", 0)
+            injector.fires("cache.store", "deadbeef", 0)
+        assert (
+            session.metrics.counter_value(
+                "repro_faults_injected_total", site="worker.crash"
+            )
+            == 1
+        )
+        assert (
+            session.metrics.counter_value(
+                "repro_faults_injected_total", site="cache.store"
+            )
+            == 1
+        )
+
+    def test_plan_accessible_and_canonical(self):
+        injector = FaultInjector("crash:0.5,seed=3")
+        assert injector.plan == parse_plan("crash:0.5,seed=3")

@@ -1,0 +1,137 @@
+"""Fault-plan parsing: the DSL, canonicalization and error handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    DEFAULT_PLAN_SPEC,
+    FAULT_SITES,
+    INJECT_FAULTS_ENV,
+    FaultPlan,
+    parse_plan,
+    plan_from_env,
+)
+from repro.faults.plan import DEFAULT_HANG_SECONDS, DEFAULT_RATE
+
+
+class TestParsing:
+    def test_single_token_with_rate(self):
+        plan = parse_plan("crash:0.25")
+        assert plan is not None
+        assert plan.rate("worker.crash") == 0.25  # simlint: disable=HYG001 (exact by construction)
+        assert plan.rate("worker.hang") == 0.0  # simlint: disable=HYG001 (exact by construction)
+
+    def test_bare_token_uses_default_rate(self):
+        plan = parse_plan("corrupt")
+        assert plan is not None
+        assert plan.rate("cache.store") == DEFAULT_RATE
+
+    def test_every_kind_maps_to_a_distinct_site(self):
+        assert len(set(FAULT_SITES.values())) == len(FAULT_SITES)
+        plan = parse_plan(",".join(f"{kind}:1.0" for kind in FAULT_SITES))
+        assert plan is not None
+        for site in FAULT_SITES.values():
+            assert plan.rate(site) == 1.0  # simlint: disable=HYG001 (exact by construction)
+
+    def test_seed_and_hang_seconds_options(self):
+        plan = parse_plan("hang:0.5,seed=42,hang-seconds=0.25")
+        assert plan is not None
+        assert plan.seed == 42
+        assert plan.hang_seconds == 0.25  # simlint: disable=HYG001 (exact by construction)
+
+    def test_defaults(self):
+        plan = parse_plan("exception:1")
+        assert plan is not None
+        assert plan.seed == 0
+        assert plan.hang_seconds == DEFAULT_HANG_SECONDS
+
+    def test_whitespace_and_case_tolerated(self):
+        plan = parse_plan("  Crash : 0.5 ,  SEED=3 ")
+        assert plan is not None
+        assert plan.rate("worker.crash") == 0.5  # simlint: disable=HYG001 (exact by construction)
+        assert plan.seed == 3
+
+    @pytest.mark.parametrize("spec", [None, "", "  ", "off", "none", "0", "OFF"])
+    def test_disabled_specs(self, spec):
+        assert parse_plan(spec) is None
+
+    def test_default_keyword_expands_to_canonical_plan(self):
+        assert parse_plan("default") == parse_plan(DEFAULT_PLAN_SPEC)
+
+    def test_default_plan_enables_every_kind(self):
+        plan = parse_plan("default")
+        assert plan is not None
+        for site in FAULT_SITES.values():
+            assert plan.rate(site) > 0.0
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "sigsegv:0.5",  # unknown kind
+            "crash:1.5",  # rate above 1
+            "crash:-0.1",  # negative rate
+            "crash:abc",  # malformed rate
+            "seed=1.5",  # non-integer seed
+            "hang-seconds=-1",  # negative hang
+            "volume=11",  # unknown option
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_plan(spec)
+
+    def test_unknown_site_rate_lookup_raises(self):
+        plan = parse_plan("crash:0.5")
+        assert plan is not None
+        with pytest.raises(ConfigurationError):
+            plan.rate("worker.teleport")
+
+
+class TestCanonicalForm:
+    def test_spec_round_trips(self):
+        plan = parse_plan("hang:0.5,crash:0.25,seed=9,hang-seconds=0.1")
+        assert plan is not None
+        assert parse_plan(plan.spec) == plan
+
+    def test_token_order_is_irrelevant(self):
+        a = parse_plan("crash:0.2,corrupt:0.4")
+        b = parse_plan("corrupt:0.4,crash:0.2")
+        assert a == b
+        assert a is not None and b is not None
+        assert a.spec == b.spec
+
+    @given(
+        rates=st.dictionaries(
+            st.sampled_from(sorted(FAULT_SITES)),
+            st.integers(0, 1000).map(lambda n: n / 1000),
+            min_size=1,
+        ),
+        seed=st.integers(0, 2**31),
+    )
+    def test_canonicalization_is_a_fixpoint(self, rates, seed):
+        spec = ",".join(f"{kind}:{rate}" for kind, rate in rates.items())
+        plan = parse_plan(f"{spec},seed={seed}")
+        assert plan is not None
+        again = parse_plan(plan.spec)
+        assert again == plan
+        assert again is not None
+        assert again.spec == plan.spec
+
+
+class TestEnvironment:
+    def test_env_plan(self, monkeypatch):
+        monkeypatch.setenv(INJECT_FAULTS_ENV, "crash:0.5,seed=2")
+        plan = plan_from_env()
+        assert plan == FaultPlan(rates=(("worker.crash", 0.5),), seed=2)
+
+    def test_env_unset_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(INJECT_FAULTS_ENV, raising=False)
+        assert plan_from_env() is None
+
+    def test_env_off_means_no_plan(self, monkeypatch):
+        monkeypatch.setenv(INJECT_FAULTS_ENV, "off")
+        assert plan_from_env() is None

@@ -1,0 +1,61 @@
+"""The benchmark-regression gate's comparison logic and baseline file."""
+
+import json
+from pathlib import Path
+
+from benchmarks.gate import (
+    DEFAULT_TOLERANCE,
+    MIN_GATED_SCORE,
+    UNITS,
+    compare,
+    normalize,
+)
+
+BASELINE = Path(__file__).parent.parent / "benchmarks" / "baseline.json"
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        assert compare({"a": 1.2}, {"a": 1.0}, 0.25) == []
+
+    def test_regression_fails(self):
+        failures = compare({"a": 1.3}, {"a": 1.0}, 0.25)
+        assert len(failures) == 1
+        assert "a" in failures[0]
+
+    def test_improvement_passes(self):
+        assert compare({"a": 0.1}, {"a": 1.0}, 0.25) == []
+
+    def test_missing_unit_fails(self):
+        failures = compare({}, {"a": 1.0}, 0.25)
+        assert failures == ["a: present in baseline but not timed"]
+
+    def test_unknown_unit_fails(self):
+        failures = compare({"a": 1.0, "new": 1.0}, {"a": 1.0}, 0.25)
+        assert len(failures) == 1
+        assert "new" in failures[0]
+
+    def test_noise_floor_not_gated(self):
+        # Both sides under the floor: too fast to time, never a failure.
+        tiny = MIN_GATED_SCORE / 4
+        assert compare({"a": tiny * 2}, {"a": tiny}, 0.25) == []
+
+    def test_normalize(self):
+        assert normalize({"a": 1.0, "b": 0.5}, 2.0) == {"a": 0.5, "b": 0.25}
+
+
+class TestBaselineFile:
+    def test_committed_baseline_matches_pinned_units(self):
+        payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert set(payload["units"]) == {name for name, _ in UNITS}
+        assert 0 < payload["tolerance"] <= 1
+        assert payload["tolerance"] == DEFAULT_TOLERANCE
+
+    def test_baseline_scores_are_gateable(self):
+        payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+        for name, score in payload["units"].items():
+            assert score >= MIN_GATED_SCORE, (
+                f"unit {name!r} is too fast to gate reliably; make it "
+                "heavier or drop it from the pinned set"
+            )

@@ -77,3 +77,54 @@ class TestExecutionFlags:
         warm = capsys.readouterr().out
         assert "0 hits" in cold
         assert " 0 runs simulated" in warm
+
+    def test_fault_flags_configure_context(self, capsys):
+        from repro.experiments import context
+
+        assert main([
+            "measure", "mcf", "--config", "Proc100", "--cycles", "2000",
+            "--no-cache", "--max-retries", "4", "--run-timeout", "30",
+            "--inject-faults", "exception:1.0,seed=5",
+        ]) == 0
+        policy = context.retry_policy()
+        assert policy.max_retries == 4
+        assert policy.run_timeout == 30.0  # simlint: disable=HYG001 (exact by construction)
+        plan = context.fault_plan()
+        assert plan is not None
+        assert plan.rate("simulate.exception") == 1.0  # simlint: disable=HYG001 (exact by construction)
+        out = capsys.readouterr().out
+        assert "recovery:" in out  # exception:1.0 forces visible retries
+
+    def test_bad_fault_plan_rejected(self, capsys):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main([
+                "measure", "mcf", "--no-cache",
+                "--inject-faults", "sigsegv:1.0",
+            ])
+
+
+class TestChaosCommand:
+    ARGS = ["chaos", "mcf", "lbm", "--config", "Proc100",
+            "--cycles", "2000", "--jobs", "1"]
+
+    def test_recovers_bit_identical(self, capsys):
+        assert main(self.ARGS + ["--plan", "exception:0.7,corrupt:1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "cold pass:" in out
+        assert "warm pass:" in out
+        assert "bit-identical" in out
+        assert "DIVERGED" not in out
+
+    def test_default_plan(self, capsys):
+        assert main(self.ARGS) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_disabled_plan_is_an_error(self, capsys):
+        assert main(self.ARGS + ["--plan", "off"]) == 2
+        assert "nothing to test" in capsys.readouterr().err
+
+    def test_malformed_plan_is_an_error(self, capsys):
+        assert main(self.ARGS + ["--plan", "sigsegv:1.0"]) == 2
+        assert "chaos:" in capsys.readouterr().err
