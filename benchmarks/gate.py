@@ -89,12 +89,27 @@ def _unit_pairing_sweep() -> None:
     campaign.multiprogram_runs(("mcf", "namd", "lbm", "povray"))
 
 
+def _unit_simlint_flow() -> None:
+    """A cold-cache ``--flow`` lint of src/repro (all three flow passes).
+
+    The flow engine's cost is dominated by the dimension/concurrency/
+    taint fixpoints over the whole project, so this unit catches
+    superlinear regressions in any of them.  No lint cache is passed:
+    every timing is a full cold analysis.
+    """
+    import repro
+    from repro.analysis.flow.engine import flow_paths
+
+    flow_paths([str(Path(repro.__file__).parent)])
+
+
 #: The pinned gate subset.  Add units sparingly: each must be slow
 #: enough to time stably (see MIN_GATED_SCORE) and deterministic.
 UNITS: Tuple[Tuple[str, Callable[[], None]], ...] = (
     ("scaling_trends", _unit_scaling_trends),
     ("campaign_quad", _unit_campaign_quad),
     ("pairing_sweep", _unit_pairing_sweep),
+    ("simlint_flow", _unit_simlint_flow),
 )
 
 

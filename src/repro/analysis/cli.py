@@ -4,10 +4,15 @@ Usage::
 
     python -m repro.analysis src/repro
     python -m repro.analysis src/repro --flow
+    python -m repro.analysis src/repro --flow --select TNT
     python -m repro.analysis tests examples --profile tests --exclude '*/fixtures/*'
     python -m repro.analysis src/repro --format sarif > simlint.sarif
     python -m repro.analysis src/repro --write-baseline
+    python -m repro.analysis effects src/repro --json
     repro-lint --list-rules
+
+``effects`` is a subcommand: it dumps the interprocedural effect-summary
+table (see :mod:`repro.analysis.flow.effects`) instead of linting.
 
 Exit status: ``0`` when no unsuppressed, unbaselined findings remain (or
 only warnings remain without ``--strict-warnings``); ``1`` when errors
@@ -18,12 +23,13 @@ were reported; ``2`` when only warnings were reported under
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import Dict, FrozenSet, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.analysis import baseline as baseline_mod
-from repro.analysis.engine import lint_paths
+from repro.analysis.engine import iter_python_files, lint_paths
 from repro.analysis.findings import Severity
 from repro.analysis.flow.cache import LintCache
 from repro.analysis.flow.engine import flow_paths
@@ -65,8 +71,9 @@ def _build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=False,
         help=(
-            "also run the project-wide dataflow engine (DIM/CON rules: "
-            "interprocedural dimensional analysis + concurrency safety)"
+            "also run the project-wide dataflow engine (DIM/CON/TNT "
+            "rules: interprocedural dimensional analysis, concurrency "
+            "safety, and determinism-taint tracking)"
         ),
     )
     parser.add_argument(
@@ -129,8 +136,9 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="CODES",
         default=None,
         help=(
-            "comma-separated rule codes to run (default: all; selecting "
-            "a DIM/CON code implies --flow)"
+            "comma-separated rule codes or family prefixes to run "
+            "(e.g. DET003 or TNT; default: all; selecting a "
+            "DIM/CON/TNT code implies --flow)"
         ),
     )
     parser.add_argument(
@@ -152,9 +160,99 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = _build_parser()
+def _build_effects_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint effects",
+        description=(
+            "dump the interprocedural effect-summary table: one "
+            "join-semilattice summary (reads-clock, rng-unseeded, "
+            "rng-derived, reads-env, io, global-write, "
+            "unordered-iteration) per function, plus the "
+            "worker-reachable closure of every pool dispatch"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the table as JSON (default: a text listing)",
+    )
+    parser.add_argument(
+        "--closure",
+        metavar="FUNCTION",
+        action="append",
+        default=[],
+        help=(
+            "also report the reachable closure and joined effects of "
+            "FUNCTION (qualname, Class.method, or unique bare name); "
+            "repeatable"
+        ),
+    )
+    parser.add_argument(
+        "--exclude",
+        metavar="GLOB",
+        action="append",
+        default=[],
+        help="fnmatch pattern (against the full path) to skip; repeatable",
+    )
+    return parser
+
+
+def _effects_main(argv: Sequence[str]) -> int:
+    from repro.analysis.flow.effects import (
+        compute_effects,
+        effects_report,
+    )
+    from repro.analysis.flow.symbols import Project
+
+    parser = _build_effects_parser()
     args = parser.parse_args(argv)
+    paths = list(args.paths) or ["src/repro"]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        parser.error(f"path(s) do not exist: {', '.join(missing)}")
+
+    sources: Dict[str, str] = {}
+    for filename in iter_python_files(paths, exclude=args.exclude):
+        with open(filename, "r", encoding="utf-8") as handle:
+            sources[filename] = handle.read()
+    table = compute_effects(Project.build(sources))
+    try:
+        report = effects_report(table, closures=tuple(args.closure))
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    lines: List[str] = []
+    for qualname, effects in report["functions"].items():
+        spelled = ", ".join(effects) if effects else "pure"
+        lines.append(f"{qualname}: {spelled}")
+    closure = report["worker_closure"]
+    lines.append(
+        f"worker closure: {len(closure['functions'])} function(s); "
+        f"effects: {', '.join(closure['effects']) or 'pure'}"
+    )
+    for name, info in report.get("closures", {}).items():
+        lines.append(
+            f"closure({name}): {len(info['functions'])} function(s); "
+            f"effects: {', '.join(info['effects']) or 'pure'}"
+        )
+    print("\n".join(lines))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "effects":
+        return _effects_main(arguments[1:])
+    parser = _build_parser()
+    args = parser.parse_args(arguments)
 
     if args.list_rules:
         print(_list_rules())
@@ -162,10 +260,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     rules = all_rules()
     if args.select:
-        wanted = {code.strip() for code in args.select.split(",")}
-        unknown = wanted - {rule.code for rule in rules}
+        tokens = {t.strip() for t in args.select.split(",") if t.strip()}
+        codes = {rule.code for rule in rules}
+        families = {code[:3] for code in codes}
+        wanted = set()
+        unknown = []
+        for token in tokens:
+            if token in codes:
+                wanted.add(token)
+            elif token in families:
+                wanted |= {c for c in codes if c.startswith(token)}
+            else:
+                unknown.append(token)
         if unknown:
-            parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+            parser.error(
+                f"unknown rule code(s): {', '.join(sorted(unknown))}"
+            )
         rules = [rule for rule in rules if rule.code in wanted]
     disabled = PROFILES[args.profile]
     rules = [rule for rule in rules if rule.code not in disabled]

@@ -10,7 +10,11 @@ finding lists:
   set of ``(path, content digest)`` pairs), because interprocedural
   findings in one file can be caused by an edit in another.  One changed
   file therefore invalidates every flow entry — correctness first; the
-  warm-run fast path (nothing changed, the common CI case) stays O(read).
+  warm-run fast path (nothing changed, the common CI case) stays O(read);
+* flow results also fold in the **registry signature** — the full
+  registered rule-ID set with per-family analysis versions — so landing
+  a new rule family (or changing a pass's semantics) invalidates every
+  cached flow entry instead of silently replaying pre-family results.
 
 Corrupt or version-skewed cache files are discarded silently: a cache
 can always be rebuilt, and a lint run must never fail because of one.
@@ -37,6 +41,25 @@ def source_digest(source: str) -> str:
 def rules_signature(codes: Iterable[str]) -> str:
     """Stable identity of an active rule set."""
     material = ",".join(sorted(codes))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:12]
+
+
+def registry_signature() -> str:
+    """Identity of the *registered* rule set and its analysis versions.
+
+    Folded into every flow cache key alongside the active-rule
+    signature: adding a new rule family (or bumping a family's
+    analysis version) must invalidate cached flow entries, otherwise a
+    warm run would silently replay pre-family results that never saw
+    the new rules.  The active-rule signature alone cannot catch this —
+    a plain ``--flow`` run before and after the addition selects "all
+    rules" both times.
+    """
+    from repro.analysis.registry import all_rules, family_version
+
+    material = ";".join(
+        f"{rule.code}@{family_version(rule.code)}" for rule in all_rules()
+    )
     return hashlib.sha256(material.encode("utf-8")).hexdigest()[:12]
 
 

@@ -1,0 +1,281 @@
+"""Shared call-graph machinery for the flow passes.
+
+The concurrency pass (``CON*``), the effect-inference pass, and the
+determinism-taint pass (``TNT*``) all need the same three answers:
+
+* *which functions does this function call* (:func:`callees`, built on
+  the project symbol table's resolution plus a unique-method-name
+  fallback that keeps the closure sound when a receiver's type cannot
+  be inferred);
+* *which functions are shipped to a process pool as payloads*
+  (:func:`worker_entries`, after unwrapping ``functools.partial``);
+* *which functions can run inside a pool worker at all* — the
+  breadth-first **worker-reachable closure** over those entries
+  (:func:`reachable`).
+
+This module owns those answers so the passes cannot drift apart: the
+set of functions CON audits for seed provenance is by construction the
+same set the effect table marks worker-reachable and the taint pass
+treats as the result path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.flow.symbols import (
+    PROCESS_POOLS,
+    ClassInfo,
+    FunctionInfo,
+    Project,
+)
+
+#: Method names that mutate their receiver in place (CON003 / the
+#: ``global-write`` effect).
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: Pool methods that take a payload callable as their first argument.
+DISPATCH_METHODS = frozenset({"map", "submit", "apply", "apply_async",
+                              "imap", "imap_unordered", "starmap"})
+
+
+def local_types(
+    project: Project, fn: FunctionInfo
+) -> Tuple[Dict[str, str], Optional[str]]:
+    """Class types of locals constructed in ``fn`` (+ its ``self`` name)."""
+    self_name = fn.params[0] if (fn.is_method and fn.params) else None
+    types: Dict[str, str] = {}
+    for node in ast.walk(fn.node):
+        target: Optional[str] = None
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name):
+            target, value = node.targets[0].id, node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            target, value = node.target.id, node.value
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name) and isinstance(
+                    item.context_expr, ast.Call
+                ):
+                    resolved = project.resolve_callee(
+                        fn.module, item.context_expr.func, types,
+                        fn.class_name, self_name,
+                    )
+                    if isinstance(resolved, ClassInfo):
+                        types[item.optional_vars.id] = resolved.qualname
+            continue
+        if target is None or not isinstance(value, ast.Call):
+            continue
+        resolved = project.resolve_callee(
+            fn.module, value.func, types, fn.class_name, self_name
+        )
+        if isinstance(resolved, ClassInfo):
+            types[target] = resolved.qualname
+    return types, self_name
+
+
+def callees(project: Project, fn: FunctionInfo) -> Set[str]:
+    """Qualnames of functions ``fn`` may call (call-graph edges)."""
+    types, self_name = local_types(project, fn)
+    edges: Set[str] = set()
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = project.resolve_callee(
+            fn.module, node.func, types, fn.class_name, self_name
+        )
+        if isinstance(resolved, FunctionInfo):
+            edges.add(resolved.qualname)
+        elif isinstance(resolved, ClassInfo):
+            for ctor in ("__init__", "__post_init__"):
+                if ctor in resolved.methods:
+                    edges.add(resolved.methods[ctor].qualname)
+        elif isinstance(node.func, ast.Attribute):
+            # Unique-method-name fallback: keeps the worker closure sound
+            # when the receiver's type could not be inferred.
+            candidates = project.methods_by_name.get(node.func.attr, [])
+            if len(candidates) == 1:
+                edges.add(candidates[0].qualname)
+    return edges
+
+
+def call_edges(project: Project) -> Dict[str, Set[str]]:
+    """The whole project's call graph, restricted to known functions."""
+    return {
+        qualname: {
+            callee
+            for callee in callees(project, fn)
+            if callee in project.functions
+        }
+        for qualname, fn in project.functions.items()
+    }
+
+
+def pool_locals(fn: FunctionInfo) -> Set[str]:
+    """Names bound to a process pool inside ``fn``."""
+    pools: Set[str] = set()
+    ctx = fn.module.ctx
+
+    def maybe_pool(value: ast.AST, name: str) -> None:
+        if isinstance(value, ast.Call):
+            dotted = ctx.dotted_name(value.func)
+            if dotted in PROCESS_POOLS:
+                pools.add(name)
+
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    maybe_pool(item.context_expr, item.optional_vars.id)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name):
+            maybe_pool(node.value, node.targets[0].id)
+    return pools
+
+
+def iter_dispatch_payloads(
+    fn: FunctionInfo,
+) -> Iterator[Tuple[ast.Call, ast.expr]]:
+    """Yield ``(dispatch_call, payload_expr)`` for every pool dispatch.
+
+    Payload expressions wrapped in ``functools.partial`` are unwrapped
+    to the underlying callable.  Every positional argument of the
+    dispatch is yielded (``pool.submit(fn, arg)`` ships both).
+    """
+    pools = pool_locals(fn)
+    if not pools:
+        return
+    ctx = fn.module.ctx
+    for node in ast.walk(fn.node):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in pools
+            and node.func.attr in DISPATCH_METHODS
+        ):
+            continue
+        for arg in node.args:
+            payload = arg
+            if isinstance(payload, ast.Call):
+                dotted = ctx.dotted_name(payload.func)
+                if dotted in ("functools.partial", "partial"):
+                    payload = payload.args[0] if payload.args else payload
+            yield node, payload
+
+
+def worker_entries(project: Project, fn: FunctionInfo) -> List[FunctionInfo]:
+    """Project functions ``fn`` ships to a process pool as payloads."""
+    entries: List[FunctionInfo] = []
+    self_name = fn.params[0] if (fn.is_method and fn.params) else None
+    for _call, payload in iter_dispatch_payloads(fn):
+        if not isinstance(payload, ast.Name):
+            continue
+        resolved = project.resolve_callee(
+            fn.module, payload, None, fn.class_name, self_name
+        )
+        if isinstance(resolved, FunctionInfo):
+            entries.append(resolved)
+    return entries
+
+
+def project_worker_entries(project: Project) -> List[FunctionInfo]:
+    """Every pool-payload function in the project, dispatch order."""
+    entries: List[FunctionInfo] = []
+    seen: Set[str] = set()
+    for fn in project.functions.values():
+        for entry in worker_entries(project, fn):
+            if entry.qualname not in seen:
+                seen.add(entry.qualname)
+                entries.append(entry)
+    return entries
+
+
+def reachable(
+    project: Project, entries: Iterable[FunctionInfo]
+) -> List[FunctionInfo]:
+    """Breadth-first worker-reachable closure over the call graph."""
+    seen: Set[str] = set()
+    order: List[FunctionInfo] = []
+    queue = list(entries)
+    while queue:
+        fn = queue.pop(0)
+        if fn.qualname in seen:
+            continue
+        seen.add(fn.qualname)
+        order.append(fn)
+        for callee in sorted(callees(project, fn)):
+            target = project.functions.get(callee)
+            if target is not None and target.qualname not in seen:
+                queue.append(target)
+    return order
+
+
+def worker_closure(project: Project) -> List[FunctionInfo]:
+    """The worker-reachable closure of every pool dispatch in the project."""
+    return reachable(project, project_worker_entries(project))
+
+
+def param_derived_names(fn: FunctionInfo) -> Set[str]:
+    """Flow-insensitive parameter-derivation closure over local names.
+
+    A name is *derived* when it is a parameter or was ever assigned an
+    expression mentioning a derived name — the seed-provenance notion
+    shared by CON001 and the taint pass's sanctioned-RNG check.
+    """
+    derived: Set[str] = set(fn.params)
+    derived.update(a.arg for a in fn.node.args.kwonlyargs)
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(fn.node):
+            targets: List[str] = []
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                targets, value = [node.target.id], node.value
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                targets, value = [node.target.id], node.value
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(
+                node.target, ast.Name
+            ):
+                targets, value = [node.target.id], node.iter
+            if not targets or value is None:
+                continue
+            if any(
+                isinstance(sub, ast.Name) and sub.id in derived
+                for sub in ast.walk(value)
+            ):
+                for name in targets:
+                    if name not in derived:
+                        derived.add(name)
+                        changed = True
+    return derived

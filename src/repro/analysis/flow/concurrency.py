@@ -14,118 +14,38 @@ on three conventions that nothing in the type system enforces:
 This pass finds the pool dispatch sites, resolves their payload
 callables through the project symbol table, computes the
 *worker-reachable* function set as a breadth-first closure over the call
-graph (constructor edges, ``self.method()``, attribute calls through
-locally- and attribute-typed receivers, and a unique-method-name
-fallback), then audits that set with a flow-insensitive taint analysis:
-a name is *seed-derived* when it is a parameter or was ever assigned an
-expression mentioning a seed-derived name.
+graph, then audits that set with a flow-insensitive taint analysis: a
+name is *seed-derived* when it is a parameter or was ever assigned an
+expression mentioning a seed-derived name.  The call-graph plumbing
+(payload scanning, the closure itself) lives in
+:mod:`repro.analysis.flow.callgraph`, shared with the effect-inference
+and determinism-taint passes so all three audit the same function set.
 
 Run :func:`repro.analysis.flow.inference.run_dimension_pass` first — it
-populates the class attribute-type tables this pass's call-graph
+populates the class attribute-type tables the shared call-graph
 resolution reuses.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import List, Set, Union
 
 from repro.analysis.findings import Finding
+from repro.analysis.flow.callgraph import (
+    MUTATING_METHODS,
+    iter_dispatch_payloads,
+    param_derived_names,
+    reachable,
+    worker_entries,
+)
 from repro.analysis.flow.symbols import (
-    PROCESS_POOLS,
     STREAM_FACTORIES,
-    ClassInfo,
     FunctionInfo,
     ModuleInfo,
     Project,
 )
 from repro.analysis.registry import get_rule
-
-#: Method names that mutate their receiver in place (CON003).
-_MUTATORS = frozenset(
-    {
-        "append",
-        "appendleft",
-        "add",
-        "clear",
-        "discard",
-        "extend",
-        "insert",
-        "pop",
-        "popitem",
-        "remove",
-        "setdefault",
-        "sort",
-        "update",
-    }
-)
-
-#: Pool methods that take a payload callable as their first argument.
-_DISPATCH_METHODS = frozenset({"map", "submit", "apply", "apply_async",
-                               "imap", "imap_unordered", "starmap"})
-
-
-def _local_types(
-    project: Project, fn: FunctionInfo
-) -> Tuple[Dict[str, str], Optional[str]]:
-    """Class types of locals constructed in ``fn`` (+ its ``self`` name)."""
-    self_name = fn.params[0] if (fn.is_method and fn.params) else None
-    types: Dict[str, str] = {}
-    for node in ast.walk(fn.node):
-        target: Optional[str] = None
-        value: Optional[ast.AST] = None
-        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
-                isinstance(node.targets[0], ast.Name):
-            target, value = node.targets[0].id, node.value
-        elif isinstance(node, ast.AnnAssign) and isinstance(
-            node.target, ast.Name
-        ):
-            target, value = node.target.id, node.value
-        elif isinstance(node, (ast.With, ast.AsyncWith)):
-            for item in node.items:
-                if isinstance(item.optional_vars, ast.Name) and isinstance(
-                    item.context_expr, ast.Call
-                ):
-                    resolved = project.resolve_callee(
-                        fn.module, item.context_expr.func, types,
-                        fn.class_name, self_name,
-                    )
-                    if isinstance(resolved, ClassInfo):
-                        types[item.optional_vars.id] = resolved.qualname
-            continue
-        if target is None or not isinstance(value, ast.Call):
-            continue
-        resolved = project.resolve_callee(
-            fn.module, value.func, types, fn.class_name, self_name
-        )
-        if isinstance(resolved, ClassInfo):
-            types[target] = resolved.qualname
-    return types, self_name
-
-
-def _callees(project: Project, fn: FunctionInfo) -> Set[str]:
-    """Qualnames of functions ``fn`` may call (call-graph edges)."""
-    types, self_name = _local_types(project, fn)
-    edges: Set[str] = set()
-    for node in ast.walk(fn.node):
-        if not isinstance(node, ast.Call):
-            continue
-        resolved = project.resolve_callee(
-            fn.module, node.func, types, fn.class_name, self_name
-        )
-        if isinstance(resolved, FunctionInfo):
-            edges.add(resolved.qualname)
-        elif isinstance(resolved, ClassInfo):
-            for ctor in ("__init__", "__post_init__"):
-                if ctor in resolved.methods:
-                    edges.add(resolved.methods[ctor].qualname)
-        elif isinstance(node.func, ast.Attribute):
-            # Unique-method-name fallback: keeps the worker closure sound
-            # when the receiver's type could not be inferred.
-            candidates = project.methods_by_name.get(node.func.attr, [])
-            if len(candidates) == 1:
-                edges.add(candidates[0].qualname)
-    return edges
 
 
 class ConcurrencyPass:
@@ -143,47 +63,10 @@ class ConcurrencyPass:
         )
 
     # ------------------------------------------------------------------
-    # Dispatch sites (CON002) and worker entry points
+    # Dispatch sites (CON002)
     # ------------------------------------------------------------------
-    def _pool_locals(
-        self, fn: FunctionInfo
-    ) -> Set[str]:
-        """Names bound to a process pool inside ``fn``."""
-        pools: Set[str] = set()
-        ctx = fn.module.ctx
-        for node in ast.walk(fn.node):
-            name: Optional[str] = None
-            value: Optional[ast.AST] = None
-            if isinstance(node, (ast.With, ast.AsyncWith)):
-                for item in node.items:
-                    if isinstance(item.optional_vars, ast.Name):
-                        self._maybe_pool(
-                            ctx, item.context_expr,
-                            item.optional_vars.id, pools,
-                        )
-                continue
-            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
-                    isinstance(node.targets[0], ast.Name):
-                name, value = node.targets[0].id, node.value
-            if name is not None and value is not None:
-                self._maybe_pool(ctx, value, name, pools)
-        return pools
-
-    @staticmethod
-    def _maybe_pool(ctx, value: ast.AST, name: str, pools: Set[str]) -> None:
-        if isinstance(value, ast.Call):
-            dotted = ctx.dotted_name(value.func)
-            if dotted in PROCESS_POOLS:
-                pools.add(name)
-
-    def _scan_dispatches(
-        self, fn: FunctionInfo
-    ) -> List[FunctionInfo]:
-        """CON002 checks; returns the resolved worker entry functions."""
-        entries: List[FunctionInfo] = []
-        pools = self._pool_locals(fn)
-        if not pools:
-            return entries
+    def _check_dispatches(self, fn: FunctionInfo) -> None:
+        """CON002: lambdas and closure locals shipped to a pool."""
         local_defs = {
             child.name
             for child in ast.walk(fn.node)
@@ -198,113 +81,30 @@ class ConcurrencyPass:
             and isinstance(node.targets[0], ast.Name)
             and isinstance(node.value, ast.Lambda)
         }
-        for node in ast.walk(fn.node):
-            if not (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and isinstance(node.func.value, ast.Name)
-                and node.func.value.id in pools
-                and node.func.attr in _DISPATCH_METHODS
+        for _call, payload in iter_dispatch_payloads(fn):
+            if isinstance(payload, ast.Lambda):
+                self._report(
+                    "CON002", fn.module, payload,
+                    "lambda shipped to a process pool; pool payloads "
+                    "are pickled by name and must be module-level "
+                    "functions",
+                )
+            elif isinstance(payload, ast.Name) and (
+                payload.id in local_defs or payload.id in lambda_names
             ):
-                continue
-            for arg in node.args:
-                payload = arg
-                if isinstance(payload, ast.Call):
-                    dotted = fn.module.ctx.dotted_name(payload.func)
-                    if dotted in ("functools.partial", "partial"):
-                        payload = payload.args[0] if payload.args else payload
-                if isinstance(payload, ast.Lambda):
-                    self._report(
-                        "CON002", fn.module, payload,
-                        "lambda shipped to a process pool; pool payloads "
-                        "are pickled by name and must be module-level "
-                        "functions",
-                    )
-                elif isinstance(payload, ast.Name) and (
-                    payload.id in local_defs or payload.id in lambda_names
-                ):
-                    self._report(
-                        "CON002", fn.module, payload,
-                        f"`{payload.id}` is a closure-captured local; "
-                        "process-pool payloads must be module-level "
-                        "functions",
-                    )
-                elif isinstance(payload, ast.Name):
-                    resolved = self.project.resolve_callee(
-                        fn.module, payload, None, fn.class_name,
-                        fn.params[0] if fn.is_method and fn.params else None,
-                    )
-                    if isinstance(resolved, FunctionInfo):
-                        entries.append(resolved)
-        return entries
-
-    # ------------------------------------------------------------------
-    # Worker-reachable closure
-    # ------------------------------------------------------------------
-    def _reachable(
-        self, entries: Iterable[FunctionInfo]
-    ) -> List[FunctionInfo]:
-        seen: Set[str] = set()
-        order: List[FunctionInfo] = []
-        queue = list(entries)
-        while queue:
-            fn = queue.pop(0)
-            if fn.qualname in seen:
-                continue
-            seen.add(fn.qualname)
-            order.append(fn)
-            for callee in sorted(_callees(self.project, fn)):
-                target = self.project.functions.get(callee)
-                if target is not None and target.qualname not in seen:
-                    queue.append(target)
-        return order
+                self._report(
+                    "CON002", fn.module, payload,
+                    f"`{payload.id}` is a closure-captured local; "
+                    "process-pool payloads must be module-level "
+                    "functions",
+                )
 
     # ------------------------------------------------------------------
     # Worker-side audits (CON001, CON003)
     # ------------------------------------------------------------------
-    @staticmethod
-    def _tainted_names(fn: FunctionInfo) -> Set[str]:
-        """Flow-insensitive seed-derivation closure over local names."""
-        tainted: Set[str] = set(fn.params)
-        tainted.update(a.arg for a in fn.node.args.kwonlyargs)
-        changed = True
-        while changed:
-            changed = False
-            for node in ast.walk(fn.node):
-                targets: List[str] = []
-                value: Optional[ast.AST] = None
-                if isinstance(node, ast.Assign):
-                    targets = [
-                        t.id for t in node.targets if isinstance(t, ast.Name)
-                    ]
-                    value = node.value
-                elif isinstance(node, ast.AnnAssign) and isinstance(
-                    node.target, ast.Name
-                ):
-                    targets, value = [node.target.id], node.value
-                elif isinstance(node, ast.AugAssign) and isinstance(
-                    node.target, ast.Name
-                ):
-                    targets, value = [node.target.id], node.value
-                elif isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(
-                    node.target, ast.Name
-                ):
-                    targets, value = [node.target.id], node.iter
-                if not targets or value is None:
-                    continue
-                if any(
-                    isinstance(sub, ast.Name) and sub.id in tainted
-                    for sub in ast.walk(value)
-                ):
-                    for name in targets:
-                        if name not in tainted:
-                            tainted.add(name)
-                            changed = True
-        return tainted
-
     def _audit_worker(self, fn: FunctionInfo) -> None:
         module = fn.module
-        tainted = self._tainted_names(fn)
+        tainted = param_derived_names(fn)
         global_decls: Set[str] = set()
         for node in ast.walk(fn.node):
             if isinstance(node, ast.Global):
@@ -360,7 +160,7 @@ class ConcurrencyPass:
         if not (
             isinstance(node.func, ast.Attribute)
             and isinstance(node.func.value, ast.Name)
-            and node.func.attr in _MUTATORS
+            and node.func.attr in MUTATING_METHODS
         ):
             return
         name = node.func.value.id
@@ -409,8 +209,9 @@ class ConcurrencyPass:
     def run(self) -> List[Finding]:
         entries: List[FunctionInfo] = []
         for fn in self.project.functions.values():
-            entries.extend(self._scan_dispatches(fn))
-        for fn in self._reachable(entries):
+            self._check_dispatches(fn)
+            entries.extend(worker_entries(self.project, fn))
+        for fn in reachable(self.project, entries):
             self._audit_worker(fn)
         return self.findings
 

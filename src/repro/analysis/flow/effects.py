@@ -1,0 +1,453 @@
+"""Interprocedural effect inference over a join-semilattice.
+
+Every function in the analyzed project gets an **effect summary**: a set
+drawn from seven effect atoms, ordered by subset inclusion.  The bottom
+element is the empty set (*pure*); ``join`` is set union; the lattice
+height is finite, so the interprocedural fixpoint — a function's summary
+is its *intrinsic* effects joined with the summaries of everything it
+may call — terminates and is monotone (each iteration only ever adds
+atoms, a property the hypothesis suite pins).
+
+The atoms:
+
+``reads-clock``
+    A **wall-clock** read (``time.time``, ``datetime.now`` — the DET003
+    set).  Monotonic readers (``time.perf_counter``,
+    ``repro.observability.clock.monotonic_seconds``) are deliberately
+    *not* this effect: the observability layer is the sanctioned home
+    for interval timing and is audited separately (OBS001); the taint
+    pass still treats monotonic *values* as clock-tainted so they can
+    never reach a result or cache key.
+``rng-unseeded``
+    Construction of a random stream from fresh entropy or the stdlib
+    global stream (``default_rng()`` with no arguments, ``random.*``,
+    legacy ``numpy.random.*``).
+``rng-derived``
+    Construction of a stream from provided seed material
+    (``derive_generator``, ``as_generator(seed)``,
+    ``default_rng(seed)``).  Whether that material is *correctly*
+    derived from the run's parameters is CON001/TNT002's job; the
+    effect records that the function manufactures a stream at all.
+``reads-env``
+    ``os.environ`` / ``os.getenv`` / ``platform.*`` /
+    ``socket.gethostname`` — host-dependent inputs.
+``io``
+    File or console I/O (``open``, ``print``, ``Path.read_text`` …).
+``global-write``
+    Rebinding or in-place mutation of a module-level global.
+``unordered-iteration``
+    Iteration over a set-typed value, whose order is not specified.
+    (Python dicts iterate in insertion order, so plain dict iteration
+    is *not* this effect.)
+
+A function may pin its own summary with a structured comment on (or
+directly above) its ``def`` line, mirroring ``# simlint: dim(...)``::
+
+    def fetch(url):  # simlint: effects(io)
+
+Declared effects are trusted boundaries: the fixpoint does not
+propagate callee effects through a declared function.  ``effects(pure)``
+declares the empty summary.
+
+:func:`solve_effects` is the pure fixpoint core (property-tested
+directly); :func:`compute_effects` builds the full
+:class:`EffectTable` for a project, including the worker-reachable
+closure used by the ``simlint effects`` subcommand and the pinned
+``run.simulate`` reproducibility test.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.flow.callgraph import (
+    MUTATING_METHODS,
+    call_edges,
+    project_worker_entries,
+    reachable,
+)
+from repro.analysis.flow.symbols import FunctionInfo, Project
+
+Effects = FrozenSet[str]
+
+READS_CLOCK = "reads-clock"
+RNG_UNSEEDED = "rng-unseeded"
+RNG_DERIVED = "rng-derived"
+READS_ENV = "reads-env"
+IO = "io"
+GLOBAL_WRITE = "global-write"
+UNORDERED_ITERATION = "unordered-iteration"
+
+ALL_EFFECTS: Effects = frozenset(
+    {
+        READS_CLOCK,
+        RNG_UNSEEDED,
+        RNG_DERIVED,
+        READS_ENV,
+        IO,
+        GLOBAL_WRITE,
+        UNORDERED_ITERATION,
+    }
+)
+
+#: The lattice bottom: no observable effects.
+PURE: Effects = frozenset()
+
+
+def join(a: Effects, b: Effects) -> Effects:
+    """Least upper bound of two summaries (set union)."""
+    return a | b
+
+
+#: Wall-clock reads (the DET003 set).  Monotonic readers excluded by
+#: design — see the module docstring.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: The sole sanctioned stream-derivation helper (TNT002's anchor).
+DERIVE_GENERATOR = "repro.random_utils.derive_generator"
+
+#: Stream constructors whose seededness depends on their arguments.
+SEEDABLE_RNG_FACTORIES = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+        "repro.random_utils.as_generator",
+    }
+)
+
+ENV_CALLS = frozenset(
+    {
+        "os.getenv",
+        "os.uname",
+        "os.getpid",
+        "os.cpu_count",
+        "socket.gethostname",
+        "sys.getdefaultencoding",
+    }
+)
+
+#: Attribute reads that expose host state (``os.environ["TZ"]``).
+ENV_ATTRIBUTES = frozenset({"os.environ", "sys.platform"})
+
+IO_CALLS = frozenset({"open", "builtins.open", "print", "input"})
+
+#: Receiver-agnostic I/O method names (``Path.read_text`` et al.).
+IO_METHOD_NAMES = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: ``# simlint: effects(io, reads-env)`` declared-summary comments.
+_EFFECTS_COMMENT_RE = re.compile(
+    r"#\s*simlint\s*:\s*effects\s*\(([^)]*)\)"
+)
+
+
+def declared_effects(fn: FunctionInfo) -> Optional[Effects]:
+    """The summary a ``# simlint: effects(...)`` comment pins, if any.
+
+    Unknown atom spellings are ignored rather than fatal — a typo'd
+    declaration degrades to a smaller (more alarming) summary instead
+    of crashing the lint run.
+    """
+    lines = fn.module.ctx.lines
+    for lineno in (fn.node.lineno, fn.node.lineno - 1):
+        if not 1 <= lineno <= len(lines):
+            continue
+        match = _EFFECTS_COMMENT_RE.search(lines[lineno - 1])
+        if match is None:
+            continue
+        tokens = [t.strip() for t in match.group(1).split(",") if t.strip()]
+        if tokens == ["pure"]:
+            return PURE
+        return frozenset(t for t in tokens if t in ALL_EFFECTS)
+    return None
+
+
+def set_typed_locals(fn: FunctionInfo) -> Set[str]:
+    """Local names ever bound to a set-typed value inside ``fn``."""
+    names: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(fn.node):
+            target: Optional[str] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                target, value = node.targets[0].id, node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                target, value = node.target.id, node.value
+            if target is None or value is None:
+                continue
+            if target not in names and is_set_typed(value, names):
+                names.add(target)
+                changed = True
+    return names
+
+
+def is_set_typed(expr: ast.expr, set_names: Set[str]) -> bool:
+    """Conservatively: does this expression evaluate to a set?"""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) and \
+            expr.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in set_names
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return is_set_typed(expr.left, set_names) or is_set_typed(
+            expr.right, set_names
+        )
+    return False
+
+
+def _bound_names(fn: FunctionInfo) -> Set[str]:
+    """Every name bound inside ``fn`` (params, locals, loop targets)."""
+    bound: Set[str] = set(fn.params)
+    bound.update(a.arg for a in fn.node.args.kwonlyargs)
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+    return bound
+
+
+def intrinsic_effects(project: Project, fn: FunctionInfo) -> Effects:
+    """Effects ``fn`` performs directly, ignoring its callees."""
+    ctx = fn.module.ctx
+    found: Set[str] = set()
+    set_names = set_typed_locals(fn)
+    bound = _bound_names(fn)
+    global_decls: Set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Global):
+            global_decls.update(node.names)
+
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            dotted = ctx.dotted_name(node.func)
+            if dotted in WALL_CLOCK_CALLS:
+                found.add(READS_CLOCK)
+            elif dotted == DERIVE_GENERATOR:
+                found.add(RNG_DERIVED)
+            elif dotted in SEEDABLE_RNG_FACTORIES:
+                if node.args or node.keywords:
+                    found.add(RNG_DERIVED)
+                else:
+                    found.add(RNG_UNSEEDED)
+            elif dotted is not None and (
+                dotted.startswith("random.")
+                or dotted.startswith("numpy.random.")
+            ):
+                found.add(RNG_UNSEEDED)
+            elif dotted in ENV_CALLS or (
+                dotted is not None and dotted.startswith("platform.")
+            ):
+                found.add(READS_ENV)
+            elif dotted in IO_CALLS:
+                found.add(IO)
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in IO_METHOD_NAMES:
+                    found.add(IO)
+                elif (
+                    node.func.attr in MUTATING_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in fn.module.mutable_globals
+                    and node.func.value.id not in bound
+                ):
+                    found.add(GLOBAL_WRITE)
+        elif isinstance(node, ast.Attribute):
+            dotted = ctx.dotted_name(node)
+            if dotted in ENV_ATTRIBUTES:
+                found.add(READS_ENV)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [
+                node.target
+            ]
+            for target in targets:
+                if isinstance(target, ast.Name) and \
+                        target.id in global_decls:
+                    found.add(GLOBAL_WRITE)
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in fn.module.mutable_globals
+                    and target.value.id not in bound
+                ):
+                    found.add(GLOBAL_WRITE)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if is_set_typed(node.iter, set_names):
+                found.add(UNORDERED_ITERATION)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            if any(
+                is_set_typed(gen.iter, set_names) for gen in node.generators
+            ):
+                found.add(UNORDERED_ITERATION)
+    return frozenset(found)
+
+
+def solve_effects(
+    intrinsic: Mapping[str, Effects],
+    edges: Mapping[str, Set[str]],
+    pinned: Optional[Mapping[str, Effects]] = None,
+) -> Dict[str, Effects]:
+    """Least fixpoint of ``summary(f) = intrinsic(f) ∪ ⋃ summary(callee)``.
+
+    ``pinned`` entries (declared effects) are trusted boundaries: their
+    summaries never change and callee effects do not flow through them.
+    Iteration order is sorted, so the result is deterministic; the
+    lattice is finite, so termination is by monotonicity.
+    """
+    pins: Mapping[str, Effects] = pinned or {}
+    names = sorted(set(intrinsic) | set(edges) | set(pins))
+    summaries: Dict[str, Effects] = {
+        name: pins.get(name, intrinsic.get(name, PURE)) for name in names
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name in names:
+            if name in pins:
+                continue
+            summary = summaries[name]
+            for callee in sorted(edges.get(name, ())):
+                summary = join(summary, summaries.get(callee, PURE))
+            if summary != summaries[name]:
+                summaries[name] = summary
+                changed = True
+    return summaries
+
+
+@dataclass
+class EffectTable:
+    """Per-function effect summaries plus the call graph they solved on."""
+
+    project: Project
+    summaries: Dict[str, Effects]
+    intrinsic: Dict[str, Effects]
+    declared: Dict[str, Effects]
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def function_effects(self, qualname: str) -> Effects:
+        return self.summaries.get(qualname, PURE)
+
+    def resolve(self, name: str) -> str:
+        """A (possibly abbreviated) function name to its unique qualname.
+
+        Accepts a full qualname, a ``Class.method`` suffix, or a bare
+        function name; raises ``KeyError`` when unknown or ambiguous.
+        """
+        if name in self.project.functions:
+            return name
+        matches = [
+            qualname
+            for qualname in sorted(self.project.functions)
+            if qualname.endswith(f".{name}")
+        ]
+        if not matches:
+            raise KeyError(f"no function matches {name!r}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"{name!r} is ambiguous: {', '.join(matches)}"
+            )
+        return matches[0]
+
+    def closure(self, name: str) -> Tuple[List[str], Effects]:
+        """Worker-style closure from one entry: (functions, joined effects)."""
+        qualname = self.resolve(name)
+        entry = self.project.functions[qualname]
+        order = [fn.qualname for fn in reachable(self.project, [entry])]
+        joined = PURE
+        for member in order:
+            joined = join(joined, self.function_effects(member))
+        return order, joined
+
+    def worker_closure(self) -> Tuple[List[str], Effects]:
+        """The pool-payload closure: every worker-reachable function."""
+        entries = project_worker_entries(self.project)
+        order = [fn.qualname for fn in reachable(self.project, entries)]
+        joined = PURE
+        for member in order:
+            joined = join(joined, self.function_effects(member))
+        return order, joined
+
+
+def compute_effects(project: Project) -> EffectTable:
+    """Solve the effect fixpoint for every function in ``project``."""
+    intrinsic: Dict[str, Effects] = {}
+    declared: Dict[str, Effects] = {}
+    for qualname, fn in project.functions.items():
+        intrinsic[qualname] = intrinsic_effects(project, fn)
+        pinned = declared_effects(fn)
+        if pinned is not None:
+            declared[qualname] = pinned
+    edges = call_edges(project)
+    summaries = solve_effects(intrinsic, edges, declared)
+    return EffectTable(
+        project=project,
+        summaries=summaries,
+        intrinsic=intrinsic,
+        declared=declared,
+        edges=edges,
+    )
+
+
+def effects_for_sources(sources: Mapping[str, str]) -> EffectTable:
+    """Convenience: build a project from ``{path: source}`` and solve it."""
+    return compute_effects(Project.build(sources))
+
+
+def effects_report(
+    table: EffectTable, closures: Tuple[str, ...] = ()
+) -> Dict[str, Any]:
+    """JSON-ready effect-summary dump (the ``simlint effects`` payload)."""
+    worker_functions, worker_joined = table.worker_closure()
+    report: Dict[str, Any] = {
+        "version": 1,
+        "functions": {
+            qualname: sorted(effects)
+            for qualname, effects in sorted(table.summaries.items())
+        },
+        "declared": {
+            qualname: sorted(effects)
+            for qualname, effects in sorted(table.declared.items())
+        },
+        "worker_entries": [
+            fn.qualname for fn in project_worker_entries(table.project)
+        ],
+        "worker_closure": {
+            "functions": worker_functions,
+            "effects": sorted(worker_joined),
+        },
+    }
+    if closures:
+        resolved: Dict[str, Any] = {}
+        for name in closures:
+            functions, joined = table.closure(name)
+            resolved[name] = {
+                "entry": table.resolve(name),
+                "functions": functions,
+                "effects": sorted(joined),
+            }
+        report["closures"] = resolved
+    return report

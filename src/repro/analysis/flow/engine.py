@@ -8,8 +8,9 @@ them with the line engine's output and feed any reporter or baseline.
 
 Pass ordering matters: the dimension pass runs first because its
 abstract interpretation fills in the class attribute-type tables
-(``self.chip = Chip(...)``) that the concurrency pass's call-graph
-resolution reuses.
+(``self.chip = Chip(...)``) that the other passes' shared call-graph
+resolution reuses; the concurrency and taint passes then audit the
+worker-reachable closure that resolution produces.
 """
 
 from __future__ import annotations
@@ -21,17 +22,19 @@ from repro.analysis.findings import Finding
 from repro.analysis.flow.cache import (
     LintCache,
     project_digest,
+    registry_signature,
     rules_signature,
     source_digest,
 )
 from repro.analysis.flow.concurrency import run_concurrency_pass
 from repro.analysis.flow.inference import run_dimension_pass
 from repro.analysis.flow.symbols import Project
+from repro.analysis.flow.taint import run_taint_pass
 from repro.analysis.registry import Rule, all_rules
 
 
 def flow_rules() -> List[Rule]:
-    """Every registered flow rule (``DIM*``/``CON*``)."""
+    """Every registered flow rule (``DIM*``/``CON*``/``TNT*``)."""
     return [rule for rule in all_rules() if rule.flow]
 
 
@@ -49,6 +52,7 @@ def flow_sources(
     project = Project.build(sources)
     findings = run_dimension_pass(project)
     findings.extend(run_concurrency_pass(project))
+    findings.extend(run_taint_pass(project))
     findings = [f for f in findings if f.code in active]
 
     surviving = []
@@ -91,8 +95,11 @@ def flow_paths(
     )
     digests = {path: source_digest(text) for path, text in sources.items()}
     project_sig = project_digest(digests)
+    registry_sig = registry_signature()
     keys = {
-        path: f"flow:{digests[path]}:{project_sig}:{signature}"
+        path: (
+            f"flow:{digests[path]}:{project_sig}:{signature}:{registry_sig}"
+        )
         for path in sources
     }
     if all(cache.peek(key) for key in keys.values()):

@@ -1,8 +1,9 @@
-"""Rule metadata for the dataflow families (``DIM``, ``CON``).
+"""Rule metadata for the dataflow families (``DIM``, ``CON``, ``TNT``).
 
 These rules do not hook the single-file visitor: they are *emitted* by
-the flow passes (:mod:`repro.analysis.flow.inference` and
-:mod:`repro.analysis.flow.concurrency`).  Registering them in the shared
+the flow passes (:mod:`repro.analysis.flow.inference`,
+:mod:`repro.analysis.flow.concurrency`, and
+:mod:`repro.analysis.flow.taint`).  Registering them in the shared
 registry keeps ``--list-rules``, ``--select``, severity handling, and the
 docs generator uniform across line rules and flow rules; the
 :attr:`~repro.analysis.registry.Rule.flow` marker tells the CLI they only
@@ -118,4 +119,77 @@ class WorkerGlobalWriteRule(FlowRule):
         "a module-level global rebound or mutated from code reachable "
         "inside a pool worker; worker processes never share the write "
         "back, so the mutation silently diverges from serial execution"
+    )
+
+
+@register
+class ClockReachesResultRule(FlowRule):
+    """TNT001: clock value reaches a run result or cache content key."""
+
+    code = "TNT001"
+    name = "clock-reaches-result"
+    severity = Severity.ERROR
+    description = (
+        "a wall-clock or monotonic reading flows into a worker entry's "
+        "return value or into the sha256 cache key; results and keys "
+        "must be pure functions of (seed, spec, config) or cache hits "
+        "replay stale timestamps"
+    )
+
+
+@register
+class UnderivedRngReachesResultRule(FlowRule):
+    """TNT002: RNG not derived via derive_generator reaches a result."""
+
+    code = "TNT002"
+    name = "underived-rng-reaches-result"
+    severity = Severity.ERROR
+    description = (
+        "a random stream constructed from fresh entropy or a constant "
+        "(rather than via random_utils.derive_generator or parameter "
+        "seed material) flows into a run result; parallel campaigns "
+        "would not be bit-identical to serial ones"
+    )
+
+
+@register
+class UnorderedReductionRule(FlowRule):
+    """TNT003: unordered set iteration feeds an order-sensitive reduction."""
+
+    code = "TNT003"
+    name = "unordered-set-reduction"
+    severity = Severity.WARNING
+    description = (
+        "worker-reachable code iterates a set (whose order is "
+        "unspecified) into sum/list/join or an accumulating loop; "
+        "float accumulation order varies run-to-run — sort first"
+    )
+
+
+@register
+class CompletionOrderAggregationRule(FlowRule):
+    """TNT004: results aggregated in worker-completion order."""
+
+    code = "TNT004"
+    name = "completion-order-aggregation"
+    severity = Severity.ERROR
+    description = (
+        "results collected via as_completed/imap_unordered into an "
+        "order-sensitive accumulator; aggregation must follow spec "
+        "order so campaigns are bit-identical across --jobs N"
+    )
+
+
+@register
+class EnvReachesCacheKeyRule(FlowRule):
+    """TNT005: environment/platform value flows into the cache key."""
+
+    code = "TNT005"
+    name = "env-reaches-cache-key"
+    severity = Severity.ERROR
+    description = (
+        "os.environ/platform-dependent material flows into the sha256 "
+        "cache key; identical runs on different hosts would miss each "
+        "other's cache entries (or worse, a host detail leaks into "
+        "result identity)"
     )

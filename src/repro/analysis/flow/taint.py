@@ -1,0 +1,661 @@
+"""Determinism-taint analysis: nondeterminism sources to result sinks.
+
+The repository's reproducibility contract — campaigns are bit-identical
+across ``--jobs N``, retries, pool rebuilds, and cache states — reduces
+to a dataflow property: **no nondeterministic value may reach a run
+result or a cache key, and no aggregation may depend on an unspecified
+order**.  This pass checks that property interprocedurally, on top of
+the shared call graph (:mod:`repro.analysis.flow.callgraph`) and the
+effect machinery (:mod:`repro.analysis.flow.effects`).
+
+Taint *labels* — ``clock`` (wall-clock **and** monotonic readers: a
+monotonic value may time telemetry but never a result), ``rng`` (a
+stream not derived from parameter seed material), ``env``
+(``os.environ`` / ``platform.*``) — propagate flow-insensitively
+through local assignments and through resolved project calls via
+per-function **return-taint summaries**; which parameters reach a
+hashing sink propagates the same way via **key-param summaries**, so a
+caller three modules away that passes a timestamp into a cache-key
+helper is still caught.
+
+The rules:
+
+* ``TNT001`` — a clock-derived value reaches a worker entry's return
+  (the run result) or a ``hashlib`` cache-key sink;
+* ``TNT002`` — a random stream not derived via
+  ``random_utils.derive_generator`` (or equivalently from parameter
+  seed material) reaches a worker entry's return;
+* ``TNT003`` — iteration over an unordered ``set`` feeds an
+  order-sensitive reduction (``sum``/``list``/``join``/accumulating
+  loop) inside the worker-reachable closure;
+* ``TNT004`` — results aggregated in worker *completion* order
+  (``as_completed``/``imap_unordered`` feeding an accumulator) rather
+  than spec order;
+* ``TNT005`` — an environment/platform-dependent value flows into the
+  ``hashlib`` cache key.
+
+Analysis boundaries, chosen to keep the pass quiet on sanctioned code:
+attribute stores (``batch.wall_seconds = …``) do not taint their base
+object — telemetry legitimately hangs timing off result carriers, and
+the OBS rules police raw clock reads; dict iteration is *not* unordered
+(Python dicts iterate in insertion order); ``sorted()`` normalizes any
+iteration order and therefore launders TNT003/TNT004; accumulating
+``count += 1`` loops that never touch the loop variable are
+order-insensitive and stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.engine import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.flow.callgraph import (
+    local_types,
+    param_derived_names,
+    project_worker_entries,
+    worker_closure,
+)
+from repro.analysis.flow.effects import (
+    DERIVE_GENERATOR,
+    ENV_ATTRIBUTES,
+    ENV_CALLS,
+    SEEDABLE_RNG_FACTORIES,
+    WALL_CLOCK_CALLS,
+    is_set_typed,
+    set_typed_locals,
+)
+from repro.analysis.flow.symbols import FunctionInfo, ModuleInfo, Project
+from repro.analysis.registry import get_rule
+
+#: A taint label: ``(kind, origin)`` where kind is ``clock``/``rng``/
+#: ``env`` (a nondeterminism source) or ``param`` (a caller-owned value).
+Label = Tuple[str, str]
+
+#: Calls whose *value* is clock-derived.  Wider than the ``reads-clock``
+#: effect: monotonic readers are sanctioned for telemetry intervals but
+#: their values still must never reach a result or cache key.
+CLOCK_VALUE_CALLS = WALL_CLOCK_CALLS | frozenset(
+    {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "repro.observability.monotonic_seconds",
+        "repro.observability.clock.monotonic_seconds",
+    }
+)
+
+#: Hash constructors whose arguments form cache-key material.
+HASH_SINKS = frozenset(
+    {
+        "hashlib.sha256",
+        "hashlib.sha1",
+        "hashlib.sha512",
+        "hashlib.sha3_256",
+        "hashlib.md5",
+        "hashlib.blake2b",
+        "hashlib.blake2s",
+        "hashlib.new",
+    }
+)
+
+#: Reductions whose result depends on element order.
+ORDER_SENSITIVE_CONSUMERS = frozenset(
+    {
+        "sum",
+        "list",
+        "tuple",
+        "functools.reduce",
+        "itertools.accumulate",
+        "numpy.array",
+        "numpy.asarray",
+        "numpy.cumsum",
+    }
+)
+
+#: Receiver methods that accumulate in call order.
+ACCUMULATING_METHODS = frozenset({"append", "extend", "appendleft", "write"})
+
+#: Iterators that yield in worker-completion order (TNT004).
+COMPLETION_ITERATORS = frozenset({"as_completed", "imap_unordered"})
+
+
+@dataclass(frozen=True)
+class TaintSummary:
+    """What one function exposes to its callers."""
+
+    #: Source kinds the return value may carry, with a witness origin.
+    ret_sources: Tuple[Tuple[str, str], ...] = ()
+    #: Parameters that flow into a hash (cache-key) sink.
+    key_params: FrozenSet[str] = frozenset()
+
+
+_EMPTY_SUMMARY = TaintSummary()
+_MAX_ROUNDS = 12
+
+
+def _binding_targets(
+    node: ast.AST,
+) -> Tuple[List[str], Optional[ast.expr]]:
+    """Name targets and source expression of one binding statement."""
+    targets: List[ast.expr] = []
+    value: Optional[ast.expr] = None
+    if isinstance(node, ast.Assign):
+        targets, value = list(node.targets), node.value
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets, value = [node.target], node.value
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        targets, value = [node.target], node.iter
+    elif isinstance(node, (ast.With, ast.AsyncWith)):
+        names: List[str] = []
+        for item in node.items:
+            if isinstance(item.optional_vars, ast.Name):
+                names.append(item.optional_vars.id)
+        # ``with`` items bind one-to-one; fold them into one edge from
+        # the first context expression (conservative, rarely mixed).
+        if names:
+            return names, node.items[0].context_expr
+        return [], None
+    elif isinstance(node, ast.NamedExpr):
+        targets, value = [node.target], node.value
+    names = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names.extend(
+                elt.id for elt in target.elts if isinstance(elt, ast.Name)
+            )
+    return names, value
+
+
+class TaintPass:
+    """TNT001–TNT005 over one analyzed project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.findings: List[Finding] = []
+        self.summaries: Dict[str, TaintSummary] = {
+            qualname: _EMPTY_SUMMARY for qualname in project.functions
+        }
+
+    # ------------------------------------------------------------------
+    # Label propagation
+    # ------------------------------------------------------------------
+    def _source_label(
+        self,
+        fn: FunctionInfo,
+        node: ast.Call,
+        derived: Set[str],
+    ) -> Optional[Label]:
+        """The label a source call introduces, if it is one."""
+        dotted = fn.module.ctx.dotted_name(node.func)
+        if dotted is None:
+            return None
+        if dotted in CLOCK_VALUE_CALLS:
+            return ("clock", dotted)
+        if dotted in ENV_CALLS or dotted.startswith("platform."):
+            return ("env", dotted)
+        if dotted == DERIVE_GENERATOR:
+            return None  # the sanctioned derivation — always clean
+        if dotted in SEEDABLE_RNG_FACTORIES:
+            seed_args = list(node.args) + [kw.value for kw in node.keywords]
+            if not seed_args:
+                return ("rng", f"{dotted}()")
+            seeded = any(
+                isinstance(sub, ast.Name) and sub.id in derived
+                for arg in seed_args
+                for sub in ast.walk(arg)
+            )
+            return None if seeded else ("rng", dotted)
+        if dotted.startswith("random.") or dotted.startswith("numpy.random."):
+            return ("rng", dotted)
+        return None
+
+    def _expr_labels(
+        self,
+        fn: FunctionInfo,
+        expr: ast.expr,
+        env: Dict[str, Set[Label]],
+        derived: Set[str],
+        types: Dict[str, str],
+        self_name: Optional[str],
+    ) -> Set[Label]:
+        """Every label the value of ``expr`` may carry.
+
+        Sub-expression names propagate conservatively (``f(x)`` keeps
+        ``x``'s labels even if ``f`` ignores it); resolved project
+        calls additionally contribute their return-taint summaries.
+        When a method call *is* resolved, the summary characterizes its
+        return exactly, so the receiver's own labels do not leak into
+        the call's value (``campaign.run_spec(...)`` is not env-tainted
+        merely because the campaign holds an env-derived retry policy);
+        unresolved calls (``rng.normal()``) stay conservative.
+        """
+        labels: Set[Label] = set()
+        ctx = fn.module.ctx
+        receiver_names: Set[int] = set()
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name):
+                if id(sub) not in receiver_names:
+                    labels |= env.get(sub.id, set())
+            elif isinstance(sub, ast.Call):
+                source = self._source_label(fn, sub, derived)
+                if source is not None:
+                    labels.add(source)
+                resolved = self.project.resolve_callee(
+                    fn.module, sub.func, types, fn.class_name, self_name
+                )
+                if isinstance(resolved, FunctionInfo):
+                    summary = self.summaries.get(
+                        resolved.qualname, _EMPTY_SUMMARY
+                    )
+                    labels.update(summary.ret_sources)
+                    if isinstance(sub.func, ast.Attribute):
+                        receiver_names.update(
+                            id(inner)
+                            for inner in ast.walk(sub.func)
+                            if isinstance(inner, ast.Name)
+                        )
+            elif isinstance(sub, ast.Attribute):
+                dotted = ctx.dotted_name(sub)
+                if dotted in ENV_ATTRIBUTES:
+                    labels.add(("env", dotted))
+        return labels
+
+    def _local_env(
+        self,
+        fn: FunctionInfo,
+        derived: Set[str],
+        types: Dict[str, str],
+        self_name: Optional[str],
+    ) -> Dict[str, Set[Label]]:
+        """Flow-insensitive fixpoint of local-name labels."""
+        env: Dict[str, Set[Label]] = {
+            name: {("param", name)} for name in fn.params
+        }
+        for arg in fn.node.args.kwonlyargs:
+            env[arg.arg] = {("param", arg.arg)}
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(fn.node):
+                names, value = _binding_targets(node)
+                if not names or value is None:
+                    continue
+                labels = self._expr_labels(
+                    fn, value, env, derived, types, self_name
+                )
+                for name in names:
+                    before = env.setdefault(name, set())
+                    if labels - before:
+                        before |= labels
+                        changed = True
+        return env
+
+    # ------------------------------------------------------------------
+    # Summaries (project fixpoint)
+    # ------------------------------------------------------------------
+    def _summarize(self, fn: FunctionInfo) -> TaintSummary:
+        derived = param_derived_names(fn)
+        types, self_name = local_types(self.project, fn)
+        env = self._local_env(fn, derived, types, self_name)
+
+        ret: Dict[str, str] = {}
+        key_params: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for kind, origin in self._expr_labels(
+                    fn, node.value, env, derived, types, self_name
+                ):
+                    if kind != "param":
+                        ret.setdefault(kind, origin)
+            elif isinstance(node, ast.Call):
+                for _arg, labels in self._key_sink_args(
+                    fn, node, env, derived, types, self_name
+                ):
+                    for kind, origin in labels:
+                        if kind == "param":
+                            key_params.add(origin)
+        return TaintSummary(
+            ret_sources=tuple(sorted(ret.items())),
+            key_params=frozenset(key_params),
+        )
+
+    def _key_sink_args(
+        self,
+        fn: FunctionInfo,
+        node: ast.Call,
+        env: Dict[str, Set[Label]],
+        derived: Set[str],
+        types: Dict[str, str],
+        self_name: Optional[str],
+    ) -> List[Tuple[ast.expr, Set[Label]]]:
+        """``(arg, labels)`` for every argument that is cache-key material."""
+        ctx = fn.module.ctx
+        sink_args: List[ast.expr] = []
+        dotted = ctx.dotted_name(node.func)
+        if dotted in HASH_SINKS:
+            sink_args = list(node.args) + [kw.value for kw in node.keywords]
+        else:
+            resolved = self.project.resolve_callee(
+                fn.module, node.func, types, fn.class_name, self_name
+            )
+            if isinstance(resolved, FunctionInfo):
+                summary = self.summaries.get(
+                    resolved.qualname, _EMPTY_SUMMARY
+                )
+                if summary.key_params:
+                    bound = resolved.is_method and isinstance(
+                        node.func, ast.Attribute
+                    )
+                    for index, arg in enumerate(node.args):
+                        name = resolved.positional_param(index, bound=bound)
+                        if name in summary.key_params:
+                            sink_args.append(arg)
+                    for keyword in node.keywords:
+                        if keyword.arg in summary.key_params:
+                            sink_args.append(keyword.value)
+        return [
+            (
+                arg,
+                self._expr_labels(fn, arg, env, derived, types, self_name),
+            )
+            for arg in sink_args
+        ]
+
+    # ------------------------------------------------------------------
+    # Findings
+    # ------------------------------------------------------------------
+    def _report(
+        self, code: str, module: ModuleInfo, node: ast.AST, message: str
+    ) -> None:
+        self.findings.append(
+            module.ctx.finding(get_rule(code), node, message)
+        )
+
+    @staticmethod
+    def _witness(
+        expr: ast.expr, env: Dict[str, Set[Label]], kind: str
+    ) -> Optional[str]:
+        """A local name in ``expr`` carrying ``kind``, for the message."""
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and any(
+                k == kind for k, _ in env.get(sub.id, ())
+            ):
+                return sub.id
+        return None
+
+    def _emit_for_function(
+        self,
+        fn: FunctionInfo,
+        entry_qualnames: Set[str],
+        closure_qualnames: Set[str],
+    ) -> None:
+        derived = param_derived_names(fn)
+        types, self_name = local_types(self.project, fn)
+        env = self._local_env(fn, derived, types, self_name)
+        module = fn.module
+
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                for arg, labels in self._key_sink_args(
+                    fn, node, env, derived, types, self_name
+                ):
+                    kinds = {kind: origin for kind, origin in labels}
+                    if "clock" in kinds:
+                        via = self._witness(arg, env, "clock") or kinds["clock"]
+                        self._report(
+                            "TNT001", module, arg,
+                            f"clock-derived value `{via}` flows into the "
+                            "cache content key; a cached result would "
+                            "replay a timestamp and keys must derive only "
+                            "from (spec, config, seed)",
+                        )
+                    if "env" in kinds:
+                        via = self._witness(arg, env, "env") or kinds["env"]
+                        self._report(
+                            "TNT005", module, arg,
+                            f"host-dependent value `{via}` (environment/"
+                            "platform) flows into the cache content key; "
+                            "the cache would fragment across machines "
+                            "instead of replaying identical results",
+                        )
+            elif (
+                isinstance(node, ast.Return)
+                and node.value is not None
+                and fn.qualname in entry_qualnames
+            ):
+                kinds = {
+                    kind: origin
+                    for kind, origin in self._expr_labels(
+                        fn, node.value, env, derived, types, self_name
+                    )
+                }
+                if "clock" in kinds:
+                    via = self._witness(node.value, env, "clock") \
+                        or kinds["clock"]
+                    self._report(
+                        "TNT001", module, node,
+                        f"clock-derived value `{via}` reaches the run "
+                        f"result returned by worker entry {fn.qualname}; "
+                        "results must be a pure function of (seed, spec)",
+                    )
+                if "rng" in kinds:
+                    via = self._witness(node.value, env, "rng") \
+                        or kinds["rng"]
+                    self._report(
+                        "TNT002", module, node,
+                        f"random stream `{via}` reaching the run result of "
+                        f"{fn.qualname} is not derived via "
+                        "random_utils.derive_generator (or from seed "
+                        "parameters); parallel and serial runs would "
+                        "diverge",
+                    )
+
+        if fn.qualname in closure_qualnames:
+            self._scan_unordered_reductions(fn)
+        self._scan_completion_order(fn)
+
+    # -- TNT003 --------------------------------------------------------
+    def _scan_unordered_reductions(self, fn: FunctionInfo) -> None:
+        set_names = set_typed_locals(fn)
+        if not set_names and not any(
+            isinstance(node, (ast.Set, ast.SetComp))
+            or (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset")
+            )
+            for node in ast.walk(fn.node)
+        ):
+            return
+        ctx = fn.module.ctx
+        consumed: Set[int] = set()
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            first = node.args[0]
+            if not self._set_feed(first, set_names):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            is_join = (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+            )
+            if dotted in ORDER_SENSITIVE_CONSUMERS or is_join:
+                consumed.add(id(first))
+                what = "str.join" if is_join else str(dotted)
+                self._report(
+                    "TNT003", fn.module, node,
+                    f"`{what}` consumes an unordered set in "
+                    f"worker-reachable {fn.qualname}; the reduction order "
+                    "is unspecified, so results would vary run-to-run — "
+                    "sort the elements first",
+                )
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and is_set_typed(
+                node.iter, set_names
+            ):
+                if self._order_sensitive_loop(node):
+                    self._report(
+                        "TNT003", fn.module, node,
+                        "loop over an unordered set accumulates into an "
+                        f"order-sensitive result in {fn.qualname}; iterate "
+                        "over sorted(...) instead",
+                    )
+            elif isinstance(node, ast.ListComp) and id(node) not in consumed:
+                if any(
+                    is_set_typed(gen.iter, set_names)
+                    for gen in node.generators
+                ):
+                    self._report(
+                        "TNT003", fn.module, node,
+                        "list built by iterating an unordered set in "
+                        f"{fn.qualname}; the element order is unspecified "
+                        "— sort the set first",
+                    )
+
+    @staticmethod
+    def _set_feed(expr: ast.expr, set_names: Set[str]) -> bool:
+        if is_set_typed(expr, set_names):
+            return True
+        if isinstance(expr, (ast.GeneratorExp, ast.ListComp)):
+            return any(
+                is_set_typed(gen.iter, set_names) for gen in expr.generators
+            )
+        return False
+
+    @staticmethod
+    def _order_sensitive_loop(node: ast.AST) -> bool:
+        """Does this loop's body accumulate something element-dependent?
+
+        ``count += 1`` never touches the loop variable and is order-
+        insensitive; ``total += f(x)`` and ``out.append(x)`` are not.
+        """
+        assert isinstance(node, (ast.For, ast.AsyncFor))
+        loop_names = {
+            sub.id
+            for sub in ast.walk(node.target)
+            if isinstance(sub, ast.Name)
+        }
+
+        def mentions_loop_var(expr: ast.AST) -> bool:
+            return any(
+                isinstance(sub, ast.Name) and sub.id in loop_names
+                for sub in ast.walk(expr)
+            )
+
+        for child in node.body:
+            for sub in ast.walk(child):
+                if isinstance(sub, ast.AugAssign) and mentions_loop_var(
+                    sub.value
+                ):
+                    return True
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in ACCUMULATING_METHODS
+                    and any(mentions_loop_var(arg) for arg in sub.args)
+                ):
+                    return True
+        return False
+
+    # -- TNT004 --------------------------------------------------------
+    @staticmethod
+    def _completion_iter(
+        ctx: FileContext, expr: ast.expr
+    ) -> Optional[str]:
+        """The completion-order iterator name ``expr`` calls, if any."""
+        if not isinstance(expr, ast.Call):
+            return None
+        if isinstance(expr.func, ast.Attribute) and \
+                expr.func.attr in COMPLETION_ITERATORS:
+            return expr.func.attr
+        if isinstance(expr.func, ast.Name):
+            dotted = ctx.dotted_name(expr.func)
+            if dotted is not None and \
+                    dotted.rpartition(".")[2] in COMPLETION_ITERATORS:
+                return dotted.rpartition(".")[2]
+        return None
+
+    def _scan_completion_order(self, fn: FunctionInfo) -> None:
+        ctx = fn.module.ctx
+        #: Arguments normalized by an order-insensitive consumer.
+        laundered = {
+            id(arg)
+            for node in ast.walk(fn.node)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("sorted", "min", "max", "len", "set",
+                                 "frozenset")
+            for arg in node.args
+        }
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                name = self._completion_iter(ctx, node.iter)
+                if name and self._order_sensitive_loop(node):
+                    self._report(
+                        "TNT004", fn.module, node,
+                        f"results accumulated in `{name}` (worker "
+                        f"completion) order in {fn.qualname}; aggregate "
+                        "by spec order instead so campaigns are "
+                        "bit-identical across --jobs N",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and node.args
+            ):
+                name = self._completion_iter(ctx, node.args[0])
+                if name:
+                    self._report(
+                        "TNT004", fn.module, node,
+                        f"`{node.func.id}(...)` materializes `{name}` "
+                        f"(worker completion) order in {fn.qualname}; "
+                        "reorder by spec before aggregating",
+                    )
+            elif isinstance(
+                node, (ast.ListComp, ast.GeneratorExp)
+            ) and id(node) not in laundered:
+                for gen in node.generators:
+                    name = self._completion_iter(ctx, gen.iter)
+                    if name:
+                        self._report(
+                            "TNT004", fn.module, node,
+                            f"comprehension consumes `{name}` (worker "
+                            f"completion) order in {fn.qualname}; "
+                            "reorder by spec before aggregating",
+                        )
+                        break
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Finding]:
+        ordered = sorted(self.project.functions)
+        for _round in range(_MAX_ROUNDS):
+            changed = False
+            for qualname in ordered:
+                summary = self._summarize(self.project.functions[qualname])
+                if summary != self.summaries[qualname]:
+                    self.summaries[qualname] = summary
+                    changed = True
+            if not changed:
+                break
+        entries = {
+            fn.qualname for fn in project_worker_entries(self.project)
+        }
+        closure = {fn.qualname for fn in worker_closure(self.project)}
+        for qualname in ordered:
+            self._emit_for_function(
+                self.project.functions[qualname], entries, closure
+            )
+        return self.findings
+
+
+def run_taint_pass(project: Project) -> List[Finding]:
+    """All TNT findings for an analyzed project."""
+    return TaintPass(project).run()

@@ -54,6 +54,29 @@ class Rule:
 
 _REGISTRY: Dict[str, Rule] = {}
 
+#: Analysis-logic version per rule family.  Bump a family's version
+#: whenever its pass's *semantics* change (new sources, sinks, or
+#: propagation behavior) so cached lint results keyed on the registry
+#: signature are invalidated even though rule codes stayed the same.
+FAMILY_VERSIONS: Dict[str, int] = {
+    "DET": 1,
+    "UNI": 1,
+    "HYG": 1,
+    "OBS": 1,
+    "SIM": 1,
+    # The flow passes share the call-graph module; its extraction (and
+    # the effect/taint machinery built on it) is analysis version 2.
+    "DIM": 2,
+    "CON": 2,
+    "TNT": 1,
+}
+
+
+def family_version(code: str) -> int:
+    """Analysis version of the family ``code`` belongs to (default 1)."""
+    return FAMILY_VERSIONS.get(code[:3], 1)
+
+
 R = TypeVar("R", bound=Type[Rule])
 
 

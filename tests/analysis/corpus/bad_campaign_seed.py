@@ -17,12 +17,12 @@ from repro.random_utils import as_generator
 
 def noisy_record(index: int) -> float:
     rng = np.random.default_rng()  # expect: CON001
-    return float(rng.normal()) + index
+    return float(rng.normal()) + index  # expect: TNT002
 
 
 def cloned_record(index: int) -> float:
     rng = as_generator(2024)  # expect: CON001
-    return float(rng.normal()) + index
+    return float(rng.normal()) + index  # expect: TNT002
 
 
 def run(indices: List[int]) -> List[float]:

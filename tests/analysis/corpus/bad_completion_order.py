@@ -1,0 +1,24 @@
+"""Known bug: records are aggregated in worker-completion order.
+
+``as_completed`` yields whichever worker finishes first, so the
+accumulated list depends on host load and ``--jobs N``.  Aggregation
+must follow spec order for campaigns to stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import List
+
+
+def droop_record(index: int) -> float:
+    return 0.05 * index
+
+
+def run_unordered_suite(indices: List[int]) -> List[float]:
+    results: List[float] = []
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(droop_record, i) for i in indices]
+        for future in as_completed(futures):  # expect: TNT004
+            results.append(future.result())
+    return results

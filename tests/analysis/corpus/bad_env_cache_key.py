@@ -1,0 +1,17 @@
+"""Known bug: the result-cache key folds in host identity.
+
+Two machines running the identical (spec, config, seed) campaign hash
+to different keys, so a shared cache never hits across hosts — and the
+host name silently becomes part of result identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+
+def cache_key(label: str, seed: int) -> str:
+    host = os.uname().nodename
+    payload = f"{label}:{seed}:{host}".encode("ascii")
+    return hashlib.sha256(payload).hexdigest()  # expect: TNT005

@@ -1,0 +1,22 @@
+"""Known bug: the worker stamps each record with the wall clock.
+
+A cached result would replay yesterday's timestamp, and two identical
+(spec, config, seed) runs never compare bit-equal.  Timing belongs in
+the telemetry side-channel, never in the record itself.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List
+
+
+def stamped_record(index: int) -> Dict[str, float]:
+    droop = 0.05 * index
+    return {"droop": droop, "at": time.time()}  # expect: TNT001
+
+
+def run_stamped_suite(indices: List[int]) -> List[Dict[str, float]]:
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(stamped_record, indices))

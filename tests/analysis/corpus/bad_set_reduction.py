@@ -1,0 +1,21 @@
+"""Known bug: the droop summary sums a set of floats.
+
+Set iteration order is unspecified and float addition is not
+associative, so the summed droop can vary run-to-run even with a fixed
+seed.  The reduction must iterate in sorted order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List
+
+
+def droop_summary(index: int) -> float:
+    droops = {0.05 * index, 0.03 * index, 0.01 * index}
+    return sum(droops)  # expect: TNT003
+
+
+def run_summary_suite(indices: List[int]) -> List[float]:
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(droop_summary, indices))

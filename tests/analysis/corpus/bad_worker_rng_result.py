@@ -1,0 +1,23 @@
+"""Known bug: event jitter is drawn from the process-global stream.
+
+The stdlib global RNG is seeded per process, so every pool worker and
+every retry draws different jitter — the record is irreproducible and
+a parallel campaign is never bit-identical to the serial one.  Jitter
+must come from a stream derived via ``derive_generator``.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from typing import List
+
+
+def jittered_record(index: int) -> float:
+    jitter = random.gauss(0.0, 1.0)
+    return jitter + 0.1 * index  # expect: TNT002
+
+
+def run_jittered_suite(indices: List[int]) -> List[float]:
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(jittered_record, indices))

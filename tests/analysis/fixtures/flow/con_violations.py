@@ -18,13 +18,13 @@ RESULT_LOG: List[int] = []
 
 def fresh_entropy_worker(index: int) -> float:
     rng = np.random.default_rng()  # expect: CON001
-    return float(rng.random()) + index
+    return float(rng.random()) + index  # expect: TNT002
 
 
 def constant_seed_worker(index: int) -> float:
     rng = as_generator(1234)  # expect: CON001
     RESULT_LOG.append(index)  # expect: CON003
-    return float(rng.random())
+    return float(rng.random())  # expect: TNT002
 
 
 def run_campaign(indices: List[int]) -> List[float]:

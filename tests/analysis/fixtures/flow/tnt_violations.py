@@ -1,0 +1,50 @@
+"""Fixture: TNT-rule violations, analyzed via ``flow_paths`` as one project.
+
+``# expect: CODE`` markers declare the exact finding set the dataflow
+engine must produce for this file (see tests/analysis/test_flow.py).
+Each worker below breaks the reproducibility contract a different way:
+a timestamp in the result, an underived stream in the result, an
+unordered reduction, completion-order aggregation, and a host-dependent
+cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import List
+
+
+def stamped_record(index: int) -> float:
+    finished = time.monotonic()
+    return finished + index  # expect: TNT001
+
+
+def entropic_record(index: int) -> float:
+    jitter = random.random()
+    return jitter + index  # expect: TNT002
+
+
+def spread_record(index: int) -> float:
+    samples = {index * 0.5, index * 0.25, index * 0.125}
+    return sum(samples)  # expect: TNT003
+
+
+def host_cache_key(label: str) -> str:
+    host = os.uname().nodename
+    material = f"{label}:{host}"
+    return hashlib.sha256(material.encode()).hexdigest()  # expect: TNT005
+
+
+def run_campaign(indices: List[int]) -> List[float]:
+    results: List[float] = []
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(stamped_record, i) for i in indices]
+        futures += [pool.submit(entropic_record, i) for i in indices]
+        futures += [pool.submit(spread_record, i) for i in indices]
+        for future in as_completed(futures):  # expect: TNT004
+            results.append(future.result())
+    return results

@@ -6,6 +6,7 @@ from repro.analysis import flow_paths, lint_paths
 from repro.analysis.flow.cache import (
     LintCache,
     project_digest,
+    registry_signature,
     rules_signature,
     source_digest,
 )
@@ -126,6 +127,70 @@ class TestFlowCache:
         assert revived == finding
         assert revived.source_line == finding.source_line
         assert revived.fingerprint == finding.fingerprint
+
+
+class TestRegistryStaleness:
+    """Landing a rule family must invalidate cached flow results.
+
+    A plain ``--flow`` run selects "all rules" both before and after a
+    new family lands, so the active-rule signature alone cannot tell
+    the runs apart — the registry signature (codes + per-family
+    analysis versions) has to.  The regression here: before the
+    signature existed, a warm cache silently replayed pre-family
+    results that had never seen the new rules.
+    """
+
+    def test_family_version_bump_invalidates_flow_cache(
+        self, tmp_path, monkeypatch
+    ):
+        tree = make_tree(tmp_path)
+        cache_file = str(tmp_path / "cache.json")
+        cold = LintCache(cache_file)
+        flow_paths([tree], cache=cold)
+        assert cold.misses == 3
+        cold.save()
+
+        warm = LintCache(cache_file)
+        flow_paths([tree], cache=warm)
+        assert warm.hits == 3 and warm.misses == 0
+
+        from repro.analysis import registry
+
+        monkeypatch.setitem(
+            registry.FAMILY_VERSIONS,
+            "TNT",
+            registry.FAMILY_VERSIONS["TNT"] + 1,
+        )
+        stale = LintCache(cache_file)
+        stale_findings = flow_paths([tree], cache=stale)
+        assert stale.misses == 3
+        assert [f.code for f in stale_findings] == ["DIM001"]
+
+    def test_registry_signature_sees_codes_and_versions(self, monkeypatch):
+        from repro.analysis import registry
+
+        before = registry_signature()
+        monkeypatch.setitem(
+            registry.FAMILY_VERSIONS,
+            "DIM",
+            registry.FAMILY_VERSIONS["DIM"] + 1,
+        )
+        assert registry_signature() != before
+
+    def test_registry_signature_sees_new_rule_codes(self, monkeypatch):
+        from repro.analysis import registry
+        from repro.analysis.registry import Rule
+
+        before = registry_signature()
+
+        class Phantom(Rule):
+            code = "TNT999"
+            name = "phantom"
+            description = "synthetic rule for the staleness test"
+            flow = True
+
+        monkeypatch.setitem(registry._REGISTRY, "TNT999", Phantom())
+        assert registry_signature() != before
 
 
 class TestRobustness:

@@ -15,6 +15,10 @@ CLEAN = str(FIXTURES / "clean.py")
 DIRTY = str(FIXTURES / "hyg_violations.py")
 #: Line-rule-clean but dimensionally wrong: findings only under --flow.
 FLOW_DIRTY = str(CORPUS / "bad_rc_sum.py")
+#: Clean except for a TNT005 host-dependent cache key.
+TAINT_DIRTY = str(CORPUS / "bad_env_cache_key.py")
+#: Workers drawing underived streams (CON001 + TNT002 under --flow).
+SEED_DIRTY = str(CORPUS / "bad_campaign_seed.py")
 
 
 def test_clean_file_exits_zero(capsys):
@@ -135,11 +139,19 @@ class TestFlowFlag:
     def test_no_flow_is_accepted(self, capsys):
         assert main([FLOW_DIRTY, "--no-baseline", "--no-flow"]) == 0
 
+    def test_family_prefix_expands_and_implies_flow(self, capsys):
+        assert main([TAINT_DIRTY, "--no-baseline", "--select", "TNT"]) == 1
+        assert "TNT005" in capsys.readouterr().out
+
+    def test_family_selection_excludes_other_families(self, capsys):
+        """--select TNT must not report the DIM bug in this file."""
+        assert main([FLOW_DIRTY, "--no-baseline", "--select", "TNT"]) == 0
+
     def test_list_rules_marks_flow_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for line in out.splitlines():
-            if line.startswith(("DIM", "CON")):
+            if line.startswith(("DIM", "CON", "TNT")):
                 assert "(flow)" in line
 
 
@@ -202,6 +214,42 @@ class TestSarif:
         assert main([CLEAN, "--format", "sarif"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["runs"][0]["results"] == []
+
+
+class TestEffectsSubcommand:
+    def test_json_report_shape(self, capsys):
+        assert main(["effects", SEED_DIRTY, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert any(
+            name.endswith(".noisy_record") for name in payload["functions"]
+        )
+        assert payload["worker_closure"]["functions"]
+        assert "rng-unseeded" in payload["worker_closure"]["effects"]
+
+    def test_text_report(self, capsys):
+        assert main(["effects", SEED_DIRTY]) == 0
+        out = capsys.readouterr().out
+        assert "worker closure:" in out
+        assert "rng-unseeded" in out
+
+    def test_closure_query(self, capsys):
+        assert main(
+            ["effects", SEED_DIRTY, "--json", "--closure", "noisy_record"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        named = payload["closures"]["noisy_record"]
+        assert named["effects"] == ["rng-unseeded"]
+
+    def test_unknown_closure_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["effects", SEED_DIRTY, "--closure", "not_a_function"])
+        assert excinfo.value.code == 2
+
+    def test_nonexistent_path_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["effects", "no/such/path.py"])
+        assert excinfo.value.code == 2
 
 
 class TestLintCacheFlag:

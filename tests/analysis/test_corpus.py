@@ -1,4 +1,4 @@
-"""The known-bug corpus gate: six wrong PDN snippets, all caught.
+"""The known-bug corpus gate: eleven wrong snippets, all caught.
 
 Acceptance criterion for the flow engine: analyzing each corpus snippet
 yields **exactly** the finding set its ``# expect`` markers declare —
@@ -20,6 +20,11 @@ SNIPPETS = [
     "bad_droop_ratio.py",
     "bad_campaign_seed.py",
     "bad_campaign_payload.py",
+    "bad_result_timestamp.py",
+    "bad_worker_rng_result.py",
+    "bad_set_reduction.py",
+    "bad_completion_order.py",
+    "bad_env_cache_key.py",
 ]
 
 

@@ -1,0 +1,245 @@
+"""Effect-inference tests: intrinsic atoms, fixpoint, pinned contract.
+
+The last class is the repository's reproducibility contract stated as
+an effect query: the closure of ``run.simulate``
+(:meth:`MeasurementCampaign.simulate`, the function every pool worker
+ultimately calls) must be wall-clock-free and construct random streams
+only by derivation — the static counterpart of the bit-identical
+campaign tests in tests/measurement/.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow.effects import (
+    GLOBAL_WRITE,
+    IO,
+    PURE,
+    READS_CLOCK,
+    READS_ENV,
+    RNG_DERIVED,
+    RNG_UNSEEDED,
+    UNORDERED_ITERATION,
+    effects_for_sources,
+    effects_report,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def table_for(source: str):
+    return effects_for_sources({"proj/mod.py": source})
+
+
+class TestIntrinsicAtoms:
+    def test_wall_clock(self):
+        table = table_for(
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        )
+        assert table.function_effects("mod.stamp") == {READS_CLOCK}
+
+    def test_monotonic_is_not_the_clock_effect(self):
+        """Interval timing is sanctioned; only wall-clock is the effect."""
+        table = table_for(
+            "import time\n"
+            "def span():\n"
+            "    return time.perf_counter()\n"
+        )
+        assert table.function_effects("mod.span") == PURE
+
+    def test_rng_unseeded_vs_derived(self):
+        table = table_for(
+            "import numpy as np\n"
+            "def fresh():\n"
+            "    return np.random.default_rng()\n"
+            "def seeded(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert table.function_effects("mod.fresh") == {RNG_UNSEEDED}
+        assert table.function_effects("mod.seeded") == {RNG_DERIVED}
+
+    def test_seed_sequence_is_derivation_not_entropy(self):
+        """``SeedSequence(material)`` spreads seeds; it draws nothing."""
+        table = table_for(
+            "import numpy as np\n"
+            "def spawn(seed):\n"
+            "    seq = np.random.SeedSequence(seed)\n"
+            "    return np.random.default_rng(seq)\n"
+        )
+        assert table.function_effects("mod.spawn") == {RNG_DERIVED}
+
+    def test_env_and_io(self):
+        table = table_for(
+            "import os\n"
+            "def who():\n"
+            "    return os.environ.get('USER')\n"
+            "def log(msg):\n"
+            "    print(msg)\n"
+        )
+        assert table.function_effects("mod.who") == {READS_ENV}
+        assert table.function_effects("mod.log") == {IO}
+
+    def test_global_write(self):
+        table = table_for(
+            "COUNT = 0\n"
+            "def bump():\n"
+            "    global COUNT\n"
+            "    COUNT = COUNT + 1\n"
+        )
+        assert table.function_effects("mod.bump") == {GLOBAL_WRITE}
+
+    def test_unordered_iteration(self):
+        table = table_for(
+            "def spread(hi):\n"
+            "    vals = {hi, hi * 0.5}\n"
+            "    return [v for v in vals]\n"
+        )
+        assert table.function_effects("mod.spread") == {
+            UNORDERED_ITERATION
+        }
+
+
+class TestFixpoint:
+    def test_effects_propagate_through_call_chain(self):
+        table = table_for(
+            "import time\n"
+            "def leaf():\n"
+            "    return time.time()\n"
+            "def mid():\n"
+            "    return leaf()\n"
+            "def top():\n"
+            "    return mid()\n"
+        )
+        assert READS_CLOCK in table.function_effects("mod.top")
+
+    def test_declared_effects_are_a_trusted_boundary(self):
+        """Callee effects do not flow through a pinned function."""
+        table = table_for(
+            "def noisy():\n"
+            "    print('hi')\n"
+            "def quiet():  # simlint: effects(pure)\n"
+            "    noisy()\n"
+            "def caller():\n"
+            "    return quiet()\n"
+        )
+        assert table.function_effects("mod.quiet") == PURE
+        assert table.function_effects("mod.caller") == PURE
+        assert table.declared == {"mod.quiet": PURE}
+
+    def test_declared_unknown_atom_degrades_not_crashes(self):
+        table = table_for(
+            "def f():  # simlint: effects(io, not-an-atom)\n"
+            "    pass\n"
+        )
+        assert table.function_effects("mod.f") == {IO}
+
+    def test_recursion_terminates(self):
+        table = table_for(
+            "import time\n"
+            "def ping(n):\n"
+            "    time.time()\n"
+            "    return pong(n - 1)\n"
+            "def pong(n):\n"
+            "    return ping(n) if n else 0\n"
+        )
+        assert table.function_effects("mod.pong") == {READS_CLOCK}
+
+
+class TestResolveAndClosures:
+    SOURCE = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "import time\n"
+        "class Runner:\n"
+        "    def simulate(self, spec):\n"
+        "        return helper(spec)\n"
+        "def helper(spec):\n"
+        "    return spec\n"
+        "def stamped(spec):\n"
+        "    return time.time()\n"
+        "def dispatch(specs):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return list(pool.map(stamped, specs))\n"
+    )
+
+    def test_resolve_suffix_and_bare(self):
+        table = table_for(self.SOURCE)
+        assert table.resolve("mod.Runner.simulate") == "mod.Runner.simulate"
+        assert table.resolve("Runner.simulate") == "mod.Runner.simulate"
+        assert table.resolve("helper") == "mod.helper"
+
+    def test_resolve_unknown_and_ambiguous_raise(self):
+        table = table_for(self.SOURCE)
+        with pytest.raises(KeyError):
+            table.resolve("nonexistent")
+        two = effects_for_sources(
+            {
+                "proj/a.py": "def dup():\n    pass\n",
+                "proj/b.py": "def dup():\n    pass\n",
+            }
+        )
+        with pytest.raises(KeyError):
+            two.resolve("dup")
+
+    def test_named_closure_joins_members(self):
+        table = table_for(self.SOURCE)
+        functions, joined = table.closure("Runner.simulate")
+        assert functions == ["mod.Runner.simulate", "mod.helper"]
+        assert joined == PURE
+
+    def test_worker_closure_covers_dispatch_payloads(self):
+        table = table_for(self.SOURCE)
+        functions, joined = table.worker_closure()
+        assert functions == ["mod.stamped"]
+        assert joined == {READS_CLOCK}
+
+    def test_report_shape(self):
+        table = table_for(self.SOURCE)
+        report = effects_report(table, closures=("Runner.simulate",))
+        assert report["version"] == 1
+        assert report["worker_entries"] == ["mod.stamped"]
+        assert report["worker_closure"]["effects"] == [READS_CLOCK]
+        named = report["closures"]["Runner.simulate"]
+        assert named["entry"] == "mod.Runner.simulate"
+        assert named["effects"] == []
+
+
+@pytest.fixture(scope="module")
+def src_table():
+    sources = {
+        str(path): path.read_text(encoding="utf-8")
+        for path in sorted(SRC.rglob("*.py"))
+    }
+    return effects_for_sources(sources)
+
+
+class TestReproducibilityContract:
+    """The bit-identical contract, proven over the real source tree."""
+
+    def test_run_simulate_closure_is_clock_free_derived_rng_only(
+        self, src_table
+    ):
+        functions, joined = src_table.closure("MeasurementCampaign.simulate")
+        assert len(functions) > 1, "closure unexpectedly trivial"
+        assert READS_CLOCK not in joined
+        assert RNG_UNSEEDED not in joined
+        assert READS_ENV not in joined
+        assert IO not in joined
+        assert RNG_DERIVED in joined
+
+    def test_worker_closure_never_reads_the_wall_clock(self, src_table):
+        functions, joined = src_table.worker_closure()
+        assert functions, "no pool dispatch found in src/repro"
+        assert READS_CLOCK not in joined
+        assert RNG_UNSEEDED not in joined
+        assert GLOBAL_WRITE not in joined
+
+    def test_worker_entry_is_the_executor_payload(self, src_table):
+        report = effects_report(src_table)
+        assert report["worker_entries"] == [
+            "repro.measurement.executor._simulate_record"
+        ]

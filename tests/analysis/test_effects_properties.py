@@ -1,0 +1,141 @@
+"""Property tests for the effect lattice and its interprocedural fixpoint.
+
+The termination and determinism arguments in
+:mod:`repro.analysis.flow.effects` rest on algebraic facts — ``join``
+is a semilattice operation, the fixpoint is monotone in its inputs,
+and solving is a pure function of (intrinsic, edges, pins).  Hypothesis
+pins each fact directly rather than trusting the prose.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import flow_sources
+from repro.analysis.flow.effects import (
+    ALL_EFFECTS,
+    PURE,
+    join,
+    solve_effects,
+)
+
+effect_sets = st.frozensets(st.sampled_from(sorted(ALL_EFFECTS)))
+
+names = st.sampled_from([f"f{i}" for i in range(6)])
+
+graphs = st.fixed_dictionaries(
+    {},
+    optional={
+        name: st.sets(names, max_size=4) for name in [f"f{i}" for i in range(6)]
+    },
+)
+
+intrinsics = st.dictionaries(names, effect_sets, max_size=6)
+
+
+class TestJoinSemilattice:
+    @settings(max_examples=60, deadline=None)
+    @given(a=effect_sets, b=effect_sets)
+    def test_commutative(self, a, b):
+        assert join(a, b) == join(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=effect_sets, b=effect_sets, c=effect_sets)
+    def test_associative(self, a, b, c):
+        assert join(join(a, b), c) == join(a, join(b, c))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=effect_sets)
+    def test_idempotent_with_bottom_identity(self, a):
+        assert join(a, a) == a
+        assert join(a, PURE) == a
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=effect_sets, b=effect_sets)
+    def test_upper_bound(self, a, b):
+        assert a <= join(a, b)
+        assert b <= join(a, b)
+
+
+class TestFixpoint:
+    @settings(max_examples=60, deadline=None)
+    @given(intrinsic=intrinsics, edges=graphs)
+    def test_solution_contains_intrinsic(self, intrinsic, edges):
+        solved = solve_effects(intrinsic, edges)
+        for name, effects in intrinsic.items():
+            assert effects <= solved[name]
+
+    @settings(max_examples=60, deadline=None)
+    @given(intrinsic=intrinsics, edges=graphs)
+    def test_solution_is_a_fixpoint(self, intrinsic, edges):
+        """Re-applying one propagation step changes nothing."""
+        solved = solve_effects(intrinsic, edges)
+        for name in solved:
+            summary = intrinsic.get(name, PURE)
+            for callee in edges.get(name, ()):
+                summary = join(summary, solved.get(callee, PURE))
+            assert solved[name] == summary
+
+    @settings(max_examples=60, deadline=None)
+    @given(intrinsic=intrinsics, edges=graphs, extra=effect_sets,
+           target=names)
+    def test_monotone_in_intrinsic(self, intrinsic, edges, extra, target):
+        """Growing one intrinsic summary never shrinks any solution."""
+        grown = dict(intrinsic)
+        grown[target] = join(grown.get(target, PURE), extra)
+        before = solve_effects(intrinsic, edges)
+        after = solve_effects(grown, edges)
+        for name in before:
+            assert before[name] <= after.get(name, before[name])
+
+    @settings(max_examples=60, deadline=None)
+    @given(intrinsic=intrinsics, edges=graphs)
+    def test_deterministic(self, intrinsic, edges):
+        assert solve_effects(intrinsic, edges) == solve_effects(
+            intrinsic, edges
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(intrinsic=intrinsics, edges=graphs, pin=effect_sets,
+           target=names)
+    def test_pins_are_boundaries(self, intrinsic, edges, pin, target):
+        """A pinned function keeps exactly its declared summary."""
+        solved = solve_effects(intrinsic, edges, {target: pin})
+        assert solved[target] == pin
+
+
+class TestTaintDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        names=st.lists(
+            st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    def test_findings_independent_of_module_insertion_order(self, names):
+        """The same project yields the same findings however it is fed."""
+        template = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "import random\n"
+            "def record_{n}(i):\n"
+            "    return random.random() + i\n"
+            "def run_{n}(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(record_{n}, items))\n"
+        )
+        forward = {
+            f"proj/{n}.py": template.replace("{n}", n) for n in names
+        }
+        backward = {
+            f"proj/{n}.py": template.replace("{n}", n)
+            for n in reversed(names)
+        }
+        to_tuples = lambda fs: [  # noqa: E731
+            (f.code, f.path, f.line, f.message) for f in fs
+        ]
+        assert to_tuples(flow_sources(forward)) == to_tuples(
+            flow_sources(backward)
+        )
+        assert len(flow_sources(forward)) == len(names)

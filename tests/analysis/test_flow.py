@@ -19,7 +19,8 @@ class TestFixtureMarkers:
     """Each flow fixture's ``# expect`` markers match the engine exactly."""
 
     @pytest.mark.parametrize(
-        "fixture", ["dim_violations.py", "con_violations.py"]
+        "fixture",
+        ["dim_violations.py", "con_violations.py", "tnt_violations.py"],
     )
     def test_markers_match_exactly(self, fixture):
         expected = expected_findings(FLOW_FIXTURES / fixture)
@@ -41,7 +42,9 @@ class TestFixtureMarkers:
             findings = lint_source(
                 fixture.read_text(encoding="utf-8"), path=str(fixture)
             )
-            assert not [f for f in findings if f.code[:3] in ("DIM", "CON")]
+            assert not [
+                f for f in findings if f.code[:3] in ("DIM", "CON", "TNT")
+            ]
 
 
 class TestInterprocedural:
@@ -161,3 +164,8 @@ class TestQuietness:
         assert by_code["CON001"] is Severity.ERROR
         assert by_code["CON002"] is Severity.ERROR
         assert by_code["CON003"] is Severity.WARNING
+        assert by_code["TNT001"] is Severity.ERROR
+        assert by_code["TNT002"] is Severity.ERROR
+        assert by_code["TNT003"] is Severity.WARNING
+        assert by_code["TNT004"] is Severity.ERROR
+        assert by_code["TNT005"] is Severity.ERROR

@@ -72,13 +72,15 @@ class TestRuleMetadata:
         codes = [rule.code for rule in rules]
         assert len(set(codes)) == len(codes)
         for rule in rules:
-            assert rule.code[:3] in ("DET", "UNI", "HYG", "OBS", "DIM", "CON")
+            assert rule.code[:3] in (
+                "DET", "UNI", "HYG", "OBS", "DIM", "CON", "TNT"
+            )
             assert rule.code[3:].isdigit()
             assert rule.name
             assert rule.description
             assert isinstance(rule.severity, Severity)
             # Flow rules belong to the dataflow families and vice versa.
-            assert rule.flow == (rule.code[:3] in ("DIM", "CON"))
+            assert rule.flow == (rule.code[:3] in ("DIM", "CON", "TNT"))
 
     def test_fixture_dir_fails_as_a_whole(self):
         findings = lint_paths([str(FIXTURES)])

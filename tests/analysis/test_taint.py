@@ -1,0 +1,259 @@
+"""Taint-pass tests: sources to sinks, summaries, and the quiet cases."""
+
+from __future__ import annotations
+
+from repro.analysis import flow_sources
+
+
+def codes(findings):
+    return [(f.code, f.path, f.line) for f in findings]
+
+
+POOL = "from concurrent.futures import ProcessPoolExecutor\n"
+
+
+class TestClockTaint:
+    def test_wall_clock_reaching_worker_return(self):
+        findings = flow_sources(
+            {
+                "proj/w.py": (
+                    POOL
+                    + "import time\n"
+                    "def record(i):\n"
+                    "    at = time.time()\n"
+                    "    return {'i': i, 'at': at}\n"
+                    "def run(items):\n"
+                    "    with ProcessPoolExecutor() as pool:\n"
+                    "        return list(pool.map(record, items))\n"
+                ),
+            }
+        )
+        assert codes(findings) == [("TNT001", "proj/w.py", 5)]
+
+    def test_monotonic_value_is_clock_tainted_too(self):
+        """perf_counter is a sanctioned *effect* but a tainted *value*."""
+        findings = flow_sources(
+            {
+                "proj/w.py": (
+                    POOL
+                    + "import time\n"
+                    "def record(i):\n"
+                    "    return time.perf_counter() + i\n"
+                    "def run(items):\n"
+                    "    with ProcessPoolExecutor() as pool:\n"
+                    "        return list(pool.map(record, items))\n"
+                ),
+            }
+        )
+        assert [f.code for f in findings] == ["TNT001"]
+
+    def test_clock_reaches_key_through_interprocedural_summary(self):
+        """A timestamp passed into a hashing helper one module away."""
+        findings = flow_sources(
+            {
+                "proj/keys.py": (
+                    "import hashlib\n"
+                    "def digest(material):\n"
+                    "    return hashlib.sha256(material).hexdigest()\n"
+                ),
+                "proj/use.py": (
+                    "import time\n"
+                    "from keys import digest\n"
+                    "def key_for(spec):\n"
+                    "    stamp = str(time.time()).encode()\n"
+                    "    return digest(stamp)\n"
+                ),
+            }
+        )
+        assert ("TNT001", "proj/use.py", 5) in codes(findings)
+
+
+class TestRngTaint:
+    def test_derive_generator_is_clean(self):
+        findings = flow_sources(
+            {
+                "proj/w.py": (
+                    POOL
+                    + "from repro.random_utils import derive_generator\n"
+                    "def record(seed, i):\n"
+                    "    rng = derive_generator(seed, i)\n"
+                    "    return float(rng.normal())\n"
+                    "def run(seed, items):\n"
+                    "    with ProcessPoolExecutor() as pool:\n"
+                    "        out = [pool.submit(record, seed, i)"
+                    " for i in items]\n"
+                    "    return out\n"
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_param_seeded_factory_is_clean(self):
+        findings = flow_sources(
+            {
+                "proj/w.py": (
+                    POOL
+                    + "import numpy as np\n"
+                    "def record(seed):\n"
+                    "    rng = np.random.default_rng(seed)\n"
+                    "    return float(rng.normal())\n"
+                    "def run(items):\n"
+                    "    with ProcessPoolExecutor() as pool:\n"
+                    "        return list(pool.map(record, items))\n"
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_stdlib_global_stream_reaching_return(self):
+        findings = flow_sources(
+            {
+                "proj/w.py": (
+                    POOL
+                    + "import random\n"
+                    "def record(i):\n"
+                    "    return random.random() + i\n"
+                    "def run(items):\n"
+                    "    with ProcessPoolExecutor() as pool:\n"
+                    "        return list(pool.map(record, items))\n"
+                ),
+            }
+        )
+        assert [f.code for f in findings] == ["TNT002"]
+
+
+class TestOrderTaint:
+    def test_sorted_launders_set_reduction(self):
+        findings = flow_sources(
+            {
+                "proj/w.py": (
+                    POOL
+                    + "def record(i):\n"
+                    "    vals = {i, i * 0.5}\n"
+                    "    return sum(sorted(vals))\n"
+                    "def run(items):\n"
+                    "    with ProcessPoolExecutor() as pool:\n"
+                    "        return list(pool.map(record, items))\n"
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_count_loop_over_set_is_order_insensitive(self):
+        findings = flow_sources(
+            {
+                "proj/w.py": (
+                    POOL
+                    + "def record(i):\n"
+                    "    vals = {i, i * 0.5}\n"
+                    "    count = 0\n"
+                    "    for _v in vals:\n"
+                    "        count += 1\n"
+                    "    return count\n"
+                    "def run(items):\n"
+                    "    with ProcessPoolExecutor() as pool:\n"
+                    "        return list(pool.map(record, items))\n"
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_set_reduction_outside_worker_closure_is_quiet(self):
+        """TNT003 audits the worker-reachable closure only."""
+        findings = flow_sources(
+            {
+                "proj/m.py": (
+                    "def spread(hi):\n"
+                    "    vals = {hi, hi * 0.5}\n"
+                    "    return sum(vals)\n"
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_sorted_as_completed_is_clean(self):
+        findings = flow_sources(
+            {
+                "proj/w.py": (
+                    "from concurrent.futures import as_completed\n"
+                    "def gather(futures):\n"
+                    "    done = sorted(\n"
+                    "        f.result() for f in as_completed(futures)\n"
+                    "    )\n"
+                    "    return done\n"
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_list_of_as_completed_fires(self):
+        findings = flow_sources(
+            {
+                "proj/w.py": (
+                    "from concurrent.futures import as_completed\n"
+                    "def gather(futures):\n"
+                    "    return list(as_completed(futures))\n"
+                ),
+            }
+        )
+        assert [f.code for f in findings] == ["TNT004"]
+
+
+class TestEnvTaint:
+    def test_env_reaches_key_interprocedurally(self):
+        findings = flow_sources(
+            {
+                "proj/keys.py": (
+                    "import hashlib\n"
+                    "def digest(material):\n"
+                    "    return hashlib.sha256(material).hexdigest()\n"
+                ),
+                "proj/use.py": (
+                    "import os\n"
+                    "from keys import digest\n"
+                    "def key_for(spec):\n"
+                    "    host = os.uname().nodename\n"
+                    "    return digest(f'{spec}:{host}'.encode())\n"
+                ),
+            }
+        )
+        assert ("TNT005", "proj/use.py", 5) in codes(findings)
+
+    def test_resolved_method_call_does_not_leak_receiver_taint(self):
+        """An env-configured object's methods return summary taint only."""
+        findings = flow_sources(
+            {
+                "proj/m.py": (
+                    "import hashlib\n"
+                    "import os\n"
+                    "class Campaign:\n"
+                    "    def __init__(self, retries):\n"
+                    "        self.retries = retries\n"
+                    "    def spec_for(self, name):\n"
+                    "        return name\n"
+                    "def key_of(spec):\n"
+                    "    return hashlib.sha256(spec).hexdigest()\n"
+                    "def main(name):\n"
+                    "    c = Campaign(os.getenv('RETRIES'))\n"
+                    "    spec = c.spec_for(name)\n"
+                    "    return key_of(spec)\n"
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_suppression_comment_silences_taint(self):
+        findings = flow_sources(
+            {
+                "proj/m.py": (
+                    "import hashlib\n"
+                    "import os\n"
+                    "def key_for(spec):\n"
+                    "    host = os.uname().nodename\n"
+                    "    blob = f'{spec}:{host}'.encode()\n"
+                    "    return hashlib.sha256(blob).hexdigest()"
+                    "  # simlint: disable=TNT005 (demo)\n"
+                ),
+            }
+        )
+        assert findings == []
