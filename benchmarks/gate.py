@@ -89,6 +89,23 @@ def _unit_pairing_sweep() -> None:
     campaign.multiprogram_runs(("mcf", "namd", "lbm", "povray"))
 
 
+def _unit_policy_arena() -> None:
+    """The full policy arena on the micro suite, dual- and quad-core.
+
+    Exercises the N-core campaign path, every registered policy's
+    proposal, the exhaustive oracle search and the scorecard pipeline —
+    the whole ISSUE-7 stack in one unit.
+    """
+    from repro.arena import run_arena
+    from repro.measurement.campaign import MeasurementCampaign
+
+    for n_cores in (2, 4):
+        campaign = MeasurementCampaign(
+            "Proc3", n_cycles=12_000, seed=0, jobs=1, n_cores=n_cores
+        )
+        run_arena(suite="micro", n_cores=n_cores, campaign=campaign)
+
+
 def _unit_simlint_flow() -> None:
     """A cold-cache ``--flow`` lint of src/repro (all three flow passes).
 
@@ -109,6 +126,7 @@ UNITS: Tuple[Tuple[str, Callable[[], None]], ...] = (
     ("scaling_trends", _unit_scaling_trends),
     ("campaign_quad", _unit_campaign_quad),
     ("pairing_sweep", _unit_pairing_sweep),
+    ("policy_arena", _unit_policy_arena),
     ("simlint_flow", _unit_simlint_flow),
 )
 

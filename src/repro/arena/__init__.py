@@ -1,0 +1,89 @@
+"""The policy arena: N-core scheduling policies benchmarked head-to-head.
+
+Layered on the generalized N-core oracle/scheduler in
+:mod:`repro.core.scheduler`:
+
+* :mod:`repro.arena.schedule` — partition schedules and the
+  permutation-complete-cover contract;
+* :mod:`repro.arena.policies` — the ``propose(programs, n_cores,
+  oracle, seed)`` interface, the five ported pair policies, and the new
+  RandomN / IPC-packing / DVFS-margin axes;
+* :mod:`repro.arena.registry` — stable-key policy registry;
+* :mod:`repro.arena.oracle` — exhaustive-search baseline for regret;
+* :mod:`repro.arena.suites` — named workload suites;
+* :mod:`repro.arena.harness` — the head-to-head runner and scorecards;
+* :mod:`repro.arena.report` — deterministic JSON/markdown comparisons.
+
+See ``docs/arena.md`` for the interface contract and scorecard schema.
+"""
+
+from repro.arena.harness import (
+    DEFAULT_CONFIG,
+    DEFAULT_CYCLES,
+    DEFAULT_RECOVERY_COST,
+    ArenaResult,
+    PolicyScorecard,
+    run_arena,
+    score_schedule,
+)
+from repro.arena.oracle import (
+    DEFAULT_SEARCH_LIMIT,
+    OracleBaseline,
+    exhaustive_baseline,
+    iter_partitions,
+)
+from repro.arena.policies import (
+    ArenaPolicy,
+    DroopArenaPolicy,
+    DVFSMarginPolicy,
+    GreedyGroupPolicy,
+    HybridArenaPolicy,
+    IPCArenaPolicy,
+    IPCPackingPolicy,
+    RandomArenaPolicy,
+    RandomNPolicy,
+    StallArenaPolicy,
+)
+from repro.arena.registry import build_policies, registered_keys
+from repro.arena.report import json_payload, json_report, markdown_report
+from repro.arena.schedule import (
+    Schedule,
+    group_sizes,
+    validate_cover,
+)
+from repro.arena.suites import SUITES, suite_names, suite_programs
+
+__all__ = [
+    "ArenaPolicy",
+    "ArenaResult",
+    "DEFAULT_CONFIG",
+    "DEFAULT_CYCLES",
+    "DEFAULT_RECOVERY_COST",
+    "DEFAULT_SEARCH_LIMIT",
+    "DroopArenaPolicy",
+    "DVFSMarginPolicy",
+    "GreedyGroupPolicy",
+    "HybridArenaPolicy",
+    "IPCArenaPolicy",
+    "IPCPackingPolicy",
+    "OracleBaseline",
+    "PolicyScorecard",
+    "RandomArenaPolicy",
+    "RandomNPolicy",
+    "SUITES",
+    "Schedule",
+    "StallArenaPolicy",
+    "build_policies",
+    "exhaustive_baseline",
+    "group_sizes",
+    "iter_partitions",
+    "json_payload",
+    "json_report",
+    "markdown_report",
+    "registered_keys",
+    "run_arena",
+    "score_schedule",
+    "suite_names",
+    "suite_programs",
+    "validate_cover",
+]

@@ -1,0 +1,296 @@
+"""Arena policies: one N-core interface, many placement strategies.
+
+Every policy implements :meth:`ArenaPolicy.propose` — given a job pool,
+a core count, an oracle and a seed, emit a partition
+:class:`~repro.arena.schedule.Schedule`.  Policies are stateless: all
+randomness is derived inside ``propose`` from the seed argument via
+:func:`repro.random_utils.derive_generator`, so equal seeds give
+bit-identical schedules regardless of construction order or how many
+times an instance is reused (the seed-plumbing contract the old
+pair-only :class:`~repro.core.policies.RandomPolicy` default violated).
+
+The five pair policies from the paper's limit study port through
+:class:`GreedyGroupPolicy`, which generalizes their greedy
+partner-picking to group filling; :class:`RandomNPolicy`,
+:class:`IPCPackingPolicy` and :class:`DVFSMarginPolicy` are new axes:
+shuffle-and-chunk control, solo-IPC load balancing, and guardband
+headroom at reduced margins (PAPERS.md: the dim-silicon / reduced-margin
+DVFS line of work).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.arena.schedule import Schedule, group_sizes
+from repro.core.policies import (
+    DroopPolicy,
+    HybridPolicy,
+    IPCPolicy,
+    RandomPolicy,
+    SchedulingPolicy,
+    StallRatioPolicy,
+)
+from repro.core.scheduler import Group, GroupOracle
+from repro.errors import ConfigurationError, SchedulingError
+from repro.pdn import platform
+from repro.pdn.undervolt import CRITICAL_VOLTAGE
+from repro.random_utils import SeedLike, derive_generator
+
+#: The shipped part's worst-case guardband (Sec. II-C: 14 % of nominal).
+WORST_CASE_MARGIN = (
+    platform.NOMINAL_VOLTAGE - CRITICAL_VOLTAGE
+) / platform.NOMINAL_VOLTAGE
+
+
+class ArenaPolicy(abc.ABC):
+    """Proposes a partition schedule for a job pool on N-core supplies."""
+
+    #: Registry key (stable, kebab-case; doubles as the seed-stream key).
+    key: str = "policy"
+    #: Human-readable scorecard name.
+    name: str = "policy"
+    #: Is the proposal independent of group-member order (i.e. driven
+    #: only by canonicalized oracle queries)?  Checked dynamically by the
+    #: arena property suite.
+    symmetric: bool = True
+
+    @abc.abstractmethod
+    def propose(
+        self,
+        programs: Sequence[str],
+        n_cores: int,
+        oracle: GroupOracle,
+        seed: SeedLike,
+    ) -> Schedule:
+        """Place every program exactly once into groups of ≤ n_cores."""
+
+    def rng(self, seed: SeedLike) -> np.random.Generator:
+        """This policy's decorrelated stream for one arena run.
+
+        Derived from the campaign seed and the policy key, so two
+        policies in the same run — or the same policy across runs —
+        never share entropy.
+        """
+        return derive_generator(seed, "arena", "policy", self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}()"
+
+
+def _pool(programs: Sequence[str]) -> List[str]:
+    pool = sorted(programs)
+    if len(pool) < 2:
+        raise SchedulingError("arena pools need at least two programs")
+    if len(set(pool)) != len(pool):
+        raise SchedulingError("arena pools must not repeat programs")
+    return pool
+
+
+class GreedyGroupPolicy(ArenaPolicy):
+    """Greedy partition builder over a core scoring policy.
+
+    The pool is walked in sorted order; the smallest unplaced program
+    leads each group and the core policy's :meth:`score_group` picks the
+    best extension until the group fills.  Candidate groups are
+    canonicalized (sorted) before scoring, so deterministic scorers are
+    order-invariant by construction.
+    """
+
+    @abc.abstractmethod
+    def scorer(self, seed: SeedLike) -> SchedulingPolicy:
+        """The core policy that scores candidate group extensions."""
+
+    def propose(
+        self,
+        programs: Sequence[str],
+        n_cores: int,
+        oracle: GroupOracle,
+        seed: SeedLike,
+    ) -> Schedule:
+        remaining = _pool(programs)
+        sizes = list(group_sizes(len(remaining), n_cores))
+        scorer = self.scorer(seed)
+        groups: List[Group] = []
+        for size in sizes:
+            group = [remaining.pop(0)]
+            while len(group) < size:
+                scores = np.array([
+                    scorer.score_group(
+                        tuple(sorted([*group, candidate])), oracle
+                    )
+                    for candidate in remaining
+                ])
+                group.append(remaining.pop(int(np.argmax(scores))))
+            groups.append(tuple(sorted(group)))
+        return Schedule(
+            policy=self.key, n_cores=n_cores, groups=tuple(groups)
+        )
+
+
+class DroopArenaPolicy(GreedyGroupPolicy):
+    """The paper's noise-aware policy: minimize group droop rates."""
+
+    key = "droop"
+    name = "Droop"
+
+    def scorer(self, seed: SeedLike) -> SchedulingPolicy:
+        return DroopPolicy()
+
+
+class IPCArenaPolicy(GreedyGroupPolicy):
+    """Pure contention-aware throughput: maximize group IPC."""
+
+    key = "ipc"
+    name = "IPC"
+
+    def scorer(self, seed: SeedLike) -> SchedulingPolicy:
+        return IPCPolicy()
+
+
+class HybridArenaPolicy(GreedyGroupPolicy):
+    """The paper's IPC/Droop^n balance."""
+
+    key = "hybrid"
+
+    def __init__(self, exponent: float = 1.0) -> None:
+        self.exponent = float(exponent)
+        self.name = HybridPolicy(exponent).name
+
+    def scorer(self, seed: SeedLike) -> SchedulingPolicy:
+        return HybridPolicy(self.exponent)
+
+
+class StallArenaPolicy(GreedyGroupPolicy):
+    """Deployable droop avoidance from solo stall-ratio counters."""
+
+    key = "stall"
+    name = "StallRatio"
+
+    def scorer(self, seed: SeedLike) -> SchedulingPolicy:
+        return StallRatioPolicy()
+
+
+class RandomArenaPolicy(GreedyGroupPolicy):
+    """The control: random greedy placement, campaign-seeded.
+
+    The ported pair policy, with its seed plumbing fixed: the stream
+    comes from the arena seed via :meth:`ArenaPolicy.rng`, never from
+    :class:`~repro.core.policies.RandomPolicy`'s library-wide default.
+    """
+
+    key = "random"
+    name = "Random"
+    symmetric = False
+
+    def scorer(self, seed: SeedLike) -> SchedulingPolicy:
+        return RandomPolicy(seed=self.rng(seed))
+
+
+class RandomNPolicy(ArenaPolicy):
+    """Shuffle-and-chunk: one uniform random partition.
+
+    Unlike :class:`RandomArenaPolicy` (random *scores* inside the greedy
+    walk), this draws a whole partition at once — the natural N-core
+    null model for regret comparisons.
+    """
+
+    key = "random-n"
+    name = "RandomN"
+    symmetric = False
+
+    def propose(
+        self,
+        programs: Sequence[str],
+        n_cores: int,
+        oracle: GroupOracle,
+        seed: SeedLike,
+    ) -> Schedule:
+        pool = _pool(programs)
+        permutation = self.rng(seed).permutation(len(pool))
+        order = [pool[int(i)] for i in permutation]
+        groups: List[Group] = []
+        start = 0
+        for size in group_sizes(len(order), n_cores):
+            groups.append(tuple(sorted(order[start:start + size])))
+            start += size
+        return Schedule(
+            policy=self.key, n_cores=n_cores, groups=tuple(groups)
+        )
+
+
+class IPCPackingPolicy(ArenaPolicy):
+    """Balance solo IPC across groups (serpentine load packing).
+
+    Orders the pool by solo throughput and deals it boustrophedon over
+    the groups, so every supply carries a comparable current load —
+    the classic cluster bin-packing heuristic, using only per-program
+    knowledge (no group measurements).
+    """
+
+    key = "ipc-packing"
+    name = "IPCPacking"
+
+    def propose(
+        self,
+        programs: Sequence[str],
+        n_cores: int,
+        oracle: GroupOracle,
+        seed: SeedLike,
+    ) -> Schedule:
+        pool = _pool(programs)
+        order = sorted(
+            pool, key=lambda name: (-oracle.solo_ipc_metric(name), name)
+        )
+        n_groups = len(group_sizes(len(pool), n_cores))
+        bins: List[List[str]] = [[] for _ in range(n_groups)]
+        forward = True
+        for start in range(0, len(order), n_groups):
+            deal = range(n_groups) if forward else range(n_groups - 1, -1, -1)
+            chunk = order[start:start + n_groups]
+            for program, index in zip(chunk, deal):
+                bins[index].append(program)
+            forward = not forward
+        groups = tuple(sorted(tuple(sorted(b)) for b in bins if b))
+        return Schedule(policy=self.key, n_cores=n_cores, groups=groups)
+
+
+class MarginHeadroomPolicy(SchedulingPolicy):
+    """Core scorer: guardband headroom at a reduced operating margin."""
+
+    name = "MarginHeadroom"
+
+    def __init__(self, guardband_fraction: float = 0.5) -> None:
+        if not 0 < guardband_fraction <= 1:
+            raise ConfigurationError(
+                "guardband_fraction must be in (0, 1]"
+            )
+        self.margin = guardband_fraction * WORST_CASE_MARGIN
+
+    def score_group(
+        self, group: Tuple[str, ...], oracle: GroupOracle
+    ) -> float:
+        return self.margin - oracle.max_droop_metric(*group)
+
+
+class DVFSMarginPolicy(GreedyGroupPolicy):
+    """Maximize margin headroom at a reduced guardband.
+
+    Scores each group by how far its deepest droop stays inside a
+    guardband *smaller* than the shipped worst case (default: half the
+    14 % margin of Sec. II-C) — the placement that lets DVFS undervolt
+    furthest without tripping the critical voltage
+    (:mod:`repro.pdn.undervolt`).
+    """
+
+    key = "dvfs-margin"
+    name = "DVFSMargin"
+
+    def __init__(self, guardband_fraction: float = 0.5) -> None:
+        self.guardband_fraction = float(guardband_fraction)
+
+    def scorer(self, seed: SeedLike) -> SchedulingPolicy:
+        return MarginHeadroomPolicy(self.guardband_fraction)

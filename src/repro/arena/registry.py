@@ -1,0 +1,73 @@
+"""The arena's policy registry.
+
+Policies register a zero-argument factory under their stable key;
+:func:`build_policies` instantiates a requested subset (or every
+registered policy) in sorted-key order — a fixed iteration order, so an
+arena run's policy list never depends on registration or dict order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.arena.policies import (
+    ArenaPolicy,
+    DroopArenaPolicy,
+    DVFSMarginPolicy,
+    HybridArenaPolicy,
+    IPCArenaPolicy,
+    IPCPackingPolicy,
+    RandomArenaPolicy,
+    RandomNPolicy,
+    StallArenaPolicy,
+)
+from repro.errors import ConfigurationError
+
+PolicyFactory = Callable[[], ArenaPolicy]
+
+_REGISTRY: Dict[str, PolicyFactory] = {}
+
+
+def register(key: str, factory: PolicyFactory) -> None:
+    """Register a policy factory under its stable key."""
+    if key in _REGISTRY:
+        raise ConfigurationError(f"policy key {key!r} already registered")
+    _REGISTRY[key] = factory
+
+
+def registered_keys() -> Tuple[str, ...]:
+    """Every registered policy key, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build_policies(
+    keys: Optional[Sequence[str]] = None,
+) -> Tuple[ArenaPolicy, ...]:
+    """Instantiate the requested policies (all of them by default).
+
+    ``keys=None`` (or the CLI's ``--policies all``) builds every
+    registered policy in sorted-key order.  Explicit keys keep their
+    given order; unknown keys raise with the available choices.
+    """
+    if keys is None:
+        keys = registered_keys()
+    policies: List[ArenaPolicy] = []
+    for key in keys:
+        factory = _REGISTRY.get(key)
+        if factory is None:
+            known = ", ".join(registered_keys())
+            raise ConfigurationError(
+                f"unknown policy {key!r}; choose from: {known}"
+            )
+        policies.append(factory())
+    return tuple(policies)
+
+
+register("droop", DroopArenaPolicy)
+register("dvfs-margin", DVFSMarginPolicy)
+register("hybrid", HybridArenaPolicy)
+register("ipc", IPCArenaPolicy)
+register("ipc-packing", IPCPackingPolicy)
+register("random", RandomArenaPolicy)
+register("random-n", RandomNPolicy)
+register("stall", StallArenaPolicy)

@@ -1,0 +1,102 @@
+"""Arena comparison reports: deterministic JSON and markdown.
+
+The JSON payload is the arena's machine-readable contract (and the
+format of the golden fixtures under ``tests/arena/golden/``): keys
+sorted, floats rendered by :func:`json.dumps`'s shortest-repr, rows in
+ranking order — so equal-seed runs are byte-identical, whatever the
+executor's job count.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.arena.harness import ArenaResult, PolicyScorecard
+
+#: Schema version of the JSON payload; bump on breaking shape changes.
+SCHEMA_VERSION = 1
+
+
+def _scorecard_payload(card: PolicyScorecard) -> Dict[str, Any]:
+    return {
+        "policy": card.policy,
+        "name": card.name,
+        "groups": [list(group) for group in card.schedule.groups],
+        "mean_ipc": card.mean_ipc,
+        "droops_per_1k": card.droops_per_1k,
+        "recovery_overhead": card.recovery_overhead,
+        "energy_proxy": card.energy_proxy,
+        "oracle_regret": card.oracle_regret,
+    }
+
+
+def json_payload(result: ArenaResult) -> Dict[str, Any]:
+    """The scorecard comparison as one JSON-serializable dict."""
+    oracle: Optional[Dict[str, Any]] = None
+    if result.oracle is not None:
+        oracle = {
+            "droops_per_1k": result.oracle.droops_per_1k,
+            "groups": [
+                list(group) for group in result.oracle.schedule.groups
+            ],
+            "partitions_searched": result.oracle.partitions_searched,
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": result.suite,
+        "programs": list(result.programs),
+        "n_cores": result.n_cores,
+        "config": result.config,
+        "n_cycles": result.n_cycles,
+        "seed": result.seed,
+        "recovery_cost": result.recovery_cost,
+        "oracle": oracle,
+        "scorecards": [
+            _scorecard_payload(card) for card in result.scorecards
+        ],
+    }
+
+
+def json_report(result: ArenaResult) -> str:
+    """Byte-stable JSON rendering (sorted keys, trailing newline)."""
+    return json.dumps(json_payload(result), indent=2, sort_keys=True) + "\n"
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "n/a"
+    return f"{value:.4f}"
+
+
+def markdown_report(result: ArenaResult) -> str:
+    """The ranked comparison as a markdown table with context header."""
+    lines: List[str] = [
+        f"# Policy arena: suite `{result.suite}` on "
+        f"{result.n_cores} cores ({result.config})",
+        "",
+        f"Pool: {', '.join(result.programs)} — "
+        f"{result.n_cycles} cycles/run, seed {result.seed}, "
+        f"recovery cost {result.recovery_cost:g} cycles.",
+        "",
+        "| rank | policy | droops/1k | recovery overhead | mean IPC "
+        "| energy proxy | oracle regret |",
+        "|---:|---|---:|---:|---:|---:|---:|",
+    ]
+    for position, card in enumerate(result.scorecards, start=1):
+        lines.append(
+            f"| {position} | {card.name} | {card.droops_per_1k:.4f} "
+            f"| {card.recovery_overhead:.4f} | {card.mean_ipc:.4f} "
+            f"| {card.energy_proxy:.4f} | {_fmt(card.oracle_regret)} |"
+        )
+    if result.oracle is not None:
+        groups = "; ".join(
+            "+".join(group) for group in result.oracle.schedule.groups
+        )
+        lines += [
+            "",
+            f"Oracle optimum: {result.oracle.droops_per_1k:.4f} "
+            f"droops/1k over {result.oracle.partitions_searched} "
+            f"partitions ({groups}).",
+        ]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,88 @@
+"""Arena schedules: partition covers of a job pool over N-core supplies.
+
+An arena :class:`Schedule` places every program of a workload suite
+exactly once into co-running groups that share one voltage supply.  This
+is the batch-window view of scheduling (one pass over the pool), as
+opposed to :class:`repro.core.scheduler.BatchScheduler`'s job-stream
+view where programs repeat; partitions make policies directly
+comparable — every policy spends the same core-cycles on the same work,
+so throughput, droop overhead and energy differences are attributable to
+*placement* alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
+
+from repro.core.scheduler import Group
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One policy's placement of a job pool onto N-core supplies."""
+
+    #: Registry key of the policy that proposed it.
+    policy: str
+    #: Cores per shared supply (max group size).
+    n_cores: int
+    #: The co-running groups; together they cover the pool.
+    groups: Tuple[Group, ...]
+
+    @property
+    def programs(self) -> Tuple[str, ...]:
+        """Every placed program, in group order."""
+        return tuple(name for group in self.groups for name in group)
+
+    def canonical(self) -> "Schedule":
+        """Sort members within groups and groups among themselves.
+
+        Group-member order is simulation-relevant (core 0 vs core 1 draw
+        different derived streams), so the harness always evaluates the
+        canonical form — making every score invariant under the member
+        orderings a symmetric policy might emit.
+        """
+        groups = tuple(sorted(tuple(sorted(g)) for g in self.groups))
+        return replace(self, groups=groups)
+
+
+def validate_cover(
+    schedule: Schedule, programs: Sequence[str]
+) -> Schedule:
+    """Check the permutation-complete-cover contract; return the schedule.
+
+    Every program of the pool appears exactly once across the groups, no
+    group is empty, and no group holds more members than the supply has
+    cores.  Violations raise :class:`~repro.errors.SchedulingError`
+    naming the offending policy.
+    """
+    for group in schedule.groups:
+        if not 1 <= len(group) <= schedule.n_cores:
+            raise SchedulingError(
+                f"policy {schedule.policy!r} emitted a group of "
+                f"{len(group)} for {schedule.n_cores} cores: {group!r}"
+            )
+    placed = sorted(schedule.programs)
+    expected = sorted(programs)
+    if placed != expected:
+        raise SchedulingError(
+            f"policy {schedule.policy!r} did not cover the pool exactly "
+            f"once: placed {placed!r}, expected {expected!r}"
+        )
+    return schedule
+
+
+def group_sizes(n_programs: int, n_cores: int) -> Tuple[int, ...]:
+    """Canonical group sizes for a pool: full supplies plus a remainder.
+
+    ``group_sizes(10, 4) == (4, 4, 2)`` — every supply filled, with at
+    most one under-filled group soaking up the remainder (its idle cores
+    run the idle loop during measurement).
+    """
+    if n_cores < 2:
+        raise SchedulingError("n_cores must be >= 2")
+    if n_programs < 1:
+        raise SchedulingError("need at least one program")
+    full, remainder = divmod(n_programs, n_cores)
+    return (n_cores,) * full + ((remainder,) if remainder else ())

@@ -1,0 +1,47 @@
+"""Named workload suites the arena benchmarks policies across.
+
+Suites are fixed, sorted program tuples — part of every scorecard's
+identity (and of the golden fixtures under ``tests/arena/golden/``), so
+changing a suite's membership is a breaking change to recorded results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Suite name -> job pool (sorted, no repeats).
+SUITES: Dict[str, Tuple[str, ...]] = {
+    # The CLI default: loud memory-bound programs (lbm, mcf) against
+    # the phased Fig. 14 pair (gamess, sphinx) — small enough for
+    # exhaustive regret, spread enough that placement matters.
+    "micro": ("gamess", "lbm", "mcf", "sphinx"),
+    # Eight programs across the noise spectrum: enough structure for
+    # 4-core placements to differ, small enough for exhaustive regret.
+    "noise": (
+        "gamess", "lbm", "libquantum", "mcf",
+        "namd", "povray", "sjeng", "sphinx",
+    ),
+    # The quick-experiment subset (10 programs; see experiments.context).
+    "quick": (
+        "astar", "gamess", "lbm", "libquantum", "mcf",
+        "namd", "povray", "sjeng", "sphinx", "tonto",
+    ),
+}
+
+
+def suite_names() -> Tuple[str, ...]:
+    """Registered suite names, sorted."""
+    return tuple(sorted(SUITES))
+
+
+def suite_programs(name: str) -> Tuple[str, ...]:
+    """The job pool of one named suite."""
+    try:
+        return SUITES[name]
+    except KeyError:
+        known = ", ".join(suite_names())
+        raise ConfigurationError(
+            f"unknown suite {name!r}; choose from: {known}"
+        ) from None

@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli run tab1 --full
     python -m repro.cli run all
     python -m repro.cli measure mcf lbm mcf+lbm --jobs 2
+    python -m repro.cli arena --suite micro --cores 4 --policies all
     python -m repro.cli chaos --plan default
 
 Each experiment prints the reproduced figure/table rows plus its
@@ -59,6 +60,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ext-online": "ext_online_scheduler",
     "ext-throttle": "ext_throttle",
     "ext-cores": "ext_core_count",
+    "ext-arena": "ext_policy_arena",
 }
 
 #: One-line description per experiment, shown by ``list``.
@@ -87,6 +89,7 @@ DESCRIPTIONS: Dict[str, str] = {
     "ext-online": "extension: online learned noise-aware scheduling",
     "ext-throttle": "extension: open- vs closed-loop emergency throttling",
     "ext-cores": "extension: noise vs number of active cores",
+    "ext-arena": "extension: N-core policy arena head-to-head",
 }
 
 
@@ -273,6 +276,61 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_arguments(measure)
     _add_observability_arguments(measure)
+    arena = sub.add_parser(
+        "arena",
+        help="benchmark N-core scheduling policies head-to-head "
+        "(see docs/arena.md)",
+    )
+    arena.add_argument(
+        "--suite",
+        default="micro",
+        help="named workload suite to schedule (default: micro)",
+    )
+    arena.add_argument(
+        "--cores",
+        type=int,
+        default=2,
+        metavar="N",
+        help="cores per shared supply (default: 2)",
+    )
+    arena.add_argument(
+        "--policies",
+        default="all",
+        metavar="KEYS",
+        help="comma-separated policy keys, or 'all' (default: all)",
+    )
+    arena.add_argument(
+        "--config",
+        default="Proc3",
+        help="decap configuration to measure on (default: Proc3)",
+    )
+    arena.add_argument(
+        "--cycles",
+        type=int,
+        default=12_000,
+        metavar="N",
+        help="window length per run in cycles (default: 12000)",
+    )
+    arena.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign base seed (default: 0)",
+    )
+    arena.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the scorecard comparison as deterministic JSON",
+    )
+    arena.add_argument(
+        "--markdown",
+        default=None,
+        metavar="FILE",
+        help="write the ranked comparison as a markdown report",
+    )
+    _add_execution_arguments(arena)
+    _add_observability_arguments(arena)
     chaos = sub.add_parser(
         "chaos",
         help="self-test: re-measure under seeded fault injection and "
@@ -412,6 +470,43 @@ def _run_measure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_arena(args: argparse.Namespace) -> int:
+    """Run the policy arena and print/write the ranked comparison."""
+    from repro.arena.harness import run_arena
+    from repro.arena.report import json_report, markdown_report
+    from repro.errors import ReproError
+
+    keys = None
+    if args.policies.strip().lower() != "all":
+        keys = [
+            key.strip() for key in args.policies.split(",") if key.strip()
+        ]
+    try:
+        result = run_arena(
+            suite=args.suite,
+            n_cores=args.cores,
+            policies=keys,
+            config=args.config,
+            n_cycles=args.cycles,
+            seed=args.seed,
+        )
+    except ReproError as error:
+        print(f"arena: {error}", file=sys.stderr)
+        return 2
+    print(markdown_report(result), end="")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(json_report(result))
+        print(f"wrote scorecards to {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(markdown_report(result))
+        print(f"wrote report to {args.markdown}")
+    print()
+    _print_execution_stats()
+    return 0
+
+
 def _run_chaos(args: argparse.Namespace) -> int:
     """Chaos self-test: clean run vs two faulted passes, bit-compared.
 
@@ -524,6 +619,12 @@ def main(argv: list[str] | None = None) -> int:
         _configure_execution(args)
         _configure_observability(args)
         status = _run_measure(args)
+        _finalize_observability(args)
+        return status
+    if args.command == "arena":
+        _configure_execution(args)
+        _configure_observability(args)
+        status = _run_arena(args)
         _finalize_observability(args)
         return status
     if args.command == "chaos":

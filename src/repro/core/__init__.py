@@ -48,6 +48,8 @@ from repro.core.policies import (
 )
 from repro.core.scheduler import (
     BatchScheduler,
+    Group,
+    GroupOracle,
     PairOracle,
     ScheduleEvaluation,
 )
@@ -76,6 +78,8 @@ __all__ = [
     "SchedulingPolicy",
     "SPECratePolicy",
     "BatchScheduler",
+    "Group",
+    "GroupOracle",
     "PairOracle",
     "ScheduleEvaluation",
 ]

@@ -1,7 +1,8 @@
 """Co-scheduling policies (Sec. IV-C).
 
-A policy scores candidate pairings; the batch scheduler picks, for each
-job it places, the partner with the best score.  The paper compares:
+A policy scores candidate co-schedules; the batch scheduler picks, for each
+job it places, the partner (or, on an N-core chip, the next group member)
+with the best score.  The paper compares:
 
 * **Droop** — minimize predicted chip-wide droops (emergency recoveries);
   the paper's proposed noise-aware policy.
@@ -11,16 +12,26 @@ job it places, the partner with the best score.  The paper compares:
   with the exponent ``n`` growing with the platform's recovery cost.
 * **Random** — the control; mimics SPECrate's indifference to noise.
 * **SPECrate** — the baseline: every program paired with itself.
+
+Every policy's primitive is :meth:`SchedulingPolicy.score_group`, which
+scores a whole co-running group of any size; the two-argument
+:meth:`SchedulingPolicy.score` is the dual-core convenience wrapper the
+paper's pair experiments use.  The arena layer (:mod:`repro.arena`)
+builds N-core partition schedules on top of the same scoring primitives.
 """
 
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SchedulingError
 from repro.random_utils import SeedLike, as_generator
+
+if TYPE_CHECKING:  # import cycle: scheduler imports this module
+    from repro.core.scheduler import GroupOracle
 
 #: Droop rates can be zero for quiet pairs; the hybrid metric floors them.
 DROOP_EPSILON = 1e-7
@@ -31,9 +42,19 @@ class SchedulingPolicy(abc.ABC):
 
     name: str = "policy"
 
+    #: Does the score depend only on the *set* of group members (not
+    #: their order)?  Symmetric policies may canonicalize group order
+    #: before querying the oracle; the arena's property suite checks the
+    #: claim dynamically.
+    symmetric: bool = True
+
     @abc.abstractmethod
-    def score(self, a: str, b: str, oracle) -> float:
-        """Desirability of running ``a`` and ``b`` together."""
+    def score_group(self, group: Tuple[str, ...], oracle: "GroupOracle") -> float:
+        """Desirability of co-running ``group`` on one supply."""
+
+    def score(self, a: str, b: str, oracle: "GroupOracle") -> float:
+        """Desirability of running ``a`` and ``b`` together (pair form)."""
+        return self.score_group((a, b), oracle)
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"{type(self).__name__}()"
@@ -44,17 +65,17 @@ class DroopPolicy(SchedulingPolicy):
 
     name = "Droop"
 
-    def score(self, a: str, b: str, oracle) -> float:
-        return -oracle.droop_metric(a, b)
+    def score_group(self, group: Tuple[str, ...], oracle: "GroupOracle") -> float:
+        return -oracle.droop_metric(*group)
 
 
 class IPCPolicy(SchedulingPolicy):
-    """Maximize pair throughput (sum of the two cores' IPC)."""
+    """Maximize group throughput (sum of the co-running cores' IPC)."""
 
     name = "IPC"
 
-    def score(self, a: str, b: str, oracle) -> float:
-        return oracle.ipc_metric(a, b)
+    def score_group(self, group: Tuple[str, ...], oracle: "GroupOracle") -> float:
+        return oracle.ipc_metric(*group)
 
 
 class HybridPolicy(SchedulingPolicy):
@@ -83,19 +104,19 @@ class HybridPolicy(SchedulingPolicy):
         exponent = 0.25 + 0.35 * np.log10(recovery_cost)
         return cls(exponent=float(exponent))
 
-    def score(self, a: str, b: str, oracle) -> float:
-        droops = max(oracle.droop_metric(a, b), DROOP_EPSILON)
-        return oracle.ipc_metric(a, b) / droops**self.exponent
+    def score_group(self, group: Tuple[str, ...], oracle: "GroupOracle") -> float:
+        droops = max(oracle.droop_metric(*group), DROOP_EPSILON)
+        return oracle.ipc_metric(*group) / droops**self.exponent
 
 
 class StallRatioPolicy(SchedulingPolicy):
     """Droop avoidance from commodity counters only.
 
     A deployable approximation of :class:`DroopPolicy`: instead of oracle
-    droop measurements per *pair*, it uses each program's solo stall
+    droop measurements per *group*, it uses each program's solo stall
     ratio — readable from performance counters on any machine, which is
     the software loop the paper's Fig. 15 correlation (droops ~ stall
-    ratio, r = 0.97) licenses.  Scoring minimizes the pair's *worst*
+    ratio, r = 0.97) licenses.  Scoring minimizes the group's *worst*
     stall ratio, which pairs stall-heavy programs with steady low-stall
     partners — the combination whose slack pickup dampens chip-wide
     current swings.
@@ -103,28 +124,40 @@ class StallRatioPolicy(SchedulingPolicy):
 
     name = "StallRatio"
 
-    def score(self, a: str, b: str, oracle) -> float:
-        return -max(oracle.stall_metric(a), oracle.stall_metric(b))
+    def score_group(self, group: Tuple[str, ...], oracle: "GroupOracle") -> float:
+        return -max(oracle.stall_metric(name) for name in group)
 
 
 class RandomPolicy(SchedulingPolicy):
-    """Uniformly random pairing (the paper's 100-random-schedules control)."""
+    """Uniformly random pairing (the paper's 100-random-schedules control).
+
+    Scores are draws from the policy's own stream, so ordering claims do
+    not hold: the policy is declared non-symmetric.  Callers composing
+    campaigns (the arena registry in particular) must derive the stream
+    from the campaign seed via
+    :func:`repro.random_utils.derive_generator` — relying on the
+    ``seed=None`` default makes every instance share one library-wide
+    stream and silently correlates "independent" random schedules.
+    """
 
     name = "Random"
+    symmetric = False
 
     def __init__(self, seed: SeedLike = None) -> None:
         self._rng = as_generator(seed)
 
-    def score(self, a: str, b: str, oracle) -> float:
+    def score_group(self, group: Tuple[str, ...], oracle: "GroupOracle") -> float:
         return float(self._rng.random())
 
 
 class SPECratePolicy(SchedulingPolicy):
-    """The baseline: self-pairs only."""
+    """The baseline: self-pairs (self-groups on N-core chips) only."""
 
     name = "SPECrate"
 
-    def score(self, a: str, b: str, oracle) -> float:
-        if a != b:
-            raise SchedulingError("SPECrate only pairs a program with itself")
+    def score_group(self, group: Tuple[str, ...], oracle: "GroupOracle") -> float:
+        if any(name != group[0] for name in group[1:]):
+            raise SchedulingError(
+                "SPECrate only groups a program with copies of itself"
+            )
         return 0.0

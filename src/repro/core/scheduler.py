@@ -6,6 +6,14 @@ schedules from a job pool and compare the resulting droop/performance
 trade-off against the SPECrate baseline (Fig. 18), and the number of
 schedules that still meet the typical-case design target as recovery costs
 grow (Tab. I, Fig. 19).
+
+The machinery is N-core: :class:`GroupOracle` measures any co-running
+group the campaign's chip can host, and :class:`BatchScheduler` places
+groups of ``group_size`` programs.  The paper's dual-core limit study is
+the ``group_size=2`` special case (:class:`PairOracle` is the pair-shaped
+alias), and its behavior — the exact random streams, candidate orders and
+scores — is bit-identical to the historical pair-only implementation
+(pinned by ``tests/arena/test_pair_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -23,23 +31,26 @@ from repro.core.policies import SchedulingPolicy, SPECratePolicy
 from repro.random_utils import SeedLike, as_generator
 
 Pair = Tuple[str, str]
+#: An N-core co-running group (2-tuples are the paper's pairs).
+Group = Tuple[str, ...]
 
 
-def _count_schedule(pairs: Tuple[Pair, ...]) -> Tuple[Pair, ...]:
+def _count_schedule(groups: Tuple[Group, ...]) -> Tuple[Group, ...]:
     """Record one built schedule in the metrics registry (pass-through)."""
     obs.increment("repro_schedules_built_total")
-    obs.increment("repro_schedule_pairs_total", len(pairs))
-    return pairs
+    obs.increment("repro_schedule_pairs_total", len(groups))
+    return groups
 
 
-class PairOracle:
-    """A-priori droop and IPC data for every workload pairing.
+class GroupOracle:
+    """A-priori droop and IPC data for co-running workload groups.
 
     The paper gathers this in a pre-run phase over all 29x29 program
-    combinations; here each pairing is measured (and cached) on the
-    campaign's simulated chip.  The droop metric counts distinct droop
-    excursions beyond the 2.3 % characterization margin per 1K cycles;
-    the IPC metric is the pair's summed throughput.
+    combinations; here each grouping is measured (and cached) on the
+    campaign's simulated chip — which may have any number of cores.  The
+    droop metric counts distinct droop excursions beyond the 2.3 %
+    characterization margin per 1K cycles; the IPC metric is the group's
+    summed throughput.
     """
 
     def __init__(
@@ -54,11 +65,16 @@ class PairOracle:
     def campaign(self) -> MeasurementCampaign:
         return self._campaign
 
-    def run(self, a: str, b: str) -> RunMeasurement:
-        return self._campaign.measure(a, b, kind="multiprogram")
+    @property
+    def margin(self) -> float:
+        return self._margin
+
+    def run(self, *names: str) -> RunMeasurement:
+        kind = "single" if len(names) == 1 else "multiprogram"
+        return self._campaign.measure(*names, kind=kind)
 
     def prefetch(self, names: Sequence[str]) -> None:
-        """Gather the oracle's a-priori table in one executor fan-out.
+        """Gather the pair oracle's a-priori table in one executor fan-out.
 
         Batches every pairing (and each program's solo run) the policies
         can query through ``measure_specs``, so scoring afterwards is
@@ -76,19 +92,48 @@ class PairOracle:
                 ]
             )
 
-    def droop_metric(self, a: str, b: str) -> float:
+    def prefetch_groups(self, groups: Sequence[Group]) -> None:
+        """Gather an explicit list of group measurements in one fan-out.
+
+        The N-core analogue of :meth:`prefetch`: enumerating every
+        *ordered* group is combinatorial, so callers (the arena harness)
+        hand over exactly the groups their policies may query — typically
+        all sorted combinations of the job pool plus the solo runs.
+        """
+        campaign = self._campaign
+        with obs.span("oracle.prefetch", groups=len(groups)):
+            campaign.measure_specs(
+                [
+                    campaign.run_spec(
+                        *group,
+                        kind="single" if len(group) == 1 else "multiprogram",
+                    )
+                    for group in groups
+                ]
+            )
+
+    def droop_metric(self, *names: str) -> float:
         """Droop excursions beyond the margin per 1K cycles."""
-        run = self.run(a, b)
+        run = self.run(*names)
         return 1000.0 * run.droops.event_rate(self._margin)
 
-    def ipc_metric(self, a: str, b: str) -> float:
-        """Summed pair throughput (instructions per cycle)."""
-        return self.run(a, b).throughput_ipc
+    def ipc_metric(self, *names: str) -> float:
+        """Summed group throughput (instructions per cycle)."""
+        return self.run(*names).throughput_ipc
+
+    def max_droop_metric(self, *names: str) -> float:
+        """Deepest droop excursion of the group (fraction of nominal).
+
+        The margin-headroom quantity the DVFS-guardband policies consume:
+        a group whose worst droop is shallow can run at a reduced
+        guardband (see :mod:`repro.pdn.undervolt`).
+        """
+        return self.run(*names).max_droop
 
     def stall_metric(self, name: str) -> float:
         """One program's solo stall ratio (counter-only knowledge).
 
-        Unlike :meth:`droop_metric` this needs no pair measurements — a
+        Unlike :meth:`droop_metric` this needs no group measurements — a
         real scheduler can read it from hardware counters while the
         program runs alone, which is what makes the stall-ratio proxy
         deployable (Fig. 15).
@@ -96,15 +141,28 @@ class PairOracle:
         run = self._campaign.measure(name, kind="single")
         return run.counters[0].stall_ratio
 
+    def solo_ipc_metric(self, name: str) -> float:
+        """One program's solo throughput (for packing heuristics)."""
+        return self._campaign.measure(name, kind="single").throughput_ipc
+
+
+class PairOracle(GroupOracle):
+    """The paper's dual-core oracle: :class:`GroupOracle` on pairs."""
+
 
 @dataclass(frozen=True)
 class ScheduleEvaluation:
     """Aggregate droop/performance of one batch schedule."""
 
     policy_name: str
-    pairs: Tuple[Pair, ...]
+    groups: Tuple[Group, ...]
     mean_droops: float
     mean_ipc: float
+
+    @property
+    def pairs(self) -> Tuple[Group, ...]:
+        """Historical alias from the pair-only scheduler."""
+        return self.groups
 
     def normalized_to(self, baseline: "ScheduleEvaluation") -> Tuple[float, float]:
         """(droop ratio, performance ratio) relative to a baseline.
@@ -126,29 +184,40 @@ class BatchScheduler:
     Parameters
     ----------
     oracle:
-        Pairing data source.
+        Grouping data source.
     programs:
         The job pool (defaults to the whole CPU2006 suite known to the
         oracle's campaign).
+    group_size:
+        Programs co-scheduled per supply — the chip's core count as seen
+        by the scheduler.  ``2`` reproduces the paper's dual-core study.
     """
 
     def __init__(
         self,
-        oracle: PairOracle,
+        oracle: GroupOracle,
         programs: Optional[Sequence[str]] = None,
+        group_size: int = 2,
     ) -> None:
         if programs is None:
             from repro.workloads.spec import SPEC_NAMES
 
             programs = SPEC_NAMES
+        if group_size < 2:
+            raise SchedulingError("group_size must be >= 2")
         if len(programs) < 2:
             raise SchedulingError("need at least two programs")
         self._oracle = oracle
         self._programs = tuple(programs)
+        self._group_size = int(group_size)
 
     @property
     def programs(self) -> Tuple[str, ...]:
         return self._programs
+
+    @property
+    def group_size(self) -> int:
+        return self._group_size
 
     # ------------------------------------------------------------------
     # Schedule construction
@@ -159,22 +228,26 @@ class BatchScheduler:
         n_pairs: int = 50,
         max_repeats: Optional[int] = None,
         seed: SeedLike = None,
-    ) -> Tuple[Pair, ...]:
-        """Choose ``n_pairs`` co-schedules under a repetition constraint.
+    ) -> Tuple[Group, ...]:
+        """Choose ``n_pairs`` co-running groups under a repetition constraint.
 
         Placement walks the pool favouring the least-used program (so no
         program is starved, matching the paper's constraint on repeated
-        choices) and asks the policy to score candidate partners.
+        choices) and asks the policy to score candidate group extensions
+        until each group holds ``group_size`` members.
         """
         if n_pairs < 1:
             raise SchedulingError("n_pairs must be >= 1")
         if isinstance(policy, SPECratePolicy):
             return _count_schedule(self.specrate_schedule(n_pairs))
         if max_repeats is None:
-            max_repeats = max(2, int(np.ceil(2 * n_pairs / len(self._programs))))
+            max_repeats = max(
+                2,
+                int(np.ceil(self._group_size * n_pairs / len(self._programs))),
+            )
         rng = as_generator(seed)
         usage: Dict[str, int] = {name: 0 for name in self._programs}
-        pairs: List[Pair] = []
+        groups: List[Group] = []
         for _ in range(n_pairs):
             available = [p for p in self._programs if usage[p] < max_repeats]
             if len(available) < 1:
@@ -185,29 +258,34 @@ class BatchScheduler:
             min_usage = min(usage[p] for p in available)
             anchors = [p for p in available if usage[p] == min_usage]
             anchor = anchors[int(rng.integers(0, len(anchors)))]
-            candidates = [
-                p for p in self._programs
-                if usage[p] < max_repeats and (p != anchor or usage[p] + 2 <= max_repeats)
-            ]
-            if not candidates:
-                candidates = [anchor]
-            scores = np.array([
-                policy.score(anchor, partner, self._oracle)
-                for partner in candidates
-            ])
-            best = int(np.argmax(scores))
-            partner = candidates[best]
-            usage[anchor] += 1
-            usage[partner] += 1
-            pairs.append((anchor, partner))
-        return _count_schedule(tuple(pairs))
+            group: List[str] = [anchor]
+            while len(group) < self._group_size:
+                in_group: Dict[str, int] = {}
+                for member in group:
+                    in_group[member] = in_group.get(member, 0) + 1
+                candidates = [
+                    p
+                    for p in self._programs
+                    if usage[p] + in_group.get(p, 0) + 1 <= max_repeats
+                ]
+                if not candidates:
+                    candidates = [anchor]
+                scores = np.array([
+                    policy.score_group(tuple(group) + (partner,), self._oracle)
+                    for partner in candidates
+                ])
+                group.append(candidates[int(np.argmax(scores))])
+            for member in group:
+                usage[member] += 1
+            groups.append(tuple(group))
+        return _count_schedule(tuple(groups))
 
-    def specrate_schedule(self, n_pairs: Optional[int] = None) -> Tuple[Pair, ...]:
-        """The SPECrate baseline: each program paired with itself."""
-        pairs = [(name, name) for name in self._programs]
+    def specrate_schedule(self, n_pairs: Optional[int] = None) -> Tuple[Group, ...]:
+        """The SPECrate baseline: each program grouped with itself."""
+        groups = [(name,) * self._group_size for name in self._programs]
         if n_pairs is None:
-            return tuple(pairs)
-        repeated = (pairs * (n_pairs // len(pairs) + 1))[:n_pairs]
+            return tuple(groups)
+        repeated = (groups * (n_pairs // len(groups) + 1))[:n_pairs]
         return tuple(repeated)
 
     # ------------------------------------------------------------------
@@ -215,20 +293,20 @@ class BatchScheduler:
     # ------------------------------------------------------------------
     def evaluate(
         self,
-        pairs: Sequence[Pair],
+        groups: Sequence[Group],
         policy_name: str = "",
     ) -> ScheduleEvaluation:
-        """Mean droop and IPC metrics over one schedule's pairs."""
-        if not pairs:
+        """Mean droop and IPC metrics over one schedule's groups."""
+        if not groups:
             raise SchedulingError("empty schedule")
         with obs.span(
-            "scheduler.evaluate", policy=policy_name, pairs=len(pairs)
+            "scheduler.evaluate", policy=policy_name, pairs=len(groups)
         ):
-            droops = [self._oracle.droop_metric(a, b) for a, b in pairs]
-            ipcs = [self._oracle.ipc_metric(a, b) for a, b in pairs]
+            droops = [self._oracle.droop_metric(*g) for g in groups]
+            ipcs = [self._oracle.ipc_metric(*g) for g in groups]
         return ScheduleEvaluation(
             policy_name=policy_name,
-            pairs=tuple(pairs),
+            groups=tuple(tuple(g) for g in groups),
             mean_droops=float(np.mean(droops)),
             mean_ipc=float(np.mean(ipcs)),
         )
@@ -240,8 +318,8 @@ class BatchScheduler:
         seed: SeedLike = None,
     ) -> ScheduleEvaluation:
         """Build and evaluate one batch schedule for a policy."""
-        pairs = self.build_schedule(policy, n_pairs=n_pairs, seed=seed)
-        return self.evaluate(pairs, policy_name=policy.name)
+        groups = self.build_schedule(policy, n_pairs=n_pairs, seed=seed)
+        return self.evaluate(groups, policy_name=policy.name)
 
     # ------------------------------------------------------------------
     # Pass/fail analysis (Tab. I / Fig. 19)
@@ -256,7 +334,7 @@ class BatchScheduler:
 
         Used by the Fig. 19 analysis: instead of SPECrate's self-pairing,
         each program gets the policy's preferred (capacity-limited)
-        partner.
+        partner.  Pair-shaped by construction, whatever the group size.
         """
         rng = as_generator(seed)
         load: Dict[str, int] = {name: 0 for name in self._programs}

@@ -167,10 +167,13 @@ def _build_campaign(
     cache_settings: Tuple[Optional[str], bool],
     retry: RetryPolicy,
     plan_spec: Optional[str],
+    n_cores: int,
 ) -> MeasurementCampaign:
     # cache_settings is part of the key so that campaigns built under
     # different --cache-dir / --no-cache regimes never alias each other;
-    # retry and plan_spec likewise keep fault-tolerance regimes apart.
+    # retry and plan_spec likewise keep fault-tolerance regimes apart,
+    # and n_cores keeps a 4-core arena campaign from aliasing the
+    # dual-core one for the same configuration.
     del cache_settings
     injector = FaultInjector(plan_spec) if plan_spec is not None else None
     with obs.span(
@@ -185,6 +188,7 @@ def _build_campaign(
             cache=shared_cache(),
             retry=retry,
             injector=injector,
+            n_cores=n_cores,
         )
 
 
@@ -192,6 +196,7 @@ def get_campaign(
     config: str,
     n_cycles: int = FULL_WINDOW_CYCLES,
     seed: int = 0,
+    n_cores: int = 2,
 ) -> MeasurementCampaign:
     """A process-wide shared campaign for one configuration.
 
@@ -208,6 +213,7 @@ def get_campaign(
         (_cache_dir_override, cache_enabled()),
         retry_policy(),
         plan.spec if plan is not None else None,
+        n_cores,
     )
 
 

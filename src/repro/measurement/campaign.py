@@ -131,6 +131,12 @@ class MeasurementCampaign:
         Optional :class:`~repro.faults.FaultInjector` enabling seeded
         fault injection at the executor and cache hook points (chaos
         testing); ``None`` runs clean.
+    n_cores:
+        Cores on the simulated chip (one shared supply).  The paper's
+        measurements use the dual-core default; the scheduling arena
+        raises it for N-core co-scheduling studies.  Core count is part
+        of the cache fingerprint, so campaigns with different core
+        counts never alias.
     """
 
     def __init__(
@@ -142,13 +148,14 @@ class MeasurementCampaign:
         cache: Optional["ResultCache"] = None,
         retry: Optional["RetryPolicy"] = None,
         injector: Optional["FaultInjector"] = None,
+        n_cores: int = 2,
     ) -> None:
         if n_cycles < 1000:
             raise ConfigurationError("n_cycles must be at least 1000")
         self._config = config
         self._n_cycles = int(n_cycles)
         self._seed = seed
-        self._chip = Chip(config, with_ripple=True)
+        self._chip = Chip(config, n_cores=n_cores, with_ripple=True)
         self._idle = IdleLoop()
         # Imported here: the executor module imports this one at load time.
         from repro.measurement.executor import CampaignExecutor
@@ -247,8 +254,9 @@ class MeasurementCampaign:
     ) -> RunSpec:
         """Validate workload names and infer the run kind.
 
-        One name → single-threaded (other core idles), except PARSEC names
-        which run multi-threaded; two names → multi-program pair.
+        One name → single-threaded (the other cores idle), except PARSEC
+        names which run multi-threaded; several names → multi-program
+        group (a pair on the default dual-core chip).
         """
         if not 1 <= len(workload_names) <= self._chip.n_cores:
             raise ConfigurationError(
@@ -257,7 +265,7 @@ class MeasurementCampaign:
         for name in workload_names:
             self._resolve(name)
         if kind is None:
-            if len(workload_names) == 2:
+            if len(workload_names) >= 2:
                 kind = "multiprogram"
             elif workload_names[0] in PARSEC:
                 kind = "multithread"

@@ -368,6 +368,7 @@ def _simulate_record(
     telemetry: bool = False,
     plan_spec: Optional[str] = None,
     attempt: int = 0,
+    n_cores: int = 2,
 ) -> Dict[str, Any]:
     """Worker entry point: simulate one run, return its encoded record.
 
@@ -391,7 +392,9 @@ def _simulate_record(
     from repro.measurement.record import encode_measurement
 
     kind, workloads, spec_config = spec_fields
-    campaign = MeasurementCampaign(config, n_cycles=n_cycles, seed=seed)
+    campaign = MeasurementCampaign(
+        config, n_cycles=n_cycles, seed=seed, n_cores=n_cores
+    )
     spec = RunSpec(kind=kind, workloads=tuple(workloads), config=spec_config)
     injector = FaultInjector(plan_spec) if plan_spec is not None else None
     if not telemetry:
@@ -673,6 +676,7 @@ class CampaignExecutor:
                             telemetry,
                             plan_spec,
                             attempts[spec],
+                            self._campaign.chip.n_cores,
                         )
                     except BrokenProcessPool as error:
                         # The pool died while we were still submitting;

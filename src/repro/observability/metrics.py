@@ -145,6 +145,18 @@ CATALOG: Dict[str, MetricSpec] = {
             "scheduling intervals executed by the online scheduler",
         ),
         MetricSpec(
+            "repro_arena_runs_total", "counter", "runs",
+            "policy-arena harness invocations",
+        ),
+        MetricSpec(
+            "repro_arena_policies_total", "counter", "policies",
+            "policies scored by the arena harness",
+        ),
+        MetricSpec(
+            "repro_arena_groups_total", "counter", "groups",
+            "co-running groups placed into arena schedules",
+        ),
+        MetricSpec(
             "repro_interval_droops_per_1k", "histogram", "events/kcycle",
             "per-interval droop rate observed by the online scheduler",
             buckets=_PER_1K_BUCKETS,

@@ -1,0 +1,51 @@
+"""Shared arena test doubles.
+
+The property suite exercises the policy interface thousands of times;
+driving a real :class:`~repro.measurement.campaign.MeasurementCampaign`
+per example would be prohibitive and adds nothing — the contracts under
+test (cover completeness, seed determinism, symmetry) are about the
+*policies*, not the simulator.  :class:`FakeOracle` stands in: a
+deterministic, name-set-symmetric metric source with the same query
+surface as :class:`repro.core.scheduler.GroupOracle`.
+"""
+
+import pytest
+
+
+def _unit(tag, names):
+    """Deterministic pseudo-metric in [0, 1) from a tag and a name set.
+
+    FNV-1a over the sorted names, so the value is symmetric in the
+    group's members (matching the harness contract that oracle queries
+    are canonicalized) and stable across processes — no ``hash()``.
+    """
+    key = tag + ":" + "|".join(sorted(names))
+    acc = 2166136261
+    for byte in key.encode():
+        acc = ((acc ^ byte) * 16777619) % (1 << 32)
+    return acc / float(1 << 32)
+
+
+class FakeOracle:
+    """Cheap stand-in for ``GroupOracle`` with symmetric metrics."""
+
+    def droop_metric(self, *names):
+        return 10.0 * _unit("droop", names)
+
+    def ipc_metric(self, *names):
+        return 0.2 + 2.0 * _unit("ipc", names)
+
+    def max_droop_metric(self, *names):
+        # Always inside the 14 % worst-case guardband.
+        return 0.13 * _unit("maxdroop", names)
+
+    def stall_metric(self, name):
+        return _unit("stall", (name,))
+
+    def solo_ipc_metric(self, name):
+        return 0.2 + 2.0 * _unit("solo", (name,))
+
+
+@pytest.fixture
+def fake_oracle():
+    return FakeOracle()

@@ -1,0 +1,73 @@
+"""Regenerate the arena golden scorecard fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/arena/golden/regenerate.py
+
+Each fixture is the byte-exact :func:`repro.arena.report.json_report`
+of one full arena run — every registered policy plus the exhaustive
+oracle baseline — on the ``micro`` suite at the arena defaults (Proc3,
+12 000-cycle windows, seed 0), for dual- and quad-core supplies.  The
+fixtures pin the complete arena pipeline: the generalized N-core
+scheduler, every policy's proposal, the oracle search, scoring and the
+report encoding.
+
+**Only regenerate after an intentional change** to the simulation, a
+policy, or the report schema, and say why in the commit message: the
+golden test exists to catch *unintentional* drift.  Reports are written
+with sorted keys and indentation so git diffs of a regeneration are
+reviewable scorecard by scorecard.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+#: The fixture battery: default-seed micro-suite runs per core count.
+GOLDEN_CONFIG = "Proc3"
+GOLDEN_CYCLES = 12_000
+GOLDEN_SEED = 0
+GOLDEN_SUITE = "micro"
+CORE_COUNTS = (2, 4)
+
+
+def fixture_path(n_cores: int) -> pathlib.Path:
+    return GOLDEN_DIR / f"{GOLDEN_SUITE}-{n_cores}core.json"
+
+
+def golden_arena(n_cores: int):
+    """One golden arena run on a hermetic (cache-free, serial) campaign."""
+    from repro.arena import run_arena
+    from repro.measurement.campaign import MeasurementCampaign
+
+    campaign = MeasurementCampaign(
+        GOLDEN_CONFIG,
+        n_cycles=GOLDEN_CYCLES,
+        seed=GOLDEN_SEED,
+        jobs=1,
+        n_cores=n_cores,
+    )
+    return run_arena(
+        suite=GOLDEN_SUITE,
+        n_cores=n_cores,
+        seed=GOLDEN_SEED,
+        campaign=campaign,
+    )
+
+
+def regenerate() -> None:
+    from repro.arena.report import json_report
+
+    for n_cores in CORE_COUNTS:
+        path = fixture_path(n_cores)
+        path.write_text(
+            json_report(golden_arena(n_cores)), encoding="utf-8"
+        )
+        print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent.parent)}")
+
+
+if __name__ == "__main__":
+    sys.exit(regenerate())

@@ -1,0 +1,96 @@
+"""Arena execution invariance: jobs, faults, and the context path.
+
+The arena inherits the executor's determinism contract
+(docs/robustness.md): the report is byte-identical whatever the job
+count, cache state, or seeded fault plan.  These tests run real (small)
+campaigns on Proc100 windows; the context-path smoke test also holds
+under the chaos CI environment (``REPRO_INJECT_FAULTS=default``), since
+it builds its campaign through :mod:`repro.experiments.context`.
+"""
+
+import pytest
+
+from repro.arena import registered_keys, run_arena
+from repro.arena.report import json_report
+from repro.errors import ConfigurationError, SchedulingError
+from repro.faults import FaultInjector
+from repro.measurement.campaign import MeasurementCampaign
+from repro.measurement.executor import RetryPolicy
+
+#: Tiny windows keep each arena sweep fast; the invariance contracts
+#: are scale-independent.
+FAST = RetryPolicy(max_retries=2, backoff_base=0.0)
+
+
+def _campaign(jobs=1, injector=None, n_cores=2):
+    return MeasurementCampaign(
+        "Proc100",
+        n_cycles=2000,
+        seed=0,
+        jobs=jobs,
+        retry=FAST,
+        injector=injector,
+        n_cores=n_cores,
+    )
+
+
+def _arena(campaign, n_cores=2):
+    return run_arena(suite="micro", n_cores=n_cores, campaign=campaign)
+
+
+class TestJobsInvariance:
+    def test_parallel_report_matches_serial(self):
+        serial = json_report(_arena(_campaign(jobs=1)))
+        parallel = json_report(_arena(_campaign(jobs=2)))
+        assert parallel == serial
+
+    def test_quad_core_parallel_matches_serial(self):
+        serial = json_report(_arena(_campaign(jobs=1, n_cores=4), 4))
+        parallel = json_report(_arena(_campaign(jobs=2, n_cores=4), 4))
+        assert parallel == serial
+
+
+class TestFaultTolerance:
+    def test_default_fault_plan_is_bit_identical(self):
+        """Injected faults cost retries, never change a scorecard."""
+        clean = json_report(_arena(_campaign()))
+        chaotic = json_report(
+            _arena(_campaign(injector=FaultInjector("default")))
+        )
+        assert chaotic == clean
+
+
+class TestContextPath:
+    def test_smoke_through_shared_context(self):
+        """The CLI path: campaign built by experiments.context (so any
+        ambient REPRO_JOBS / REPRO_INJECT_FAULTS settings apply), run
+        twice, byte-identical."""
+        first = run_arena(
+            suite="micro", n_cores=2, config="Proc100", n_cycles=2000
+        )
+        second = run_arena(
+            suite="micro", n_cores=2, config="Proc100", n_cycles=2000
+        )
+        assert json_report(first) == json_report(second)
+        assert {c.policy for c in first.scorecards} == set(registered_keys())
+        assert first.oracle is not None
+
+
+class TestValidation:
+    def test_rejects_single_core(self):
+        with pytest.raises(SchedulingError, match="n_cores"):
+            run_arena(suite="micro", n_cores=1, campaign=_campaign())
+
+    def test_rejects_under_provisioned_campaign(self):
+        with pytest.raises(SchedulingError, match="cores"):
+            _arena(_campaign(n_cores=2), n_cores=4)
+
+    def test_unknown_suite(self):
+        with pytest.raises(ConfigurationError, match="suite"):
+            run_arena(suite="nope", campaign=_campaign())
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="policy"):
+            run_arena(
+                suite="micro", policies=["nope"], campaign=_campaign()
+            )

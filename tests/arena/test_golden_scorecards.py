@@ -1,0 +1,86 @@
+"""Golden scorecard regression: pinned arena reports, byte-for-byte.
+
+The fixtures in ``tests/arena/golden/`` are complete
+:func:`repro.arena.report.json_report` outputs for the ``micro`` suite
+at the arena defaults on 2 and 4 cores.  A failure here means some part
+of the arena pipeline — simulation, a policy's proposal, the oracle
+search, scoring, or the report encoding — *changed its numbers*.  If
+the change is intentional, regenerate with::
+
+    PYTHONPATH=src python tests/arena/golden/regenerate.py
+
+and justify the drift in the commit message.
+
+The same runs double as the acceptance check for the paper's Fig. 18
+ordering: on the dual-core micro suite the droop-aware policy must
+strictly beat the random controls and pure IPC on droop overhead.
+"""
+
+import json
+
+import pytest
+
+from repro.arena import registered_keys
+
+from tests.arena.golden.regenerate import (
+    CORE_COUNTS,
+    fixture_path,
+    golden_arena,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {n_cores: golden_arena(n_cores) for n_cores in CORE_COUNTS}
+
+
+class TestGoldenScorecards:
+    @pytest.mark.parametrize("n_cores", CORE_COUNTS)
+    def test_report_matches_fixture_byte_for_byte(self, results, n_cores):
+        from repro.arena.report import json_report
+
+        expected = fixture_path(n_cores).read_text(encoding="utf-8")
+        assert json_report(results[n_cores]) == expected
+
+    @pytest.mark.parametrize("n_cores", CORE_COUNTS)
+    def test_every_registered_policy_scored(self, results, n_cores):
+        arena = results[n_cores]
+        assert tuple(
+            sorted(card.policy for card in arena.scorecards)
+        ) == registered_keys()
+        assert arena.oracle is not None
+        for card in arena.scorecards:
+            assert card.oracle_regret is not None
+            assert card.oracle_regret >= 0.0
+
+    @pytest.mark.parametrize("n_cores", CORE_COUNTS)
+    def test_ranking_is_droop_sorted(self, results, n_cores):
+        cards = results[n_cores].scorecards
+        droops = [card.droops_per_1k for card in cards]
+        assert droops == sorted(droops)
+
+    def test_fixture_payloads_are_versioned(self):
+        for n_cores in CORE_COUNTS:
+            payload = json.loads(
+                fixture_path(n_cores).read_text(encoding="utf-8")
+            )
+            assert payload["schema_version"] == 1
+            assert payload["suite"] == "micro"
+            assert payload["n_cores"] == n_cores
+
+
+class TestFig18Ordering:
+    def test_droop_policy_beats_random_and_pure_ipc(self, results):
+        """The paper's headline (Fig. 18): noise-aware placement pays
+        less droop overhead than random or contention-only placement."""
+        arena = results[2]
+        droop = arena.scorecard("droop")
+        for rival in ("random", "random-n", "ipc"):
+            assert (
+                droop.droops_per_1k
+                < arena.scorecard(rival).droops_per_1k
+            ), rival
+
+    def test_droop_policy_has_zero_regret_on_micro(self, results):
+        droop = results[2].scorecard("droop")
+        assert droop.oracle_regret == 0.0  # simlint: disable=HYG001 (clamped exact zero)

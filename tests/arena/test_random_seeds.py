@@ -1,0 +1,89 @@
+"""Seed-plumbing regression for the random arena policies.
+
+The old pair-only :class:`~repro.core.policies.RandomPolicy` defaulted
+to ``seed=None`` — the library-wide default stream — so a reused policy
+instance advanced shared state between builds and two "independent"
+random controls could correlate.  The arena registry must never hit
+that default: every random draw derives from the campaign seed through
+:meth:`~repro.arena.policies.ArenaPolicy.rng`
+(``derive_generator(seed, "arena", "policy", <key>)``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arena import build_policies
+from repro.arena.policies import RandomArenaPolicy, RandomNPolicy
+from repro.random_utils import derive_generator
+
+from tests.arena.conftest import FakeOracle
+
+POOL = (
+    "gamess", "lbm", "libquantum", "mcf",
+    "namd", "povray", "sjeng", "sphinx",
+)
+
+
+class TestRandomArenaPolicy:
+    def test_reuse_is_stateless(self):
+        """A reused instance must not drift — the historical bug: the
+        default-stream RandomPolicy advanced shared state per call."""
+        policy = RandomArenaPolicy()
+        first = policy.propose(POOL, 2, FakeOracle(), seed=5)
+        again = policy.propose(POOL, 2, FakeOracle(), seed=5)
+        assert first == again
+
+    def test_instances_agree_for_equal_seeds(self):
+        a = RandomArenaPolicy().propose(POOL, 2, FakeOracle(), seed=5)
+        b = RandomArenaPolicy().propose(POOL, 2, FakeOracle(), seed=5)
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        policy = RandomArenaPolicy()
+        schedules = {
+            policy.propose(POOL, 2, FakeOracle(), seed=s).canonical().groups
+            for s in range(8)
+        }
+        assert len(schedules) > 1
+
+    def test_scorer_stream_derives_from_campaign_seed(self):
+        """The registry fix itself: the wrapped RandomPolicy draws from
+        the arena-derived stream, not RandomPolicy's default."""
+        expected = derive_generator(7, "arena", "policy", "random")
+        scorer = RandomArenaPolicy().scorer(7)
+        drawn = scorer.score_group(("lbm", "mcf"), FakeOracle())
+        assert drawn == expected.random()
+
+    def test_registry_instances_are_fresh_and_reproducible(self):
+        first = build_policies(["random"])[0]
+        second = build_policies(["random"])[0]
+        assert first is not second
+        assert first.propose(POOL, 2, FakeOracle(), seed=3) == second.propose(
+            POOL, 2, FakeOracle(), seed=3
+        )
+
+
+class TestRandomNPolicy:
+    def test_permutation_derives_from_campaign_seed(self):
+        rng = derive_generator(11, "arena", "policy", "random-n")
+        order = [POOL[int(i)] for i in rng.permutation(len(POOL))]
+        expected = tuple(
+            tuple(sorted(order[start:start + 2]))
+            for start in range(0, len(POOL), 2)
+        )
+        schedule = RandomNPolicy().propose(POOL, 2, FakeOracle(), seed=11)
+        assert schedule.groups == expected
+
+    def test_decorrelated_from_random_arena_policy(self):
+        """Distinct keys, distinct streams: the two random controls in
+        one arena run must not mirror each other."""
+        a = derive_generator(0, "arena", "policy", "random")
+        b = derive_generator(0, "arena", "policy", "random-n")
+        assert not np.array_equal(a.random(16), b.random(16))
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_reuse_is_stateless(self, seed):
+        policy = RandomNPolicy()
+        assert policy.propose(POOL, 4, FakeOracle(), seed) == policy.propose(
+            POOL, 4, FakeOracle(), seed
+        )

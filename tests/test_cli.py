@@ -128,3 +128,53 @@ class TestChaosCommand:
     def test_malformed_plan_is_an_error(self, capsys):
         assert main(self.ARGS + ["--plan", "sigsegv:1.0"]) == 2
         assert "chaos:" in capsys.readouterr().err
+
+
+class TestArenaCommand:
+    ARGS = ["arena", "--config", "Proc100", "--cycles", "2000"]
+
+    def test_prints_ranked_markdown_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "# Policy arena" in out
+        assert "oracle regret" in out
+        assert "Oracle optimum:" in out
+
+    def test_json_reruns_are_byte_identical(self, tmp_path, capsys):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(self.ARGS + ["--json", str(first)]) == 0
+        assert main(self.ARGS + ["--json", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        assert "wrote scorecards" in capsys.readouterr().out
+
+    def test_jobs_flag_does_not_change_report(self, tmp_path, capsys):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main(self.ARGS + ["--json", str(serial)]) == 0
+        assert main(
+            self.ARGS + ["--json", str(parallel), "--jobs", "2"]
+        ) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_policy_subset_and_markdown_file(self, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        assert main(
+            self.ARGS
+            + ["--policies", "droop,random", "--markdown", str(report)]
+        ) == 0
+        text = report.read_text(encoding="utf-8")
+        assert "Droop" in text and "Random" in text
+        assert "| 2 |" in text and "| 3 |" not in text
+
+    def test_quad_core_runs(self, capsys):
+        assert main(self.ARGS + ["--cores", "4"]) == 0
+        assert "4 cores" in capsys.readouterr().out
+
+    def test_unknown_suite_is_an_error(self, capsys):
+        assert main(["arena", "--suite", "nope"]) == 2
+        assert "arena:" in capsys.readouterr().err
+
+    def test_unknown_policy_is_an_error(self, capsys):
+        assert main(self.ARGS + ["--policies", "droop,nope"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
