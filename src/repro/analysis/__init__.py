@@ -12,8 +12,13 @@ package enforces those conventions mechanically:
   determinism, ``UNI*`` unit-safety, ``HYG*`` hygiene);
 * :mod:`repro.analysis.flow` — the project-wide dataflow engine
   (``DIM*`` interprocedural dimensional analysis, ``CON*``
-  concurrency-safety), run under ``--flow``;
-* :mod:`repro.analysis.baseline` — committed grandfather lists;
+  concurrency-safety, ``TNT*`` determinism taint, and ``PERF*``
+  performance smells from the interprocedural loop-cost model), run
+  under ``--flow``;
+* :mod:`repro.analysis.hotspots` — the ``simlint hotspots`` join of
+  PERF findings against a measured stage profile;
+* :mod:`repro.analysis.baseline` — committed grandfather lists, one
+  justification string per entry;
 * :mod:`repro.analysis.reporters` — text, JSON, and SARIF output;
 * :mod:`repro.analysis.cli` — ``python -m repro.analysis`` /
   ``repro-lint``.

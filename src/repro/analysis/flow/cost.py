@@ -1,0 +1,673 @@
+"""Interprocedural loop-cost model and the PERF performance-smell pass.
+
+Every function in the analyzed project gets a **cost summary** over a
+small finite lattice:
+
+* ``depth`` — the deepest loop nest observable from the function,
+  *including* loops it reaches through calls (a call at loop depth *d*
+  to a function of depth *d'* contributes ``min(d + d', DEPTH_CAP)``);
+  capped at :data:`DEPTH_CAP` so the lattice stays finite.
+* ``work`` — the dominant per-iteration work class, ordered by how much
+  a vectorizing refactor would win: ``none`` < ``compiled-call``
+  (scipy et al., already out of the interpreter) < ``numpy-vectorized``
+  (good, but a candidate for batching) < ``list-append`` (stackable
+  accumulation) < ``scalar`` (pure-Python arithmetic per iteration,
+  the expensive end).
+* ``filters`` — whether the function (transitively) invokes an IIR
+  filter (``scipy.signal.sosfilt`` and friends), the PDN solver's
+  batchable kernel.
+
+``join`` is the componentwise maximum, the bottom element is
+:data:`BOTTOM`, and :func:`solve_costs` computes the least fixpoint of
+``summary(f) = intrinsic(f) ⊔ ⊔ lift(summary(callee), call_depth)``
+over the project call graph with sorted, deterministic iteration —
+exactly the shape of :func:`repro.analysis.flow.effects.solve_effects`,
+and property-tested the same way.
+
+On top of the model sits the **hot-closure classification**: the
+breadth-first closure of the campaign's measured entry points —
+``*.simulate`` methods (``run.simulate`` / ``pdn.simulate`` spans),
+``*Chip.run`` (the ``chip.run`` span), and every process-pool payload —
+and the ``PERF001``–``PERF005`` rules, which fire only inside that
+closure so the report stays a worklist, not a style audit.  The
+resulting :class:`CostTable` is also the static half of the
+``simlint hotspots`` subcommand, which joins it against a measured
+stage profile (see :mod:`repro.analysis.hotspots`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.callgraph import (
+    local_types,
+    project_worker_entries,
+    reachable,
+)
+from repro.analysis.flow.symbols import ClassInfo, FunctionInfo, Project
+from repro.analysis.registry import get_rule
+
+# ---------------------------------------------------------------------------
+# The lattice
+# ---------------------------------------------------------------------------
+
+#: Loop-nest depths saturate here; beyond three nested loops the verdict
+#: ("vectorize this") does not change, and the cap keeps the lattice finite.
+DEPTH_CAP = 3
+
+W_NONE = 0
+W_COMPILED = 1
+W_VECTORIZED = 2
+W_APPEND = 3
+W_SCALAR = 4
+
+#: Report spellings for the work classes, index-aligned with the ints.
+WORK_NAMES: Tuple[str, ...] = (
+    "none",
+    "compiled-call",
+    "numpy-vectorized",
+    "list-append",
+    "scalar",
+)
+
+ALL_WORK_CLASSES: Tuple[int, ...] = (
+    W_NONE,
+    W_COMPILED,
+    W_VECTORIZED,
+    W_APPEND,
+    W_SCALAR,
+)
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """One point of the cost lattice: (loop depth, work class, filters)."""
+
+    depth: int = 0
+    work: int = W_NONE
+    filters: bool = False
+
+    def work_name(self) -> str:
+        return WORK_NAMES[self.work]
+
+
+#: The lattice bottom: no loops, no work, no filter calls.
+BOTTOM = CostSummary()
+
+
+def join_cost(a: CostSummary, b: CostSummary) -> CostSummary:
+    """Least upper bound: componentwise maximum."""
+    return CostSummary(
+        depth=max(a.depth, b.depth),
+        work=max(a.work, b.work),
+        filters=a.filters or b.filters,
+    )
+
+
+def lift(summary: CostSummary, call_depth: int) -> CostSummary:
+    """``summary`` as seen by a caller invoking it at loop depth ``call_depth``.
+
+    Monotone in ``summary``: the callee's nest rides on top of the call
+    site's nest (saturating at :data:`DEPTH_CAP`); work class and the
+    filter bit pass through unchanged.
+    """
+    return CostSummary(
+        depth=min(summary.depth + call_depth, DEPTH_CAP),
+        work=summary.work,
+        filters=summary.filters,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Syntactic classification sets
+# ---------------------------------------------------------------------------
+
+#: IIR/FIR filter kernels whose repeated per-trace invocation is the
+#: batching opportunity PERF003 exists for (ROADMAP item 2).
+FILTER_CALLS = frozenset(
+    {
+        "scipy.signal.sosfilt",
+        "scipy.signal.sosfiltfilt",
+        "scipy.signal.lfilter",
+        "scipy.signal.filtfilt",
+    }
+)
+
+#: Allocation expressions that should be hoisted out of a per-cycle loop
+#: (PERF004): fresh containers and numpy array materializations/copies.
+ALLOCATING_CALLS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "copy.deepcopy",
+        "numpy.array",
+        "numpy.asarray",
+        "numpy.zeros",
+        "numpy.ones",
+        "numpy.empty",
+        "numpy.copy",
+    }
+)
+
+#: Exact iterable names that mark a loop as trace-length (per-cycle).
+TRACE_NAMES = frozenset({"events"})
+
+#: Substrings of iterable names that mark a loop as trace-length.
+TRACE_NAME_PARTS: Tuple[str, ...] = ("cycle", "trace", "sample")
+
+#: Hot entry points by qualname suffix: every ``*.simulate`` method or
+#: function (the ``run.simulate`` / ``pdn.simulate`` spans) and every
+#: ``*Chip.run`` method (the ``chip.run`` span).  Pool payloads join via
+#: :func:`repro.analysis.flow.callgraph.project_worker_entries`.
+HOT_ENTRY_SUFFIXES: Tuple[str, ...] = (".simulate", "Chip.run")
+
+
+def stage_for_entry(entry_qualname: str) -> str:
+    """Observability span name a hot entry's time is recorded under."""
+    if entry_qualname.endswith("Chip.run"):
+        return "chip.run"
+    if entry_qualname.endswith(".simulate") and ".pdn." in entry_qualname:
+        return "pdn.simulate"
+    return "run.simulate"
+
+
+def is_trace_iterable(expr: ast.expr) -> bool:
+    """Does this iterable expression look trace-length (per-cycle)?
+
+    A name or attribute anywhere in the expression spelled ``events`` or
+    containing ``cycle``/``trace``/``sample`` (``self.events``,
+    ``range(n_cycles)``, ``zip(cycles, trace)``) marks the loop as
+    running once per simulated cycle rather than once per core/workload.
+    """
+    for sub in ast.walk(expr):
+        name: Optional[str] = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is None:
+            continue
+        lowered = name.lower()
+        if lowered in TRACE_NAMES or any(
+            part in lowered for part in TRACE_NAME_PARTS
+        ):
+            return True
+    return False
+
+
+def list_typed_locals(fn: FunctionInfo) -> Set[str]:
+    """Local names bound to a fresh list inside ``fn`` (PERF002/PERF005)."""
+    names: Set[str] = set()
+    for node in ast.walk(fn.node):
+        target: Optional[str] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name):
+            target, value = node.targets[0].id, node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            target, value = node.target.id, node.value
+        if target is None or value is None:
+            continue
+        if isinstance(value, (ast.List, ast.ListComp)):
+            names.add(target)
+        elif isinstance(value, ast.Call) and isinstance(
+            value.func, ast.Name
+        ) and value.func.id == "list":
+            names.add(target)
+    return names
+
+
+def _iter_nodes_with_depth(
+    fn: FunctionInfo,
+) -> Iterator[Tuple[ast.AST, int]]:
+    """Yield ``(node, loop_depth)`` for every node in ``fn``'s body.
+
+    Loop *bodies* (and comprehension elements) sit one level below the
+    loop statement itself; a loop's iterable expression is evaluated
+    once and therefore stays at the enclosing depth.
+    """
+
+    def visit(node: ast.AST, depth: int) -> Iterator[Tuple[ast.AST, int]]:
+        yield node, depth
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from visit(node.target, depth)
+            yield from visit(node.iter, depth)
+            for child in node.body + node.orelse:
+                yield from visit(child, min(depth + 1, DEPTH_CAP))
+        elif isinstance(node, ast.While):
+            for child in [node.test, *node.body, *node.orelse]:
+                yield from visit(child, min(depth + 1, DEPTH_CAP))
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            inner = min(depth + len(node.generators), DEPTH_CAP)
+            for gen in node.generators:
+                yield from visit(gen.iter, depth)
+                yield from visit(gen.target, inner)
+                for test in gen.ifs:
+                    yield from visit(test, inner)
+            if isinstance(node, ast.DictComp):
+                yield from visit(node.key, inner)
+                yield from visit(node.value, inner)
+            else:
+                yield from visit(node.elt, inner)
+        else:
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, depth)
+
+    for stmt in fn.node.body:
+        yield from visit(stmt, 0)
+
+
+def intrinsic_cost(project: Project, fn: FunctionInfo) -> CostSummary:
+    """The cost ``fn`` exhibits directly, ignoring its callees."""
+    ctx = fn.module.ctx
+    list_locals = list_typed_locals(fn)
+    depth = 0
+    work = W_NONE
+    filters = False
+    for node, node_depth in _iter_nodes_with_depth(fn):
+        if isinstance(
+            node,
+            (ast.For, ast.AsyncFor, ast.While, ast.ListComp, ast.SetComp,
+             ast.DictComp, ast.GeneratorExp),
+        ):
+            depth = max(depth, min(node_depth + 1, DEPTH_CAP))
+        if isinstance(node, ast.Call):
+            dotted = ctx.dotted_name(node.func)
+            if dotted in FILTER_CALLS:
+                filters = True
+                work = max(work, W_COMPILED)
+            elif dotted is not None and dotted.startswith("scipy."):
+                work = max(work, W_COMPILED)
+            elif dotted is not None and dotted.startswith("numpy."):
+                work = max(work, W_VECTORIZED)
+            elif (
+                node_depth >= 1
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in list_locals
+            ):
+                work = max(work, W_APPEND)
+        elif isinstance(node, ast.BinOp) and node_depth >= 1:
+            work = max(work, W_SCALAR)
+    return CostSummary(depth=depth, work=work, filters=filters)
+
+
+# ---------------------------------------------------------------------------
+# The interprocedural fixpoint
+# ---------------------------------------------------------------------------
+
+
+def cost_call_edges(project: Project) -> Dict[str, Dict[str, int]]:
+    """``caller -> {callee -> worst call-site loop depth}`` for the project.
+
+    The same resolution as :func:`repro.analysis.flow.callgraph.callees`
+    (import table, locals' class types, ``self.method``, unique-method
+    fallback), but each edge carries the deepest loop nest any call site
+    sits in, which :func:`lift` adds to the callee's summary.
+    """
+    edges: Dict[str, Dict[str, int]] = {}
+    for qualname, fn in project.functions.items():
+        types, self_name = local_types(project, fn)
+        out: Dict[str, int] = {}
+
+        def record(callee: str, depth: int) -> None:
+            out[callee] = max(out.get(callee, 0), min(depth, DEPTH_CAP))
+
+        for node, depth in _iter_nodes_with_depth(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = project.resolve_callee(
+                fn.module, node.func, types, fn.class_name, self_name
+            )
+            if isinstance(resolved, FunctionInfo):
+                record(resolved.qualname, depth)
+            elif isinstance(resolved, ClassInfo):
+                for ctor in ("__init__", "__post_init__"):
+                    if ctor in resolved.methods:
+                        record(resolved.methods[ctor].qualname, depth)
+            elif isinstance(node.func, ast.Attribute):
+                candidates = project.methods_by_name.get(node.func.attr, [])
+                if len(candidates) == 1:
+                    record(candidates[0].qualname, depth)
+        edges[qualname] = {
+            callee: depth for callee, depth in out.items()
+            if callee in project.functions
+        }
+    return edges
+
+
+def solve_costs(
+    intrinsic: Mapping[str, CostSummary],
+    edges: Mapping[str, Mapping[str, int]],
+) -> Dict[str, CostSummary]:
+    """Least fixpoint of ``summary(f) = intrinsic(f) ⊔ ⊔ lift(summary(g), d)``.
+
+    Iteration order is sorted, so the result is deterministic and
+    independent of mapping insertion order; the lattice is finite
+    (depth caps at :data:`DEPTH_CAP`, work classes and the filter bit
+    are bounded) and every step is monotone, so it terminates.
+    """
+    names = sorted(set(intrinsic) | set(edges))
+    summaries: Dict[str, CostSummary] = {
+        name: intrinsic.get(name, BOTTOM) for name in names
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name in names:
+            summary = summaries[name]
+            for callee, depth in sorted(edges.get(name, {}).items()):
+                summary = join_cost(
+                    summary, lift(summaries.get(callee, BOTTOM), depth)
+                )
+            if summary != summaries[name]:
+                summaries[name] = summary
+                changed = True
+    return summaries
+
+
+# ---------------------------------------------------------------------------
+# Hot-closure classification
+# ---------------------------------------------------------------------------
+
+
+def hot_entries(project: Project) -> List[FunctionInfo]:
+    """The measured entry points, deterministic order: suffix-matched
+    ``*.simulate``/``*Chip.run`` functions first (sorted), then every
+    process-pool payload in dispatch order."""
+    entries: List[FunctionInfo] = []
+    seen: Set[str] = set()
+    for qualname in sorted(project.functions):
+        if any(qualname.endswith(s) for s in HOT_ENTRY_SUFFIXES):
+            entries.append(project.functions[qualname])
+            seen.add(qualname)
+    for fn in project_worker_entries(project):
+        if fn.qualname not in seen:
+            seen.add(fn.qualname)
+            entries.append(fn)
+    return entries
+
+
+def hot_closure(project: Project) -> Dict[str, str]:
+    """``member qualname -> entry qualname`` over the hot entry closure.
+
+    Each function maps to the first entry (in :func:`hot_entries` order)
+    whose breadth-first closure reaches it, so the attribution is
+    deterministic.
+    """
+    owners: Dict[str, str] = {}
+    for entry in hot_entries(project):
+        for fn in reachable(project, [entry]):
+            owners.setdefault(fn.qualname, entry.qualname)
+    return owners
+
+
+@dataclass
+class CostTable:
+    """Per-function cost summaries plus the hot-closure attribution."""
+
+    project: Project
+    summaries: Dict[str, CostSummary]
+    intrinsic: Dict[str, CostSummary]
+    edges: Dict[str, Dict[str, int]]
+    hot: Dict[str, str]
+
+    def function_cost(self, qualname: str) -> CostSummary:
+        return self.summaries.get(qualname, BOTTOM)
+
+    def stage_of(self, qualname: str) -> Optional[str]:
+        """Span name whose measured time covers ``qualname``, if hot."""
+        entry = self.hot.get(qualname)
+        return None if entry is None else stage_for_entry(entry)
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-ready dump of the model (stable key order)."""
+        return {
+            "version": 1,
+            "functions": {
+                qualname: {
+                    "depth": summary.depth,
+                    "work": summary.work_name(),
+                    "filters": summary.filters,
+                    "hot_entry": self.hot.get(qualname),
+                    "stage": self.stage_of(qualname),
+                }
+                for qualname, summary in sorted(self.summaries.items())
+            },
+            "hot_entries": sorted(set(self.hot.values())),
+        }
+
+
+def compute_costs(project: Project) -> CostTable:
+    """Solve the cost fixpoint and hot closure for ``project``."""
+    intrinsic = {
+        qualname: intrinsic_cost(project, fn)
+        for qualname, fn in project.functions.items()
+    }
+    edges = cost_call_edges(project)
+    summaries = solve_costs(intrinsic, edges)
+    return CostTable(
+        project=project,
+        summaries=summaries,
+        intrinsic=intrinsic,
+        edges=edges,
+        hot=hot_closure(project),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The PERF pass
+# ---------------------------------------------------------------------------
+
+
+class CostPass:
+    """PERF001–PERF005 over the hot closure of one analyzed project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.table = compute_costs(project)
+        self.findings: List[Finding] = []
+        #: ``(finding, function qualname, hot entry qualname)`` triples,
+        #: parallel to :attr:`findings` — the join key ``simlint
+        #: hotspots`` needs to map each finding to its measured stage.
+        self.attributions: List[Tuple[Finding, str, str]] = []
+
+    def _report(
+        self, code: str, fn: FunctionInfo, node: ast.AST, message: str
+    ) -> None:
+        finding = fn.module.ctx.finding(get_rule(code), node, message)
+        self.findings.append(finding)
+        self.attributions.append(
+            (finding, fn.qualname, self.table.hot.get(fn.qualname, ""))
+        )
+
+    # -- per-function audit -------------------------------------------------
+    def _audit(self, fn: FunctionInfo, entry: str) -> None:
+        ctx = fn.module.ctx
+        list_locals = list_typed_locals(fn)
+        types, self_name = local_types(self.project, fn)
+
+        def filtered_callee(node: ast.Call) -> Optional[str]:
+            """Label of a callee that (transitively) runs an IIR filter."""
+            dotted = ctx.dotted_name(node.func)
+            if dotted in FILTER_CALLS:
+                return dotted
+            resolved = self.project.resolve_callee(
+                fn.module, node.func, types, fn.class_name, self_name
+            )
+            if isinstance(resolved, FunctionInfo):
+                if self.table.function_cost(resolved.qualname).filters:
+                    return resolved.qualname
+                return None
+            if resolved is None and isinstance(node.func, ast.Attribute):
+                candidates = self.project.methods_by_name.get(
+                    node.func.attr, []
+                )
+                if candidates and all(
+                    self.table.function_cost(c.qualname).filters
+                    for c in candidates
+                ):
+                    return f"*.{node.func.attr}"
+            return None
+
+        trace_stack: List[bool] = []
+
+        def walk(node: ast.AST, depth: int) -> None:
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                trace_like = is_trace_iterable(node.iter)
+                if trace_like and not isinstance(node, ast.AsyncFor):
+                    self._report(
+                        "PERF001", fn, node,
+                        "Python-level loop over per-cycle iterable "
+                        f"`{ast.unparse(node.iter)}` in hot function "
+                        f"{fn.qualname} (reachable from {entry}); "
+                        "vectorize over the whole trace with numpy",
+                    )
+                walk(node.target, depth)
+                walk(node.iter, depth)
+                trace_stack.append(trace_like)
+                for child in node.body + node.orelse:
+                    walk(child, depth + 1)
+                trace_stack.pop()
+                return
+            if isinstance(node, ast.While):
+                trace_stack.append(False)
+                for child in [node.test, *node.body, *node.orelse]:
+                    walk(child, depth + 1)
+                trace_stack.pop()
+                return
+            if isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                for gen in node.generators:
+                    walk(gen.iter, depth)
+                trace_stack.append(
+                    any(
+                        is_trace_iterable(gen.iter)
+                        for gen in node.generators
+                    )
+                )
+                inner = depth + len(node.generators)
+                parts: List[ast.expr] = (
+                    [node.key, node.value]
+                    if isinstance(node, ast.DictComp)
+                    else [node.elt]
+                )
+                for gen in node.generators:
+                    parts.extend(gen.ifs)
+                for part in parts:
+                    walk(part, inner)
+                trace_stack.pop()
+                return
+
+            in_loop = depth >= 1
+            in_trace_loop = any(trace_stack)
+            if isinstance(node, ast.Call) and in_loop:
+                self._audit_loop_call(
+                    fn, entry, node, list_locals, in_trace_loop,
+                    filtered_callee,
+                )
+            elif (
+                isinstance(node, (ast.List, ast.Dict, ast.Set))
+                and in_trace_loop
+            ):
+                kind = type(node).__name__.lower()
+                self._report(
+                    "PERF004", fn, node,
+                    f"{kind} literal allocated inside a per-cycle loop "
+                    f"in hot function {fn.qualname}; hoist or "
+                    "preallocate it outside the loop",
+                )
+            elif (
+                isinstance(node, ast.Compare)
+                and in_loop
+                and any(
+                    isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+                )
+                and any(
+                    isinstance(cmp, ast.Name) and cmp.id in list_locals
+                    for cmp in node.comparators
+                )
+            ):
+                target = next(
+                    cmp.id for cmp in node.comparators
+                    if isinstance(cmp, ast.Name) and cmp.id in list_locals
+                )
+                self._report(
+                    "PERF005", fn, node,
+                    f"membership test against list `{target}` inside a "
+                    f"loop in hot function {fn.qualname} is O(n) per "
+                    "iteration — O(n²) overall; use a set",
+                )
+            for child in ast.iter_child_nodes(node):
+                walk(child, depth)
+
+        for stmt in fn.node.body:
+            walk(stmt, 0)
+
+    def _audit_loop_call(
+        self,
+        fn: FunctionInfo,
+        entry: str,
+        node: ast.Call,
+        list_locals: Set[str],
+        in_trace_loop: bool,
+        filtered_callee: Any,
+    ) -> None:
+        ctx = fn.module.ctx
+        dotted = ctx.dotted_name(node.func)
+        label = filtered_callee(node)
+        if label is not None:
+            self._report(
+                "PERF003", fn, node,
+                f"per-iteration call to `{label}` runs an IIR filter "
+                f"inside a loop in hot function {fn.qualname}; stack "
+                "the traces and filter the batch in one call",
+            )
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "append"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in list_locals
+            and node.args
+            and isinstance(node.args[0], (ast.Call, ast.BinOp))
+        ):
+            self._report(
+                "PERF002", fn, node,
+                f"`{node.func.value.id}.append(...)` accumulates "
+                f"computed rows in a loop in hot function {fn.qualname}; "
+                "the batch is numpy-stackable — build it with one "
+                "vectorized expression or np.stack",
+            )
+            return
+        if in_trace_loop and dotted in ALLOCATING_CALLS:
+            self._report(
+                "PERF004", fn, node,
+                f"`{dotted}` allocates inside a per-cycle loop in hot "
+                f"function {fn.qualname}; hoist or preallocate it "
+                "outside the loop",
+            )
+
+    # -----------------------------------------------------------------------
+    def run(self) -> List[Finding]:
+        for qualname in sorted(self.table.hot):
+            fn = self.project.functions.get(qualname)
+            if fn is not None:
+                self._audit(fn, self.table.hot[qualname])
+        return self.findings
+
+
+def run_cost_pass(project: Project) -> List[Finding]:
+    """All PERF findings for an analyzed project."""
+    return CostPass(project).run()

@@ -1,0 +1,182 @@
+"""``simlint hotspots``: static PERF findings × measured stage shares.
+
+The loop-cost model (:mod:`repro.analysis.flow.cost`) attributes every
+PERF finding to a hot entry point, and every hot entry to the
+observability span its time is recorded under (``run.simulate``,
+``chip.run``, ``pdn.simulate``).  This module joins those findings
+against a measured stage profile — the schema-versioned JSON written by
+``repro ... --profile-stages FILE`` — and emits a ranked worklist: the
+top group is literally the next vectorization target (ROADMAP item 2).
+
+Determinism contract: the report is **byte-identical across reruns and
+across profiles measured under different ``--jobs``**.  Raw wall
+seconds vary run to run (and parallel dispatch shifts stage time
+shares across the bucket boundaries), so they never appear in the
+output and never influence ranking.  The profile contributes only its
+jobs-invariant structure: which stages were measured and their span
+*counts*.  A stage's share of all recorded spans coarsens into a
+stable bucket (``dominant`` ≥ 50%, ``major`` ≥ 20%, ``minor`` ≥ 5%,
+``trace`` below; ``unmeasured`` when the profile lacks the stage), and
+groups rank by (bucket, span count, name).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.cost import CostPass, stage_for_entry
+from repro.analysis.flow.inference import run_dimension_pass
+from repro.analysis.flow.symbols import Project
+from repro.observability.profiling import StageRow, load_stage_profile
+
+#: Span-count-share thresholds, checked in order.
+_BUCKETS: Tuple[Tuple[str, float], ...] = (
+    ("dominant", 0.50),
+    ("major", 0.20),
+    ("minor", 0.05),
+)
+
+#: Bucket rank for sorting (reports lead with the hottest stages).
+_BUCKET_ORDER = {"dominant": 0, "major": 1, "minor": 2, "trace": 3,
+                 "unmeasured": 4}
+
+
+def share_bucket(span_count: int, total_spans: int) -> str:
+    """Coarse, rerun-stable label for a stage's share of recorded spans.
+
+    Span counts are the jobs-invariant half of a stage profile (the
+    observability CI gate pins them), so buckets built from them keep
+    the hotspots report byte-identical across ``--jobs`` settings —
+    wall-second shares would flip buckets run to run.
+    """
+    if total_spans <= 0 or span_count <= 0:
+        return "trace"
+    share = span_count / total_spans
+    for label, threshold in _BUCKETS:
+        if share >= threshold:
+            return label
+    return "trace"
+
+
+def _attributed_findings(
+    sources: Dict[str, str],
+) -> List[Tuple[Finding, str, str]]:
+    """``(finding, function_qualname, entry_qualname)`` for PERF findings.
+
+    The dimension pass runs first (and is discarded) because it fills
+    the class attribute-type tables the cost pass's call-graph
+    resolution reuses — the same ordering the flow engine guarantees.
+    """
+    project = Project.build(sources)
+    run_dimension_pass(project)
+    cost = CostPass(project)
+    cost.run()
+    attributed: List[Tuple[Finding, str, str]] = []
+    seen: Set[Tuple[str, int, int, str, str]] = set()
+    for finding, qualname, entry in cost.attributions:
+        module = next(
+            (m for m in project.modules.values() if m.path == finding.path),
+            None,
+        )
+        if module is not None and module.ctx.is_suppressed(finding):
+            continue
+        identity = (finding.path, finding.line, finding.column,
+                    finding.code, finding.message)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        attributed.append((finding, qualname, entry))
+    attributed.sort(
+        key=lambda item: (item[0].path, item[0].line, item[0].column,
+                          item[0].code)
+    )
+    return attributed
+
+
+def hotspots_report(
+    sources: Dict[str, str],
+    profile_rows: Optional[Sequence[StageRow]] = None,
+    profile_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The joined, deterministic hotspots payload (JSON-ready)."""
+    rows_by_name: Dict[str, StageRow] = {
+        row.name: row for row in (profile_rows or [])
+    }
+    total_spans = sum(row.count for row in rows_by_name.values())
+
+    groups: Dict[str, List[Dict[str, Any]]] = {}
+    for finding, qualname, entry in _attributed_findings(sources):
+        stage = stage_for_entry(entry)
+        groups.setdefault(stage, []).append(
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column,
+                "code": finding.code,
+                "message": finding.message,
+                "function": qualname,
+                "hot_entry": entry,
+                "fingerprint": finding.fingerprint,
+            }
+        )
+
+    stages: List[Dict[str, Any]] = []
+    for stage, findings in groups.items():
+        row = rows_by_name.get(stage)
+        if row is None:
+            bucket = "unmeasured"
+            count = 0
+        else:
+            bucket = share_bucket(row.count, total_spans)
+            count = row.count
+        stages.append(
+            {
+                "stage": stage,
+                "bucket": bucket,
+                "span_count": count,
+                "findings": findings,
+            }
+        )
+    stages.sort(
+        key=lambda s: (_BUCKET_ORDER[s["bucket"]], -s["span_count"],
+                       s["stage"])
+    )
+    return {
+        "version": 1,
+        "profile": profile_path,
+        "total_findings": sum(len(s["findings"]) for s in stages),
+        "stages": stages,
+    }
+
+
+def hotspots_from_paths(
+    sources: Dict[str, str], profile_path: Optional[str]
+) -> Dict[str, Any]:
+    """Convenience wrapper resolving the profile file, if given."""
+    rows = load_stage_profile(profile_path) if profile_path else None
+    return hotspots_report(
+        sources, profile_rows=rows, profile_path=profile_path
+    )
+
+
+def format_hotspots(report: Dict[str, Any]) -> str:
+    """Fixed text rendering of :func:`hotspots_report` (no wall times)."""
+    lines: List[str] = [
+        f"simlint hotspots: {report['total_findings']} PERF finding(s) "
+        f"in {len(report['stages'])} stage group(s)"
+    ]
+    if report["profile"] is None:
+        lines.append("(no stage profile given; groups are unmeasured)")
+    for rank, stage in enumerate(report["stages"], start=1):
+        lines.append("")
+        lines.append(
+            f"rank {rank} · stage {stage['stage']} "
+            f"[{stage['bucket']}, {stage['span_count']} span(s)]"
+        )
+        for finding in stage["findings"]:
+            lines.append(
+                f"  {finding['path']}:{finding['line']} "
+                f"{finding['code']} {finding['message']}"
+            )
+    return "\n".join(lines)

@@ -69,12 +69,18 @@ FAMILY_VERSIONS: Dict[str, int] = {
     "DIM": 2,
     "CON": 2,
     "TNT": 1,
+    "PERF": 1,
 }
+
+
+def family_of(code: str) -> str:
+    """The family prefix of a rule code (``"PERF001"`` -> ``"PERF"``)."""
+    return code.rstrip("0123456789")
 
 
 def family_version(code: str) -> int:
     """Analysis version of the family ``code`` belongs to (default 1)."""
-    return FAMILY_VERSIONS.get(code[:3], 1)
+    return FAMILY_VERSIONS.get(family_of(code), 1)
 
 
 R = TypeVar("R", bound=Type[Rule])

@@ -156,8 +156,15 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--profile-stages",
-        action="store_true",
-        help="print the per-stage timing table and hottest runs on exit",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="FILE",
+        help=(
+            "print the per-stage timing table and hottest runs on exit; "
+            "with FILE, also write the schema-versioned stage profile as "
+            "JSON (the input to `repro-lint hotspots`)"
+        ),
     )
 
 
@@ -197,7 +204,15 @@ def _finalize_observability(args: argparse.Namespace) -> None:
             hottest_spans,
             stage_table,
         )
+        from repro.observability.profiling import stage_profile_payload
 
+        if isinstance(args.profile_stages, str):
+            with open(args.profile_stages, "w", encoding="utf-8") as handle:
+                json.dump(
+                    stage_profile_payload(session.tracer), handle, indent=2
+                )
+                handle.write("\n")
+            print(f"wrote stage profile to {args.profile_stages}")
         print()
         print(format_stage_table(stage_table(session.tracer)))
         hottest = hottest_spans(session.tracer)

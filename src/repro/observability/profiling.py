@@ -9,11 +9,16 @@ the trace itself and stay bit-stable.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.observability.spans import SpanRecord, Tracer
 from repro.units import MILLI
+
+#: Format marker for the machine-readable stage-profile export.
+PROFILE_SCHEMA = "repro-stage-profile"
+PROFILE_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -61,6 +66,63 @@ def stage_table(tracer: Tracer) -> List[StageRow]:
     ]
     rows.sort(key=lambda row: (-row.total_seconds, row.name))
     return rows
+
+
+def stage_profile_payload(tracer: Tracer) -> Dict[str, Any]:
+    """JSON-ready, schema-versioned dump of :func:`stage_table`.
+
+    This is what ``--profile-stages FILE`` writes and what
+    ``simlint hotspots`` reads back: span names and counts are
+    deterministic (jobs-invariant) structure; the ``*_seconds`` fields
+    are measured wall time and vary run to run.
+    """
+    return {
+        "schema": PROFILE_SCHEMA,
+        "version": PROFILE_SCHEMA_VERSION,
+        "stages": [
+            {
+                "name": row.name,
+                "count": row.count,
+                "total_seconds": row.total_seconds,
+                "mean_seconds": row.mean_seconds,
+                "max_seconds": row.max_seconds,
+            }
+            for row in stage_table(tracer)
+        ],
+    }
+
+
+def parse_stage_profile(payload: Dict[str, Any]) -> List[StageRow]:
+    """Rows back out of a :func:`stage_profile_payload` dict.
+
+    Raises ``ValueError`` on a foreign or future-versioned payload so a
+    stale file fails loudly instead of producing an empty report.
+    """
+    if not isinstance(payload, dict) or payload.get("schema") != \
+            PROFILE_SCHEMA:
+        raise ValueError("not a repro stage-profile payload")
+    version = payload.get("version")
+    if version != PROFILE_SCHEMA_VERSION:
+        raise ValueError(
+            f"stage-profile version {version!r}; this reader expects "
+            f"{PROFILE_SCHEMA_VERSION}"
+        )
+    return [
+        StageRow(
+            name=str(stage["name"]),
+            count=int(stage["count"]),
+            total_seconds=float(stage["total_seconds"]),
+            mean_seconds=float(stage["mean_seconds"]),
+            max_seconds=float(stage["max_seconds"]),
+        )
+        for stage in payload["stages"]
+    ]
+
+
+def load_stage_profile(path: str) -> List[StageRow]:
+    """Read and validate a stage-profile JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_stage_profile(json.load(handle))
 
 
 def _span_label(record: SpanRecord) -> str:

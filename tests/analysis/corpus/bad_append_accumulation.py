@@ -1,0 +1,17 @@
+"""Known bug: accumulates scaled windows one ``append`` at a time.
+
+Every element is the same arithmetic on the previous batch, so the
+whole result is one vectorized expression; growing a Python list row by
+row keeps the work in the interpreter and the batch unstackable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def simulate(windows: Sequence[float], gain: float) -> List[float]:
+    scaled: List[float] = []
+    for window in windows:
+        scaled.append(window * gain)  # expect: PERF002
+    return scaled

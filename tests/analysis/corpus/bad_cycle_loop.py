@@ -1,0 +1,18 @@
+"""Known bug: counts undershoots with a Python loop over the trace.
+
+The per-cycle voltage trace is millions of samples per run; walking it
+in the interpreter dominates the simulate span when a single numpy
+comparison over the whole array would do.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def simulate(trace_samples: Sequence[float], threshold: float) -> int:
+    undershoots = 0
+    for value in trace_samples:  # expect: PERF001
+        if value < threshold:
+            undershoots = undershoots + 1
+    return undershoots

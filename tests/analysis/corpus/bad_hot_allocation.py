@@ -1,0 +1,17 @@
+"""Known bug: rebuilds the filter-tap mapping once per simulated cycle.
+
+The taps never change inside a run; allocating a fresh dict per cycle
+churns the allocator right on the hot path instead of hoisting the
+container out of the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def simulate(
+    n_cycles: int, weights: Sequence[object]
+) -> List[Dict[object, object]]:
+    kernels = [dict(weights) for cycle in range(n_cycles)]  # expect: PERF004
+    return kernels

@@ -1,0 +1,21 @@
+"""Known bug: deduplicates droop identifiers by scanning a list.
+
+Each ``in`` test walks the whole list already collected, so the loop is
+O(n²) in the number of droop events; a set makes the membership test
+O(1) without changing the result.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def simulate(droop_ids: Sequence[int]) -> int:
+    seen: List[int] = []
+    unique = 0
+    for ident in droop_ids:
+        if ident in seen:  # expect: PERF005
+            continue
+        seen.append(ident)
+        unique = unique + 1
+    return unique

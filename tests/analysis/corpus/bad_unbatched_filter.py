@@ -1,0 +1,22 @@
+"""Known bug: runs the PDN's IIR filter once per stimulus in a loop.
+
+``sosfilt`` amortizes beautifully over a stacked batch; calling it per
+trace pays the call overhead and the filter warm-up once per iteration
+instead of once per campaign.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from scipy import signal
+
+
+def simulate(
+    sos: Sequence[float],
+    currents: Sequence[Sequence[float]],
+    out: List[object],
+) -> List[object]:
+    for index, current in enumerate(currents):
+        out[index] = signal.sosfilt(sos, current)  # expect: PERF003
+    return out

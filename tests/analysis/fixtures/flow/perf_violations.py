@@ -1,0 +1,35 @@
+"""Fixture: PERF-rule violations, analyzed via ``flow_paths`` as one project.
+
+``# expect: CODE`` markers declare the exact finding set the dataflow
+engine must produce for this file (see tests/analysis/test_flow.py).
+The ``simulate`` entry point below is hot by qualname suffix, and each
+statement inside trips a different performance smell: a Python-level
+per-cycle loop, an allocation inside it, a numpy-stackable append
+accumulation, an unbatched IIR filter call, and an O(n²) list
+membership test.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from scipy import signal
+
+
+def simulate(trace, chunks, sos):
+    rows: List[float] = []
+    seen: List[int] = []
+    total = 0.0
+    for sample in trace:  # expect: PERF001
+        total = total + sample
+        scratch = [total]  # expect: PERF004
+        total = total + scratch[0]
+    for chunk in chunks:
+        rows.append(chunk * 2.0)  # expect: PERF002
+        filtered = signal.sosfilt(sos, chunk)  # expect: PERF003
+        total = total + filtered[0]
+    for index in range(8):
+        if index in seen:  # expect: PERF005
+            continue
+        seen.append(index)
+    return rows, total

@@ -1,0 +1,182 @@
+"""Property tests for the cost lattice and its interprocedural fixpoint.
+
+The termination and determinism arguments in
+:mod:`repro.analysis.flow.cost` rest on algebraic facts — ``join_cost``
+is a semilattice operation, ``lift`` is monotone, and the fixpoint is a
+pure function of (intrinsic, edges).  Hypothesis pins each fact
+directly rather than trusting the prose.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import flow_sources
+from repro.analysis.flow.cost import (
+    ALL_WORK_CLASSES,
+    BOTTOM,
+    DEPTH_CAP,
+    CostSummary,
+    join_cost,
+    lift,
+    solve_costs,
+)
+
+summaries = st.builds(
+    CostSummary,
+    depth=st.integers(min_value=0, max_value=DEPTH_CAP),
+    work=st.sampled_from(ALL_WORK_CLASSES),
+    filters=st.booleans(),
+)
+
+names = st.sampled_from([f"f{i}" for i in range(6)])
+
+call_depths = st.integers(min_value=0, max_value=DEPTH_CAP)
+
+graphs = st.dictionaries(
+    names,
+    st.dictionaries(names, call_depths, max_size=4),
+    max_size=6,
+)
+
+intrinsics = st.dictionaries(names, summaries, max_size=6)
+
+
+def leq(a: CostSummary, b: CostSummary) -> bool:
+    """The lattice order: componentwise ``<=``."""
+    return (
+        a.depth <= b.depth
+        and a.work <= b.work
+        and (not a.filters or b.filters)
+    )
+
+
+class TestJoinSemilattice:
+    @settings(max_examples=60, deadline=None)
+    @given(a=summaries, b=summaries)
+    def test_commutative(self, a, b):
+        assert join_cost(a, b) == join_cost(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=summaries, b=summaries, c=summaries)
+    def test_associative(self, a, b, c):
+        assert join_cost(join_cost(a, b), c) == join_cost(
+            a, join_cost(b, c)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=summaries)
+    def test_idempotent_with_bottom_identity(self, a):
+        assert join_cost(a, a) == a
+        assert join_cost(a, BOTTOM) == a
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=summaries, b=summaries)
+    def test_upper_bound(self, a, b):
+        joined = join_cost(a, b)
+        assert leq(a, joined)
+        assert leq(b, joined)
+
+
+class TestLift:
+    @settings(max_examples=60, deadline=None)
+    @given(a=summaries, b=summaries, depth=call_depths)
+    def test_monotone_in_summary(self, a, b, depth):
+        if leq(a, b):
+            assert leq(lift(a, depth), lift(b, depth))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=summaries, depth=call_depths)
+    def test_saturates_at_cap(self, a, depth):
+        lifted = lift(a, depth)
+        assert lifted.depth <= DEPTH_CAP
+        assert lifted.work == a.work
+        assert lifted.filters == a.filters
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=summaries)
+    def test_zero_depth_is_identity(self, a):
+        assert lift(a, 0) == a
+
+
+class TestFixpoint:
+    @settings(max_examples=60, deadline=None)
+    @given(intrinsic=intrinsics, edges=graphs)
+    def test_solution_contains_intrinsic(self, intrinsic, edges):
+        solved = solve_costs(intrinsic, edges)
+        for name, summary in intrinsic.items():
+            assert leq(summary, solved[name])
+
+    @settings(max_examples=60, deadline=None)
+    @given(intrinsic=intrinsics, edges=graphs)
+    def test_solution_is_a_fixpoint(self, intrinsic, edges):
+        """Re-applying one propagation step changes nothing."""
+        solved = solve_costs(intrinsic, edges)
+        for name in solved:
+            summary = intrinsic.get(name, BOTTOM)
+            for callee, depth in edges.get(name, {}).items():
+                summary = join_cost(
+                    summary, lift(solved.get(callee, BOTTOM), depth)
+                )
+            assert solved[name] == summary
+
+    @settings(max_examples=60, deadline=None)
+    @given(intrinsic=intrinsics, edges=graphs, extra=summaries,
+           target=names)
+    def test_monotone_in_intrinsic(self, intrinsic, edges, extra, target):
+        """Growing one intrinsic summary never shrinks any solution."""
+        grown = dict(intrinsic)
+        grown[target] = join_cost(grown.get(target, BOTTOM), extra)
+        before = solve_costs(intrinsic, edges)
+        after = solve_costs(grown, edges)
+        for name in before:
+            assert leq(before[name], after.get(name, before[name]))
+
+    @settings(max_examples=60, deadline=None)
+    @given(intrinsic=intrinsics, edges=graphs)
+    def test_deterministic_and_insertion_order_independent(
+        self, intrinsic, edges
+    ):
+        reversed_intrinsic = dict(reversed(list(intrinsic.items())))
+        reversed_edges = {
+            name: dict(reversed(list(out.items())))
+            for name, out in reversed(list(edges.items()))
+        }
+        assert solve_costs(intrinsic, edges) == solve_costs(
+            reversed_intrinsic, reversed_edges
+        )
+
+
+class TestPassDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        names=st.lists(
+            st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    def test_findings_independent_of_module_insertion_order(self, names):
+        """The same project yields the same findings however it is fed."""
+        template = (
+            "def simulate(trace_{n}):\n"
+            "    total = 0.0\n"
+            "    for sample in trace_{n}:\n"
+            "        total = total + sample\n"
+            "    return total\n"
+        )
+        forward = {
+            f"proj/{n}.py": template.replace("{n}", n) for n in names
+        }
+        backward = {
+            f"proj/{n}.py": template.replace("{n}", n)
+            for n in reversed(names)
+        }
+        to_tuples = lambda fs: [  # noqa: E731
+            (f.code, f.path, f.line, f.message) for f in fs
+        ]
+        assert to_tuples(flow_sources(forward)) == to_tuples(
+            flow_sources(backward)
+        )
+        assert len(flow_sources(forward)) == len(names)

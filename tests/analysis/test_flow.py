@@ -7,6 +7,7 @@ import pytest
 from repro.analysis import flow_paths, flow_sources, lint_source
 from repro.analysis.findings import Severity
 from repro.analysis.flow.engine import flow_rules
+from repro.analysis.registry import family_of
 
 from tests.analysis.conftest import FLOW_FIXTURES, expected_findings
 
@@ -20,7 +21,12 @@ class TestFixtureMarkers:
 
     @pytest.mark.parametrize(
         "fixture",
-        ["dim_violations.py", "con_violations.py", "tnt_violations.py"],
+        [
+            "dim_violations.py",
+            "con_violations.py",
+            "tnt_violations.py",
+            "perf_violations.py",
+        ],
     )
     def test_markers_match_exactly(self, fixture):
         expected = expected_findings(FLOW_FIXTURES / fixture)
@@ -43,7 +49,8 @@ class TestFixtureMarkers:
                 fixture.read_text(encoding="utf-8"), path=str(fixture)
             )
             assert not [
-                f for f in findings if f.code[:3] in ("DIM", "CON", "TNT")
+                f for f in findings
+                if family_of(f.code) in ("DIM", "CON", "TNT", "PERF")
             ]
 
 
@@ -169,3 +176,7 @@ class TestQuietness:
         assert by_code["TNT003"] is Severity.WARNING
         assert by_code["TNT004"] is Severity.ERROR
         assert by_code["TNT005"] is Severity.ERROR
+        # PERF findings are worklist items, not bugs: always warnings,
+        # gated only via --strict-warnings plus the justified baseline.
+        for code in ("PERF001", "PERF002", "PERF003", "PERF004", "PERF005"):
+            assert by_code[code] is Severity.WARNING

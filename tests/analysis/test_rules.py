@@ -8,7 +8,7 @@ import pytest
 
 from repro.analysis import flow_paths, lint_paths, lint_source
 from repro.analysis.findings import Severity
-from repro.analysis.registry import all_rules
+from repro.analysis.registry import all_rules, family_of
 
 from tests.analysis.conftest import FIXTURES, expected_findings
 
@@ -72,15 +72,16 @@ class TestRuleMetadata:
         codes = [rule.code for rule in rules]
         assert len(set(codes)) == len(codes)
         for rule in rules:
-            assert rule.code[:3] in (
-                "DET", "UNI", "HYG", "OBS", "DIM", "CON", "TNT"
+            family = family_of(rule.code)
+            assert family in (
+                "DET", "UNI", "HYG", "OBS", "DIM", "CON", "TNT", "PERF"
             )
-            assert rule.code[3:].isdigit()
+            assert rule.code[len(family):].isdigit()
             assert rule.name
             assert rule.description
             assert isinstance(rule.severity, Severity)
             # Flow rules belong to the dataflow families and vice versa.
-            assert rule.flow == (rule.code[:3] in ("DIM", "CON", "TNT"))
+            assert rule.flow == (family in ("DIM", "CON", "TNT", "PERF"))
 
     def test_fixture_dir_fails_as_a_whole(self):
         findings = lint_paths([str(FIXTURES)])

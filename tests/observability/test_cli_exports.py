@@ -129,6 +129,61 @@ class TestProfileStages:
         assert "campaign.batch" in out
         assert "run.simulate" in out
 
+    def test_profile_json_written_and_round_trips(self, tmp_path, capsys):
+        from repro.observability.profiling import (
+            PROFILE_SCHEMA,
+            PROFILE_SCHEMA_VERSION,
+            load_stage_profile,
+        )
+
+        target = tmp_path / "stages.json"
+        status = main(
+            [
+                "measure",
+                "mcf",
+                "--cycles",
+                "2000",
+                "--no-cache",
+                "--profile-stages",
+                str(target),
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        # The text table still prints alongside the JSON export.
+        assert "campaign.batch" in out
+        assert str(target) in out
+
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["schema"] == PROFILE_SCHEMA
+        assert payload["version"] == PROFILE_SCHEMA_VERSION
+        rows = load_stage_profile(str(target))
+        assert [row.name for row in rows] == [
+            stage["name"] for stage in payload["stages"]
+        ]
+        assert {row.name for row in rows} >= {
+            "campaign.batch",
+            "run.simulate",
+            "chip.run",
+            "pdn.simulate",
+        }
+        for row, stage in zip(rows, payload["stages"]):
+            assert row.count == stage["count"]
+            assert row.total_seconds == stage["total_seconds"]
+            assert row.mean_seconds == stage["mean_seconds"]
+            assert row.max_seconds == stage["max_seconds"]
+
+    def test_foreign_profile_payload_rejected(self):
+        from repro.observability.profiling import parse_stage_profile
+
+        with pytest.raises(ValueError):
+            parse_stage_profile({"schema": "something-else"})
+        with pytest.raises(ValueError):
+            parse_stage_profile(
+                {"schema": "repro-stage-profile", "version": 99,
+                 "stages": []}
+            )
+
 
 class TestRunAndReportFlags:
     def test_run_with_metrics_export(self, tmp_path, capsys):
