@@ -81,6 +81,44 @@ def _unit_campaign_quad() -> None:
     ])
 
 
+def _unit_campaign_throughput() -> None:
+    """A 16-run quad-core mixed campaign through the serial executor.
+
+    Exercises exactly what the vectorized hot path accelerates: window
+    synthesis, activity/EMA realization, the batched PDN solve and the
+    droop/histogram reduction, across all three run kinds.  The unit is
+    additionally pinned by :data:`SPEEDUP_REFERENCES` — it must stay at
+    least 5x faster than its measured pre-vectorization score.
+    """
+    from repro.measurement.campaign import MeasurementCampaign
+
+    campaign = MeasurementCampaign(
+        "Proc100", n_cycles=20_000, seed=7, jobs=1, n_cores=4
+    )
+    singles = [
+        campaign.run_spec(name, kind="single")
+        for name in ("mcf", "lbm", "milc", "sjeng")
+    ]
+    groups = [
+        campaign.run_spec(*group, kind="multiprogram")
+        for group in (
+            ("mcf", "lbm", "namd", "povray"),
+            ("gcc", "bzip2", "milc", "sjeng"),
+            ("mcf", "milc", "lbm", "gcc"),
+            ("namd", "povray", "sjeng", "bzip2"),
+        )
+    ]
+    specrate = [
+        campaign.run_spec(name, name, name, name, kind="multiprogram")
+        for name in ("mcf", "lbm", "namd", "povray")
+    ]
+    threaded = [
+        campaign.run_spec(name, kind="multithread")
+        for name in ("canneal", "dedup", "ferret", "x264")
+    ]
+    campaign.measure_specs(singles + groups + specrate + threaded)
+
+
 def _unit_pairing_sweep() -> None:
     """A 4x4 multiprogram pairing sweep (the Fig. 17-19 workhorse)."""
     from repro.measurement.campaign import MeasurementCampaign
@@ -143,11 +181,25 @@ def _unit_simlint_hotspots() -> None:
 UNITS: Tuple[Tuple[str, Callable[[], None]], ...] = (
     ("scaling_trends", _unit_scaling_trends),
     ("campaign_quad", _unit_campaign_quad),
+    ("campaign_throughput", _unit_campaign_throughput),
     ("pairing_sweep", _unit_pairing_sweep),
     ("policy_arena", _unit_policy_arena),
     ("simlint_flow", _unit_simlint_flow),
     ("simlint_hotspots", _unit_simlint_hotspots),
 )
+
+#: Absolute speed-up pins: ``name -> (reference_score, min_speedup)``.
+#: Unlike the baseline (which only catches *regressions* against the
+#: last accepted run), these assert that a unit stays at least
+#: ``min_speedup`` times faster than a frozen historical score — here,
+#: ``campaign_throughput``'s normalized score measured immediately
+#: before the hot-path vectorization (best-of-3 1.847 s raw against a
+#: 0.089 s calibration).  The gate fails if the score ever creeps back
+#: above ``reference / min_speedup``, even when it gets there one
+#: within-tolerance step at a time.
+SPEEDUP_REFERENCES: Dict[str, Tuple[float, float]] = {
+    "campaign_throughput": (20.7, 5.0),
+}
 
 
 def time_units(repeats: int = DEFAULT_REPEATS) -> Dict[str, float]:
@@ -193,6 +245,15 @@ def compare(
             f"{name}: not in the baseline — refresh it with "
             "--update-baseline"
         )
+    for name, (reference, min_speedup) in sorted(SPEEDUP_REFERENCES.items()):
+        got = scores.get(name)
+        ceiling = reference / min_speedup
+        if got is not None and got > ceiling:
+            failures.append(
+                f"{name}: score {got:.3f} is less than {min_speedup:g}x "
+                f"faster than the pre-vectorization reference "
+                f"{reference:.3f} (ceiling {ceiling:.3f})"
+            )
     return failures
 
 

@@ -28,7 +28,11 @@ from repro.analysis.findings import Finding
 from repro.analysis.flow.cost import CostPass, stage_for_entry
 from repro.analysis.flow.inference import run_dimension_pass
 from repro.analysis.flow.symbols import Project
-from repro.observability.profiling import StageRow, load_stage_profile
+from repro.observability.profiling import (
+    StageRow,
+    load_stage_profile,
+    unknown_stages,
+)
 
 #: Span-count-share thresholds, checked in order.
 _BUCKETS: Tuple[Tuple[str, float], ...] = (
@@ -153,8 +157,21 @@ def hotspots_report(
 def hotspots_from_paths(
     sources: Dict[str, str], profile_path: Optional[str]
 ) -> Dict[str, Any]:
-    """Convenience wrapper resolving the profile file, if given."""
+    """Convenience wrapper resolving the profile file, if given.
+
+    Raises ``ValueError`` (surfaced as a usage error by the CLI) when
+    the profile names spans the current build never emits — a profile
+    written by a different build would otherwise silently mis-join.
+    """
     rows = load_stage_profile(profile_path) if profile_path else None
+    if rows:
+        unknown = unknown_stages(rows)
+        if unknown:
+            raise ValueError(
+                f"stage profile {profile_path} references span name(s) "
+                f"absent from the current catalog: {', '.join(unknown)}; "
+                "re-record it with this build (repro ... --profile-stages)"
+            )
     return hotspots_report(
         sources, profile_rows=rows, profile_path=profile_path
     )

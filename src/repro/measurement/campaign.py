@@ -37,8 +37,9 @@ from repro.measurement.droops import (
 from repro.measurement.histogram import CompressedHistogram
 from repro.measurement.tail import DroopTailModel
 from repro.random_utils import SeedLike, derive_generator
-from repro.uarch.chip import Chip
+from repro.uarch.chip import Chip, ChipRun
 from repro.uarch.counters import PerformanceCounters
+from repro.uarch.window import ExecutionWindow
 from repro.workloads.base import Workload
 from repro.workloads.microbenchmarks import IdleLoop
 from repro.workloads.parsec import PARSEC, ParsecWorkload
@@ -207,34 +208,45 @@ class MeasurementCampaign:
         with obs.span("run.simulate", run=spec.label, kind=spec.kind):
             return self._simulate_impl(spec)
 
-    def _simulate_impl(self, spec: RunSpec) -> RunMeasurement:
-        rng = derive_generator(self._seed, spec.kind, *spec.workloads, spec.config)
+    def _program_window(
+        self, rng: np.random.Generator, index: int, name: str
+    ) -> ExecutionWindow:
+        """One multiprogram slot's window (consumes ``rng`` in spec order)."""
+        workload = self._resolve(name)
+        at_time = float(rng.uniform(0, workload.duration_seconds))
+        return workload.sample_window(
+            self._n_cycles,
+            rng=derive_generator(rng, "win", index),
+            at_time_s=at_time,
+        )
+
+    def _sample_windows(
+        self, spec: RunSpec, rng: np.random.Generator
+    ) -> List[ExecutionWindow]:
+        """Sample one run's per-core windows from its derived stream."""
         if spec.kind == "multithread":
             workload = self._resolve(spec.workloads[0])
             assert isinstance(workload, ParsecWorkload)
             at_time = float(rng.uniform(0, workload.duration_seconds))
-            windows = list(
+            return list(
                 workload.sample_thread_windows(
                     self._chip.n_cores, self._n_cycles, rng=rng, at_time_s=at_time
                 )
             )
-        else:
-            windows = []
-            for i, name in enumerate(spec.workloads):
-                workload = self._resolve(name)
-                at_time = float(rng.uniform(0, workload.duration_seconds))
-                windows.append(
-                    workload.sample_window(
-                        self._n_cycles,
-                        rng=derive_generator(rng, "win", i),
-                        at_time_s=at_time,
-                    )
-                )
-            while len(windows) < self._chip.n_cores:
-                windows.append(self._idle.sample_window(
-                    self._n_cycles, rng=derive_generator(rng, "idle", len(windows))
-                ))
-        run = self._chip.run(windows, seed=derive_generator(rng, "chip"))
+        windows = [
+            self._program_window(rng, i, name)
+            for i, name in enumerate(spec.workloads)
+        ]
+        windows += [
+            self._idle.sample_window(
+                self._n_cycles, rng=derive_generator(rng, "idle", i)
+            )
+            for i in range(len(spec.workloads), self._chip.n_cores)
+        ]
+        return windows
+
+    def _measure_run(self, spec: RunSpec, run: ChipRun) -> RunMeasurement:
+        """Reduce one chip run to its recorded measurement."""
         histogram = CompressedHistogram(HISTOGRAM_LO, HISTOGRAM_HI, HISTOGRAM_BINS)
         histogram.add(run.voltage.deviations_fraction())
         return RunMeasurement(
@@ -248,6 +260,34 @@ class MeasurementCampaign:
                 run.voltage, CHARACTERIZATION_MARGIN
             ),
         )
+
+    def _simulate_impl(self, spec: RunSpec) -> RunMeasurement:
+        rng = derive_generator(self._seed, spec.kind, *spec.workloads, spec.config)
+        windows = self._sample_windows(spec, rng)
+        run = self._chip.run(windows, seed=derive_generator(rng, "chip"))
+        return self._measure_run(spec, run)
+
+    def simulate_batch(self, specs: Sequence[RunSpec]) -> List[RunMeasurement]:
+        """Simulate several runs through one batched chip/PDN solve.
+
+        Bit-identical to calling :meth:`simulate` once per spec: every
+        run's stream is derived from ``(seed, spec)`` exactly as in the
+        serial path, and the batched EMA/PDN filters are exact per row
+        (pinned by the batching equivalence tests).  This is the
+        uninstrumented fast path — it emits no per-run ``run.simulate``
+        spans — so the executor only routes runs here when observability
+        is disabled and no fault injector is attached.
+        """
+        rngs = [
+            derive_generator(self._seed, spec.kind, *spec.workloads, spec.config)
+            for spec in specs
+        ]
+        window_groups = [
+            self._sample_windows(spec, rng) for spec, rng in zip(specs, rngs)
+        ]
+        seeds = [derive_generator(rng, "chip") for rng in rngs]
+        runs = self._chip.run_batch(window_groups, seeds=seeds)
+        return [self._measure_run(spec, run) for spec, run in zip(specs, runs)]
 
     def run_spec(
         self, *workload_names: str, kind: Optional[str] = None

@@ -129,18 +129,29 @@ def _detect_excursions_fast(
     flips = np.flatnonzero(np.diff(above_exit.astype(np.int8)))
     starts = np.concatenate([[0], flips + 1])
     ends = np.concatenate([flips + 1, [magnitude.size]])
-    depths = []
-    durations = []
-    for s, e in zip(starts, ends):
-        if not above_exit[s]:
-            continue
-        peak = magnitude[s:e].max()
-        if peak > threshold:
-            depths.append(peak)
-            durations.append(e - s)
+    keep = above_exit[starts]
+    seg_starts = starts[keep]
+    seg_ends = ends[keep]
+    depths = np.empty(0, dtype=float)
+    durations = np.empty(0, dtype=int)
+    if seg_starts.size:
+        # Interleave [start, end) bounds and take each segment's peak
+        # with one reduceat; the odd slots reduce the gaps between
+        # excursions and are discarded.  A trailing end equal to the
+        # trace length is dropped — reduceat's final segment already
+        # runs to the end of the array.
+        bounds = np.empty(2 * seg_starts.size, dtype=np.intp)
+        bounds[0::2] = seg_starts
+        bounds[1::2] = seg_ends
+        if bounds[-1] == magnitude.size:
+            bounds = bounds[:-1]
+        peaks = np.maximum.reduceat(magnitude, bounds)[0::2]
+        deep = peaks > threshold
+        depths = peaks[deep].astype(float)
+        durations = (seg_ends - seg_starts)[deep].astype(int)
     return DroopStatistics(
-        depths=np.asarray(depths, dtype=float),
-        durations=np.asarray(durations, dtype=int),
+        depths=depths,
+        durations=durations,
         n_cycles=n_cycles,
         threshold=threshold,
     )

@@ -83,6 +83,11 @@ RUN_TIMEOUT_ENV = "REPRO_RUN_TIMEOUT"
 #: Default bounded-retry budget per run (attempts = retries + 1).
 DEFAULT_MAX_RETRIES = 2
 
+#: Runs per batched chip/PDN solve on the serial fast path.  Chunking
+#: bounds the stacked current matrix (chunk * n_cores * n_cycles floats)
+#: while keeping the filter calls large enough to amortize their setup.
+BATCH_CHUNK_RUNS = 16
+
 #: First backoff step; doubles per retry, capped at the ceiling.  The
 #: sequence is a pure function of the attempt number — no jitter — so
 #: recovery behavior is as reproducible as the fault plan that forced it.
@@ -585,9 +590,54 @@ class CampaignExecutor:
         batch.simulated += len(specs)
         if self._jobs > 1 and len(specs) > 1 and self._seed is not None:
             return self._simulate_parallel(specs, batch)
+        if (
+            len(specs) > 1
+            and self._injector is None
+            and not obs.enabled()
+        ):
+            return self._simulate_batched(specs, batch)
         return [
             (spec, self._simulate_serial(spec, batch)) for spec in specs
         ]
+
+    # -- batched serial fast path ----------------------------------------
+    def _simulate_batched(
+        self, specs: List[RunSpec], batch: ExecutorStats
+    ) -> List[Tuple[RunSpec, RunMeasurement]]:
+        """Simulate serial cache misses through the batched chip solve.
+
+        Runs :data:`BATCH_CHUNK_RUNS`-sized chunks through
+        :meth:`MeasurementCampaign.simulate_batch` (bit-identical to
+        per-run simulation).  Only taken when observability is off and
+        no fault injector is attached — the per-run path owns the span
+        and chaos contracts.  A chunk that fails for any reason degrades
+        to the per-run serial path, which retries and propagates.
+        """
+        results: List[Tuple[RunSpec, RunMeasurement]] = []
+        for start in range(0, len(specs), BATCH_CHUNK_RUNS):
+            chunk = specs[start:start + BATCH_CHUNK_RUNS]
+            batch.attempts += len(chunk)
+            try:
+                measurements = self._campaign.simulate_batch(chunk)
+            except Exception as error:  # simlint: disable=HYG003
+                batch.retries += 1
+                batch.failures.append(
+                    RunFailure(
+                        run=f"batch[{chunk[0].label}..+{len(chunk) - 1}]",
+                        site="simulate",
+                        error=_describe_error(error),
+                        attempt=1,
+                        action="serial-fallback",
+                    )
+                )
+                batch.serial_fallbacks += 1
+                results.extend(
+                    (spec, self._simulate_serial(spec, batch))
+                    for spec in chunk
+                )
+                continue
+            results.extend(zip(chunk, measurements))
+        return results
 
     # -- serial path (and parallel fallback) ----------------------------
     def _simulate_serial(

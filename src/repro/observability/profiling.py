@@ -20,6 +20,41 @@ from repro.units import MILLI
 PROFILE_SCHEMA = "repro-stage-profile"
 PROFILE_SCHEMA_VERSION = 1
 
+#: Every span name the runtime can emit, by exact name.  Consumers that
+#: join a *measured* profile against static analysis (``simlint
+#: hotspots``) validate against this catalog so a profile written by a
+#: different build fails with a clear message instead of a silent
+#: mis-join.  Keep in sync with the ``obs.span(...)`` call sites.
+SPAN_CATALOG = frozenset({
+    "arena.run",
+    "campaign.batch",
+    "campaign.build",
+    "chip.run",
+    "oracle.prefetch",
+    "pdn.simulate",
+    "pool.rebuild",
+    "recovery.evaluate",
+    "run.fallback",
+    "run.retry",
+    "run.simulate",
+    "scheduler.evaluate",
+    "scheduler.interval",
+})
+
+#: Dynamic span families: names formed from runtime values (one span
+#: per experiment alias) share a fixed prefix.
+SPAN_NAME_PREFIXES = ("experiment.",)
+
+
+def is_known_stage(name: str) -> bool:
+    """Is ``name`` a span the current build can emit?"""
+    return name in SPAN_CATALOG or name.startswith(SPAN_NAME_PREFIXES)
+
+
+def unknown_stages(rows: List["StageRow"]) -> List[str]:
+    """Profile stage names absent from the current span catalog."""
+    return sorted({row.name for row in rows if not is_known_stage(row.name)})
+
 
 @dataclass(frozen=True)
 class StageRow:
@@ -107,16 +142,19 @@ def parse_stage_profile(payload: Dict[str, Any]) -> List[StageRow]:
             f"stage-profile version {version!r}; this reader expects "
             f"{PROFILE_SCHEMA_VERSION}"
         )
-    return [
-        StageRow(
-            name=str(stage["name"]),
-            count=int(stage["count"]),
-            total_seconds=float(stage["total_seconds"]),
-            mean_seconds=float(stage["mean_seconds"]),
-            max_seconds=float(stage["max_seconds"]),
-        )
-        for stage in payload["stages"]
-    ]
+    try:
+        return [
+            StageRow(
+                name=str(stage["name"]),
+                count=int(stage["count"]),
+                total_seconds=float(stage["total_seconds"]),
+                mean_seconds=float(stage["mean_seconds"]),
+                max_seconds=float(stage["max_seconds"]),
+            )
+            for stage in payload["stages"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed stage entry: {exc}") from None
 
 
 def load_stage_profile(path: str) -> List[StageRow]:

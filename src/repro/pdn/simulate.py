@@ -14,7 +14,7 @@ check the two against each other on short traces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy import signal
@@ -66,8 +66,16 @@ class VoltageTrace:
 
         Negative values are droops, positive values are overshoots —
         the quantity plotted on the x-axis of the paper's Figs. 7 and 9.
+        The array is computed once and memoized (droop detection and
+        histogram binning both consume it); treat it as read-only.
         """
-        return (self.samples - self.nominal_voltage) / self.nominal_voltage
+        cached = self.__dict__.get("_deviations")
+        if cached is None:
+            cached = (
+                (self.samples - self.nominal_voltage) / self.nominal_voltage
+            )
+            object.__setattr__(self, "_deviations", cached)
+        return cached
 
     def peak_to_peak(self) -> float:
         """Peak-to-peak swing in volts."""
@@ -187,6 +195,60 @@ class TransientSimulator:
                     seed=seed,
                 )
         return VoltageTrace(voltage, self._dt, self._network.nominal_voltage)
+
+    def simulate_batch(
+        self,
+        current_amps: np.ndarray,
+        seeds: Optional[Sequence[SeedLike]] = None,
+        include_ripple: bool = True,
+    ) -> List[VoltageTrace]:
+        """Simulate many current traces through one batched filter call.
+
+        ``current_amps`` stacks one trace per row; ``seeds`` supplies
+        the per-row ripple seed.  The SOS filter is linear and each
+        row's initial condition scales linearly with its first sample,
+        so one ``sosfilt`` over the matrix returns every row
+        bit-identical to a separate :meth:`simulate` call — pinned by
+        the batched-filter property tests.  One ``pdn.simulate`` span
+        covers the whole batch (there are no per-row spans).
+        """
+        currents = np.asarray(current_amps, dtype=float)
+        if currents.ndim != 2 or currents.size == 0:
+            raise SimulationError(
+                "current batch must be a non-empty 2-D array"
+            )
+        if np.any(~np.isfinite(currents)):
+            raise SimulationError("current trace contains non-finite values")
+        n_runs, n_samples = currents.shape
+        if seeds is None:
+            seeds = [None] * n_runs
+        if len(seeds) != n_runs:
+            raise SimulationError("one seed per current trace required")
+        with obs.span(
+            "pdn.simulate", samples=int(currents.size), batched=n_runs
+        ):
+            obs.increment("repro_pdn_samples_total", int(currents.size))
+            # zi is linear in the DC operating point: scale the unit
+            # initial condition by each row's first sample.
+            zi = self._zi_unit[:, None, :] * currents[None, :, 0, None]
+            response, _ = signal.sosfilt(
+                self._sos, currents, axis=-1, zi=zi
+            )
+            voltage = self._network.nominal_voltage + response
+            if include_ripple and self._vrm is not None:
+                for index in range(n_runs):
+                    voltage[index] += self._vrm.ripple(
+                        n_samples,
+                        self._dt,
+                        self._network.nominal_voltage,
+                        seed=seeds[index],
+                    )
+        return [
+            VoltageTrace(
+                voltage[index], self._dt, self._network.nominal_voltage
+            )
+            for index in range(n_runs)
+        ]
 
     def step_response(
         self, low_amps: float, high_amps: float, n_samples: int = 4096

@@ -21,6 +21,22 @@ from repro import units
 from repro.errors import ConfigurationError
 from repro.random_utils import SeedLike, as_generator
 
+#: Memoized ``arange(n) / period`` ramps: campaigns call ``ripple`` with
+#: one (n_samples, period) pair thousands of times, and the ramp is the
+#: only allocation that does not depend on the seed.  Never mutated.
+_PHASE_RAMP_CACHE: dict = {}
+
+
+def _phase_ramp(n_samples: int, period_samples: float) -> np.ndarray:
+    key = (n_samples, period_samples)
+    ramp = _PHASE_RAMP_CACHE.get(key)
+    if ramp is None:
+        if len(_PHASE_RAMP_CACHE) >= 8:
+            _PHASE_RAMP_CACHE.clear()
+        ramp = np.arange(n_samples, dtype=float) / period_samples
+        _PHASE_RAMP_CACHE[key] = ramp
+    return ramp
+
 
 @dataclass(frozen=True)
 class VoltageRegulatorModule:
@@ -74,17 +90,17 @@ class VoltageRegulatorModule:
 
         rng = as_generator(seed)
         period_samples = 1.0 / (self.switching_frequency_hz * dt_seconds)
-        t = np.arange(n_samples, dtype=float)
+        ramp = _phase_ramp(n_samples, period_samples)
         if self.jitter_fraction > 0:
             # Slow random phase wander: integrate small frequency errors.
             n_periods = int(n_samples / period_samples) + 2
             errors = rng.normal(0.0, self.jitter_fraction, size=n_periods)
             phase_noise = np.interp(
-                t / period_samples, np.arange(n_periods), np.cumsum(errors)
+                ramp, np.arange(n_periods), np.cumsum(errors)
             )
         else:
             phase_noise = 0.0
-        phase = (t / period_samples + phase_noise) % 1.0
+        phase = (ramp + phase_noise) % 1.0
         amplitude = self.ripple_fraction * nominal_voltage
         return amplitude * (phase - 0.5)
 

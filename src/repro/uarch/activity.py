@@ -21,12 +21,18 @@ The result is clipped to [0, ``MAX_ACTIVITY``].
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Iterable, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.uarch.events import EventProfile, StallEvent, profile_for
+from repro.uarch.events import (
+    EVENT_ORDER,
+    EventProfile,
+    EventTrace,
+    StallEvent,
+    profile_for,
+)
 
 #: Activity ceiling: refill bursts may briefly exceed nominal full activity.
 MAX_ACTIVITY = 1.35
@@ -63,9 +69,40 @@ def event_envelope(profile: EventProfile) -> Tuple[np.ndarray, np.ndarray]:
     return drop, surge
 
 
+class _EnvelopeTables:
+    """The per-kind envelopes flattened into two scatter-ready tables.
+
+    ``drop_table``/``surge_table`` concatenate every kind's envelope in
+    :data:`EVENT_ORDER`; ``offsets[code]``/``lengths[code]`` locate one
+    kind's slice.  Built once: every ``synthesize_activity`` call then
+    reduces to integer index arithmetic plus two ufunc scatters.
+    """
+
+    __slots__ = ("drop_table", "surge_table", "offsets", "lengths")
+
+    def __init__(self) -> None:
+        shapes = [event_envelope(profile_for(event)) for event in EVENT_ORDER]
+        lengths = np.array([drop.size for drop, _ in shapes], dtype=np.intp)
+        offsets = np.zeros(len(shapes), dtype=np.intp)
+        offsets[1:] = np.cumsum(lengths)[:-1]
+        self.drop_table = np.concatenate([drop for drop, _ in shapes])
+        self.surge_table = np.concatenate([surge for _, surge in shapes])
+        self.offsets = offsets
+        self.lengths = lengths
+
+
+#: Built eagerly at import (a few dozen samples per event kind) so
+#: worker-reachable code never writes a module global.
+_TABLES: _EnvelopeTables = _EnvelopeTables()
+
+
+def _envelope_tables() -> _EnvelopeTables:
+    return _TABLES
+
+
 def synthesize_activity(
     baseline: np.ndarray,
-    events: Iterable[Tuple[int, StallEvent]],
+    events: Union[EventTrace, Iterable[Tuple[int, StallEvent]]],
 ) -> np.ndarray:
     """Apply stall-event envelopes to a baseline activity series.
 
@@ -74,8 +111,9 @@ def synthesize_activity(
     baseline:
         Per-cycle activity in [0, 1].
     events:
-        ``(cycle, event)`` pairs; events whose footprint extends past the
-        end of the window are truncated.
+        An :class:`EventTrace` (or ``(cycle, event)`` pairs); events
+        whose footprint extends past the end of the window are
+        truncated.
 
     Returns
     -------
@@ -85,23 +123,34 @@ def synthesize_activity(
     baseline = np.asarray(baseline, dtype=float)
     if baseline.ndim != 1 or baseline.size == 0:
         raise ConfigurationError("baseline must be a non-empty 1-D array")
+    trace = EventTrace.coerce(events)
     drop_env = np.ones_like(baseline)
     surge_env = np.zeros_like(baseline)
-    cached: Dict[StallEvent, Tuple[np.ndarray, np.ndarray]] = {}
-    for cycle, event in events:
-        if not 0 <= cycle < baseline.size:
+    if len(trace):
+        outside = (trace.cycles < 0) | (trace.cycles >= baseline.size)
+        if np.any(outside):
+            cycle = int(trace.cycles[np.argmax(outside)])
             raise ConfigurationError(
                 f"event at cycle {cycle} outside window of {baseline.size}"
             )
-        shapes = cached.get(event)
-        if shapes is None:
-            shapes = event_envelope(profile_for(event))
-            cached[event] = shapes
-        drop, surge = shapes
-        end = min(cycle + drop.size, baseline.size)
-        span = end - cycle
-        drop_env[cycle:end] *= drop[:span]
-        surge_env[cycle:end] += surge[:span]
+        tables = _envelope_tables()
+        # Ragged scatter: each event contributes a slice of its kind's
+        # envelope, truncated at the window end.  Expanding all slices
+        # into one flat index array keeps the per-element application
+        # order identical to applying events one by one (``.at`` ufuncs
+        # honour repeated indices in order), so overlapping envelopes
+        # compose bit-identically to the scalar loop this replaced.
+        spans = np.minimum(
+            tables.lengths[trace.codes], baseline.size - trace.cycles
+        )
+        total = int(spans.sum())
+        if total:
+            starts = np.cumsum(spans) - spans
+            offs = np.arange(total, dtype=np.intp) - np.repeat(starts, spans)
+            flat = np.repeat(trace.cycles, spans) + offs
+            table_pos = np.repeat(tables.offsets[trace.codes], spans) + offs
+            np.multiply.at(drop_env, flat, tables.drop_table[table_pos])
+            np.add.at(surge_env, flat, tables.surge_table[table_pos])
     # The surge is suppressed while the core is still (partially) stalled
     # by an overlapping event: scale it by the drop envelope.
     activity = baseline * drop_env + surge_env * drop_env

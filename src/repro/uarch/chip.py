@@ -134,9 +134,9 @@ class Chip:
 
     def _apply_slack_coupling(
         self,
-        activities: list,
+        activities: np.ndarray,
         windows: Sequence[ExecutionWindow],
-    ) -> list:
+    ) -> np.ndarray:
         """Let active cores pick up a stalled sibling's shared-resource slack.
 
         Each core's *deficit* is how far its realized activity has fallen
@@ -148,27 +148,31 @@ class Chip:
         together (aligned bursts, barriers, SPECrate phase alignment),
         nobody can pick up the slack and the full swing goes through
         (constructive interference).
+
+        ``activities`` is the (n_cores, n_cycles) realized-activity
+        matrix; a coupled copy is returned (or the input when coupling
+        is off or the chip has one core).
         """
-        if self._slack_coupling == 0 or len(activities) < 2:
+        n = activities.shape[0]
+        if self._slack_coupling == 0 or n < 2:
             return activities
         from repro.uarch.activity import MAX_ACTIVITY
 
-        nominal = [w.baseline_activity.mean() for w in windows]
-        deficits = [
-            np.maximum(0.0, nominal[i] - activities[i])
-            for i in range(len(activities))
-        ]
-        adjusted = []
-        for i, activity in enumerate(activities):
+        nominal = np.array([w.baseline_activity.mean() for w in windows])
+        deficits = np.maximum(0.0, nominal[:, None] - activities)
+        adjusted = np.empty_like(activities)
+        for i in range(n):
             sibling_deficit = np.mean(
-                [d for j, d in enumerate(deficits) if j != i], axis=0
+                deficits[np.arange(n) != i], axis=0
             )
             pickup = (
                 self._slack_coupling
                 * sibling_deficit
-                * (activity > SLACK_PICKUP_GATE)
+                * (activities[i] > SLACK_PICKUP_GATE)
             )
-            adjusted.append(np.clip(activity + pickup, 0.0, MAX_ACTIVITY))
+            adjusted[i] = np.clip(
+                activities[i] + pickup, 0.0, MAX_ACTIVITY
+            )
         return adjusted
 
     def _idle_window(self, n_cycles: int) -> ExecutionWindow:
@@ -179,17 +183,10 @@ class Chip:
             label="(idle)",
         )
 
-    def run(
-        self,
-        windows: Sequence[Optional[ExecutionWindow]],
-        seed: SeedLike = None,
-    ) -> ChipRun:
-        """Run one window per core and return the chip-wide result.
-
-        ``windows`` supplies one :class:`ExecutionWindow` per core
-        (``None`` idles that core); fewer entries than cores idles the
-        rest.  All windows must be the same length.
-        """
+    def _prepare(
+        self, windows: Sequence[Optional[ExecutionWindow]]
+    ) -> Tuple[list, int]:
+        """Validate one run's windows and pad idle cores."""
         if len(windows) > self.n_cores:
             raise SimulationError(
                 f"{len(windows)} windows for {self.n_cores} cores"
@@ -205,20 +202,38 @@ class Chip:
         for i in range(self.n_cores):
             window = windows[i] if i < len(windows) else None
             padded.append(window if window is not None else self._idle_window(n_cycles))
+        return padded, n_cycles
 
+    def _coupled_activities(
+        self, padded: Sequence[ExecutionWindow]
+    ) -> np.ndarray:
+        """Realized, slack-coupled activity — one (n_cores, T) matrix."""
+        activities = np.stack([
+            core.realize_activity(window)
+            for core, window in zip(self._cores, padded)
+        ])
+        return self._apply_slack_coupling(activities, padded)
+
+    def run(
+        self,
+        windows: Sequence[Optional[ExecutionWindow]],
+        seed: SeedLike = None,
+    ) -> ChipRun:
+        """Run one window per core and return the chip-wide result.
+
+        ``windows`` supplies one :class:`ExecutionWindow` per core
+        (``None`` idles that core); fewer entries than cores idles the
+        rest.  All windows must be the same length.
+        """
+        padded, n_cycles = self._prepare(windows)
         with obs.span(
             "chip.run", config=self._config_name, cycles=int(n_cycles)
         ):
             obs.increment("repro_chip_runs_total")
             obs.increment("repro_chip_cycles_total", int(n_cycles))
-            activities = [
-                core.realize_activity(window)
-                for core, window in zip(self._cores, padded)
-            ]
-            activities = self._apply_slack_coupling(activities, padded)
+            activities = self._coupled_activities(padded)
             executions = tuple(
-                core.finalize(window, activity)
-                for core, window, activity in zip(self._cores, padded, activities)
+                self._cores[0].finalize_batch(padded, activities)
             )
             total_current = self._uncore_amps + sum(
                 execution.current_amps for execution in executions
@@ -231,3 +246,71 @@ class Chip:
             total_current_amps=total_current,
             config_name=self._config_name,
         )
+
+    def run_batch(
+        self,
+        window_groups: Sequence[Sequence[Optional[ExecutionWindow]]],
+        seeds: Optional[Sequence[SeedLike]] = None,
+    ) -> list:
+        """Run many multi-core window groups through one batched solve.
+
+        The per-core slow-gating EMA of *every* run is computed by a
+        single ``lfilter`` call over a stacked activity matrix, and all
+        runs' total-current traces go through the PDN in one batched
+        ``sosfilt`` (see ``TransientSimulator.simulate_batch``).  Each
+        returned :class:`ChipRun` is bit-identical to what :meth:`run`
+        produces for the same windows and seed — pinned by the batching
+        equivalence tests.  All runs must share one window length.
+
+        This is the uninstrumented fast path: it emits no per-run
+        tracing spans (metric counters are still incremented), so the
+        executor only routes runs here when observability is disabled.
+        """
+        if seeds is None:
+            seeds = [None] * len(window_groups)
+        if len(seeds) != len(window_groups):
+            raise SimulationError("one seed per window group required")
+        prepared = [self._prepare(windows) for windows in window_groups]
+        if len({n_cycles for _, n_cycles in prepared}) > 1:
+            raise SimulationError(
+                "all batched runs must have the same window length"
+            )
+        coupled = [
+            self._coupled_activities(padded) for padded, _ in prepared
+        ]
+        # One EMA filter over every core of every run at once.
+        currents = self._cores[0].current_from_activity(np.vstack(coupled))
+        n_cores = self.n_cores
+        executions = [
+            tuple(self._cores[0].finalize_batch(
+                padded,
+                coupled[index],
+                currents=currents[index * n_cores:(index + 1) * n_cores],
+            ))
+            for index, (padded, _) in enumerate(prepared)
+        ]
+        totals = [
+            self._uncore_amps + sum(
+                execution.current_amps for execution in cores
+            )
+            for cores in executions
+        ]
+        ripple_rngs = [
+            derive_generator(seed, "vrm", self._config_name)
+            for seed in seeds
+        ]
+        voltages = self._simulator.simulate_batch(
+            np.stack(totals), seeds=ripple_rngs
+        )
+        for _, n_cycles in prepared:
+            obs.increment("repro_chip_runs_total")
+            obs.increment("repro_chip_cycles_total", int(n_cycles))
+        return [
+            ChipRun(
+                voltage=voltages[index],
+                cores=executions[index],
+                total_current_amps=totals[index],
+                config_name=self._config_name,
+            )
+            for index in range(len(prepared))
+        ]

@@ -18,6 +18,7 @@ benchmarks exhibit in Fig. 7).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy import signal
@@ -28,7 +29,7 @@ from repro.uarch.counters import (
     STALL_ACTIVITY_THRESHOLD,
     PerformanceCounters,
 )
-from repro.uarch.events import StallEvent
+from repro.uarch.events import EventTrace, StallEvent
 from repro.uarch.window import ExecutionWindow
 
 
@@ -91,6 +92,7 @@ class Core:
     ) -> None:
         self._parameters = parameters or CoreParameters()
         self._core_id = int(core_id)
+        self._ema_zi_unit: Optional[np.ndarray] = None
 
     @property
     def parameters(self) -> CoreParameters:
@@ -105,17 +107,29 @@ class Core:
         return synthesize_activity(window.baseline_activity, window.events)
 
     def current_from_activity(self, activity: np.ndarray) -> np.ndarray:
-        """Two-time-constant gating: activity series → current series."""
+        """Two-time-constant gating: activity series → current series.
+
+        Accepts a 1-D series or a 2-D batch of series (one per row, the
+        cycle axis last); a batch runs the slow-gating EMA as a single
+        ``lfilter`` call over all rows, bit-identical per row to the
+        1-D path.
+        """
         params = self._parameters
         if params.fast_fraction >= 1.0:
             effective = activity
         else:
             # Exponential moving average: x[t] = (1-a) x[t-1] + a u[t],
-            # initialized at the window's first activity value.
+            # initialized at the window's first activity value.  The
+            # initial condition is linear in that value, so one unit
+            # ``lfiltic`` scaled per row seeds the whole batch.
             alpha = 1.0 - np.exp(-1.0 / params.gating_tau_cycles)
-            zi = signal.lfiltic([alpha], [1.0, -(1.0 - alpha)], [activity[0]])
+            if self._ema_zi_unit is None:
+                self._ema_zi_unit = signal.lfiltic(
+                    [alpha], [1.0, -(1.0 - alpha)], [1.0]
+                )
+            zi = self._ema_zi_unit * activity[..., :1]
             slow, _ = signal.lfilter(
-                [alpha], [1.0, -(1.0 - alpha)], activity, zi=zi
+                [alpha], [1.0, -(1.0 - alpha)], activity, axis=-1, zi=zi
             )
             effective = (
                 params.fast_fraction * activity
@@ -138,6 +152,32 @@ class Core:
             label=window.label,
         )
 
+    def finalize_batch(
+        self,
+        windows: Sequence[ExecutionWindow],
+        activities: np.ndarray,
+        currents: Optional[np.ndarray] = None,
+    ) -> List[CoreExecution]:
+        """Finalize one window per row of an activity matrix.
+
+        One batched EMA filter derives every row's current at once
+        (unless precomputed ``currents`` rows are supplied); counters
+        are exact integer/sum reductions per row, so each returned
+        execution is bit-identical to :meth:`finalize` on that row.
+        """
+        activities = np.asarray(activities, dtype=float)
+        if currents is None:
+            currents = self.current_from_activity(activities)
+        return [
+            CoreExecution(
+                activity=activities[i],
+                current_amps=currents[i],
+                counters=self._count(windows[i], activities[i]),
+                label=windows[i].label,
+            )
+            for i in range(len(windows))
+        ]
+
     def execute(self, window: ExecutionWindow) -> CoreExecution:
         """Realize a window in isolation (no cross-core coupling)."""
         return self.finalize(window, self.realize_activity(window))
@@ -153,10 +193,11 @@ class Core:
         instructions = float(
             window.base_ipc * np.minimum(activity, 1.0).sum()
         )
+        occurrences = EventTrace.coerce(window.events).counts()
         counts = {
-            event: window.event_count(event)
+            event: occurrences[event]
             for event in StallEvent
-            if window.event_count(event)
+            if occurrences[event]
         }
         return PerformanceCounters(
             cycles=window.n_cycles,

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterable, Iterator, Mapping, Tuple, Union
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -149,3 +151,123 @@ EVENT_PROFILES: Mapping[StallEvent, EventProfile] = {
 def profile_for(event: StallEvent) -> EventProfile:
     """Look up the calibrated envelope for ``event``."""
     return EVENT_PROFILES[event]
+
+
+#: Canonical event ordering: the integer code of each kind in an
+#: :class:`EventTrace` is its index here.
+EVENT_ORDER: Tuple[StallEvent, ...] = tuple(StallEvent)
+
+_EVENT_CODES: Mapping[StallEvent, int] = {
+    event: code for code, event in enumerate(EVENT_ORDER)
+}
+
+
+def event_code(event: StallEvent) -> int:
+    """The integer code of ``event`` in :data:`EVENT_ORDER`."""
+    return _EVENT_CODES[event]
+
+
+class EventTrace:
+    """An array-backed sequence of ``(cycle, StallEvent)`` occurrences.
+
+    The uarch layer synthesizes activity from stall events with numpy
+    scatter operations, so event traces are stored as two parallel
+    arrays — ``cycles`` (``intp``) and ``codes`` (``uint8`` indices into
+    :data:`EVENT_ORDER`) — instead of a Python list of tuples.  The
+    class still iterates and compares like the list of pairs it
+    replaced, so workload code and tests that treat ``window.events``
+    as a sequence keep working unchanged.
+    """
+
+    __slots__ = ("cycles", "codes")
+
+    def __init__(
+        self, cycles: np.ndarray, codes: np.ndarray
+    ) -> None:
+        self.cycles = np.asarray(cycles, dtype=np.intp)
+        self.codes = np.asarray(codes, dtype=np.uint8)
+        if (
+            self.cycles.ndim != 1
+            or self.cycles.shape != self.codes.shape
+        ):
+            raise ConfigurationError(
+                "cycles and codes must be matching 1-D arrays"
+            )
+
+    @classmethod
+    def coerce(
+        cls,
+        events: Union["EventTrace", Iterable[Tuple[int, StallEvent]]],
+    ) -> "EventTrace":
+        """Build a trace from ``(cycle, event)`` pairs (or pass through)."""
+        if isinstance(events, cls):
+            return events
+        pairs = list(events)
+        if not pairs:
+            return cls(
+                np.empty(0, dtype=np.intp), np.empty(0, dtype=np.uint8)
+            )
+        cycles = np.fromiter(
+            (pair[0] for pair in pairs), dtype=np.intp, count=len(pairs)
+        )
+        try:
+            codes = np.fromiter(
+                (_EVENT_CODES[pair[1]] for pair in pairs),
+                dtype=np.uint8,
+                count=len(pairs),
+            )
+        except (KeyError, TypeError):
+            bad = next(
+                pair[1] for pair in pairs
+                if not isinstance(pair[1], StallEvent)
+            )
+            raise ConfigurationError(f"not a StallEvent: {bad!r}") from None
+        return cls(cycles, codes)
+
+    def __len__(self) -> int:
+        return int(self.cycles.size)
+
+    def __iter__(self) -> Iterator[Tuple[int, StallEvent]]:
+        pairs = [
+            (cycle, EVENT_ORDER[code])
+            for cycle, code in zip(self.cycles.tolist(), self.codes.tolist())
+        ]
+        return iter(pairs)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return EventTrace(self.cycles[index], self.codes[index])
+        return (int(self.cycles[index]), EVENT_ORDER[int(self.codes[index])])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EventTrace):
+            return bool(
+                np.array_equal(self.cycles, other.cycles)
+                and np.array_equal(self.codes, other.codes)
+            )
+        if isinstance(other, (list, tuple)):
+            try:
+                return self == EventTrace.coerce(other)
+            except (ConfigurationError, IndexError, ValueError):
+                return NotImplemented
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"EventTrace(<{len(self)} events>)"
+
+    def count(self, event: StallEvent) -> int:
+        """Number of occurrences of one event kind."""
+        return int(np.count_nonzero(self.codes == _EVENT_CODES[event]))
+
+    def counts(self) -> Mapping[StallEvent, int]:
+        """Occurrences per kind, in :data:`EVENT_ORDER` order."""
+        totals = np.bincount(self.codes, minlength=len(EVENT_ORDER))
+        return {
+            event: int(totals[code])
+            for code, event in enumerate(EVENT_ORDER)
+        }
+
+    def sorted_by_cycle(self) -> "EventTrace":
+        """A copy stably sorted by cycle (ties keep insertion order)."""
+        order = np.argsort(self.cycles, kind="stable")
+        return EventTrace(self.cycles[order], self.codes[order])

@@ -133,26 +133,34 @@ class SplitSupplyChip:
         if any(w.n_cycles != n_cycles for w in concrete):
             raise SimulationError("all windows must have the same length")
 
-        executions = []
-        rails = []
-        for i, core in enumerate(self._cores):
-            window = windows[i] if i < len(windows) else None
-            if window is None:
-                window = ExecutionWindow(
-                    baseline_activity=np.full(n_cycles, IDLE_CORE_ACTIVITY),
-                    events=[],
-                    base_ipc=0.3,
-                    label="(idle)",
-                )
-            execution = core.execute(window)
-            executions.append(execution)
-            rail_current = execution.current_amps + self._uncore_share
-            rails.append(
-                self._simulators[i].simulate(
-                    rail_current,
-                    seed=derive_generator(seed, "rail", i, self._config_name),
-                )
+        padded = [
+            windows[i] if i < len(windows) and windows[i] is not None
+            else ExecutionWindow(
+                baseline_activity=np.full(n_cycles, IDLE_CORE_ACTIVITY),
+                events=[],
+                base_ipc=0.3,
+                label="(idle)",
             )
+            for i in range(self.n_cores)
+        ]
+        activities = np.stack([
+            core.realize_activity(window)
+            for core, window in zip(self._cores, padded)
+        ])
+        executions = self._cores[0].finalize_batch(padded, activities)
+        rail_currents = np.stack([
+            execution.current_amps for execution in executions
+        ]) + self._uncore_share
+        # Every rail shares one discretized network, so all rails go
+        # through a single batched sosfilt call (bit-identical per rail
+        # to the per-simulator path this replaced).
+        rails = self._simulators[0].simulate_batch(
+            rail_currents,
+            seeds=[
+                derive_generator(seed, "rail", i, self._config_name)
+                for i in range(self.n_cores)
+            ],
+        )
         return SplitSupplyRun(
             rails=tuple(rails),
             cores=tuple(executions),

@@ -12,12 +12,12 @@ measurement layer's job.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.uarch.events import StallEvent
+from repro.uarch.events import EventTrace, StallEvent
 
 
 @dataclass(frozen=True)
@@ -40,7 +40,9 @@ class ExecutionWindow:
     """
 
     baseline_activity: np.ndarray
-    events: List[Tuple[int, StallEvent]] = field(default_factory=list)
+    events: Union[EventTrace, Sequence[Tuple[int, StallEvent]]] = field(
+        default_factory=list
+    )
     base_ipc: float = 1.5
     label: str = ""
 
@@ -55,13 +57,14 @@ class ExecutionWindow:
         object.__setattr__(self, "baseline_activity", activity)
         if self.base_ipc <= 0:
             raise ConfigurationError("base_ipc must be positive")
-        for cycle, event in self.events:
-            if not 0 <= cycle < activity.size:
-                raise ConfigurationError(
-                    f"event at cycle {cycle} outside window of {activity.size}"
-                )
-            if not isinstance(event, StallEvent):
-                raise ConfigurationError(f"not a StallEvent: {event!r}")
+        trace = EventTrace.coerce(self.events)
+        object.__setattr__(self, "events", trace)
+        outside = (trace.cycles < 0) | (trace.cycles >= activity.size)
+        if np.any(outside):
+            cycle = int(trace.cycles[np.argmax(outside)])
+            raise ConfigurationError(
+                f"event at cycle {cycle} outside window of {activity.size}"
+            )
 
     @property
     def n_cycles(self) -> int:
@@ -69,4 +72,4 @@ class ExecutionWindow:
 
     def event_count(self, event: StallEvent) -> int:
         """Number of occurrences of one event kind in the window."""
-        return sum(1 for _, e in self.events if e is event)
+        return EventTrace.coerce(self.events).count(event)

@@ -14,15 +14,20 @@ within a few cycles of each other.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, WorkloadError
 from repro.random_utils import SeedLike, as_generator, derive_generator
-from repro.uarch.events import StallEvent
+from repro.uarch.events import EventTrace, StallEvent, event_code
 from repro.uarch.window import ExecutionWindow
-from repro.workloads.base import StatProfile, Workload, synthesize_window
+from repro.workloads.base import (
+    StatProfile,
+    Workload,
+    synthesize_window,
+    synthesize_windows,
+)
 
 
 class ParsecWorkload(Workload):
@@ -82,35 +87,57 @@ class ParsecWorkload(Workload):
         if n_threads < 1:
             raise ConfigurationError("n_threads must be >= 1")
         generator = as_generator(rng)
-        windows: List[ExecutionWindow] = []
-        base_windows = [
-            synthesize_window(
-                self.profile,
-                n_cycles,
-                derive_generator(generator, "thread", i),
-                label=f"{self.name}#t{i}",
-            )
-            for i in range(n_threads)
-        ]
+        # One batched synthesis call for every sibling thread: the
+        # per-thread RNGs are derived in the original order, so each
+        # base window is bit-identical to the per-thread calls this
+        # replaced.
+        base_windows = synthesize_windows(
+            self.profile,
+            n_cycles,
+            [derive_generator(generator, "thread", i) for i in range(n_threads)],
+            labels=[f"{self.name}#t{i}" for i in range(n_threads)],
+        )
         # Barrier process shared by all threads: aligned deep stalls.
         n_barriers = generator.poisson(self.barrier_rate_per_cycle * n_cycles)
         barrier_cycles = np.sort(generator.integers(0, n_cycles, size=n_barriers))
-        for i, window in enumerate(base_windows):
-            events = list(window.events)
-            for barrier in barrier_cycles:
-                skew = int(round(generator.normal(0, self.barrier_skew_cycles)))
-                cycle = int(np.clip(barrier + skew, 0, n_cycles - 1))
-                events.append((cycle, StallEvent.EXCEPTION))
-            events.sort(key=lambda pair: pair[0])
-            windows.append(
-                ExecutionWindow(
-                    baseline_activity=window.baseline_activity,
-                    events=events,
-                    base_ipc=window.base_ipc,
-                    label=window.label,
-                )
-            )
-        return tuple(windows)
+        # One vectorized normal draw per thread replaces the scalar
+        # per-barrier draws (identical stream), and np.rint applies the
+        # same banker's rounding as round().
+        skews = [
+            generator.normal(0.0, self.barrier_skew_cycles, size=n_barriers)
+            for _ in range(n_threads)
+        ]
+        return tuple(
+            _with_barriers(window, barrier_cycles, skews[i], n_cycles)
+            for i, window in enumerate(base_windows)
+        )
+
+
+def _with_barriers(
+    window: ExecutionWindow,
+    barrier_cycles: np.ndarray,
+    skews: np.ndarray,
+    n_cycles: int,
+) -> ExecutionWindow:
+    """Merge skewed barrier exceptions into one thread's window."""
+    offsets = np.rint(skews).astype(np.int64)
+    cycles = np.clip(barrier_cycles + offsets, 0, n_cycles - 1)
+    base = EventTrace.coerce(window.events)
+    merged = EventTrace(
+        np.concatenate([base.cycles, cycles]),
+        np.concatenate([
+            base.codes,
+            np.full(
+                cycles.size, event_code(StallEvent.EXCEPTION), dtype=np.uint8
+            ),
+        ]),
+    ).sorted_by_cycle()
+    return ExecutionWindow(
+        baseline_activity=window.baseline_activity,
+        events=merged,
+        base_ipc=window.base_ipc,
+        label=window.label,
+    )
 
 
 def _rates(

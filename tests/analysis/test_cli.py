@@ -478,6 +478,41 @@ class TestHotspotsSubcommand:
             main(["hotspots", PERF_DIRTY, "--profile", str(bad)])
         assert excinfo.value.code == 2
 
+    def test_unknown_span_names_are_usage_error(self, tmp_path, capsys):
+        # A profile from a different build (spans this build never
+        # emits) degrades to a clear usage error, not a KeyError.
+        profile = self._profile(
+            tmp_path, [("run.simulate", 4), ("warp.drive", 2)]
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["hotspots", PERF_DIRTY, "--profile", profile])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "warp.drive" in err
+        assert "catalog" in err
+
+    def test_experiment_spans_are_in_catalog(self, tmp_path, capsys):
+        # Dynamic experiment.* spans are legitimate catalog members.
+        profile = self._profile(
+            tmp_path, [("run.simulate", 4), ("experiment.fig02", 1)]
+        )
+        assert main(
+            ["hotspots", PERF_DIRTY, "--profile", profile, "--json"]
+        ) == 0
+
+    def test_malformed_stage_entry_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({
+                "schema": "repro-stage-profile",
+                "version": 1,
+                "stages": [{"count": 3}],
+            })
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["hotspots", PERF_DIRTY, "--profile", str(bad)])
+        assert excinfo.value.code == 2
+
     def test_nonexistent_path_is_usage_error(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["hotspots", "no/such/path.py"])

@@ -6,6 +6,7 @@ from pathlib import Path
 from benchmarks.gate import (
     DEFAULT_TOLERANCE,
     MIN_GATED_SCORE,
+    SPEEDUP_REFERENCES,
     UNITS,
     compare,
     normalize,
@@ -42,6 +43,39 @@ class TestCompare:
 
     def test_normalize(self):
         assert normalize({"a": 1.0, "b": 0.5}, 2.0) == {"a": 0.5, "b": 0.25}
+
+
+class TestSpeedupPin:
+    """The absolute speed-up pins on top of the regression baseline."""
+
+    def test_pinned_unit_over_ceiling_fails(self):
+        reference, min_speedup = SPEEDUP_REFERENCES["campaign_throughput"]
+        over = reference / min_speedup * 1.01
+        failures = compare(
+            {"campaign_throughput": over}, {"campaign_throughput": over}, 0.25
+        )
+        assert len(failures) == 1
+        assert f"{min_speedup:g}x" in failures[0]
+
+    def test_pinned_unit_under_ceiling_passes(self):
+        reference, min_speedup = SPEEDUP_REFERENCES["campaign_throughput"]
+        under = reference / min_speedup * 0.9
+        assert compare(
+            {"campaign_throughput": under},
+            {"campaign_throughput": under},
+            0.25,
+        ) == []
+
+    def test_baseline_satisfies_every_pin(self):
+        # The committed baseline itself must honor the speed-up pins:
+        # an accepted slow score would otherwise mask the regression.
+        payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+        failures = compare(payload["units"], payload["units"], 0.25)
+        assert failures == []
+
+    def test_pins_cover_only_pinned_units(self):
+        pinned = set(SPEEDUP_REFERENCES)
+        assert pinned <= {name for name, _ in UNITS}
 
 
 class TestBaselineFile:
