@@ -144,6 +144,36 @@ def _unit_policy_arena() -> None:
         run_arena(suite="micro", n_cores=n_cores, campaign=campaign)
 
 
+def _unit_undervolt_sweep() -> None:
+    """A hermetic Vmin sweep plus the below-Vmin bit-error probe.
+
+    Times the whole ISSUE-10 stack: the per-core-count campaign
+    measurements feeding the map, the critical-voltage inversion per
+    frequency column, frontier extraction, and a 40 mV probe whose
+    injected bit errors the executor must retry away.  Campaigns are
+    built fresh inside the unit (no persistent cache) so every timing
+    is a full cold characterization.
+    """
+    from repro.measurement.campaign import MeasurementCampaign
+    from repro.undervolt import probe_below_vmin, run_sweep
+
+    def factory(
+        config: str, n_cycles: int, seed: int, n_cores: int
+    ) -> MeasurementCampaign:
+        return MeasurementCampaign(
+            config, n_cycles=n_cycles, seed=seed, jobs=1, n_cores=n_cores
+        )
+
+    vmin_map = run_sweep(
+        workloads=("lbm", "mcf", "mcf+lbm", "namd+povray"),
+        core_counts=(2, 4),
+        config="Proc100",
+        n_cycles=10_000,
+        campaign_factory=factory,
+    )
+    probe_below_vmin(vmin_map, 0.04)
+
+
 def _unit_simlint_flow() -> None:
     """A cold-cache ``--flow`` lint of src/repro (all four flow passes).
 
@@ -184,6 +214,7 @@ UNITS: Tuple[Tuple[str, Callable[[], None]], ...] = (
     ("campaign_throughput", _unit_campaign_throughput),
     ("pairing_sweep", _unit_pairing_sweep),
     ("policy_arena", _unit_policy_arena),
+    ("undervolt_sweep", _unit_undervolt_sweep),
     ("simlint_flow", _unit_simlint_flow),
     ("simlint_hotspots", _unit_simlint_hotspots),
 )

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli run all
     python -m repro.cli measure mcf lbm mcf+lbm --jobs 2
     python -m repro.cli arena --suite micro --cores 4 --policies all
+    python -m repro.cli undervolt-sweep --probe-depth-mv 40
     python -m repro.cli chaos --plan default
 
 Each experiment prints the reproduced figure/table rows plus its
@@ -61,6 +62,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ext-throttle": "ext_throttle",
     "ext-cores": "ext_core_count",
     "ext-arena": "ext_policy_arena",
+    "ext-undervolt": "ext_undervolt",
 }
 
 #: One-line description per experiment, shown by ``list``.
@@ -90,6 +92,7 @@ DESCRIPTIONS: Dict[str, str] = {
     "ext-throttle": "extension: open- vs closed-loop emergency throttling",
     "ext-cores": "extension: noise vs number of active cores",
     "ext-arena": "extension: N-core policy arena head-to-head",
+    "ext-undervolt": "extension: Vmin map and energy-efficiency frontier",
 }
 
 
@@ -346,6 +349,73 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_arguments(arena)
     _add_observability_arguments(arena)
+    undervolt = sub.add_parser(
+        "undervolt-sweep",
+        help="characterize Vmin per (workload, frequency, core-count) "
+        "and extract the energy-efficiency frontier "
+        "(see docs/undervolting.md)",
+    )
+    undervolt.add_argument(
+        "--workloads",
+        default="lbm,mcf,mcf+lbm",
+        metavar="NAMES",
+        help="comma-separated workload tokens; 'a+b' runs a "
+        "multiprogram mix (default: lbm,mcf,mcf+lbm)",
+    )
+    undervolt.add_argument(
+        "--frequencies",
+        default="1.46,1.66,1.86",
+        metavar="GHZ",
+        help="comma-separated clock frequencies in GHz "
+        "(default: 1.46,1.66,1.86)",
+    )
+    undervolt.add_argument(
+        "--cores",
+        default="2",
+        metavar="N[,N...]",
+        help="comma-separated core counts to sweep (default: 2)",
+    )
+    undervolt.add_argument(
+        "--config",
+        default="Proc100",
+        help="decap configuration to characterize (default: Proc100)",
+    )
+    undervolt.add_argument(
+        "--cycles",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="window length per run in cycles (default: 10000)",
+    )
+    undervolt.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign base seed (default: 0)",
+    )
+    undervolt.add_argument(
+        "--probe-depth-mv",
+        type=float,
+        default=0.0,
+        metavar="MV",
+        help="also run the below-Vmin probe this many millivolts under "
+        "the frontier: inject voltage-dependent bit errors and verify "
+        "the executor recovers bit-identical (default: off)",
+    )
+    undervolt.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the Vmin map + frontier as deterministic JSON",
+    )
+    undervolt.add_argument(
+        "--markdown",
+        default=None,
+        metavar="FILE",
+        help="write the Vmin map + frontier as a markdown report",
+    )
+    _add_execution_arguments(undervolt)
+    _add_observability_arguments(undervolt)
     chaos = sub.add_parser(
         "chaos",
         help="self-test: re-measure under seeded fault injection and "
@@ -522,6 +592,65 @@ def _run_arena(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_csv(text: str) -> list:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _run_undervolt(args: argparse.Namespace) -> int:
+    """Run the Vmin sweep; optionally probe below the frontier."""
+    from repro import units
+    from repro.errors import ReproError
+    from repro.undervolt import (
+        markdown_report,
+        json_report,
+        probe_below_vmin,
+        run_sweep,
+    )
+
+    try:
+        vmin_map = run_sweep(
+            workloads=_split_csv(args.workloads),
+            frequencies_ghz=[
+                float(f) for f in _split_csv(args.frequencies)
+            ],
+            core_counts=[int(n) for n in _split_csv(args.cores)],
+            config=args.config,
+            n_cycles=args.cycles,
+            seed=args.seed,
+        )
+    except (ReproError, ValueError) as error:
+        print(f"undervolt-sweep: {error}", file=sys.stderr)
+        return 2
+    print(markdown_report(vmin_map), end="")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(json_report(vmin_map))
+        print(f"wrote Vmin map to {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(markdown_report(vmin_map))
+        print(f"wrote report to {args.markdown}")
+    print()
+    _print_execution_stats()
+    if args.probe_depth_mv > 0:
+        try:
+            probe = probe_below_vmin(
+                vmin_map, args.probe_depth_mv * units.MILLI_VOLT
+            )
+        except ReproError as error:
+            print(f"undervolt-sweep: {error}", file=sys.stderr)
+            return 2
+        print(f"[probe] {probe.summary()}")
+        if not probe.converged:
+            print(
+                "undervolt-sweep: below-Vmin probe diverged from the "
+                "clean run",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _run_chaos(args: argparse.Namespace) -> int:
     """Chaos self-test: clean run vs two faulted passes, bit-compared.
 
@@ -640,6 +769,12 @@ def main(argv: list[str] | None = None) -> int:
         _configure_execution(args)
         _configure_observability(args)
         status = _run_arena(args)
+        _finalize_observability(args)
+        return status
+    if args.command == "undervolt-sweep":
+        _configure_execution(args)
+        _configure_observability(args)
+        status = _run_undervolt(args)
         _finalize_observability(args)
         return status
     if args.command == "chaos":

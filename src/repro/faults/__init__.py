@@ -33,7 +33,12 @@ model and the recovery contract.
 
 from __future__ import annotations
 
-from repro.faults.injector import FaultInjector, InjectedFault, garble_file
+from repro.faults.injector import (
+    BitErrorFault,
+    FaultInjector,
+    InjectedFault,
+    garble_file,
+)
 from repro.faults.plan import (
     DEFAULT_PLAN_SPEC,
     FAULT_SITES,
@@ -44,6 +49,7 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "BitErrorFault",
     "DEFAULT_PLAN_SPEC",
     "FAULT_SITES",
     "INJECT_FAULTS_ENV",

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from repro import observability as obs
+from repro import units
 from repro.faults.plan import FaultPlan, parse_plan
 from repro.random_utils import derive_generator
 
@@ -34,6 +35,17 @@ class InjectedFault(RuntimeError):
     faults model infrastructure failures (a worker dying mid-run), not
     configuration mistakes, and must travel through the executor's
     retry machinery like any unexpected exception would.
+    """
+
+
+class BitErrorFault(InjectedFault):
+    """An injected SRAM-style bit flip from running below Vmin.
+
+    A subclass of :class:`InjectedFault` so the executor's existing
+    retry/fallback machinery absorbs it unchanged; the distinct type
+    (and the corrupted-word rendering in the message) lets chaos
+    tooling tell voltage-induced corruption apart from the generic
+    transient-exception kind.
     """
 
 
@@ -79,17 +91,35 @@ class FaultInjector:
         ``(site, key)`` itself, so e.g. a re-stored cache record faces
         a fresh decision each time.
         """
-        rate = self._plan.rate(site)
+        return self.fires_scaled(
+            site, key, self._plan.rate(site), occurrence
+        )
+
+    def fires_scaled(
+        self,
+        site: str,
+        key: str,
+        probability: float,
+        occurrence: Optional[int] = None,
+    ) -> bool:
+        """Like :meth:`fires`, with an explicit firing ``probability``.
+
+        The decision stream is still derived from ``(plan seed, site,
+        key, occurrence)``, so two injectors with the same plan seed
+        agree on every decision even when their probabilities are
+        modulated by external state (undervolt depth, say) — the draw
+        is fixed, only the threshold moves.
+        """
         if occurrence is None:
             slot = (site, key)
             occurrence = self._occurrences.get(slot, 0)
             self._occurrences[slot] = occurrence + 1
-        if rate <= 0.0:
+        if probability <= 0.0:
             return False
         rng = derive_generator(
             self._plan.seed, "fault", site, key, occurrence
         )
-        fired = bool(rng.random() < rate)
+        fired = bool(rng.random() < probability)
         if fired:
             self.injected[site] = self.injected.get(site, 0) + 1
             obs.increment("repro_faults_injected_total", site=site)
@@ -116,6 +146,44 @@ class FaultInjector:
                 f"injected transient failure for {key!r} "
                 f"(attempt {occurrence})"
             )
+
+    def bit_error(self, key: str, occurrence: int) -> None:
+        """``vmin.biterror``: voltage-dependent SRAM bit corruption.
+
+        The effective probability is the plan's ``biterror`` rate
+        multiplied by the bit-error-rate curve at the plan's undervolt
+        depth — zero at or above Vmin, approaching the full plan rate
+        deep below it.  When it fires, a seeded 32-bit word is rendered
+        with one flipped bit so logs show *which* corruption happened,
+        and the attempt fails with :class:`BitErrorFault` for the retry
+        machinery to absorb.
+        """
+        depth_volt = self._plan.undervolt_depth_volt
+        if depth_volt <= 0.0:
+            return
+        # Imported here, not at module top: repro.undervolt itself
+        # builds FaultInjectors for the below-Vmin probe.
+        from repro.undervolt.model import bit_error_rate_at_depth
+
+        probability = self._plan.rate(
+            "vmin.biterror"
+        ) * bit_error_rate_at_depth(depth_volt)
+        if not self.fires_scaled(
+            "vmin.biterror", key, probability, occurrence
+        ):
+            return
+        rng = derive_generator(
+            self._plan.seed, "fault", "vmin.biterror", key, occurrence,
+            "word",
+        )
+        word = int(rng.integers(0, 2**32))
+        bit = int(rng.integers(0, 32))
+        raise BitErrorFault(
+            f"injected SRAM bit error for {key!r} (attempt {occurrence}): "
+            f"word 0x{word:08x} read as 0x{word ^ (1 << bit):08x} "
+            f"(bit {bit} flipped at "
+            f"{depth_volt / units.MILLI_VOLT:g} mV below Vmin)"
+        )
 
     def summary(self) -> str:
         """``site xN`` counts of faults this injector actually fired."""

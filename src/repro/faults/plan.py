@@ -23,7 +23,15 @@ hang        ``worker.hang``      worker sleeps ``hang_seconds`` first
 exception   ``simulate.exception`` transient :class:`~repro.faults.injector.InjectedFault`
 corrupt     ``cache.store``      stored cache record is garbled on disk
 corrupt-read ``cache.load``      one cache read is treated as corrupt
+biterror    ``vmin.biterror``    SRAM-style bit flip, scaled by undervolt depth
 ========== ==================== =========================================
+
+The ``biterror`` kind is voltage-dependent: its effective per-decision
+probability is the plan rate multiplied by the bit-error-rate curve of
+:mod:`repro.undervolt.model` evaluated at the plan's
+``undervolt-depth=VOLTS`` option (how far below the characterized Vmin
+the campaign pretends to run).  At zero depth — the default — the kind
+never fires, matching the physics: at or above Vmin the part is clean.
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ FAULT_SITES: Dict[str, str] = {
     "exception": "simulate.exception",
     "corrupt": "cache.store",
     "corrupt-read": "cache.load",
+    "biterror": "vmin.biterror",
 }
 
 _TOKEN_BY_SITE: Dict[str, str] = {site: token for token, site in FAULT_SITES.items()}
@@ -58,9 +67,12 @@ DEFAULT_HANG_SECONDS = 0.05
 
 #: The canonical chaos plan: every fault kind enabled at rates that make
 #: a quick campaign hit each recovery path without drowning in retries.
+#: ``biterror`` is armed but inert here — with no ``undervolt-depth`` the
+#: part is at or above Vmin, where the bit-error rate is exactly zero;
+#: the undervolt probe supplies the depth that brings it to life.
 DEFAULT_PLAN_SPEC = (
-    "crash:0.08,hang:0.05,exception:0.08,corrupt:0.15,corrupt-read:0.05,"
-    "hang-seconds=0.05,seed=0"
+    "biterror:0.2,crash:0.08,hang:0.05,exception:0.08,corrupt:0.15,"
+    "corrupt-read:0.05,hang-seconds=0.05,seed=0"
 )
 
 _DISABLED = ("", "off", "none", "0")
@@ -73,6 +85,7 @@ class FaultPlan:
     rates: Tuple[Tuple[str, float], ...]  # ((site, rate), ...) sorted
     seed: int = 0
     hang_seconds: float = DEFAULT_HANG_SECONDS
+    undervolt_depth_volt: float = 0.0
     _rate_map: Dict[str, float] = field(
         init=False, repr=False, compare=False, default_factory=dict
     )
@@ -93,6 +106,12 @@ class FaultPlan:
             f"{_TOKEN_BY_SITE[site]}:{rate:g}" for site, rate in self.rates
         ]
         tokens.append(f"hang-seconds={self.hang_seconds:g}")
+        # Emitted only when set so pre-undervolt plan specs stay
+        # byte-identical (golden chaos fixtures pin them).
+        if self.undervolt_depth_volt:
+            tokens.append(
+                f"undervolt-depth={self.undervolt_depth_volt:g}"
+            )
         tokens.append(f"seed={self.seed}")
         return ",".join(tokens)
 
@@ -114,6 +133,7 @@ def parse_plan(spec: Optional[str]) -> Optional[FaultPlan]:
     rates: Dict[str, float] = {}
     seed = 0
     hang_seconds = DEFAULT_HANG_SECONDS
+    undervolt_depth_volt = 0.0
     for raw_token in text.split(","):
         token = raw_token.strip()
         if not token:
@@ -129,6 +149,13 @@ def parse_plan(spec: Optional[str]) -> Optional[FaultPlan]:
                     raise ConfigurationError(
                         f"hang-seconds must be >= 0 in fault plan "
                         f"token {token!r}"
+                    )
+            elif key == "undervolt-depth":
+                undervolt_depth_volt = _parse_float(value, token)
+                if undervolt_depth_volt < 0:
+                    raise ConfigurationError(
+                        f"undervolt-depth must be >= 0 volts in fault "
+                        f"plan token {token!r}"
                     )
             else:
                 raise ConfigurationError(
@@ -154,7 +181,12 @@ def parse_plan(spec: Optional[str]) -> Optional[FaultPlan]:
     if not rates:
         return None
     ordered = tuple(sorted(rates.items()))
-    return FaultPlan(rates=ordered, seed=seed, hang_seconds=hang_seconds)
+    return FaultPlan(
+        rates=ordered,
+        seed=seed,
+        hang_seconds=hang_seconds,
+        undervolt_depth_volt=undervolt_depth_volt,
+    )
 
 
 def plan_from_env() -> Optional[FaultPlan]:

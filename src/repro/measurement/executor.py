@@ -33,8 +33,9 @@ the infrastructure *will* fail and recovers instead of margining:
   report's execution-statistics section.
 
 Fault injection itself lives in :mod:`repro.faults`; the executor hosts
-the ``worker.crash`` / ``worker.hang`` / ``simulate.exception`` hook
-points (the cache hosts ``cache.store`` / ``cache.load``).
+the ``worker.crash`` / ``worker.hang`` / ``simulate.exception`` /
+``vmin.biterror`` hook points (the cache hosts ``cache.store`` /
+``cache.load``).
 
 Seeds that are live :class:`numpy.random.Generator` objects have state
 rather than identity; for those the executor degrades gracefully to
@@ -421,6 +422,7 @@ def _inject_worker_faults(
     injector.crash_worker(label, attempt)
     injector.hang_worker(label, attempt)
     injector.raise_transient(label, attempt)
+    injector.bit_error(label, attempt)
 
 
 class CampaignExecutor:
@@ -657,6 +659,7 @@ class CampaignExecutor:
             try:
                 if self._injector is not None:
                     self._injector.raise_transient(label, attempt)
+                    self._injector.bit_error(label, attempt)
                 if attempt == 0:
                     return self._campaign.simulate(spec)
                 with obs.span("run.retry", run=label, attempt=attempt):

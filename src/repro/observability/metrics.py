@@ -170,6 +170,20 @@ CATALOG: Dict[str, MetricSpec] = {
             "expected rollback recoveries per 1K cycles at the chosen "
             "optimal margin (label `mechanism`)",
         ),
+        MetricSpec(
+            "repro_undervolt_sweeps_total", "counter", "sweeps",
+            "Vmin characterization sweeps executed",
+        ),
+        MetricSpec(
+            "repro_undervolt_cells_total", "counter", "cells",
+            "(workload, frequency, core-count) cells characterized by "
+            "undervolt sweeps",
+        ),
+        MetricSpec(
+            "repro_undervolt_energy_savings_fraction", "gauge", "fraction",
+            "energy savings at the frontier Vmin per operating point "
+            "(labels `cores`, `ghz`)",
+        ),
         # -- runtime (this execution only; never diffed) ----------------
         MetricSpec(
             "repro_parallel_batches_total", "counter", "batches",

@@ -39,6 +39,8 @@ SPAN_CATALOG = frozenset({
     "run.simulate",
     "scheduler.evaluate",
     "scheduler.interval",
+    "undervolt.probe",
+    "undervolt.sweep",
 })
 
 #: Dynamic span families: names formed from runtime values (one span

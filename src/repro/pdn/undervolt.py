@@ -27,6 +27,7 @@ Two numbers fall out:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -69,6 +70,28 @@ def _virus_current(n_cycles: int) -> np.ndarray:
     return 2.0 * per_core + 2.0  # both cores + uncore
 
 
+def _min_voltage_volt(
+    config: str,
+    current: np.ndarray,
+    supply_volt: float,
+    with_ripple: bool,
+    seed: int,
+) -> Tuple[float, float]:
+    """Worst instantaneous die voltage at one regulator set-point.
+
+    Returns ``(min voltage in volts, max droop fraction)``.  Kept as a
+    module-level seam: the walk, the bisection refinement and the
+    non-monotone guard all probe through this one function, and the
+    guard's tests monkeypatch it to fake a misbehaving PDN.
+    """
+    parameters = platform.PlatformParameters(nominal_voltage=supply_volt)
+    simulator = platform.build_simulator(
+        config, parameters, with_ripple=with_ripple
+    )
+    trace = simulator.simulate(current, seed=seed, include_ripple=with_ripple)
+    return float(trace.samples.min()), float(trace.max_droop_fraction())
+
+
 def undervolt_to_failure(
     config: str = "Proc100",
     n_cycles: int = 60_000,
@@ -77,6 +100,7 @@ def undervolt_to_failure(
     critical_voltage: float = CRITICAL_VOLTAGE,
     with_ripple: bool = True,
     seed: int = 0,
+    refine_steps: int = 0,
 ) -> UndervoltResult:
     """Walk the regulator set-point down until the virus causes failure.
 
@@ -89,11 +113,26 @@ def undervolt_to_failure(
     max_undervolt:
         Search ceiling; exceeded means the model never failed (an error —
         the virus should always be able to kill the machine eventually).
+    refine_steps:
+        Bisection iterations sharpening the failure edge inside the last
+        coarse step.  ``0`` (the default) keeps the classic coarse walk.
+        Refinement needs a safe bracket: if the very first set-point
+        already fails (bracket exhaustion) the coarse answer — zero
+        headroom — is returned unrefined.
+
+    The walk also guards the model's own physics: with a fixed current
+    profile the PDN is linear, so the worst die voltage must fall
+    strictly as the set-point falls.  A non-monotone response means the
+    simulator is mis-configured and raises
+    :class:`~repro.errors.SimulationError` rather than reporting a
+    margin measured on broken physics.
     """
     if step <= 0:
         raise ConfigurationError("step must be positive")
     if not 0 < max_undervolt < 0.5:
         raise ConfigurationError("max_undervolt must be in (0, 0.5)")
+    if refine_steps < 0:
+        raise ConfigurationError("refine_steps must be >= 0")
     current = _virus_current(n_cycles)
     nominal = platform.NOMINAL_VOLTAGE
 
@@ -104,18 +143,20 @@ def undervolt_to_failure(
     undervolt = 0.0
     while undervolt <= max_undervolt + 1e-12:
         supply = nominal * (1.0 - undervolt)
-        parameters = platform.PlatformParameters(nominal_voltage=supply)
-        simulator = platform.build_simulator(
-            config, parameters, with_ripple=with_ripple
+        v_min, droop = _min_voltage_volt(
+            config, current, supply, with_ripple, seed
         )
-        trace = simulator.simulate(
-            current, seed=seed, include_ripple=with_ripple
-        )
-        v_min = float(trace.samples.min())
+        if minima and v_min >= minima[-1]:
+            raise SimulationError(
+                f"non-monotone droop response: lowering the set-point to "
+                f"{supply:.4f} V raised the worst die voltage "
+                f"({v_min:.4f} V >= {minima[-1]:.4f} V); the PDN model "
+                "is mis-configured"
+            )
         set_points.append(supply)
         minima.append(v_min)
         if virus_droop is None:  # first iteration: nominal set-point
-            virus_droop = trace.max_droop_fraction()
+            virus_droop = droop
         if v_min < critical_voltage:
             failing = undervolt
             break
@@ -125,6 +166,11 @@ def undervolt_to_failure(
             "virus stress never failed within the undervolt ceiling; "
             "the critical voltage is miscalibrated"
         )
+    if refine_steps and failing > 0.0:
+        failing = _refine_failing_edge(
+            config, current, failing - step, failing, critical_voltage,
+            with_ripple, seed, refine_steps,
+        )
     return UndervoltResult(
         config_name=config,
         failing_undervolt=failing,
@@ -133,3 +179,33 @@ def undervolt_to_failure(
         set_points=np.array(set_points),
         min_voltages=np.array(minima),
     )
+
+
+def _refine_failing_edge(
+    config: str,
+    current: np.ndarray,
+    safe_undervolt: float,
+    failing_undervolt: float,
+    critical_voltage: float,
+    with_ripple: bool,
+    seed: int,
+    refine_steps: int,
+) -> float:
+    """Bisect the (safe, failing) bracket down to a sharper failure edge.
+
+    Probes go through :func:`_min_voltage_volt` like the coarse walk,
+    but are *not* appended to the result's ``set_points``/
+    ``min_voltages`` arrays — those record the monotone coarse walk the
+    plots and regression pins expect.
+    """
+    nominal = platform.NOMINAL_VOLTAGE
+    for _ in range(refine_steps):
+        probe = 0.5 * (safe_undervolt + failing_undervolt)
+        v_min, _ = _min_voltage_volt(
+            config, current, nominal * (1.0 - probe), with_ripple, seed
+        )
+        if v_min < critical_voltage:
+            failing_undervolt = probe
+        else:
+            safe_undervolt = probe
+    return failing_undervolt

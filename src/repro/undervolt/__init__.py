@@ -1,0 +1,75 @@
+"""System-level V/F characterization: Vmin maps and the energy frontier.
+
+The paper's economic argument (Sec. I, Sec. V) is that worst-case
+voltage guardbands waste energy: the margin exists for a droop that
+almost never happens, yet every cycle pays the squared-voltage cost of
+carrying it.  This package grows the single undervolt bisection of
+:mod:`repro.pdn.undervolt` into the full characterization framework of
+ROADMAP item 3, shaped after the system-level V/F scaling studies in
+PAPERS.md (Papadimitriou et al., arXiv:2106.09975; the MPSoC
+voltage-margin study, arXiv:2209.12134):
+
+* :mod:`repro.undervolt.model` — the closed-form physics: critical
+  voltage vs frequency (alpha-power law anchored at the shipped
+  operating point), the voltage → SRAM bit-error-rate curve below Vmin,
+  and the squared-set-point energy proxy.
+* :mod:`repro.undervolt.sweep` — the sweep engine: one campaign
+  measurement per (workload, core-count) through the batched executor
+  path and content-addressed cache, composed with the model into
+  per-cell Vmin values and the per-operating-point frontier; plus the
+  below-Vmin probe that injects voltage-dependent bit errors and
+  requires the executor to converge (the PR-5 recovery contract).
+* :mod:`repro.undervolt.report` — deterministic, schema-versioned JSON
+  and markdown renderings (byte-identical across reruns and ``--jobs``).
+
+Entry points: ``repro undervolt-sweep`` and the ``ext-undervolt``
+experiment; ``docs/undervolting.md`` documents the models and schema.
+"""
+
+from __future__ import annotations
+
+from repro.undervolt.model import (
+    BER_DECAY_VOLT,
+    SHIPPED_FREQUENCY_GHZ,
+    bit_error_rate,
+    bit_error_rate_at_depth,
+    critical_voltage,
+    energy_savings_fraction,
+    undervolt_depth,
+)
+from repro.undervolt.report import (
+    UNDERVOLT_SCHEMA_VERSION,
+    json_payload,
+    json_report,
+    markdown_report,
+)
+from repro.undervolt.sweep import (
+    DEFAULT_FREQUENCIES_GHZ,
+    FrontierPoint,
+    ProbeResult,
+    VminCell,
+    VminMap,
+    probe_below_vmin,
+    run_sweep,
+)
+
+__all__ = [
+    "BER_DECAY_VOLT",
+    "DEFAULT_FREQUENCIES_GHZ",
+    "FrontierPoint",
+    "ProbeResult",
+    "SHIPPED_FREQUENCY_GHZ",
+    "UNDERVOLT_SCHEMA_VERSION",
+    "VminCell",
+    "VminMap",
+    "bit_error_rate",
+    "bit_error_rate_at_depth",
+    "critical_voltage",
+    "energy_savings_fraction",
+    "json_payload",
+    "json_report",
+    "markdown_report",
+    "probe_below_vmin",
+    "run_sweep",
+    "undervolt_depth",
+]

@@ -1,0 +1,116 @@
+"""Undervolt-sweep reports: deterministic JSON and markdown.
+
+The JSON payload (Vmin map + frontier) is the sweep's machine-readable
+contract: keys sorted, floats rendered by :func:`json.dumps`'s
+shortest-repr, cells and frontier points in canonical (core-count,
+workload/frequency) order — so equal-seed sweeps are byte-identical
+whatever the executor's job count or cache temperature.  Probe outcomes
+and runtime statistics deliberately stay *out* of this payload (they
+describe one execution, not the characterized physics) so the CI
+determinism gate can ``cmp`` the files directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.undervolt.sweep import FrontierPoint, VminCell, VminMap
+
+#: Schema version of the JSON payload; bump on breaking shape changes.
+UNDERVOLT_SCHEMA_VERSION = 1
+
+
+def _cell_payload(cell: VminCell) -> Dict[str, Any]:
+    return {
+        "workload": cell.workload,
+        "kind": cell.kind,
+        "n_cores": cell.n_cores,
+        "frequency_ghz": cell.frequency_ghz,
+        "critical_volt": cell.critical_volt,
+        "droop_volt": cell.droop_volt,
+        "vmin_volt": cell.vmin_volt,
+        "guardband_fraction": cell.guardband_fraction,
+        "energy_savings_fraction": cell.energy_savings_fraction,
+    }
+
+
+def _frontier_payload(point: FrontierPoint) -> Dict[str, Any]:
+    return {
+        "n_cores": point.n_cores,
+        "frequency_ghz": point.frequency_ghz,
+        "vmin_volt": point.vmin_volt,
+        "limiting_workload": point.limiting_workload,
+        "guardband_fraction": point.guardband_fraction,
+        "energy_savings_fraction": point.energy_savings_fraction,
+    }
+
+
+def json_payload(vmin_map: VminMap) -> Dict[str, Any]:
+    """The Vmin map as one JSON-serializable dict."""
+    return {
+        "schema_version": UNDERVOLT_SCHEMA_VERSION,
+        "config": vmin_map.config,
+        "n_cycles": vmin_map.n_cycles,
+        "seed": vmin_map.seed,
+        "nominal_volt": vmin_map.nominal_volt,
+        "workloads": list(vmin_map.workloads),
+        "frequencies_ghz": list(vmin_map.frequencies_ghz),
+        "core_counts": list(vmin_map.core_counts),
+        "cells": [_cell_payload(cell) for cell in vmin_map.cells],
+        "frontier": [
+            _frontier_payload(point) for point in vmin_map.frontier
+        ],
+    }
+
+
+def json_report(vmin_map: VminMap) -> str:
+    """Byte-stable JSON rendering (sorted keys, trailing newline)."""
+    return (
+        json.dumps(json_payload(vmin_map), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def markdown_report(vmin_map: VminMap) -> str:
+    """Vmin map and energy frontier as markdown tables."""
+    lines: List[str] = [
+        f"# Undervolt sweep: `{vmin_map.config}`",
+        "",
+        f"Workloads: {', '.join(vmin_map.workloads)} — "
+        f"{vmin_map.n_cycles} cycles/run, seed {vmin_map.seed}, "
+        f"nominal {vmin_map.nominal_volt:.3f} V.",
+        "",
+        "## Vmin map",
+        "",
+        "| workload | cores | GHz | critical V | droop V | Vmin V "
+        "| guardband | energy saved |",
+        "|---|---:|---:|---:|---:|---:|---:|---:|",
+    ]
+    for cell in vmin_map.cells:
+        lines.append(
+            f"| {cell.workload} | {cell.n_cores} "
+            f"| {cell.frequency_ghz:g} | {cell.critical_volt:.4f} "
+            f"| {cell.droop_volt:.4f} | {cell.vmin_volt:.4f} "
+            f"| {cell.guardband_fraction:.2%} "
+            f"| {cell.energy_savings_fraction:.2%} |"
+        )
+    lines += [
+        "",
+        "## Energy-efficiency frontier",
+        "",
+        "Worst-case (limiting-workload) Vmin per operating point — the "
+        "set-point you could ship at, and what it saves vs the "
+        "full-guardband nominal.",
+        "",
+        "| cores | GHz | Vmin V | limiting workload | guardband "
+        "| energy saved |",
+        "|---:|---:|---:|---|---:|---:|",
+    ]
+    for point in vmin_map.frontier:
+        lines.append(
+            f"| {point.n_cores} | {point.frequency_ghz:g} "
+            f"| {point.vmin_volt:.4f} | {point.limiting_workload} "
+            f"| {point.guardband_fraction:.2%} "
+            f"| {point.energy_savings_fraction:.2%} |"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,368 @@
+"""The Vmin sweep: per-(workload, frequency, core-count) margin maps.
+
+One characterized cell answers: *running this workload mix on this many
+cores at this frequency, how low can the regulator set-point go?*  The
+decomposition that makes a full map cheap:
+
+* the **load-dependent** part — the worst droop, in volts, each workload
+  mix produces — comes from one campaign measurement per (workload,
+  core-count).  The PDN is linear and current-driven, so the droop in
+  volts does not depend on the set-point; measuring it once at nominal
+  covers every frequency row of the map.  Measurements go through
+  :meth:`~repro.measurement.campaign.MeasurementCampaign.measure_specs`
+  (one executor fan-out), so the vectorized batch path and the
+  content-addressed cache make repeated cells free.
+* the **frequency-dependent** part — the supply the critical path needs
+  — is the closed-form :func:`repro.undervolt.model.critical_voltage`.
+
+Vmin for a cell is their sum; the **frontier** for each (core-count,
+frequency) operating point is the worst Vmin across workloads — the
+set-point you could actually ship at, with its reclaimed guardband and
+the squared-set-point energy saving.
+
+:func:`probe_below_vmin` then drops a campaign *below* the frontier:
+with a ``biterror`` fault plan at the requested depth, the executor sees
+seeded SRAM-style bit corruption and must converge to the clean result
+through its retry machinery (the PR-5 recovery contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro import observability as obs
+from repro import units
+from repro.errors import ConfigurationError
+from repro.faults import FaultInjector
+from repro.measurement.campaign import MeasurementCampaign
+from repro.measurement.executor import RetryPolicy
+from repro.measurement.record import diff_measurements
+from repro.pdn import platform
+from repro.undervolt import model
+
+#: ``(config, n_cycles, seed, n_cores) -> campaign`` — how the sweep
+#: obtains its campaigns.  The default is the shared experiment context;
+#: tests pass a factory building hermetic (cache-free) campaigns.
+CampaignFactory = Callable[[str, int, int, int], MeasurementCampaign]
+
+#: Default frequency grid (GHz): the shipped clock and two reduced steps,
+#: mirroring the frequency-scaling points of the V/F characterization
+#: studies.  All at or below the anchor, where undervolting pays.
+DEFAULT_FREQUENCIES_GHZ: Tuple[float, ...] = (1.46, 1.66, 1.86)
+
+
+@dataclass(frozen=True)
+class VminCell:
+    """One characterized (workload, frequency, core-count) cell."""
+
+    workload: str  # "mcf" or a "+"-joined multiprogram mix
+    kind: str
+    n_cores: int
+    frequency_ghz: float
+    critical_volt: float  # what the critical path needs at this clock
+    droop_volt: float  # worst droop this mix produces (volts)
+    vmin_volt: float  # critical + droop: the safe set-point floor
+    guardband_fraction: float  # reclaimable margin vs nominal
+    energy_savings_fraction: float  # 1 - (vmin/nominal)^2
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """The shippable operating point for one (core-count, frequency).
+
+    Its Vmin is the worst (highest) cell Vmin across workloads — the
+    *limiting* workload decides the margin everyone gets.
+    """
+
+    n_cores: int
+    frequency_ghz: float
+    vmin_volt: float
+    limiting_workload: str
+    guardband_fraction: float
+    energy_savings_fraction: float
+
+
+@dataclass(frozen=True)
+class VminMap:
+    """A full sweep: every cell plus the derived frontier."""
+
+    config: str
+    n_cycles: int
+    seed: int
+    nominal_volt: float
+    workloads: Tuple[str, ...]
+    frequencies_ghz: Tuple[float, ...]
+    core_counts: Tuple[int, ...]
+    cells: Tuple[VminCell, ...]
+    frontier: Tuple[FrontierPoint, ...]
+
+    def cell(
+        self, workload: str, frequency_ghz: float, n_cores: int
+    ) -> VminCell:
+        """The one cell matching the given coordinates (KeyError if none)."""
+        for cell in self.cells:
+            if (
+                cell.workload == workload
+                and cell.frequency_ghz == frequency_ghz
+                and cell.n_cores == n_cores
+            ):
+                return cell
+        raise KeyError(
+            f"no cell for {workload!r} @ {frequency_ghz:g} GHz "
+            f"on {n_cores} cores"
+        )
+
+    def worst_point(self) -> FrontierPoint:
+        """The frontier point with the least margin (highest Vmin).
+
+        Ties break on the full coordinate tuple so the choice is
+        deterministic and input-order independent.
+        """
+        return max(
+            self.frontier,
+            key=lambda p: (
+                p.vmin_volt, p.n_cores, p.frequency_ghz,
+                p.limiting_workload,
+            ),
+        )
+
+
+def _default_campaign_factory(
+    config: str, n_cycles: int, seed: int, n_cores: int
+) -> MeasurementCampaign:
+    from repro.experiments import context
+
+    return context.get_campaign(
+        config, n_cycles=n_cycles, seed=seed, n_cores=n_cores
+    )
+
+
+def _canonical_workloads(workloads: Sequence[str]) -> Tuple[str, ...]:
+    tokens = tuple(sorted({token.strip() for token in workloads}))
+    if not tokens or any(not token for token in tokens):
+        raise ConfigurationError("need at least one non-empty workload")
+    return tokens
+
+
+def run_sweep(
+    workloads: Sequence[str],
+    frequencies_ghz: Sequence[float] = DEFAULT_FREQUENCIES_GHZ,
+    core_counts: Sequence[int] = (2,),
+    config: str = "Proc100",
+    n_cycles: int = 25_000,
+    seed: int = 0,
+    campaign_factory: Optional[CampaignFactory] = None,
+) -> VminMap:
+    """Characterize Vmin for every (workload, frequency, core-count) cell.
+
+    Inputs are canonicalized (sorted, deduplicated) before any work, so
+    two sweeps over the same sets in different orders produce
+    bit-identical maps.  ``workloads`` are run-spec tokens: a plain name
+    is a single/multithread run, ``"a+b"`` a multiprogram mix (needs a
+    core count of at least the mix size).
+    """
+    workload_tokens = _canonical_workloads(workloads)
+    frequency_grid_ghz = tuple(sorted({float(f) for f in frequencies_ghz}))
+    cores_grid = tuple(sorted({int(n) for n in core_counts}))
+    if not frequency_grid_ghz:
+        raise ConfigurationError("need at least one frequency")
+    if not cores_grid or cores_grid[0] < 1:
+        raise ConfigurationError("core counts must be >= 1")
+    factory = campaign_factory or _default_campaign_factory
+    nominal_volt = platform.NOMINAL_VOLTAGE
+    # The frequency-dependent part is workload-independent: one
+    # inversion per grid point, shared by every cell in that column.
+    critical_by_ghz = {
+        ghz: model.critical_voltage(ghz) for ghz in frequency_grid_ghz
+    }
+    with obs.span(
+        "undervolt.sweep",
+        config=config,
+        workloads=len(workload_tokens),
+        frequencies=len(frequency_grid_ghz),
+    ):
+        obs.increment("repro_undervolt_sweeps_total")
+        cells: List[VminCell] = []
+        for n_cores in cores_grid:
+            campaign = factory(config, n_cycles, seed, n_cores)
+            specs = [
+                campaign.run_spec(*token.split("+"))
+                for token in workload_tokens
+            ]
+            measurements = campaign.measure_specs(specs)
+            for token, spec, measurement in zip(
+                workload_tokens, specs, measurements
+            ):
+                droop_volt = measurement.max_droop * nominal_volt
+                for ghz in frequency_grid_ghz:
+                    vmin_volt = critical_by_ghz[ghz] + droop_volt
+                    cells.append(
+                        VminCell(
+                            workload=token,
+                            kind=spec.kind,
+                            n_cores=n_cores,
+                            frequency_ghz=ghz,
+                            critical_volt=critical_by_ghz[ghz],
+                            droop_volt=droop_volt,
+                            vmin_volt=vmin_volt,
+                            guardband_fraction=(
+                                (nominal_volt - vmin_volt) / nominal_volt
+                            ),
+                            energy_savings_fraction=(
+                                model.energy_savings_fraction(
+                                    vmin_volt, nominal_volt
+                                )
+                            ),
+                        )
+                    )
+        obs.increment("repro_undervolt_cells_total", len(cells))
+        frontier = _extract_frontier(cells, cores_grid, frequency_grid_ghz)
+        for point in frontier:
+            obs.set_gauge(
+                "repro_undervolt_energy_savings_fraction",
+                point.energy_savings_fraction,
+                cores=point.n_cores,
+                ghz=f"{point.frequency_ghz:g}",
+            )
+        return VminMap(
+            config=config,
+            n_cycles=int(n_cycles),
+            seed=int(seed),
+            nominal_volt=nominal_volt,
+            workloads=workload_tokens,
+            frequencies_ghz=frequency_grid_ghz,
+            core_counts=cores_grid,
+            cells=tuple(cells),
+            frontier=frontier,
+        )
+
+
+def _extract_frontier(
+    cells: Sequence[VminCell],
+    cores_grid: Sequence[int],
+    frequency_grid_ghz: Sequence[float],
+) -> Tuple[FrontierPoint, ...]:
+    """Safe-margin region: worst cell per (core-count, frequency)."""
+    points: List[FrontierPoint] = []
+    for n_cores in cores_grid:
+        for ghz in frequency_grid_ghz:
+            column = [
+                cell
+                for cell in cells
+                if cell.n_cores == n_cores and cell.frequency_ghz == ghz
+            ]
+            # Ties on Vmin break alphabetically so the limiting workload
+            # is stable under input reordering.
+            limiting = max(
+                column, key=lambda cell: (cell.vmin_volt, cell.workload)
+            )
+            points.append(
+                FrontierPoint(
+                    n_cores=n_cores,
+                    frequency_ghz=ghz,
+                    vmin_volt=limiting.vmin_volt,
+                    limiting_workload=limiting.workload,
+                    guardband_fraction=limiting.guardband_fraction,
+                    energy_savings_fraction=limiting.energy_savings_fraction,
+                )
+            )
+    return tuple(points)
+
+
+# ---------------------------------------------------------------------------
+# Below-Vmin probe
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of running a campaign below the characterized frontier."""
+
+    n_cores: int
+    frequency_ghz: float
+    vmin_volt: float
+    depth_volt: float
+    set_point_volt: float
+    bit_error_rate: float  # effective per-decision probability
+    injected_bit_errors: int
+    retries: int
+    converged: bool
+    differences: Tuple[str, ...]
+
+    def summary(self) -> str:
+        state = (
+            "recovered bit-identical" if self.converged
+            else "DIVERGED: " + "; ".join(self.differences[:3])
+        )
+        return (
+            f"probe at {self.set_point_volt:.3f} V "
+            f"({self.depth_volt / units.MILLI_VOLT:g} mV below the "
+            f"{self.vmin_volt:.3f} V frontier, per-decision bit error "
+            f"rate {self.bit_error_rate:.3f}): "
+            f"{self.injected_bit_errors} bit error(s) injected, "
+            f"{self.retries} retries, {state}"
+        )
+
+
+def probe_below_vmin(
+    vmin_map: VminMap,
+    depth_volt: float,
+    max_retries: int = 4,
+) -> ProbeResult:
+    """Re-run the map's workloads ``depth_volt`` below the worst frontier
+    point, under voltage-dependent fault injection.
+
+    Two hermetic (cache-free, serial) campaigns run the same specs: one
+    clean, one with a ``biterror`` plan whose rate follows the
+    bit-error-rate curve at ``depth_volt``.  Injected faults must be
+    absorbed by the executor's retry path and the results must match the
+    clean campaign bit-for-bit — the same convergence contract the chaos
+    suite enforces, now driven by a physically-motivated fault source.
+    """
+    if depth_volt < 0:
+        raise ConfigurationError("depth_volt must be >= 0")
+    worst = vmin_map.worst_point()
+    plan_spec = (
+        f"biterror:1,undervolt-depth={depth_volt:g},seed={vmin_map.seed}"
+    )
+    with obs.span(
+        "undervolt.probe", depth_mv=f"{depth_volt / units.MILLI_VOLT:g}"
+    ):
+        clean = MeasurementCampaign(
+            vmin_map.config,
+            n_cycles=vmin_map.n_cycles,
+            seed=vmin_map.seed,
+            jobs=1,
+            n_cores=worst.n_cores,
+        )
+        injector = FaultInjector(plan_spec)
+        faulted = MeasurementCampaign(
+            vmin_map.config,
+            n_cycles=vmin_map.n_cycles,
+            seed=vmin_map.seed,
+            jobs=1,
+            retry=RetryPolicy(max_retries=max_retries, backoff_base=0.0),
+            injector=injector,
+            n_cores=worst.n_cores,
+        )
+        specs = [
+            clean.run_spec(*token.split("+"))
+            for token in vmin_map.workloads
+        ]
+        expected = clean.measure_specs(specs)
+        observed = faulted.measure_specs(specs)
+        differences: List[str] = []
+        for spec, a, b in zip(specs, expected, observed):
+            for line in diff_measurements(a, b):
+                differences.append(f"{spec.label}: {line}")
+    return ProbeResult(
+        n_cores=worst.n_cores,
+        frequency_ghz=worst.frequency_ghz,
+        vmin_volt=worst.vmin_volt,
+        depth_volt=depth_volt,
+        set_point_volt=worst.vmin_volt - depth_volt,
+        bit_error_rate=model.bit_error_rate_at_depth(depth_volt),
+        injected_bit_errors=injector.injected.get("vmin.biterror", 0),
+        retries=faulted.executor.stats.retries,
+        converged=not differences,
+        differences=tuple(differences),
+    )

@@ -3,7 +3,13 @@
 import pytest
 
 from repro import observability as obs
-from repro.faults import FaultInjector, InjectedFault, garble_file, parse_plan
+from repro.faults import (
+    BitErrorFault,
+    FaultInjector,
+    InjectedFault,
+    garble_file,
+    parse_plan,
+)
 
 ALL_SITES_ON = "crash:1.0,hang:1.0,exception:1.0,corrupt:1.0,corrupt-read:1.0"
 
@@ -137,3 +143,88 @@ class TestAccounting:
     def test_plan_accessible_and_canonical(self):
         injector = FaultInjector("crash:0.5,seed=3")
         assert injector.plan == parse_plan("crash:0.5,seed=3")
+
+
+class TestBitErrors:
+    DEEP = "biterror:1.0,undervolt-depth=0.2"
+
+    def test_fault_type_travels_the_retry_path(self):
+        assert issubclass(BitErrorFault, InjectedFault)
+
+    def test_zero_depth_is_inert_even_at_full_rate(self):
+        injector = FaultInjector("biterror:1.0")
+        for attempt in range(20):
+            injector.bit_error("mcf@Proc3", attempt)
+        assert injector.injected == {}
+
+    def test_deep_undervolt_fires_and_renders_the_flip(self):
+        injector = FaultInjector(self.DEEP)
+        with pytest.raises(BitErrorFault) as excinfo:
+            injector.bit_error("mcf@Proc3", 0)
+        message = str(excinfo.value)
+        assert "bit" in message and "flipped" in message
+        assert "200 mV below Vmin" in message
+        assert injector.injected["vmin.biterror"] == 1
+
+    def test_decisions_are_deterministic_across_injectors(self):
+        def decisions(injector):
+            outcome = []
+            for attempt in range(8):
+                try:
+                    injector.bit_error("lbm@Proc3", attempt)
+                    outcome.append(None)
+                except BitErrorFault as fault:
+                    outcome.append(str(fault))
+            return outcome
+
+        first = decisions(FaultInjector(self.DEEP))
+        assert first == decisions(FaultInjector(self.DEEP))
+        assert any(first)  # 86% per-decision rate: some attempts fire
+
+    def test_rate_scales_with_depth(self):
+        shallow = FaultInjector("biterror:1.0,undervolt-depth=0.001")
+        fired = 0
+        for attempt in range(200):
+            try:
+                shallow.bit_error("mcf@Proc3", attempt)
+            except BitErrorFault:
+                fired += 1
+        # ~4% per decision at 1 mV depth: far fewer than the deep plan's
+        # ~100 %, but the curve is live (not the zero-depth short-circuit).
+        assert 0 < fired < 50
+
+
+class TestScaledDecisions:
+    def test_zero_probability_never_fires(self):
+        injector = FaultInjector(ALL_SITES_ON)
+        assert not any(
+            injector.fires_scaled("worker.crash", "run0", 0.0, attempt)
+            for attempt in range(50)
+        )
+        assert injector.injected == {}
+
+    def test_full_probability_always_fires(self):
+        injector = FaultInjector(ALL_SITES_ON)
+        assert all(
+            injector.fires_scaled("worker.crash", "run0", 1.0, attempt)
+            for attempt in range(10)
+        )
+
+    def test_fires_delegates_to_the_scaled_stream(self):
+        # Same plan seed → the draw is fixed; fires() is just
+        # fires_scaled() at the plan rate, so both agree decision by
+        # decision.
+        a = FaultInjector("exception:0.4,seed=7")
+        b = FaultInjector("exception:0.4,seed=7")
+        for attempt in range(32):
+            assert a.fires(
+                "simulate.exception", "run0", attempt
+            ) == b.fires_scaled(
+                "simulate.exception", "run0", 0.4, attempt
+            )
+
+    def test_omitted_occurrence_counts_per_site_and_key(self):
+        injector = FaultInjector("corrupt:1.0")
+        assert injector.fires("cache.store", "record")
+        assert injector.fires("cache.store", "record")
+        assert injector.injected["cache.store"] == 2

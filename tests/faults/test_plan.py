@@ -135,3 +135,39 @@ class TestEnvironment:
     def test_env_off_means_no_plan(self, monkeypatch):
         monkeypatch.setenv(INJECT_FAULTS_ENV, "off")
         assert plan_from_env() is None
+
+
+class TestUndervoltDepth:
+    def test_depth_option_parses(self):
+        plan = parse_plan("biterror:0.5,undervolt-depth=0.04,seed=3")
+        assert plan is not None
+        assert plan.rate("vmin.biterror") == 0.5  # simlint: disable=HYG001 (exact by construction)
+        assert plan.undervolt_depth_volt == 0.04  # simlint: disable=HYG001 (exact by construction)
+
+    def test_depth_defaults_to_zero(self):
+        plan = parse_plan("biterror:1.0")
+        assert plan is not None
+        assert plan.undervolt_depth_volt == 0.0  # simlint: disable=HYG001 (exact by construction)
+
+    def test_depth_round_trips_through_spec(self):
+        plan = parse_plan("biterror:1,undervolt-depth=0.025")
+        assert plan is not None
+        assert "undervolt-depth=0.025" in plan.spec
+        assert parse_plan(plan.spec) == plan
+
+    def test_zero_depth_stays_out_of_the_spec(self):
+        # Pre-undervolt plan specs must stay byte-identical: the option
+        # is only rendered when it actually changes behavior.
+        plan = parse_plan("biterror:1.0,crash:0.5")
+        assert plan is not None
+        assert "undervolt-depth" not in plan.spec
+
+    def test_default_plan_is_armed_but_inert(self):
+        plan = parse_plan("default")
+        assert plan is not None
+        assert plan.rate("vmin.biterror") > 0.0
+        assert plan.undervolt_depth_volt == 0.0  # simlint: disable=HYG001 (exact by construction)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_plan("biterror:1,undervolt-depth=-0.01")

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.pdn import undervolt as undervolt_module
 from repro.pdn.platform import NOMINAL_VOLTAGE, WORST_CASE_MARGIN
 from repro.pdn.undervolt import (
     CRITICAL_VOLTAGE,
@@ -55,8 +56,58 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             undervolt_to_failure(max_undervolt=0.9)
 
+    def test_bad_refine_steps(self):
+        with pytest.raises(ConfigurationError):
+            undervolt_to_failure(refine_steps=-1)
+
     def test_unreachable_failure_raises(self):
         with pytest.raises(SimulationError):
             undervolt_to_failure(
                 n_cycles=20_000, critical_voltage=0.5, max_undervolt=0.02
             )
+
+
+class TestEdgeRefinement:
+    def test_refined_edge_stays_inside_the_coarse_bracket(self):
+        coarse = undervolt_to_failure(n_cycles=20_000, step=0.01)
+        refined = undervolt_to_failure(
+            n_cycles=20_000, step=0.01, refine_steps=6
+        )
+        # Bisection sharpens the edge within the last coarse step and
+        # never moves it back above the coarse failing point.
+        assert refined.failing_undervolt <= coarse.failing_undervolt
+        assert refined.failing_undervolt > coarse.failing_undervolt - 0.01
+        # Probes are not part of the recorded walk: the monotone coarse
+        # arrays are identical whether or not refinement ran.
+        np.testing.assert_array_equal(
+            refined.set_points, coarse.set_points
+        )
+        np.testing.assert_array_equal(
+            refined.min_voltages, coarse.min_voltages
+        )
+
+    def test_bracket_exhaustion_keeps_zero_headroom(self):
+        # A critical voltage above the nominal-set-point minimum fails on
+        # the very first probe: there is no safe bracket to bisect, so
+        # the coarse answer — zero headroom — is returned unrefined.
+        result = undervolt_to_failure(
+            n_cycles=20_000, critical_voltage=1.5, refine_steps=8
+        )
+        assert result.failing_undervolt == 0.0  # simlint: disable=HYG001 (exact by construction)
+        assert result.headroom == 0.0  # simlint: disable=HYG001 (exact by construction)
+        assert len(result.set_points) == 1
+
+    def test_non_monotone_droop_response_raises(self, monkeypatch):
+        # Fake a PDN whose worst die voltage *rises* as the set-point
+        # falls — physically impossible for the linear model, so the
+        # walk must refuse to report a margin.
+        responses = iter([(1.25, 0.04), (1.26, 0.04), (1.27, 0.04)])
+
+        def broken_pdn(config, current, supply_volt, with_ripple, seed):
+            return next(responses)
+
+        monkeypatch.setattr(
+            undervolt_module, "_min_voltage_volt", broken_pdn
+        )
+        with pytest.raises(SimulationError, match="non-monotone"):
+            undervolt_to_failure(n_cycles=20_000)

@@ -178,3 +178,42 @@ class TestArenaCommand:
     def test_unknown_policy_is_an_error(self, capsys):
         assert main(self.ARGS + ["--policies", "droop,nope"]) == 2
         assert "unknown policy" in capsys.readouterr().err
+
+
+class TestUndervoltSweepCommand:
+    ARGS = ["undervolt-sweep", "--workloads", "lbm,mcf",
+            "--frequencies", "1.66,1.86", "--config", "Proc100",
+            "--cycles", "2000", "--jobs", "1"]
+
+    def test_prints_map_and_frontier(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "## Vmin map" in out
+        assert "## Energy-efficiency frontier" in out
+        assert "runs simulated" in out
+
+    def test_reports_written_and_deterministic(self, tmp_path, capsys):
+        payload = tmp_path / "frontier.json"
+        report = tmp_path / "frontier.md"
+        args = self.ARGS + ["--json", str(payload),
+                            "--markdown", str(report)]
+        assert main(args) == 0
+        first = payload.read_bytes()
+        assert report.read_text(encoding="utf-8").startswith(
+            "# Undervolt sweep:"
+        )
+        assert main(args) == 0
+        assert payload.read_bytes() == first
+        capsys.readouterr()
+
+    def test_probe_recovers_below_vmin(self, capsys):
+        assert main(self.ARGS + ["--probe-depth-mv", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "[probe]" in out
+        assert "bit error(s) injected" in out
+        assert "recovered bit-identical" in out
+
+    def test_bad_workload_is_an_error(self, capsys):
+        assert main(["undervolt-sweep", "--workloads", "nope",
+                     "--cycles", "2000"]) == 2
+        assert "undervolt-sweep:" in capsys.readouterr().err

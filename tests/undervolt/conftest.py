@@ -1,0 +1,58 @@
+"""Shared fixtures for the undervolt-sweep battery.
+
+Sweeps here run hermetic campaigns (no cache, serial) at a deliberately
+tiny window so Hypothesis can afford several examples per property; a
+module-level memo reuses campaigns across sweeps because the sweep only
+ever *reads* measurements from them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.measurement.campaign import MeasurementCampaign
+from repro.undervolt import run_sweep
+
+#: Small enough for fast tests, above the 1000-cycle campaign floor.
+TINY_CYCLES = 2_000
+
+WORKLOADS = ("lbm", "mcf", "mcf+lbm")
+FREQUENCIES_GHZ = (1.66, 1.86)
+
+_campaigns: Dict[Tuple[str, int, int, int], MeasurementCampaign] = {}
+
+
+def hermetic_factory(
+    config: str, n_cycles: int, seed: int, n_cores: int
+) -> MeasurementCampaign:
+    """Cache-free serial campaigns, memoized per coordinate."""
+    key = (config, n_cycles, seed, n_cores)
+    if key not in _campaigns:
+        _campaigns[key] = MeasurementCampaign(
+            config, n_cycles=n_cycles, seed=seed, jobs=1, n_cores=n_cores
+        )
+    return _campaigns[key]
+
+
+def tiny_sweep(
+    workloads=WORKLOADS,
+    frequencies_ghz=FREQUENCIES_GHZ,
+    core_counts=(2,),
+    seed: int = 0,
+):
+    return run_sweep(
+        workloads,
+        frequencies_ghz=frequencies_ghz,
+        core_counts=core_counts,
+        n_cycles=TINY_CYCLES,
+        seed=seed,
+        campaign_factory=hermetic_factory,
+    )
+
+
+@pytest.fixture(scope="module")
+def vmin_map():
+    """One canonical tiny sweep shared by a module's read-only tests."""
+    return tiny_sweep()

@@ -1,0 +1,134 @@
+"""Pins for the V/F and bit-error models behind the undervolt sweep."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.pdn import platform
+from repro.pdn.undervolt import CRITICAL_VOLTAGE
+from repro.undervolt import model
+
+
+class TestCriticalVoltage:
+    def test_anchored_at_shipped_operating_point(self):
+        # The model is calibrated, not assumed: at the shipped clock the
+        # inversion must land on the measured critical voltage.
+        assert model.critical_voltage(
+            model.SHIPPED_FREQUENCY_GHZ
+        ) == pytest.approx(CRITICAL_VOLTAGE, abs=1e-9)
+
+    def test_bit_stable(self):
+        assert model.critical_voltage(1.46) == model.critical_voltage(1.46)
+
+    def test_monotone_in_frequency(self):
+        voltages = [model.critical_voltage(f) for f in (1.0, 1.46, 1.66, 1.86, 2.4)]
+        assert voltages == sorted(voltages)
+        assert all(
+            later > earlier
+            for earlier, later in zip(voltages, voltages[1:])
+        )
+
+    def test_reduced_clock_needs_less_than_critical_voltage(self):
+        assert model.critical_voltage(1.46) < CRITICAL_VOLTAGE
+
+    def test_overclock_needs_more_than_critical_voltage(self):
+        assert model.critical_voltage(2.2) > CRITICAL_VOLTAGE
+
+    def test_always_above_threshold(self):
+        assert model.critical_voltage(0.05) > model.EFFECTIVE_THRESHOLD_VOLT
+
+    @pytest.mark.parametrize("bad_ghz", [0.0, -1.0])
+    def test_non_positive_frequency_rejected(self, bad_ghz):
+        with pytest.raises(ConfigurationError):
+            model.critical_voltage(bad_ghz)
+
+    def test_unattainable_frequency_rejected(self):
+        with pytest.raises(ConfigurationError, match="unattainable"):
+            model.critical_voltage(1e6)
+
+
+class TestUndervoltDepth:
+    def test_zero_at_and_above_vmin(self):
+        assert model.undervolt_depth(1.2, 1.2) == 0.0  # simlint: disable=HYG001 (exact by construction)
+        assert model.undervolt_depth(1.3, 1.2) == 0.0  # simlint: disable=HYG001 (exact by construction)
+
+    def test_positive_below_vmin(self):
+        assert model.undervolt_depth(1.15, 1.2) == pytest.approx(0.05)
+
+
+class TestBitErrorRate:
+    def test_exactly_zero_at_zero_depth(self):
+        assert model.bit_error_rate_at_depth(0.0) == 0.0  # simlint: disable=HYG001 (exact by construction)
+
+    def test_one_decay_constant_reaches_1_minus_1_over_e(self):
+        assert model.bit_error_rate_at_depth(
+            model.BER_DECAY_VOLT
+        ) == pytest.approx(1.0 - 1.0 / math.e)
+
+    @given(depth=st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, depth):
+        rate = model.bit_error_rate_at_depth(depth)
+        assert 0.0 <= rate < 1.0
+
+    @given(
+        shallow=st.floats(min_value=0.0, max_value=0.5),
+        extra=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_non_decreasing_in_depth(self, shallow, extra):
+        assert model.bit_error_rate_at_depth(
+            shallow + extra
+        ) >= model.bit_error_rate_at_depth(shallow)
+
+    @given(
+        vmin=st.floats(min_value=0.5, max_value=1.5),
+        margin=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_zero_at_and_above_vmin(self, vmin, margin):
+        assert model.bit_error_rate(vmin + margin, vmin) == 0.0  # simlint: disable=HYG001 (exact by construction)
+
+    @given(
+        vmin=st.floats(min_value=0.5, max_value=1.5),
+        depth=st.floats(min_value=1e-4, max_value=0.4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_strictly_positive_below_vmin(self, vmin, depth):
+        assert model.bit_error_rate(vmin - depth, vmin) > 0.0
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            model.bit_error_rate_at_depth(-0.01)
+
+    def test_non_positive_decay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            model.bit_error_rate_at_depth(0.01, decay_volt=0.0)
+
+    def test_non_positive_vmin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            model.bit_error_rate(1.0, 0.0)
+
+
+class TestEnergySavings:
+    def test_zero_at_nominal(self):
+        assert model.energy_savings_fraction(
+            platform.NOMINAL_VOLTAGE
+        ) == pytest.approx(0.0)
+
+    def test_squared_set_point_proxy(self):
+        # Running at 90 % of nominal saves 1 - 0.9^2 = 19 % dynamic energy.
+        assert model.energy_savings_fraction(
+            0.9 * platform.NOMINAL_VOLTAGE
+        ) == pytest.approx(0.19)
+
+    def test_negative_above_nominal(self):
+        assert model.energy_savings_fraction(
+            1.1 * platform.NOMINAL_VOLTAGE
+        ) < 0.0
+
+    def test_non_positive_nominal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            model.energy_savings_fraction(1.0, nominal_volt=0.0)

@@ -1,0 +1,57 @@
+"""Below-Vmin probes: voltage-driven fault injection must recover."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.undervolt import probe_below_vmin
+
+#: Deep enough that biterror:1 fires several times for seed 0 while the
+#: retry budget still converges — the same depth the bench gate probes.
+PROBE_DEPTH_VOLT = 0.04
+
+
+@pytest.fixture(scope="module")
+def probe(vmin_map):
+    return probe_below_vmin(vmin_map, PROBE_DEPTH_VOLT)
+
+
+class TestProbeRecovery:
+    def test_bit_errors_injected(self, probe):
+        assert probe.injected_bit_errors > 0
+        assert probe.retries >= probe.injected_bit_errors
+
+    def test_recovers_bit_identical(self, probe):
+        assert probe.converged
+        assert probe.differences == ()
+
+    def test_operating_point_geometry(self, vmin_map, probe):
+        worst = vmin_map.worst_point()
+        assert probe.vmin_volt == worst.vmin_volt
+        assert probe.n_cores == worst.n_cores
+        assert probe.depth_volt == PROBE_DEPTH_VOLT
+        assert probe.set_point_volt == pytest.approx(
+            worst.vmin_volt - PROBE_DEPTH_VOLT
+        )
+        assert 0.0 < probe.bit_error_rate < 1.0
+
+    def test_summary_reports_recovery(self, probe):
+        text = probe.summary()
+        assert "bit error(s) injected" in text
+        assert "recovered bit-identical" in text
+
+    def test_probe_is_deterministic(self, vmin_map, probe):
+        again = probe_below_vmin(vmin_map, PROBE_DEPTH_VOLT)
+        assert again == probe
+
+
+class TestProbeEdges:
+    def test_zero_depth_injects_nothing(self, vmin_map):
+        clean = probe_below_vmin(vmin_map, 0.0)
+        assert clean.injected_bit_errors == 0
+        assert clean.retries == 0
+        assert clean.bit_error_rate == 0.0  # simlint: disable=HYG001 (exact by construction)
+        assert clean.converged
+
+    def test_negative_depth_rejected(self, vmin_map):
+        with pytest.raises(ConfigurationError):
+            probe_below_vmin(vmin_map, -0.01)

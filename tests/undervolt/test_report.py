@@ -1,0 +1,62 @@
+"""Report contracts: byte-stable JSON, readable markdown."""
+
+import json
+
+from repro.undervolt import (
+    UNDERVOLT_SCHEMA_VERSION,
+    json_payload,
+    json_report,
+    markdown_report,
+)
+
+from tests.undervolt.conftest import WORKLOADS
+
+
+class TestJsonReport:
+    def test_schema_version_and_shape(self, vmin_map):
+        payload = json.loads(json_report(vmin_map))
+        assert payload["schema_version"] == UNDERVOLT_SCHEMA_VERSION
+        assert payload["config"] == vmin_map.config
+        assert payload["workloads"] == sorted(WORKLOADS)
+        assert len(payload["cells"]) == len(vmin_map.cells)
+        assert len(payload["frontier"]) == len(vmin_map.frontier)
+
+    def test_cells_carry_every_field(self, vmin_map):
+        cell = json_payload(vmin_map)["cells"][0]
+        assert set(cell) == {
+            "workload", "kind", "n_cores", "frequency_ghz",
+            "critical_volt", "droop_volt", "vmin_volt",
+            "guardband_fraction", "energy_savings_fraction",
+        }
+
+    def test_rendering_is_byte_stable(self, vmin_map):
+        first = json_report(vmin_map)
+        assert first == json_report(vmin_map)
+        assert first.endswith("\n")
+        # sort_keys: the serialized key order is alphabetical.
+        assert first.index('"cells"') < first.index('"config"')
+
+    def test_probe_state_stays_out_of_the_payload(self, vmin_map):
+        # The JSON is the characterized physics only — runtime/probe
+        # details would break the CI `cmp` determinism gate.
+        payload = json_payload(vmin_map)
+        assert "probe" not in payload
+        assert "runtime" not in payload
+
+
+class TestMarkdownReport:
+    def test_sections_and_rows(self, vmin_map):
+        text = markdown_report(vmin_map)
+        assert f"# Undervolt sweep: `{vmin_map.config}`" in text
+        assert "## Vmin map" in text
+        assert "## Energy-efficiency frontier" in text
+        for workload in WORKLOADS:
+            assert f"| {workload} |" in text
+
+    def test_one_row_per_cell_and_frontier_point(self, vmin_map):
+        rows = [
+            line for line in markdown_report(vmin_map).splitlines()
+            if line.startswith("|") and not line.startswith("|-")
+            and "workload" not in line and "cores" not in line.split("|")[1]
+        ]
+        assert len(rows) == len(vmin_map.cells) + len(vmin_map.frontier)

@@ -1,0 +1,129 @@
+"""Vmin-map structure, frontier extraction, and determinism properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.pdn import platform
+from repro.undervolt import json_report
+
+from tests.undervolt.conftest import (
+    FREQUENCIES_GHZ,
+    TINY_CYCLES,
+    WORKLOADS,
+    tiny_sweep,
+)
+
+
+class TestMapStructure:
+    def test_full_grid_of_cells(self, vmin_map):
+        assert len(vmin_map.cells) == (
+            len(WORKLOADS) * len(FREQUENCIES_GHZ)
+        )
+        assert len(vmin_map.frontier) == len(FREQUENCIES_GHZ)
+
+    def test_inputs_canonicalized(self, vmin_map):
+        assert vmin_map.workloads == tuple(sorted(WORKLOADS))
+        assert vmin_map.frequencies_ghz == tuple(sorted(FREQUENCIES_GHZ))
+        assert vmin_map.core_counts == (2,)
+        assert vmin_map.n_cycles == TINY_CYCLES
+
+    def test_vmin_is_critical_plus_droop(self, vmin_map):
+        for cell in vmin_map.cells:
+            assert cell.vmin_volt == pytest.approx(
+                cell.critical_volt + cell.droop_volt
+            )
+            assert cell.droop_volt > 0.0
+            assert cell.guardband_fraction == pytest.approx(
+                (platform.NOMINAL_VOLTAGE - cell.vmin_volt)
+                / platform.NOMINAL_VOLTAGE
+            )
+
+    def test_droop_shared_across_frequencies(self, vmin_map):
+        # The PDN is linear and current-driven: one measurement per
+        # (workload, core-count) serves every frequency row.
+        for workload in WORKLOADS:
+            droops = {
+                vmin_map.cell(workload, ghz, 2).droop_volt
+                for ghz in FREQUENCIES_GHZ
+            }
+            assert len(droops) == 1
+
+    def test_lower_frequency_lowers_vmin(self, vmin_map):
+        for workload in WORKLOADS:
+            low = vmin_map.cell(workload, 1.66, 2)
+            high = vmin_map.cell(workload, 1.86, 2)
+            assert low.vmin_volt < high.vmin_volt
+            assert low.energy_savings_fraction > high.energy_savings_fraction
+
+    def test_cell_lookup_miss_raises(self, vmin_map):
+        with pytest.raises(KeyError):
+            vmin_map.cell("povray", 1.86, 2)
+
+    def test_frontier_is_worst_cell_per_operating_point(self, vmin_map):
+        for point in vmin_map.frontier:
+            column = [
+                cell for cell in vmin_map.cells
+                if cell.n_cores == point.n_cores
+                and cell.frequency_ghz == point.frequency_ghz
+            ]
+            assert point.vmin_volt == max(c.vmin_volt for c in column)
+            assert point.limiting_workload in {c.workload for c in column}
+
+    def test_worst_point_has_highest_vmin(self, vmin_map):
+        worst = vmin_map.worst_point()
+        assert worst.vmin_volt == max(
+            point.vmin_volt for point in vmin_map.frontier
+        )
+
+
+class TestValidation:
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_sweep(workloads=())
+
+    def test_blank_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_sweep(workloads=("lbm", "  "))
+
+    def test_empty_frequencies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_sweep(frequencies_ghz=())
+
+    def test_bad_core_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_sweep(core_counts=(0,))
+
+
+class TestDeterminism:
+    def test_rerun_is_byte_identical(self, vmin_map):
+        assert json_report(tiny_sweep()) == json_report(vmin_map)
+
+    def test_duplicate_inputs_collapse(self, vmin_map):
+        doubled = tiny_sweep(
+            workloads=WORKLOADS + WORKLOADS,
+            frequencies_ghz=FREQUENCIES_GHZ + FREQUENCIES_GHZ,
+        )
+        assert json_report(doubled) == json_report(vmin_map)
+
+    @given(
+        workload_order=st.permutations(list(WORKLOADS)),
+        frequency_order=st.permutations(list(FREQUENCIES_GHZ)),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_input_order_independence(
+        self, vmin_map, workload_order, frequency_order
+    ):
+        shuffled = tiny_sweep(
+            workloads=tuple(workload_order),
+            frequencies_ghz=tuple(frequency_order),
+        )
+        assert json_report(shuffled) == json_report(vmin_map)
+
+    @given(seed=st.integers(min_value=0, max_value=2))
+    @settings(max_examples=6, deadline=None)
+    def test_equal_seeds_bit_identical(self, seed):
+        first = tiny_sweep(workloads=("lbm", "mcf"), seed=seed)
+        second = tiny_sweep(workloads=("mcf", "lbm"), seed=seed)
+        assert json_report(first) == json_report(second)
+        assert first.seed == seed
